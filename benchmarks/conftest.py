@@ -1,0 +1,23 @@
+"""Benchmark configuration.
+
+The experiment drivers are deterministic but expensive, so every
+benchmark runs one round with no warmup; the value of the suite is the
+tracked wall-time per figure plus the embedded shape assertions, which
+make ``pytest benchmarks/ --benchmark-only`` a one-command
+reproduction check.
+"""
+
+import pytest
+
+
+@pytest.fixture
+def once(benchmark):
+    """Run the benched callable exactly once and return its result."""
+
+    def run(func, *args, **kwargs):
+        return benchmark.pedantic(
+            func, args=args, kwargs=kwargs, rounds=1, iterations=1,
+            warmup_rounds=0,
+        )
+
+    return run

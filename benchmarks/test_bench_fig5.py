@@ -1,0 +1,28 @@
+"""Benchmark: regenerate Fig. 5 (table-based vs SOP combinational).
+
+Runs the reduced sweep and asserts the paper's shape: partially
+evaluated tables synthesize to ~the same area as hand-written
+sum-of-products across the grid.
+"""
+
+from repro.expts.fig5_tables import run_fig5
+
+
+def test_bench_fig5_small(once):
+    result = once(run_fig5, scale="small")
+    stats = result.ratio_stats("table-based")
+    assert stats.count >= 9
+    assert 0.7 <= stats.geomean <= 1.3
+    assert stats.maximum <= 2.0
+
+
+def test_bench_fig5_medium_slice(once):
+    """A deeper slice (d up to 256) including the large-function regime
+    where the paper saw table-based occasionally winning."""
+    result = once(run_fig5, scale="medium")
+    stats = result.ratio_stats("table-based")
+    assert 0.7 <= stats.geomean <= 1.35
+    deep_points = [p for p in result.points if p.meta["depth"] >= 64]
+    assert deep_points, "medium scale must include deep tables"
+    wins = sum(1 for p in deep_points if p.ratio <= 1.0)
+    assert wins >= 1, "expected at least one table-based win at depth"

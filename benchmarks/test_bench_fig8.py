@@ -1,0 +1,34 @@
+"""Benchmark: regenerate Fig. 8 (state propagation across flops).
+
+Asserts every qualitative claim of the paper's Section III-B on the
+Fig. 7 design family.
+"""
+
+from repro.expts.fig8_stateprop import run_fig8
+
+
+def test_bench_fig8_small(once):
+    result = once(run_fig8, scale="small")
+    assert result.ratio_stats("comb/regular").maximum <= 1.01
+    assert result.ratio_stats("plain/regular").minimum >= 1.1
+    assert result.ratio_stats("plain/annotated").maximum <= 1.01
+    assert result.ratio_stats("async/retimed").minimum >= 1.1
+
+
+def test_bench_fig8_medium_annotation_cap(once):
+    """Medium scale reaches n=64: beyond the 32-bit state vector cap
+    the annotation is ignored and the generic design stays big."""
+    result = once(run_fig8, scale="medium")
+    capped = [
+        p.ratio
+        for p in result.series("plain/annotated")
+        if p.meta["n"] > 32
+    ]
+    helped = [
+        p.ratio
+        for p in result.series("plain/annotated")
+        if p.meta["n"] <= 32
+    ]
+    assert capped and helped
+    assert max(helped) <= 1.01
+    assert min(capped) >= 1.1

@@ -1,0 +1,77 @@
+"""Microbenchmarks for the synthesis substrate.
+
+These track the cost of the passes the figure-level benchmarks are
+built from, so a performance regression is attributable.
+"""
+
+import random
+
+import pytest
+
+from repro.aig import balance, rewrite
+from repro.aig.graph import AIG
+from repro.aig.rewrite import tt_sweep
+from repro.aig import ops
+from repro.sat.equiv import check_combinational_equivalence
+from repro.tables.isop import isop
+from repro.tables.truthtable import TruthTable
+from repro.tech.mapper import map_aig
+
+
+def build_table_aig(num_inputs=8, width=16, seed=0):
+    rng = random.Random(seed)
+    table = TruthTable.random(num_inputs, width, rng)
+    aig = AIG()
+    addr = [aig.add_pi(f"a[{i}]") for i in range(num_inputs)]
+    rows = [ops.const_word(word, width) for word in table.rows()]
+    data = ops.table_read(aig, addr, rows)
+    for bit, lit in enumerate(data):
+        aig.add_po(f"d[{bit}]", lit)
+    cleaned, _ = aig.cleanup()
+    return cleaned
+
+
+@pytest.fixture(scope="module")
+def table_aig():
+    return build_table_aig()
+
+
+def test_bench_isop_random_functions(benchmark):
+    rng = random.Random(7)
+    tables = [rng.getrandbits(1 << 8) for _ in range(20)]
+
+    def run():
+        return sum(len(isop(t, 0, 8)) for t in tables)
+
+    cubes = benchmark(run)
+    assert cubes > 0
+
+
+def test_bench_tt_sweep(benchmark, table_aig):
+    swept = benchmark(tt_sweep, table_aig)
+    assert swept.num_ands <= table_aig.num_ands
+
+
+def test_bench_balance(benchmark, table_aig):
+    balanced = benchmark(balance, table_aig)
+    assert balanced.depth() <= table_aig.depth()
+
+
+def test_bench_rewrite(benchmark, table_aig):
+    rewritten = benchmark(rewrite, table_aig)
+    assert rewritten.num_ands <= table_aig.num_ands + 2
+
+
+def test_bench_mapping(benchmark, table_aig):
+    netlist = benchmark(map_aig, table_aig)
+    assert netlist.area_report().num_cells > 0
+
+
+def test_bench_sat_equivalence(benchmark, table_aig):
+    optimized = tt_sweep(table_aig)
+
+    def run():
+        return check_combinational_equivalence(table_aig, optimized)
+
+    result = benchmark.pedantic(run, rounds=1, iterations=1, warmup_rounds=0)
+    assert result

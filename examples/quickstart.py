@@ -1,0 +1,91 @@
+#!/usr/bin/env python3
+"""Quickstart: flexible controllers, partial evaluation, annotations.
+
+Builds one small controller three ways -- the paper's central
+comparison -- and synthesizes each with the bundled compiler:
+
+1. *flexible*: next-state and output tables in programmable memories
+   (what a runtime-reconfigurable chip would carry);
+2. *bound*: the same tables baked in as ROMs, which partial evaluation
+   collapses into plain logic;
+3. *direct*: the vendor-recommended case-statement style.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro.controllers import FsmSpec, fsm_to_case_rtl, fsm_to_table_rtl
+from repro.pe import bind_tables
+from repro.controllers.fsm_rtl import table_rows
+from repro.synth import CompileOptions, DesignCompiler
+from repro.synth.dc_options import StateAnnotation
+
+
+def main() -> None:
+    # A tiny handshake controller: IDLE -> BUSY -> DONE -> IDLE.
+    spec = FsmSpec(
+        "handshake",
+        num_inputs=1,   # 'go'
+        num_outputs=2,  # {busy, done}
+        num_states=3,
+        reset_state=0,
+        next_state=[
+            [0, 1],  # IDLE: wait for go
+            [2, 2],  # BUSY: always advance
+            [0, 0],  # DONE: return
+        ],
+        output=[
+            [0b00, 0b00],
+            [0b01, 0b01],
+            [0b10, 0b10],
+        ],
+    )
+
+    compiler = DesignCompiler()
+    options = CompileOptions(clock_period_ns=5.0)
+
+    flexible = fsm_to_table_rtl(spec, flexible=True)
+    bound = bind_tables(
+        flexible,
+        {
+            "next_mem": table_rows(spec, "next"),
+            "out_mem": table_rows(spec, "output"),
+        },
+    )
+    direct = fsm_to_case_rtl(spec)
+
+    flexible_result = compiler.compile(flexible, options)
+    bound_result = compiler.compile(bound, options)
+    annotated_result = compiler.compile(
+        bound,
+        CompileOptions(
+            clock_period_ns=5.0,
+            state_annotations=[StateAnnotation("state", (0, 1, 2))],
+        ),
+    )
+    direct_result = compiler.compile(direct, options)
+
+    print("Design                      comb um^2   seq um^2  total um^2")
+    for name, result in [
+        ("flexible (config memories)", flexible_result),
+        ("bound (partial evaluation)", bound_result),
+        ("bound + state annotation  ", annotated_result),
+        ("direct (case statements)  ", direct_result),
+    ]:
+        area = result.area
+        print(
+            f"{name}  {area.combinational:9.1f}  {area.sequential:9.1f}"
+            f"  {area.total:10.1f}"
+        )
+
+    ratio = bound_result.area.total / direct_result.area.total
+    print()
+    print(
+        f"bound/direct area ratio: {ratio:.2f} -- the generator only had "
+        f"to emit a table of bits."
+    )
+    saved = 1 - bound_result.area.total / flexible_result.area.total
+    print(f"partial evaluation removed {saved:.0%} of the flexible area.")
+
+
+if __name__ == "__main__":
+    main()

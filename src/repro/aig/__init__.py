@@ -1,0 +1,39 @@
+"""And-Inverter Graph: the optimization IR of the synthesis flow.
+
+The AIG is a sequential netlist of two-input AND nodes with optional
+complemented edges, primary inputs/outputs, and latches.  Constant
+folding and structural hashing happen *at construction time*, which is
+exactly the mechanism by which "partial evaluation" of a bound
+configuration table happens in this flow: elaborating a read of a
+constant memory builds a mux tree whose constant leaves collapse as the
+tree is built.
+
+Public API
+----------
+- :class:`~repro.aig.graph.AIG` -- the graph itself.
+- :class:`~repro.aig.graph.Latch` -- sequential element descriptor.
+- :mod:`~repro.aig.ops` -- word-level helper operations.
+- :func:`~repro.aig.balance.balance` -- depth-reducing tree rebuild.
+- :func:`~repro.aig.rewrite.rewrite` -- cut-based local resynthesis.
+- :func:`~repro.aig.cuts.enumerate_cuts` -- k-feasible cut enumeration.
+"""
+
+from repro.aig.balance import balance
+from repro.aig.cuts import CutSet, enumerate_cuts
+from repro.aig.graph import AIG, CONST0, CONST1, Latch, lit_compl, lit_node, lit_sign
+from repro.aig.rewrite import rewrite, tt_sweep
+
+__all__ = [
+    "AIG",
+    "CONST0",
+    "CONST1",
+    "CutSet",
+    "Latch",
+    "balance",
+    "enumerate_cuts",
+    "lit_compl",
+    "lit_node",
+    "lit_sign",
+    "rewrite",
+    "tt_sweep",
+]

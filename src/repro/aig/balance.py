@@ -1,0 +1,91 @@
+"""AND-tree balancing.
+
+Rebuilds the graph bottom-up, flattening chains of single-fanout AND
+nodes into multi-input conjunctions and re-associating them as balanced
+trees (lowest-level operands pair first).  This is the classic
+depth-reduction step run before technology mapping; it never changes
+functionality because every rebuilt tree computes the same conjunction.
+"""
+
+from __future__ import annotations
+
+from repro.aig.graph import AIG, lit_node, lit_sign
+
+
+def balance(aig: AIG) -> AIG:
+    """Return a depth-balanced, cleaned-up copy of ``aig``."""
+    fanout = aig.fanout_counts()
+    new = AIG()
+    lit_map: dict[int, int] = {0: 0}
+    levels: dict[int, int] = {0: 0}
+
+    for node, name in zip(aig.pis, aig.pi_names):
+        lit_map[node << 1] = new.add_pi(name)
+        levels[lit_node(lit_map[node << 1])] = 0
+    for latch in aig.latches:
+        lit_map[latch.node << 1] = new.add_latch(
+            latch.name, latch.reset_kind, latch.reset_value
+        )
+        levels[lit_node(lit_map[latch.node << 1])] = 0
+
+    def translate(lit: int) -> int:
+        return lit_map[lit & ~1] ^ (lit & 1)
+
+    def level_of(lit: int) -> int:
+        return levels.get(lit_node(lit), 0)
+
+    def make_and(a: int, b: int) -> int:
+        result = new.and_(a, b)
+        node = lit_node(result)
+        if node not in levels and new.is_and(node):
+            f0, f1 = new.fanins(node)
+            levels[node] = 1 + max(level_of(f0), level_of(f1))
+        return result
+
+    for node in aig.topo_order():
+        conjuncts = _collect_conjuncts(aig, node, fanout)
+        operands = [translate(lit) for lit in conjuncts]
+        lit_map[node << 1] = _build_balanced(make_and, operands, level_of)
+
+    for name, lit in aig.pos:
+        new.add_po(name, translate(lit))
+    for old_latch, new_latch in zip(aig.latches, new.latches):
+        new.set_latch_next(new_latch.node << 1, translate(old_latch.next_lit))
+    compacted, _ = new.cleanup()
+    return compacted
+
+
+def _collect_conjuncts(aig: AIG, node: int, fanout: list[int]) -> list[int]:
+    """Flatten the maximal single-fanout AND tree rooted at ``node``.
+
+    A fanin participates in the flattened conjunction when it is an
+    uncomplemented AND node referenced nowhere else; other fanins
+    (complemented edges, PIs, latches, shared nodes) become leaves.
+    """
+    leaves: list[int] = []
+    stack = list(aig.fanins(node))
+    while stack:
+        lit = stack.pop()
+        child = lit_node(lit)
+        if not lit_sign(lit) and aig.is_and(child) and fanout[child] == 1:
+            stack.extend(aig.fanins(child))
+        else:
+            leaves.append(lit)
+    return leaves
+
+
+def _build_balanced(make_and, operands: list[int], level_of) -> int:
+    """AND the operands pairing cheapest-level terms first."""
+    if not operands:
+        return 1
+    work = sorted(operands, key=level_of)
+    while len(work) > 1:
+        a = work.pop(0)
+        b = work.pop(0)
+        combined = make_and(a, b)
+        position = 0
+        combined_level = level_of(combined)
+        while position < len(work) and level_of(work[position]) <= combined_level:
+            position += 1
+        work.insert(position, combined)
+    return work[0]

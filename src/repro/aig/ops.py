@@ -1,0 +1,177 @@
+"""Word-level helper operations over AIG literals.
+
+A *word* is a list of literals, least-significant bit first.  These
+helpers build the handful of word-level structures the RTL elaborator
+and the controller generators need: constants, bitwise logic, equality,
+increment/add, one-hot decode, reduction trees, table reads (mux trees)
+and SOP realisations of truth tables.
+"""
+
+from __future__ import annotations
+
+from repro.aig.graph import AIG, CONST0, CONST1, lit_compl
+from repro.tables.cube import Cube
+from repro.tables.isop import isop
+
+
+def const_word(value: int, width: int) -> list[int]:
+    """A constant word as literals (no graph nodes are created)."""
+    return [CONST1 if value >> bit & 1 else CONST0 for bit in range(width)]
+
+
+def word_value(word: list[int]) -> int | None:
+    """The integer value of a fully-constant word, else ``None``."""
+    value = 0
+    for bit, lit in enumerate(word):
+        if lit == CONST1:
+            value |= 1 << bit
+        elif lit != CONST0:
+            return None
+    return value
+
+
+def not_word(word: list[int]) -> list[int]:
+    return [lit_compl(lit) for lit in word]
+
+
+def and_word(aig: AIG, a: list[int], b: list[int]) -> list[int]:
+    _check_same_width(a, b)
+    return [aig.and_(x, y) for x, y in zip(a, b)]
+
+
+def or_word(aig: AIG, a: list[int], b: list[int]) -> list[int]:
+    _check_same_width(a, b)
+    return [aig.or_(x, y) for x, y in zip(a, b)]
+
+
+def xor_word(aig: AIG, a: list[int], b: list[int]) -> list[int]:
+    _check_same_width(a, b)
+    return [aig.xor(x, y) for x, y in zip(a, b)]
+
+
+def mux_word(aig: AIG, sel: int, if1: list[int], if0: list[int]) -> list[int]:
+    _check_same_width(if1, if0)
+    return [aig.mux(sel, x, y) for x, y in zip(if1, if0)]
+
+
+def reduce_and(aig: AIG, lits: list[int]) -> int:
+    """Balanced AND reduction; empty input is constant true."""
+    return _reduce_tree(aig.and_, lits, CONST1)
+
+
+def reduce_or(aig: AIG, lits: list[int]) -> int:
+    """Balanced OR reduction; empty input is constant false."""
+    return _reduce_tree(aig.or_, lits, CONST0)
+
+
+def _reduce_tree(op, lits: list[int], empty: int) -> int:
+    if not lits:
+        return empty
+    layer = list(lits)
+    while len(layer) > 1:
+        nxt = []
+        for index in range(0, len(layer) - 1, 2):
+            nxt.append(op(layer[index], layer[index + 1]))
+        if len(layer) % 2:
+            nxt.append(layer[-1])
+        layer = nxt
+    return layer[0]
+
+
+def eq_const(aig: AIG, word: list[int], value: int) -> int:
+    """Literal asserting ``word == value``."""
+    terms = []
+    for bit, lit in enumerate(word):
+        terms.append(lit if value >> bit & 1 else lit_compl(lit))
+    return reduce_and(aig, terms)
+
+
+def eq_word(aig: AIG, a: list[int], b: list[int]) -> int:
+    _check_same_width(a, b)
+    return reduce_and(aig, [aig.xnor(x, y) for x, y in zip(a, b)])
+
+
+def add_words(aig: AIG, a: list[int], b: list[int], carry_in: int = CONST0) -> list[int]:
+    """Ripple-carry addition, result truncated to the operand width."""
+    _check_same_width(a, b)
+    carry = carry_in
+    out = []
+    for x, y in zip(a, b):
+        out.append(aig.xor(aig.xor(x, y), carry))
+        carry = aig.or_(aig.and_(x, y), aig.and_(carry, aig.xor(x, y)))
+    return out
+
+
+def increment(aig: AIG, word: list[int], amount: int = 1) -> list[int]:
+    """``word + amount`` truncated to the word width."""
+    return add_words(aig, word, const_word(amount, len(word)))
+
+
+def onehot_decode(aig: AIG, word: list[int], num_outputs: int | None = None) -> list[int]:
+    """Decode a binary word into one-hot select lines.
+
+    Built as a recursive splitter so common subterms are shared.
+    """
+    if num_outputs is None:
+        num_outputs = 1 << len(word)
+    if num_outputs > 1 << len(word):
+        raise ValueError("more outputs than the word can address")
+    return [eq_const(aig, word, index) for index in range(num_outputs)]
+
+
+def table_read(aig: AIG, address: list[int], rows: list[list[int]]) -> list[int]:
+    """Read a table of words with a mux tree over the address bits.
+
+    ``rows[i]`` is the word stored at address ``i`` (missing rows read
+    as zero).  When the row literals are constants -- a bound
+    configuration -- AIG folding collapses the tree as it is built:
+    this function *is* the partial-evaluation entry point.
+    """
+    if not rows:
+        raise ValueError("table must have at least one row")
+    width = len(rows[0])
+    for row in rows:
+        if len(row) != width:
+            raise ValueError("table rows must share one width")
+    depth = 1 << len(address)
+    if len(rows) > depth:
+        raise ValueError("table deeper than the address space")
+    padded = list(rows) + [const_word(0, width)] * (depth - len(rows))
+
+    def build(bits: list[int], segment: list[list[int]]) -> list[int]:
+        if not bits:
+            return segment[0]
+        half = len(segment) // 2
+        sel = bits[-1]
+        low = build(bits[:-1], segment[:half])
+        high = build(bits[:-1], segment[half:])
+        return mux_word(aig, sel, high, low)
+
+    return build(list(address), padded)
+
+
+def from_truth_table(aig: AIG, table: int, inputs: list[int], dc: int = 0) -> int:
+    """Realise a single-output truth table as two-level logic.
+
+    The cover comes from ISOP; cubes become balanced AND trees feeding a
+    balanced OR tree.  Structural hashing shares subterms between
+    cubes and with pre-existing logic.
+    """
+    cubes = isop(table, dc, len(inputs))
+    return _build_cover(aig, cubes, inputs)
+
+
+def _build_cover(aig: AIG, cubes: list[Cube], inputs: list[int]) -> int:
+    terms = []
+    for cube in cubes:
+        lits = [
+            inputs[var] if polarity else lit_compl(inputs[var])
+            for var, polarity in cube.literals()
+        ]
+        terms.append(reduce_and(aig, lits))
+    return reduce_or(aig, terms)
+
+
+def _check_same_width(a: list[int], b: list[int]) -> None:
+    if len(a) != len(b):
+        raise ValueError(f"word width mismatch: {len(a)} vs {len(b)}")

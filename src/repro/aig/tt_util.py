@@ -1,0 +1,68 @@
+"""Fast truth-table reshaping for windowed functional analysis.
+
+Tables are big-int bitmaps (see :mod:`repro.tables.bits`).  These
+helpers insert and remove variables by block duplication/extraction,
+which keeps windowed sweeping affordable even for 10-12 variable
+windows (1-4 kbit tables).
+"""
+
+from __future__ import annotations
+
+
+def insert_var(table: int, position: int, num_vars: int) -> int:
+    """Add a don't-care variable at ``position`` to an ``num_vars`` table."""
+    block = 1 << position
+    chunk_mask = (1 << block) - 1
+    out = 0
+    offset_out = 0
+    for offset in range(0, 1 << num_vars, block):
+        chunk = (table >> offset) & chunk_mask
+        out |= (chunk | (chunk << block)) << offset_out
+        offset_out += 2 * block
+    return out
+
+
+def remove_var(table: int, position: int, num_vars: int) -> int:
+    """Drop a variable the table does not depend on (keeps even blocks)."""
+    block = 1 << position
+    chunk_mask = (1 << block) - 1
+    out = 0
+    offset_out = 0
+    for offset in range(0, 1 << num_vars, 2 * block):
+        out |= ((table >> offset) & chunk_mask) << offset_out
+        offset_out += block
+    return out
+
+
+def expand_table(table: int, from_leaves: tuple[int, ...], to_leaves: tuple[int, ...]) -> int:
+    """Re-express a table over a sorted superset of its leaves.
+
+    Both tuples must be sorted ascending and ``from_leaves`` must be a
+    subset of ``to_leaves``; variable ``i`` of the result corresponds
+    to ``to_leaves[i]``.
+    """
+    if from_leaves == to_leaves:
+        return table
+    from_set = set(from_leaves)
+    num_vars = len(from_leaves)
+    for position, leaf in enumerate(to_leaves):
+        if leaf in from_set:
+            continue
+        table = insert_var(table, position, num_vars)
+        num_vars += 1
+    return table
+
+
+def project_table(table: int, keep_positions: tuple[int, ...], num_vars: int) -> int:
+    """Restrict a table to the given variable positions.
+
+    Every removed variable must be a non-support variable; positions
+    are indices into the current variable order.
+    """
+    keep = set(keep_positions)
+    for position in range(num_vars - 1, -1, -1):
+        if position in keep:
+            continue
+        table = remove_var(table, position, num_vars)
+        num_vars -= 1
+    return table

@@ -1,0 +1,40 @@
+"""Controller intermediate representations.
+
+This package is the paper's subject matter: *table-based controllers*
+as the intermediate representation a chip generator emits.
+
+- :mod:`repro.controllers.fsm` -- finite state machine specs (the
+  table of Fig. 1/2) and reference semantics.
+- :mod:`repro.controllers.fsm_rtl` -- the two RTL realisations the
+  paper compares: vendor-style case statements ("direct") and
+  table memories ("flexible").
+- :mod:`repro.controllers.microcode` -- microinstruction formats
+  (horizontal/vertical) and fields.
+- :mod:`repro.controllers.assembler` -- symbolic microprograms
+  assembled to bits, plus program-level reachability.
+- :mod:`repro.controllers.sequencer` -- the Fig. 3 microcode
+  sequencer generator (uPC, dispatch tables, condition select).
+"""
+
+from repro.controllers.assembler import AssembledProgram, Program
+from repro.controllers.dispatch import DispatchTable
+from repro.controllers.fsm import FsmSpec
+from repro.controllers.fsm_random import random_fsm
+from repro.controllers.fsm_rtl import fsm_to_case_rtl, fsm_to_table_rtl
+from repro.controllers.microcode import Field, MicrocodeFormat, SeqOp
+from repro.controllers.sequencer import SequencerSpec, generate_sequencer
+
+__all__ = [
+    "AssembledProgram",
+    "DispatchTable",
+    "Field",
+    "FsmSpec",
+    "MicrocodeFormat",
+    "Program",
+    "SeqOp",
+    "SequencerSpec",
+    "fsm_to_case_rtl",
+    "fsm_to_table_rtl",
+    "generate_sequencer",
+    "random_fsm",
+]

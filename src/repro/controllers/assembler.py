@@ -1,0 +1,232 @@
+"""The microprogram assembler.
+
+Programs are written symbolically -- labels, field assignments,
+sequencing directives -- and assembled into the bit tables the
+generator hands to synthesis.  This is the paper's thesis in code: the
+*intermediate representation* between the high-level controller
+description and hardware is just these tables.
+
+Example::
+
+    prog = Program(fmt)
+    prog.label("idle")
+    prog.inst(seq=SeqOp.DISPATCH)
+    prog.label("rd0")
+    prog.inst(cmd="read", unit="pipe0")
+    prog.inst(cmd="read", unit="pipe1", seq=SeqOp.JUMP, target="idle")
+    image = prog.assemble(addr_bits=5, dispatch=table)
+
+The assembled image also exposes program-level **reachability**
+(:meth:`AssembledProgram.reachable_addresses`), which is how a
+generator derives state annotations and how the "Manual"
+unreachable-state elimination knows what a pinned configuration can
+never execute.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.controllers.dispatch import DispatchTable
+from repro.controllers.microcode import MicrocodeFormat, SeqOp
+
+
+@dataclass
+class Instruction:
+    """One symbolic microinstruction (pre-assembly)."""
+
+    fields: dict[str, object]
+    seq: SeqOp = SeqOp.NEXT
+    target: str | int | None = None
+    condition: int | str = 0
+
+
+@dataclass
+class AssembledProgram:
+    """The bit-level image of a microprogram."""
+
+    format: MicrocodeFormat
+    addr_bits: int
+    cond_bits: int
+    control_words: list[int]
+    seq_words: list[tuple[int, int, int]]  # (seq_op, cond_sel, target)
+    labels: dict[str, int]
+    dispatch: DispatchTable | None = None
+    condition_names: dict[str, int] = field(default_factory=dict)
+
+    @property
+    def depth(self) -> int:
+        return 1 << self.addr_bits
+
+    @property
+    def length(self) -> int:
+        return len(self.control_words)
+
+    def instruction_words(self) -> list[int]:
+        """Full packed words: control ++ seq_op ++ cond_sel ++ target."""
+        words = []
+        control_width = self.format.width
+        for control, (seq_op, cond, target) in zip(
+            self.control_words, self.seq_words
+        ):
+            word = control
+            word |= seq_op << control_width
+            word |= cond << (control_width + 2)
+            word |= target << (control_width + 2 + self.cond_bits)
+            words.append(word)
+        return words
+
+    @property
+    def word_width(self) -> int:
+        return self.format.width + 2 + self.cond_bits + self.addr_bits
+
+    def dispatch_rows(self) -> list[int]:
+        if self.dispatch is None:
+            raise ValueError("program has no dispatch table")
+        return self.dispatch.resolve(self.labels)
+
+    def reachable_addresses(
+        self, entry_labels: list[str] | None = None, opcodes=None
+    ) -> tuple[int, ...]:
+        """Microprogram addresses reachable from the entry points.
+
+        Args:
+            entry_labels: starting labels (default: address 0).
+            opcodes: restrict dispatch successors to these request
+                codes -- the "Manual" mode-pinning hook.
+        """
+        starts = {0}
+        if entry_labels:
+            starts = {self.labels[name] for name in entry_labels}
+        dispatch_targets: set[int] = set()
+        if self.dispatch is not None:
+            dispatch_targets = self.dispatch.targets(self.labels, opcodes)
+
+        seen: set[int] = set()
+        frontier = list(starts)
+        while frontier:
+            addr = frontier.pop()
+            if addr in seen or addr >= self.length:
+                continue
+            seen.add(addr)
+            seq_op, _, target = self.seq_words[addr]
+            succ: set[int] = set()
+            if seq_op == SeqOp.NEXT:
+                succ.add((addr + 1) % self.depth)
+            elif seq_op == SeqOp.JUMP:
+                succ.add(target)
+            elif seq_op == SeqOp.BRANCH:
+                succ.add(target)
+                succ.add((addr + 1) % self.depth)
+            elif seq_op == SeqOp.DISPATCH:
+                succ |= dispatch_targets
+            frontier.extend(succ - seen)
+        return tuple(sorted(seen))
+
+    def listing(self) -> str:
+        """Assembler-style listing for documentation and debugging."""
+        by_addr: dict[int, list[str]] = {}
+        for name, addr in self.labels.items():
+            by_addr.setdefault(addr, []).append(name)
+        lines = []
+        for addr, (control, (seq_op, cond, target)) in enumerate(
+            zip(self.control_words, self.seq_words)
+        ):
+            for name in by_addr.get(addr, []):
+                lines.append(f"{name}:")
+            seq_text = SeqOp(seq_op).name
+            if seq_op in (SeqOp.JUMP, SeqOp.BRANCH):
+                seq_text += f" -> {target}"
+            if seq_op == SeqOp.BRANCH:
+                seq_text += f" if c{cond}"
+            lines.append(
+                f"  {addr:3d}: {self.format.describe(control)}  [{seq_text}]"
+            )
+        return "\n".join(lines)
+
+
+class Program:
+    """Incremental symbolic microprogram builder."""
+
+    def __init__(
+        self,
+        format: MicrocodeFormat,
+        conditions: list[str] | None = None,
+    ) -> None:
+        self.format = format
+        self.instructions: list[Instruction] = []
+        self.labels: dict[str, int] = {}
+        self.condition_names = {
+            name: index for index, name in enumerate(conditions or [])
+        }
+
+    def label(self, name: str) -> None:
+        if name in self.labels:
+            raise ValueError(f"duplicate label {name!r}")
+        self.labels[name] = len(self.instructions)
+
+    def inst(
+        self,
+        seq: SeqOp = SeqOp.NEXT,
+        target: str | int | None = None,
+        condition: int | str = 0,
+        **fields,
+    ) -> None:
+        """Append one microinstruction."""
+        if seq in (SeqOp.JUMP, SeqOp.BRANCH) and target is None:
+            raise ValueError(f"{seq.name} needs a target")
+        if seq in (SeqOp.NEXT, SeqOp.DISPATCH) and target is not None:
+            raise ValueError(f"{seq.name} takes no target")
+        self.instructions.append(Instruction(fields, seq, target, condition))
+
+    def assemble(
+        self,
+        addr_bits: int | None = None,
+        cond_bits: int = 2,
+        dispatch: DispatchTable | None = None,
+    ) -> AssembledProgram:
+        """Resolve labels and pack every instruction."""
+        length = len(self.instructions)
+        if length == 0:
+            raise ValueError("empty program")
+        needed = max(1, (length - 1).bit_length())
+        if addr_bits is None:
+            addr_bits = needed
+        if length > (1 << addr_bits):
+            raise ValueError(
+                f"{length} instructions exceed {addr_bits} address bits"
+            )
+
+        control_words = []
+        seq_words = []
+        for index, inst in enumerate(self.instructions):
+            control_words.append(self.format.pack(**inst.fields))
+            target = 0
+            if inst.target is not None:
+                if isinstance(inst.target, str):
+                    if inst.target not in self.labels:
+                        raise KeyError(f"undefined label {inst.target!r}")
+                    target = self.labels[inst.target]
+                else:
+                    target = int(inst.target)
+                if not 0 <= target < (1 << addr_bits):
+                    raise ValueError(f"target {target} exceeds address space")
+            condition = inst.condition
+            if isinstance(condition, str):
+                if condition not in self.condition_names:
+                    raise KeyError(f"unknown condition {condition!r}")
+                condition = self.condition_names[condition]
+            if not 0 <= condition < (1 << cond_bits):
+                raise ValueError(f"condition select {condition} too wide")
+            seq_words.append((int(inst.seq), condition, target))
+
+        return AssembledProgram(
+            format=self.format,
+            addr_bits=addr_bits,
+            cond_bits=cond_bits,
+            control_words=control_words,
+            seq_words=seq_words,
+            labels=dict(self.labels),
+            dispatch=dispatch,
+            condition_names=dict(self.condition_names),
+        )

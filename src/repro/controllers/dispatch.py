@@ -1,0 +1,73 @@
+"""Dispatch (jump) tables for microcode sequencers.
+
+The paper: "Other state transitions (jumps) are flagged and handled by
+dedicated dispatch tables, which tend to be small for many practical
+designs."  A dispatch table maps an opcode (external request code) to
+a microprogram entry address; the assembler resolves its entries from
+labels.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass
+class DispatchTable:
+    """A symbolic opcode -> label mapping.
+
+    Attributes:
+        name: table name (becomes the memory name in hardware).
+        opcode_bits: width of the opcode input.
+        entries: opcode value -> target label.
+        default: label used for unassigned opcodes.
+    """
+
+    name: str
+    opcode_bits: int
+    entries: dict[int, str] = field(default_factory=dict)
+    default: str | None = None
+
+    def __post_init__(self) -> None:
+        for opcode in self.entries:
+            if not 0 <= opcode < (1 << self.opcode_bits):
+                raise ValueError(f"opcode {opcode} exceeds {self.opcode_bits} bits")
+
+    @property
+    def depth(self) -> int:
+        return 1 << self.opcode_bits
+
+    def set(self, opcode: int, label: str) -> None:
+        if not 0 <= opcode < self.depth:
+            raise ValueError(f"opcode {opcode} exceeds {self.opcode_bits} bits")
+        self.entries[opcode] = label
+
+    def resolve(self, labels: dict[str, int]) -> list[int]:
+        """Concrete table contents given assembled label addresses."""
+        if self.default is not None and self.default not in labels:
+            raise KeyError(f"dispatch default label {self.default!r} undefined")
+        fallback = labels[self.default] if self.default is not None else 0
+        rows = []
+        for opcode in range(self.depth):
+            label = self.entries.get(opcode)
+            if label is None:
+                rows.append(fallback)
+                continue
+            if label not in labels:
+                raise KeyError(
+                    f"dispatch table {self.name!r} references undefined "
+                    f"label {label!r}"
+                )
+            rows.append(labels[label])
+        return rows
+
+    def targets(self, labels: dict[str, int], opcodes=None) -> set[int]:
+        """Addresses reachable through the table.
+
+        ``opcodes`` restricts the request codes considered -- the hook
+        for mode-pinned ("Manual") reachability.
+        """
+        rows = self.resolve(labels)
+        if opcodes is None:
+            return set(rows)
+        return {rows[opcode] for opcode in opcodes}

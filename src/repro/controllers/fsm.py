@@ -1,0 +1,133 @@
+"""Finite state machine specifications.
+
+An :class:`FsmSpec` is the abstract controller: ``s`` states, ``m``
+input bits, ``n`` output bits, with Mealy semantics (outputs may
+depend on inputs, matching the paper's Fig. 2 where the output memory
+is addressed by state *and* inputs).  The tables are stored exactly as
+a generator would emit them: one next-state row and one output row per
+(state, input-word) pair.
+
+The spec carries its own reference simulator, which every RTL
+realisation is validated against.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass
+class FsmSpec:
+    """A tabular Mealy machine.
+
+    Attributes:
+        name: diagnostic name.
+        num_inputs: input bit count ``m``.
+        num_outputs: output bit count ``n``.
+        num_states: state count ``s`` (states are 0..s-1).
+        reset_state: initial state.
+        next_state: ``next_state[state][input_word]`` -> state.
+        output: ``output[state][input_word]`` -> n-bit word.
+    """
+
+    name: str
+    num_inputs: int
+    num_outputs: int
+    num_states: int
+    reset_state: int
+    next_state: list[list[int]]
+    output: list[list[int]]
+
+    def __post_init__(self) -> None:
+        self.validate()
+
+    def validate(self) -> None:
+        if self.num_states < 2:
+            raise ValueError("an FSM needs at least two states")
+        if not 0 <= self.reset_state < self.num_states:
+            raise ValueError("reset state out of range")
+        combos = 1 << self.num_inputs
+        for table, kind, limit in (
+            (self.next_state, "next_state", self.num_states),
+            (self.output, "output", 1 << self.num_outputs),
+        ):
+            if len(table) != self.num_states:
+                raise ValueError(f"{kind} table must have one row per state")
+            for state, row in enumerate(table):
+                if len(row) != combos:
+                    raise ValueError(
+                        f"{kind}[{state}] must have {combos} entries"
+                    )
+                for value in row:
+                    if not 0 <= value < limit:
+                        raise ValueError(
+                            f"{kind}[{state}] entry {value} out of range"
+                        )
+
+    # ------------------------------------------------------------------
+    # Derived properties
+    # ------------------------------------------------------------------
+    @property
+    def state_bits(self) -> int:
+        """Bits of the binary state register (ceil(log2 s), min 1)."""
+        return max(1, (self.num_states - 1).bit_length())
+
+    @property
+    def table_address_bits(self) -> int:
+        """Address bits of the Fig. 2 memories: state bits + m."""
+        return self.state_bits + self.num_inputs
+
+    def reachable_states(
+        self, allowed_inputs: list[int] | None = None
+    ) -> tuple[int, ...]:
+        """States reachable from reset.
+
+        ``allowed_inputs`` restricts the input words considered -- the
+        generator-side analysis behind mode-pinned ("Manual")
+        unreachable-state elimination: if a configuration can never
+        produce an input word, transitions on it never fire.
+        """
+        words = (
+            range(1 << self.num_inputs)
+            if allowed_inputs is None
+            else allowed_inputs
+        )
+        seen = {self.reset_state}
+        frontier = [self.reset_state]
+        while frontier:
+            state = frontier.pop()
+            for word in words:
+                target = self.next_state[state][word]
+                if target not in seen:
+                    seen.add(target)
+                    frontier.append(target)
+        return tuple(sorted(seen))
+
+    # ------------------------------------------------------------------
+    # Reference semantics
+    # ------------------------------------------------------------------
+    def step(self, state: int, input_word: int) -> tuple[int, int]:
+        """One transition; returns ``(next_state, output_word)``."""
+        return (
+            self.next_state[state][input_word],
+            self.output[state][input_word],
+        )
+
+    def run(self, inputs: list[int]) -> list[int]:
+        """Simulate from reset; returns the output trace."""
+        state = self.reset_state
+        outputs = []
+        for word in inputs:
+            state, out = self.step(state, word)
+            outputs.append(out)
+        return outputs
+
+    def trace(self, inputs: list[int]) -> list[tuple[int, int]]:
+        """Like :meth:`run` but returns (state-before, output) pairs."""
+        state = self.reset_state
+        result = []
+        for word in inputs:
+            nxt, out = self.step(state, word)
+            result.append((state, out))
+            state = nxt
+        return result

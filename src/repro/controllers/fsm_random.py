@@ -1,0 +1,79 @@
+"""Random FSM generation for the Fig. 5/6 style experiments.
+
+The paper's methodology: "Python scripts then generated random
+configuration parameters for these reconfigurable designs".  We do the
+same, with one structural guarantee: every state is reachable from
+reset (enforced with a random spanning tree), so reachability-derived
+annotations recover exactly the intended state count.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.controllers.fsm import FsmSpec
+
+
+def random_fsm(
+    num_inputs: int,
+    num_outputs: int,
+    num_states: int,
+    rng: random.Random,
+    name: str | None = None,
+) -> FsmSpec:
+    """A uniformly random, fully-reachable Mealy machine.
+
+    Args:
+        num_inputs: input bit count (the paper uses m in {2, 8}).
+        num_outputs: output bit count (n in {2, 8, 16}).
+        num_states: state count (s in {2, 3, 8, 16, 17}).
+        rng: seeded random source.
+        name: optional diagnostic name.
+    """
+    if num_states < 2:
+        raise ValueError("need at least two states")
+    combos = 1 << num_inputs
+    next_state = [
+        [rng.randrange(num_states) for _ in range(combos)]
+        for _ in range(num_states)
+    ]
+    output = [
+        [rng.getrandbits(num_outputs) for _ in range(combos)]
+        for _ in range(num_states)
+    ]
+
+    # Spanning tree from state 0: state k gets an incoming edge from a
+    # random earlier state on a random *unused* input word, so the tree
+    # edges never clobber each other and reachability of every state
+    # from reset is guaranteed regardless of the random entries above.
+    order = list(range(1, num_states))
+    rng.shuffle(order)
+    reachable = [0]
+    used_words: dict[int, set[int]] = {0: set()}
+    for state in order:
+        candidates = [
+            parent for parent in reachable if len(used_words[parent]) < combos
+        ]
+        if not candidates:
+            raise ValueError(
+                f"cannot connect {num_states} states with {combos} input words"
+            )
+        parent = rng.choice(candidates)
+        free = [w for w in range(combos) if w not in used_words[parent]]
+        word = rng.choice(free)
+        used_words[parent].add(word)
+        next_state[parent][word] = state
+        reachable.append(state)
+        used_words[state] = set()
+
+    spec = FsmSpec(
+        name or f"rand_m{num_inputs}_n{num_outputs}_s{num_states}",
+        num_inputs,
+        num_outputs,
+        num_states,
+        reset_state=0,
+        next_state=next_state,
+        output=output,
+    )
+    assert len(spec.reachable_states()) == num_states
+    return spec

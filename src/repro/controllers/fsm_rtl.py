@@ -1,0 +1,154 @@
+"""RTL realisations of FSM specs: the two styles the paper compares.
+
+*Direct* (:func:`fsm_to_case_rtl`): the vendor-recommended coding
+style -- a case statement over the state register, with per-state
+next-state and output logic expressed as two-level sum-of-products
+over the inputs.  Synthesis FSM inference recognises this idiom.
+
+*Table-based* (:func:`fsm_to_table_rtl`): the Fig. 2 structure -- a
+next-state memory and an output memory, both addressed by
+``{state, inputs}``.  ``flexible=True`` makes the memories
+programmable (the reconfigurable controller with its area overheads);
+``flexible=False`` binds the tables as ROMs, which is the input to
+partial evaluation.  Table rows for state codes ``>= s`` hold zeros:
+the flexible hardware really stores *something* there, and -- exactly
+as the paper found for s in {3, 17} -- the unannotated tool must
+honour those rows.
+"""
+
+from __future__ import annotations
+
+from repro.controllers.fsm import FsmSpec
+from repro.rtl.ast import Case, Concat, Const, Expr
+from repro.rtl.builder import ModuleBuilder, cat
+from repro.rtl.module import Module
+from repro.tables.isop import isop
+from repro.tables.truthtable import TruthTable
+
+
+def fsm_to_case_rtl(spec: FsmSpec, name: str | None = None) -> Module:
+    """The direct, case-statement implementation."""
+    b = ModuleBuilder(name or f"{spec.name}_case")
+    inputs = b.input("in", spec.num_inputs)
+    state = b.reg("state", spec.state_bits, reset_value=spec.reset_state)
+
+    next_arms: dict[int, Expr] = {}
+    out_arms: dict[int, Expr] = {}
+    for code in range(spec.num_states):
+        next_arms[code] = _sop_word(
+            b, inputs, spec.next_state[code], spec.num_inputs, spec.state_bits
+        )
+        out_arms[code] = _sop_word(
+            b, inputs, spec.output[code], spec.num_inputs, spec.num_outputs
+        )
+    default_next = Const(spec.reset_state, spec.state_bits)
+    default_out = Const(0, spec.num_outputs)
+    b.drive(state, b.case(state, next_arms, default_next))
+    b.output("out", b.case(state, out_arms, default_out))
+    return b.build()
+
+
+def _sop_word(
+    b: ModuleBuilder, inputs, column: list[int], num_inputs: int, width: int
+) -> Expr:
+    """Per-state logic: each output bit as a sum-of-products expression."""
+    table = TruthTable.from_rows(num_inputs, column, width)
+    bits: list[Expr] = []
+    for bit in range(width):
+        bits.append(_sop_bit(inputs, table.columns[bit], num_inputs))
+    return cat(*bits) if len(bits) > 1 else bits[0]
+
+
+def _sop_bit(inputs, on_set: int, num_inputs: int) -> Expr:
+    if on_set == 0:
+        return Const(0, 1)
+    cubes = isop(on_set, 0, num_inputs)
+    terms: list[Expr] = []
+    for cube in cubes:
+        literals: list[Expr] = []
+        for var, polarity in cube.literals():
+            bit = inputs[var]
+            literals.append(bit if polarity else ~bit)
+        term = literals[0] if literals else Const(1, 1)
+        for lit in literals[1:]:
+            term = term & lit
+        terms.append(term)
+    result = terms[0]
+    for term in terms[1:]:
+        result = result | term
+    return result
+
+
+def fsm_to_table_rtl(
+    spec: FsmSpec, flexible: bool = False, name: str | None = None
+) -> Module:
+    """The Fig. 2 table-based implementation.
+
+    Args:
+        spec: the machine.
+        flexible: programmable memories (the runtime-reconfigurable
+            controller) instead of bound ROMs.
+        name: optional module name.
+    """
+    suffix = "flex" if flexible else "table"
+    b = ModuleBuilder(name or f"{spec.name}_{suffix}")
+    inputs = b.input("in", spec.num_inputs)
+    state = b.reg("state", spec.state_bits, reset_value=spec.reset_state)
+    depth = 1 << spec.table_address_bits
+
+    if flexible:
+        next_mem = b.config_mem("next_mem", spec.state_bits, depth)
+        out_mem = b.config_mem("out_mem", spec.num_outputs, depth)
+    else:
+        next_mem = b.rom(
+            "next_mem", spec.state_bits, depth, table_rows(spec, "next")
+        )
+        out_mem = b.rom(
+            "out_mem", spec.num_outputs, depth, table_rows(spec, "output")
+        )
+
+    address = cat(inputs, state)  # state in the high bits, Fig. 2 style
+    b.drive(state, next_mem.read(address))
+    b.output("out", out_mem.read(address))
+    return b.build()
+
+
+def table_rows(spec: FsmSpec, which: str) -> list[int]:
+    """Memory contents for the Fig. 2 tables.
+
+    Address layout: ``{state, inputs}`` with the inputs in the low
+    bits.  Rows whose state code exceeds ``s - 1`` read zero -- the
+    storage exists in the flexible hardware whether or not the machine
+    uses it.
+    """
+    if which not in ("next", "output"):
+        raise ValueError("which must be 'next' or 'output'")
+    source = spec.next_state if which == "next" else spec.output
+    combos = 1 << spec.num_inputs
+    rows = []
+    for code in range(1 << spec.state_bits):
+        for word in range(combos):
+            if code < spec.num_states:
+                rows.append(source[code][word])
+            else:
+                rows.append(0)
+    return rows
+
+
+def program_flexible_fsm(simulator, spec: FsmSpec) -> None:
+    """Load an FSM's tables into a flexible realisation via simulation.
+
+    Drives the configuration write ports of a
+    :class:`repro.sim.rtlsim.Simulator` wrapping the flexible module;
+    one cycle per row, the way software would program the real device.
+    """
+    for mem_name, which in (("next_mem", "next"), ("out_mem", "output")):
+        for addr, word in enumerate(table_rows(spec, which)):
+            simulator.step(
+                {
+                    f"{mem_name}_we": 1,
+                    f"{mem_name}_waddr": addr,
+                    f"{mem_name}_wdata": word,
+                }
+            )
+    simulator.reset()

@@ -1,0 +1,160 @@
+"""Microinstruction formats and fields.
+
+A :class:`MicrocodeFormat` describes the control portion of a
+microinstruction as named fields.  Two packings are supported,
+mirroring the paper's discussion of microcode styles:
+
+* **horizontal** -- symbolic fields are stored one-hot ("inefficiently
+  encoded but more readable", and decoder-free downstream); these are
+  precisely the non-optimally-encoded signals that state folding
+  recovers area from;
+* **vertical** -- symbolic fields are stored binary-encoded
+  ("efficiently encoded but difficult to read").
+
+The sequencing portion of every instruction (operation, condition
+select, target address) is fixed by the sequencer generator and lives
+outside this format.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+
+class SeqOp(enum.IntEnum):
+    """Sequencer operations (the Fig. 3 next-address modes)."""
+
+    NEXT = 0  # the "trivial increment" default
+    JUMP = 1  # unconditional branch to target
+    BRANCH = 2  # branch to target when the selected condition is 1
+    DISPATCH = 3  # next address from the dispatch table
+
+
+@dataclass(frozen=True)
+class Field:
+    """One control field.
+
+    ``values`` maps symbolic names to field values.  For one-hot
+    (horizontal) fields every symbol owns one bit; value 0 (no symbol)
+    is idle.  For binary (vertical) fields symbols are dense codes.
+    """
+
+    name: str
+    width: int
+    values: dict[str, int] | None = None
+    onehot: bool = False
+
+    def __post_init__(self) -> None:
+        if self.width <= 0:
+            raise ValueError(f"field {self.name!r} must have positive width")
+        if self.values is not None:
+            for symbol, value in self.values.items():
+                if not 0 <= value < (1 << self.width):
+                    raise ValueError(
+                        f"field {self.name!r} symbol {symbol!r} does not fit"
+                    )
+
+    def encode(self, value) -> int:
+        """Accept an int, a symbol, or None (idle)."""
+        if value is None:
+            return 0
+        if isinstance(value, str):
+            if self.values is None or value not in self.values:
+                raise KeyError(f"field {self.name!r} has no symbol {value!r}")
+            return self.values[value]
+        value = int(value)
+        if not 0 <= value < (1 << self.width):
+            raise ValueError(f"value {value} does not fit field {self.name!r}")
+        return value
+
+    def decode(self, bits: int) -> str | int:
+        """Best-effort symbolic decode (for listings and debugging)."""
+        if self.values:
+            for symbol, value in self.values.items():
+                if value == bits:
+                    return symbol
+        return bits
+
+
+@dataclass(frozen=True)
+class MicrocodeFormat:
+    """An ordered set of control fields (LSB-first packing)."""
+
+    fields: tuple[Field, ...]
+
+    def __post_init__(self) -> None:
+        names = [f.name for f in self.fields]
+        if len(set(names)) != len(names):
+            raise ValueError("duplicate field names")
+
+    @classmethod
+    def horizontal(cls, *specs: tuple[str, list[str]]) -> "MicrocodeFormat":
+        """Symbolic fields stored one-hot: ``(name, [symbols...])``."""
+        fields = []
+        for name, symbols in specs:
+            values = {s: 1 << i for i, s in enumerate(symbols)}
+            fields.append(Field(name, len(symbols), values, onehot=True))
+        return cls(tuple(fields))
+
+    @classmethod
+    def vertical(cls, *specs: tuple[str, list[str]]) -> "MicrocodeFormat":
+        """Symbolic fields stored binary: symbol i gets code i+1.
+
+        Code 0 is reserved for idle so that an all-zero word is a NOP
+        in both packings.
+        """
+        fields = []
+        for name, symbols in specs:
+            width = max(1, len(symbols).bit_length())
+            values = {s: i + 1 for i, s in enumerate(symbols)}
+            fields.append(Field(name, width, values, onehot=False))
+        return cls(tuple(fields))
+
+    @property
+    def width(self) -> int:
+        return sum(f.width for f in self.fields)
+
+    def field(self, name: str) -> Field:
+        for f in self.fields:
+            if f.name == name:
+                return f
+        raise KeyError(f"no field named {name!r}")
+
+    def offset(self, name: str) -> int:
+        """LSB position of a field inside the packed word."""
+        position = 0
+        for f in self.fields:
+            if f.name == name:
+                return position
+            position += f.width
+        raise KeyError(f"no field named {name!r}")
+
+    def pack(self, **values) -> int:
+        """Pack named field values into one control word."""
+        word = 0
+        remaining = dict(values)
+        position = 0
+        for f in self.fields:
+            value = f.encode(remaining.pop(f.name, None))
+            word |= value << position
+            position += f.width
+        if remaining:
+            raise KeyError(f"unknown fields: {sorted(remaining)}")
+        return word
+
+    def unpack(self, word: int) -> dict[str, int]:
+        """Split a control word back into raw field values."""
+        out = {}
+        position = 0
+        for f in self.fields:
+            out[f.name] = (word >> position) & ((1 << f.width) - 1)
+            position += f.width
+        return out
+
+    def describe(self, word: int) -> str:
+        """Human-readable rendering of a control word."""
+        parts = []
+        for name, bits in self.unpack(word).items():
+            parts.append(f"{name}={self.field(name).decode(bits)}")
+        return " ".join(parts)

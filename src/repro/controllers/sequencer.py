@@ -1,0 +1,174 @@
+"""The microcode sequencer generator (the paper's Fig. 3).
+
+Generates RTL for a sequencer built from:
+
+* a microprogram counter (uPC);
+* a microcode memory addressed by the uPC, whose word is
+  ``{control fields, seq_op, cond_sel, target}``;
+* a condition-select mux over external condition inputs;
+* an optional dispatch table translating request opcodes to entry
+  addresses.
+
+``flexible=True`` emits programmable memories (the reconfigurable
+design with its storage overhead); ``flexible=False`` binds an
+assembled program into ROMs -- the input partial evaluation turns into
+fixed logic.  For bound programs the generator also derives the uPC
+*state annotation* from program reachability, which is exactly the
+paper's "straightforward for a generator to produce these annotations
+if it has the controller microcode".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.controllers.assembler import AssembledProgram
+from repro.controllers.microcode import MicrocodeFormat, SeqOp
+from repro.rtl.ast import Const, Expr
+from repro.rtl.builder import ModuleBuilder, mux
+from repro.rtl.module import Module
+from repro.synth.dc_options import StateAnnotation
+
+
+@dataclass(frozen=True)
+class SequencerSpec:
+    """Structural parameters of a sequencer instance."""
+
+    name: str
+    format: MicrocodeFormat
+    addr_bits: int
+    cond_bits: int = 2
+    num_conditions: int = 1
+    opcode_bits: int = 0
+    flexible: bool = False
+    expose_upc: bool = False
+    expose_seq_op: bool = False
+
+    def __post_init__(self) -> None:
+        if self.addr_bits <= 0:
+            raise ValueError("addr_bits must be positive")
+        if self.num_conditions < 1:
+            raise ValueError("need at least one condition input")
+        if self.num_conditions > (1 << self.cond_bits):
+            raise ValueError("cond_bits too small for the condition count")
+
+    @property
+    def word_width(self) -> int:
+        return self.format.width + 2 + self.cond_bits + self.addr_bits
+
+
+@dataclass
+class GeneratedSequencer:
+    """A generated sequencer module plus generator-side knowledge."""
+
+    spec: SequencerSpec
+    module: Module
+    upc_annotation: StateAnnotation | None
+    program: AssembledProgram | None
+
+
+def generate_sequencer(
+    spec: SequencerSpec,
+    program: AssembledProgram | None = None,
+    annotation_opcodes=None,
+) -> GeneratedSequencer:
+    """Emit the sequencer RTL.
+
+    Args:
+        spec: structural parameters.
+        program: required when ``spec.flexible`` is False; its words
+            become the ROM contents and its reachability becomes the
+            uPC annotation.
+        annotation_opcodes: restrict the reachability used for the
+            annotation to these dispatch opcodes (mode pinning -- the
+            "Manual" optimization).  Ignored for flexible designs.
+    """
+    if not spec.flexible and program is None:
+        raise ValueError("a bound sequencer needs a program")
+    if program is not None:
+        if program.addr_bits != spec.addr_bits:
+            raise ValueError("program and spec disagree on addr_bits")
+        if program.cond_bits != spec.cond_bits:
+            raise ValueError("program and spec disagree on cond_bits")
+        if program.format.width != spec.format.width:
+            raise ValueError("program and spec disagree on the format")
+
+    b = ModuleBuilder(spec.name)
+    cond = b.input("cond", spec.num_conditions)
+    op = b.input("op", spec.opcode_bits) if spec.opcode_bits else None
+    upc = b.reg("upc", spec.addr_bits, reset_value=0)
+
+    depth = 1 << spec.addr_bits
+    if spec.flexible:
+        ucode = b.config_mem("ucode", spec.word_width, depth)
+    else:
+        assert program is not None
+        words = program.instruction_words()
+        ucode = b.rom("ucode", spec.word_width, depth, words)
+    word = ucode.read(upc)
+
+    # Control field outputs.
+    position = 0
+    for fld in spec.format.fields:
+        b.output(f"ctl_{fld.name}", word[position : position + fld.width])
+        position += fld.width
+    seq_op = word[position : position + 2]
+    position += 2
+    cond_sel = word[position : position + spec.cond_bits]
+    position += spec.cond_bits
+    target = word[position : position + spec.addr_bits]
+
+    selected = _condition_mux(b, cond_sel, cond, spec)
+    increment = upc + Const(1, spec.addr_bits)
+
+    if spec.opcode_bits:
+        if spec.flexible:
+            dispatch_mem = b.config_mem(
+                "dispatch", spec.addr_bits, 1 << spec.opcode_bits
+            )
+        else:
+            assert program is not None
+            rows = program.dispatch_rows()
+            dispatch_mem = b.rom(
+                "dispatch", spec.addr_bits, 1 << spec.opcode_bits, rows
+            )
+        assert op is not None
+        dispatch_target: Expr = dispatch_mem.read(op)
+    else:
+        dispatch_target = increment  # DISPATCH degenerates to NEXT
+
+    next_upc = b.case(
+        seq_op,
+        {
+            int(SeqOp.NEXT): increment,
+            int(SeqOp.JUMP): target,
+            int(SeqOp.BRANCH): mux(selected, target, increment),
+            int(SeqOp.DISPATCH): dispatch_target,
+        },
+        increment,
+    )
+    b.drive(upc, next_upc)
+    if spec.expose_upc:
+        b.output("upc_out", upc)
+    if spec.expose_seq_op:
+        b.output("seq_op_out", seq_op)
+
+    module = b.build()
+    annotation = None
+    if not spec.flexible:
+        assert program is not None
+        reachable = program.reachable_addresses(opcodes=annotation_opcodes)
+        annotation = StateAnnotation("upc", reachable)
+    return GeneratedSequencer(spec, module, annotation, program)
+
+
+def _condition_mux(
+    b: ModuleBuilder, cond_sel: Expr, cond: Expr, spec: SequencerSpec
+) -> Expr:
+    """Select one external condition bit (Fig. 3's branch input)."""
+    if spec.num_conditions == 1:
+        return cond[0]
+    arms = {
+        index: cond[index] for index in range(spec.num_conditions)
+    }
+    return b.case(cond_sel, arms, Const(0, 1))

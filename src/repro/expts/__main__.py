@@ -1,0 +1,66 @@
+"""Command-line entry point: regenerate any figure of the paper.
+
+Usage::
+
+    python -m repro.expts fig5 [--scale small|medium|paper]
+    python -m repro.expts all --scale medium --out EXPERIMENTS_RUN.md
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+
+from repro.expts.fig5_tables import run_fig5
+from repro.expts.fig6_fsm import run_fig6
+from repro.expts.fig8_stateprop import run_fig8
+from repro.expts.fig9_pctrl import run_fig9
+
+_RUNNERS = {
+    "fig5": lambda scale: run_fig5(scale=scale),
+    "fig6": lambda scale: run_fig6(scale=scale),
+    "fig8": lambda scale: run_fig8(scale=scale),
+    "fig9": lambda scale: run_fig9(scale=scale),
+}
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.expts",
+        description="Regenerate the paper's tables and figures.",
+    )
+    parser.add_argument(
+        "figure", choices=sorted(_RUNNERS) + ["all"],
+        help="which figure to regenerate",
+    )
+    parser.add_argument(
+        "--scale", default="small", choices=["small", "medium", "paper"],
+        help="sweep size (small: seconds-minutes; paper: full grid)",
+    )
+    parser.add_argument(
+        "--out", default=None, help="append markdown output to this file"
+    )
+    args = parser.parse_args(argv)
+
+    names = sorted(_RUNNERS) if args.figure == "all" else [args.figure]
+    chunks = []
+    for name in names:
+        started = time.time()
+        print(f"[{name}] running at scale={args.scale} ...", flush=True)
+        result = _RUNNERS[name](args.scale)
+        elapsed = time.time() - started
+        result.notes.append(f"runtime: {elapsed:.1f} s at scale={args.scale}")
+        text = result.to_markdown()
+        chunks.append(text)
+        print(text)
+    if args.out:
+        with open(args.out, "a", encoding="utf-8") as handle:
+            handle.write("\n".join(chunks))
+            handle.write("\n")
+        print(f"appended to {args.out}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,112 @@
+"""Shared experiment infrastructure: points, results, statistics."""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+
+@dataclass(frozen=True)
+class ExperimentPoint:
+    """One measurement: an (x, y) pair in a named series."""
+
+    series: str
+    x: float
+    y: float
+    label: str = ""
+    meta: dict = field(default_factory=dict, hash=False, compare=False)
+
+    @property
+    def ratio(self) -> float:
+        """y / x -- for equal-area scatters, 1.0 means 'on the line'."""
+        if self.x <= 0:
+            raise ValueError(f"point {self.label!r} has non-positive x")
+        return self.y / self.x
+
+
+@dataclass
+class ExperimentResult:
+    """A completed experiment run."""
+
+    name: str
+    description: str
+    points: list[ExperimentPoint] = field(default_factory=list)
+    tables: dict[str, str] = field(default_factory=dict)
+    notes: list[str] = field(default_factory=list)
+
+    def series(self, name: str) -> list[ExperimentPoint]:
+        return [p for p in self.points if p.series == name]
+
+    def series_names(self) -> list[str]:
+        seen: list[str] = []
+        for point in self.points:
+            if point.series not in seen:
+                seen.append(point.series)
+        return seen
+
+    def ratio_stats(self, series: str) -> "RatioStats":
+        return RatioStats.of([p.ratio for p in self.series(series)])
+
+    def to_markdown(self) -> str:
+        lines = [f"### {self.name}", "", self.description, ""]
+        for title, table in self.tables.items():
+            lines += [f"**{title}**", "", "```", table, "```", ""]
+        if self.points:
+            lines.append("**Series summary (y/x ratios)**")
+            lines.append("")
+            lines.append("| series | points | geomean | min | max |")
+            lines.append("|---|---|---|---|---|")
+            for name in self.series_names():
+                stats = self.ratio_stats(name)
+                lines.append(
+                    f"| {name} | {stats.count} | {stats.geomean:.3f} "
+                    f"| {stats.minimum:.3f} | {stats.maximum:.3f} |"
+                )
+            lines.append("")
+        for note in self.notes:
+            lines.append(f"- {note}")
+        lines.append("")
+        return "\n".join(lines)
+
+
+@dataclass(frozen=True)
+class RatioStats:
+    """Geometric summary of y/x ratios in a series."""
+
+    count: int
+    geomean: float
+    minimum: float
+    maximum: float
+    log_spread: float
+
+    @classmethod
+    def of(cls, ratios: list[float]) -> "RatioStats":
+        if not ratios:
+            return cls(0, float("nan"), float("nan"), float("nan"), float("nan"))
+        logs = [math.log(r) for r in ratios]
+        mean = sum(logs) / len(logs)
+        spread = (
+            math.sqrt(sum((l - mean) ** 2 for l in logs) / len(logs))
+            if len(logs) > 1
+            else 0.0
+        )
+        return cls(
+            count=len(ratios),
+            geomean=math.exp(mean),
+            minimum=min(ratios),
+            maximum=max(ratios),
+            log_spread=spread,
+        )
+
+
+def format_table(headers: list[str], rows: list[list[str]]) -> str:
+    """Monospace table with column alignment."""
+    widths = [len(h) for h in headers]
+    for row in rows:
+        for index, cell in enumerate(row):
+            widths[index] = max(widths[index], len(cell))
+    def fmt(cells):
+        return "  ".join(cell.ljust(widths[i]) for i, cell in enumerate(cells))
+    lines = [fmt(headers), fmt(["-" * w for w in widths])]
+    lines += [fmt(row) for row in rows]
+    return "\n".join(lines)

@@ -1,0 +1,77 @@
+"""The paper's Fig. 7 example design, generic and direct versions.
+
+Structure (generic): ``n``-wide one-hot decode of ``x``, optionally
+registered, feeding downstream logic that is redundant *given* the
+one-hot property: a pairwise-overlap detector (bitwise ANDs of
+adjacent bits, OR-reduced) selecting between two data buses.  When
+``y`` is known one-hot the overlap is always 0, the AND network
+evaluates to constant false, and "the mux on the output becomes
+redundant" -- the paper's words.
+
+The direct version is what a designer who *knows* the one-hot property
+writes: the same decoder and registers (the decoded selects are real
+outputs used elsewhere) but ``out = b`` wired straight through.
+
+Flop styles follow Fig. 8: ``"comb"`` (no flop), ``"plain"`` (no
+reset), ``"sync"``, ``"async"`` -- reset styles matter because they
+gate what retiming may do.
+"""
+
+from __future__ import annotations
+
+from repro.rtl.ast import Const, Expr
+from repro.rtl.builder import ModuleBuilder, cat, mux
+from repro.rtl.module import Module
+
+FLOP_STYLES = ("comb", "plain", "sync", "async")
+
+
+def build_fig7(n: int, flop_style: str, direct: bool) -> Module:
+    """Build one Fig. 7 variant.
+
+    Args:
+        n: decoded bus width (the paper sweeps 2..128).
+        flop_style: one of :data:`FLOP_STYLES`.
+        direct: the designer-optimized version (mux already removed).
+    """
+    if n < 2 or n & (n - 1):
+        raise ValueError("n must be a power of two >= 2")
+    if flop_style not in FLOP_STYLES:
+        raise ValueError(f"unknown flop style {flop_style!r}")
+    addr_bits = (n - 1).bit_length()
+
+    kind = "direct" if direct else "generic"
+    b = ModuleBuilder(f"fig7_{kind}_{flop_style}_n{n}")
+    x = b.input("x", addr_bits)
+    a = b.input("a", n)
+    data_b = b.input("b", n)
+
+    decoded_bits: list[Expr] = [x.eq(index) for index in range(n)]
+    decoded = cat(*decoded_bits)
+
+    if flop_style == "comb":
+        y: Expr = decoded
+    else:
+        reset_kind = {"plain": "none", "sync": "sync", "async": "async"}[
+            flop_style
+        ]
+        y_reg = b.reg("y", n, reset_kind=reset_kind, reset_value=0)
+        b.drive(y_reg, decoded)
+        y = y_reg
+
+    b.output("y_out", y)
+    if direct:
+        b.output("out", data_b)
+    else:
+        # Adjacent-pair overlap: zero for any one-hot y.
+        overlap = y[0:1] & y[1:2]
+        for index in range(1, n - 1):
+            overlap = overlap | (y[index : index + 1] & y[index + 1 : index + 2])
+        use_a = overlap.any() if n > 2 else overlap[0].eq(1)
+        b.output("out", mux(use_a, a, data_b))
+    return b.build()
+
+
+def onehot_values(n: int) -> tuple[int, ...]:
+    """The annotation value set for the registered y bus."""
+    return tuple(1 << index for index in range(n))

@@ -1,0 +1,121 @@
+"""Fig. 9: Smart Memories PCtrl area, Full / Auto / Manual.
+
+Compiles the flexible PCtrl once ("Full" -- the hardware is
+configuration-independent), then the Auto and Manual specializations
+for the Cached and Uncached configurations, and tabulates
+combinational and sequential area per bar, exactly the axes of the
+paper's figure.  A switched-capacitance proxy (area-weighted) stands
+in for the paper's paired power claim.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.expts.common import ExperimentResult, format_table
+from repro.smartmem.config import (
+    CACHED_CONFIG,
+    UNCACHED_CONFIG,
+    PCtrlConfig,
+    PCtrlParams,
+)
+from repro.smartmem.flows import compile_auto, compile_full, compile_manual
+from repro.smartmem.pctrl import build_pctrl
+from repro.synth.compiler import CompileResult, DesignCompiler
+
+
+@dataclass(frozen=True)
+class Fig9Scale:
+    params: PCtrlParams
+
+    @classmethod
+    def named(cls, name: str) -> "Fig9Scale":
+        if name == "small":
+            # The microprograms address four pipes; shrink the datapath
+            # (word width, queue) instead of the pipe count.
+            return cls(
+                PCtrlParams(
+                    num_pipes=4,
+                    word_bits=8,
+                    max_line_words=8,
+                    ucode_addr_bits=6,
+                    queue_depth=2,
+                )
+            )
+        if name in ("medium", "paper"):
+            return cls(PCtrlParams())
+        raise ValueError(f"unknown scale {name!r}")
+
+
+def run_fig9(
+    scale: str = "medium",
+    compiler: DesignCompiler | None = None,
+) -> ExperimentResult:
+    """Run the Full/Auto/Manual comparison."""
+    params = Fig9Scale.named(scale).params
+    compiler = compiler or DesignCompiler()
+    design = build_pctrl(params)
+
+    runs: dict[tuple[str, str], CompileResult] = {}
+    full = compile_full(design, compiler=compiler)
+    for config, config_name in (
+        (CACHED_CONFIG, "cached"),
+        (UNCACHED_CONFIG, "uncached"),
+    ):
+        runs[("full", config_name)] = full
+        runs[("auto", config_name)] = compile_auto(
+            design, config, compiler=compiler
+        )
+        runs[("manual", config_name)] = compile_manual(
+            design, config, compiler=compiler
+        )
+
+    result = ExperimentResult(
+        "Fig. 9 -- PCtrl area: Full / Auto / Manual x Cached / Uncached",
+        f"PCtrl model ({params.num_pipes} pipes, "
+        f"{params.word_bits}-bit words, {params.max_line_words}-word "
+        f"lines, {1 << params.ucode_addr_bits}-entry microcode); "
+        f"5 ns clock, TSMC-90nm-class library.",
+    )
+    rows = []
+    for config_name in ("cached", "uncached"):
+        for flow in ("full", "auto", "manual"):
+            area = runs[(flow, config_name)].area
+            rows.append(
+                [
+                    config_name,
+                    flow,
+                    f"{area.combinational:.0f}",
+                    f"{area.sequential:.0f}",
+                    f"{area.total:.0f}",
+                    f"{area.total * 1.0:.0f}",  # power proxy ~ area
+                ]
+            )
+    result.tables["Area (um^2) and switched-cap power proxy"] = format_table(
+        ["config", "flow", "comb", "seq", "total", "power~"], rows
+    )
+
+    def area(flow, config_name):
+        return runs[(flow, config_name)].area
+
+    for config_name in ("cached", "uncached"):
+        full_area = area("full", config_name)
+        auto_area = area("auto", config_name)
+        result.notes.append(
+            f"{config_name}: Auto/Full comb = "
+            f"{auto_area.combinational / full_area.combinational:.2f}, "
+            f"seq = {auto_area.sequential / full_area.sequential:.2f} "
+            f"(paper: partial evaluation roughly halves both)"
+        )
+    manual_gain_unc = 1 - (
+        area("manual", "uncached").total / area("auto", "uncached").total
+    )
+    manual_gain_cached = 1 - (
+        area("manual", "cached").total / area("auto", "cached").total
+    )
+    result.notes.append(
+        f"Manual saves {manual_gain_unc:.1%} over Auto in uncached mode "
+        f"vs {manual_gain_cached:.1%} in cached mode (paper: ~16% vs "
+        f"'minimal')"
+    )
+    return result

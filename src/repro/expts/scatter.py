@@ -1,0 +1,70 @@
+"""ASCII log-log scatter plots (the paper's Figs. 5, 6 and 8 axes)."""
+
+from __future__ import annotations
+
+import math
+
+from repro.expts.common import ExperimentPoint
+
+_MARKERS = "ox+*#@%&^~?$"
+
+
+def render_scatter(
+    points: list[ExperimentPoint],
+    width: int = 64,
+    height: int = 24,
+    title: str = "",
+) -> str:
+    """Render points on log-log axes with the equal-area diagonal.
+
+    Each series gets its own marker; the ``=`` diagonal is the paper's
+    "equal-area line (intercept 0, slope 1)".
+    """
+    if not points:
+        return "(no points)"
+    xs = [p.x for p in points]
+    ys = [p.y for p in points]
+    low = math.log10(max(min(xs + ys), 1e-3)) - 0.05
+    high = math.log10(max(xs + ys)) + 0.05
+    span = max(high - low, 1e-6)
+
+    def to_col(value: float) -> int:
+        return int((math.log10(value) - low) / span * (width - 1))
+
+    def to_row(value: float) -> int:
+        return height - 1 - int((math.log10(value) - low) / span * (height - 1))
+
+    grid = [[" "] * width for _ in range(height)]
+    # Equal-area diagonal.
+    for col in range(width):
+        frac = col / (width - 1)
+        row = height - 1 - int(frac * (height - 1))
+        grid[row][col] = "="
+
+    series_names: list[str] = []
+    for point in points:
+        if point.series not in series_names:
+            series_names.append(point.series)
+    marker_of = {
+        name: _MARKERS[i % len(_MARKERS)] for i, name in enumerate(series_names)
+    }
+    for point in points:
+        row = min(max(to_row(point.y), 0), height - 1)
+        col = min(max(to_col(point.x), 0), width - 1)
+        grid[row][col] = marker_of[point.series]
+
+    lines = []
+    if title:
+        lines.append(title)
+    lines += ["".join(row) for row in grid]
+    low_value = 10 ** low
+    high_value = 10 ** high
+    lines.append(
+        f"x: {low_value:.3g} .. {high_value:.3g} um^2 (log)   "
+        f"y likewise; '=' is the equal-area line"
+    )
+    legend = "   ".join(
+        f"{marker_of[name]} = {name}" for name in series_names
+    )
+    lines.append(legend)
+    return "\n".join(lines)

@@ -1,0 +1,28 @@
+"""Partial evaluation of flexible controller designs.
+
+The generator-side API of the paper's methodology:
+
+* :func:`~repro.pe.bind.bind_tables` turns a flexible design (config
+  memories, write ports) into a bound design (ROMs) for one
+  configuration -- the step before synthesis partially evaluates the
+  tables away;
+* :func:`~repro.pe.annotations.derive_annotations` computes state
+  annotations from the design's own tables (reachability), the
+  information a generator should hand the tool alongside the RTL;
+* :func:`~repro.pe.specialize.specialize` runs the whole Auto flow
+  (bind, annotate, compile), and
+  :func:`~repro.pe.specialize.specialize_manual` additionally applies
+  configuration-pinned reachability -- the paper's hand optimizations.
+"""
+
+from repro.pe.annotations import derive_annotations, onehot_annotation
+from repro.pe.bind import bind_tables
+from repro.pe.specialize import specialize, specialize_manual
+
+__all__ = [
+    "bind_tables",
+    "derive_annotations",
+    "onehot_annotation",
+    "specialize",
+    "specialize_manual",
+]

@@ -1,0 +1,72 @@
+"""Binding configurations into flexible designs.
+
+``bind_tables(module, {"ucode": words, ...})`` replaces each named
+configuration memory with a ROM holding the given words and deletes
+the now-dangling write ports.  The result is exactly what the paper's
+"Auto" designs are: the flexible RTL with its tables fixed, ready for
+the synthesis tool's partial evaluation to strip the storage.
+"""
+
+from __future__ import annotations
+
+from repro.rtl.module import Memory, Module, Reg
+
+
+def bind_tables(module: Module, bindings: dict[str, list[int]]) -> Module:
+    """A copy of ``module`` with the named config memories bound.
+
+    Args:
+        module: the flexible design.
+        bindings: memory name -> row contents (shorter lists are
+            zero-extended to the memory depth).
+
+    Raises:
+        ValueError: unknown memory, non-writable memory, oversized
+            contents, or expressions that read the removed write ports.
+    """
+    for name in bindings:
+        memory = module.memories.get(name)
+        if memory is None:
+            raise ValueError(f"unknown memory {name!r}")
+        if not memory.writable:
+            raise ValueError(f"memory {name!r} is already bound")
+
+    removed_inputs: set[str] = set()
+    new_memories: dict[str, Memory] = {}
+    for name, memory in module.memories.items():
+        contents = bindings.get(name)
+        if contents is None:
+            new_memories[name] = memory
+            continue
+        if len(contents) > memory.depth:
+            raise ValueError(
+                f"{len(contents)} words exceed memory {name!r} depth "
+                f"{memory.depth}"
+            )
+        port = memory.write_port
+        assert port is not None
+        removed_inputs.update((port.enable, port.addr, port.data))
+        new_memories[name] = Memory(
+            name, memory.width, memory.depth, contents=list(contents)
+        )
+
+    bound = Module(f"{module.name}_bound")
+    bound.inputs = {
+        name: port
+        for name, port in module.inputs.items()
+        if name not in removed_inputs
+    }
+    bound.outputs = dict(module.outputs)
+    bound.regs = {
+        name: Reg(name, reg.width, reg.reset_kind, reg.reset_value, reg.next)
+        for name, reg in module.regs.items()
+    }
+    bound.memories = new_memories
+    try:
+        bound.validate()
+    except ValueError as error:
+        raise ValueError(
+            f"binding left dangling references (a user expression reads "
+            f"a removed write port?): {error}"
+        ) from error
+    return bound

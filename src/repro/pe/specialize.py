@@ -1,0 +1,99 @@
+"""Specialization drivers: the Full / Auto / Manual flows of Fig. 9.
+
+* **Full**: compile the flexible design as-is (config memories and all)
+  -- just call ``DesignCompiler().compile(flexible)``.
+* **Auto** (:func:`specialize`): bind the configuration, let the tool's
+  partial evaluation remove the tables, with annotations the generator
+  derives from its own tables.
+* **Manual** (:func:`specialize_manual`): additionally exploit a
+  pinned configuration -- unreachable-state elimination through
+  tightened annotations, the optimization the paper attributes to hand
+  tuning.
+"""
+
+from __future__ import annotations
+
+from repro.pe.annotations import derive_annotations
+from repro.pe.bind import bind_tables
+from repro.rtl.module import Module
+from repro.synth.compiler import CompileResult, DesignCompiler
+from repro.synth.dc_options import CompileOptions, StateAnnotation
+
+
+def specialize(
+    flexible: Module,
+    bindings: dict[str, list[int]],
+    compiler: DesignCompiler | None = None,
+    options: CompileOptions | None = None,
+    annotate: bool = True,
+    annotation_regs: list[str] | None = None,
+) -> CompileResult:
+    """The Auto flow: bind the tables and compile.
+
+    Args:
+        flexible: the flexible (config-memory) design.
+        bindings: memory name -> contents for this configuration.
+        compiler: synthesis engine (default library).
+        options: compile options; generator annotations are appended.
+        annotate: derive reachability annotations from the bound design.
+        annotation_regs: restrict derivation to these registers.
+    """
+    compiler = compiler or DesignCompiler()
+    options = options or CompileOptions()
+    bound = bind_tables(flexible, bindings)
+    annotations = list(options.state_annotations)
+    if annotate:
+        for annotation in derive_annotations(bound, annotation_regs):
+            if not any(a.reg_name == annotation.reg_name for a in annotations):
+                annotations.append(annotation)
+    run_options = _with_annotations(options, annotations)
+    return compiler.compile(bound, run_options)
+
+
+def specialize_manual(
+    flexible: Module,
+    bindings: dict[str, list[int]],
+    pinned: dict[str, int],
+    extra_annotations: list[StateAnnotation] | None = None,
+    compiler: DesignCompiler | None = None,
+    options: CompileOptions | None = None,
+    annotation_regs: list[str] | None = None,
+) -> CompileResult:
+    """The Manual flow: Auto plus configuration-pinned reachability.
+
+    ``pinned`` fixes mode inputs (the memory-configuration registers of
+    the PCtrl study); reachability under the pinned values yields the
+    tighter annotations whose effect the paper measured as the extra
+    "16% in area and power savings" for uncached mode.
+    ``extra_annotations`` lets a caller pass program-derived sets (e.g.
+    from :meth:`AssembledProgram.reachable_addresses` with pinned
+    opcodes) that RTL-level reachability cannot see.
+    """
+    compiler = compiler or DesignCompiler()
+    options = options or CompileOptions()
+    bound = bind_tables(flexible, bindings)
+    annotations = list(options.state_annotations)
+    for annotation in extra_annotations or []:
+        if not any(a.reg_name == annotation.reg_name for a in annotations):
+            annotations.append(annotation)
+    for annotation in derive_annotations(bound, annotation_regs, pinned=pinned):
+        if not any(a.reg_name == annotation.reg_name for a in annotations):
+            annotations.append(annotation)
+    run_options = _with_annotations(options, annotations)
+    return compiler.compile(bound, run_options)
+
+
+def _with_annotations(
+    options: CompileOptions, annotations: list[StateAnnotation]
+) -> CompileOptions:
+    return CompileOptions(
+        clock_period_ns=options.clock_period_ns,
+        infer_fsm=options.infer_fsm,
+        fsm_encoding=options.fsm_encoding,
+        retime=options.retime,
+        fold_sync_reset=options.fold_sync_reset,
+        state_annotations=annotations,
+        use_state_folding=options.use_state_folding,
+        effort_rounds=options.effort_rounds,
+        sweep_support_limit=options.sweep_support_limit,
+    )

@@ -1,0 +1,58 @@
+"""Structural RTL intermediate representation.
+
+A small, synthesizable, bit-vector RTL in the spirit of the
+SystemVerilog subset the paper's designs were written in.  Modules are
+built programmatically (this *is* a chip-generator project), simulated
+cycle-accurately by :mod:`repro.sim`, and elaborated to an AIG by
+:mod:`repro.synth.elaborate`.
+
+Two idioms matter to the experiments and are both first-class here:
+
+* ``Case`` expressions over a register -- the vendor-recommended FSM
+  coding style, which the compiler's FSM inference recognises;
+* ``Memory`` reads -- the table-driven style, which it (faithfully to
+  the paper) does not.
+"""
+
+from repro.rtl.ast import (
+    BinOp,
+    Case,
+    Concat,
+    Const,
+    Expr,
+    InputRef,
+    MemRead,
+    Mux,
+    Not,
+    ReduceOp,
+    RegRef,
+    Slice,
+)
+from repro.rtl.builder import ModuleBuilder, cat, mux, repeat, zext
+from repro.rtl.module import Input, Memory, Module, Reg
+from repro.rtl.verilog import to_verilog
+
+__all__ = [
+    "BinOp",
+    "Case",
+    "Concat",
+    "Const",
+    "Expr",
+    "Input",
+    "InputRef",
+    "MemRead",
+    "Memory",
+    "Module",
+    "ModuleBuilder",
+    "Mux",
+    "Not",
+    "ReduceOp",
+    "Reg",
+    "RegRef",
+    "Slice",
+    "cat",
+    "mux",
+    "repeat",
+    "to_verilog",
+    "zext",
+]

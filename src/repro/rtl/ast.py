@@ -1,0 +1,286 @@
+"""Expression AST for the RTL IR.
+
+All expressions are width-checked at construction.  Operator
+overloading gives generator code a compact surface::
+
+    done = (count == 7) & start
+    nxt  = mux(done, Const(0, 3), count + 1)
+
+Every node exposes ``width`` and ``children()``; structural equality is
+interned per-module by the builder where sharing matters (the AIG's
+structural hashing makes elaboration-level sharing a non-issue).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+class Expr:
+    """Base class for RTL expressions (a ``width``-bit vector)."""
+
+    width: int
+
+    def children(self) -> tuple["Expr", ...]:
+        return ()
+
+    # ------------------------------------------------------------------
+    # Operator sugar
+    # ------------------------------------------------------------------
+    def __and__(self, other: "Expr") -> "Expr":
+        return BinOp("and", self, _coerce(other, self.width))
+
+    def __or__(self, other: "Expr") -> "Expr":
+        return BinOp("or", self, _coerce(other, self.width))
+
+    def __xor__(self, other: "Expr") -> "Expr":
+        return BinOp("xor", self, _coerce(other, self.width))
+
+    def __invert__(self) -> "Expr":
+        return Not(self)
+
+    def __add__(self, other) -> "Expr":
+        return BinOp("add", self, _coerce(other, self.width))
+
+    def __sub__(self, other) -> "Expr":
+        return BinOp("sub", self, _coerce(other, self.width))
+
+    def eq(self, other) -> "Expr":
+        return BinOp("eq", self, _coerce(other, self.width))
+
+    def ne(self, other) -> "Expr":
+        return Not(BinOp("eq", self, _coerce(other, self.width)))
+
+    def lt(self, other) -> "Expr":
+        return BinOp("lt", self, _coerce(other, self.width))
+
+    def __getitem__(self, index) -> "Expr":
+        if isinstance(index, slice):
+            start = index.start or 0
+            stop = index.stop if index.stop is not None else self.width
+            if index.step is not None:
+                raise ValueError("strided slices are not supported")
+            return Slice(self, start, stop - start)
+        return Slice(self, index, 1)
+
+    def any(self) -> "Expr":
+        """OR-reduction to 1 bit."""
+        return ReduceOp("or", self)
+
+    def all(self) -> "Expr":
+        """AND-reduction to 1 bit."""
+        return ReduceOp("and", self)
+
+    def parity(self) -> "Expr":
+        """XOR-reduction to 1 bit."""
+        return ReduceOp("xor", self)
+
+
+def _coerce(value, width: int) -> Expr:
+    """Allow bare ints on the right-hand side of operators."""
+    if isinstance(value, Expr):
+        return value
+    if isinstance(value, int):
+        return Const(value, width)
+    raise TypeError(f"cannot use {type(value).__name__} as an RTL expression")
+
+
+@dataclass(frozen=True)
+class Const(Expr):
+    """A constant bit-vector ``value`` of the given ``width``."""
+
+    value: int
+    width: int
+
+    def __post_init__(self) -> None:
+        if self.width <= 0:
+            raise ValueError("width must be positive")
+        if not 0 <= self.value < (1 << self.width):
+            raise ValueError(
+                f"constant {self.value} does not fit in {self.width} bits"
+            )
+
+
+@dataclass(frozen=True)
+class InputRef(Expr):
+    """Reference to a module input port."""
+
+    name: str
+    width: int
+
+
+@dataclass(frozen=True)
+class RegRef(Expr):
+    """Reference to the current value (Q output) of a register."""
+
+    name: str
+    width: int
+
+
+@dataclass(frozen=True)
+class MemRead(Expr):
+    """Asynchronous read of a memory: ``mem[addr]``.
+
+    This is the table-based controller's key structure: address bits in,
+    stored word out, no clock involved (the register lives elsewhere).
+    """
+
+    mem_name: str
+    addr: Expr
+    width: int
+
+    def children(self) -> tuple[Expr, ...]:
+        return (self.addr,)
+
+
+@dataclass(frozen=True)
+class Not(Expr):
+    """Bitwise complement."""
+
+    operand: Expr
+
+    @property
+    def width(self) -> int:
+        return self.operand.width
+
+    def children(self) -> tuple[Expr, ...]:
+        return (self.operand,)
+
+
+_BINOPS = ("and", "or", "xor", "add", "sub", "eq", "lt")
+_COMPARISONS = ("eq", "lt")
+
+
+@dataclass(frozen=True)
+class BinOp(Expr):
+    """Binary operator; comparisons produce a 1-bit result."""
+
+    op: str
+    left: Expr
+    right: Expr
+
+    def __post_init__(self) -> None:
+        if self.op not in _BINOPS:
+            raise ValueError(f"unknown operator {self.op!r}")
+        if self.left.width != self.right.width:
+            raise ValueError(
+                f"{self.op}: width mismatch {self.left.width} vs {self.right.width}"
+            )
+
+    @property
+    def width(self) -> int:
+        return 1 if self.op in _COMPARISONS else self.left.width
+
+    def children(self) -> tuple[Expr, ...]:
+        return (self.left, self.right)
+
+
+@dataclass(frozen=True)
+class ReduceOp(Expr):
+    """Reduction of all bits to one (``or``, ``and`` or ``xor``)."""
+
+    op: str
+    operand: Expr
+    width: int = field(default=1, init=False)
+
+    def __post_init__(self) -> None:
+        if self.op not in ("or", "and", "xor"):
+            raise ValueError(f"unknown reduction {self.op!r}")
+
+    def children(self) -> tuple[Expr, ...]:
+        return (self.operand,)
+
+
+@dataclass(frozen=True)
+class Mux(Expr):
+    """2-way multiplexer: ``sel ? if1 : if0``."""
+
+    sel: Expr
+    if1: Expr
+    if0: Expr
+
+    def __post_init__(self) -> None:
+        if self.sel.width != 1:
+            raise ValueError("mux select must be 1 bit wide")
+        if self.if1.width != self.if0.width:
+            raise ValueError(
+                f"mux arm width mismatch {self.if1.width} vs {self.if0.width}"
+            )
+
+    @property
+    def width(self) -> int:
+        return self.if1.width
+
+    def children(self) -> tuple[Expr, ...]:
+        return (self.sel, self.if1, self.if0)
+
+
+@dataclass(frozen=True)
+class Slice(Expr):
+    """Bit-slice ``operand[lsb +: width]``."""
+
+    operand: Expr
+    lsb: int
+    width: int
+
+    def __post_init__(self) -> None:
+        if self.width <= 0:
+            raise ValueError("slice width must be positive")
+        if self.lsb < 0 or self.lsb + self.width > self.operand.width:
+            raise ValueError(
+                f"slice [{self.lsb}+:{self.width}] out of range for "
+                f"{self.operand.width}-bit operand"
+            )
+
+    def children(self) -> tuple[Expr, ...]:
+        return (self.operand,)
+
+
+@dataclass(frozen=True)
+class Concat(Expr):
+    """Concatenation; ``parts`` are LSB-first."""
+
+    parts: tuple[Expr, ...]
+
+    def __post_init__(self) -> None:
+        if not self.parts:
+            raise ValueError("concat of nothing")
+
+    @property
+    def width(self) -> int:
+        return sum(part.width for part in self.parts)
+
+    def children(self) -> tuple[Expr, ...]:
+        return tuple(self.parts)
+
+
+@dataclass(frozen=True)
+class Case(Expr):
+    """Parallel case: compare ``selector`` against constant labels.
+
+    The vendor-recommended FSM style in the paper is exactly a case
+    statement over the state register, so this node is load-bearing:
+    :mod:`repro.synth.fsm_infer` pattern-matches it.
+    """
+
+    selector: Expr
+    arms: tuple[tuple[int, Expr], ...]
+    default: Expr
+
+    def __post_init__(self) -> None:
+        labels = set()
+        for label, value in self.arms:
+            if not 0 <= label < (1 << self.selector.width):
+                raise ValueError(f"case label {label} wider than the selector")
+            if label in labels:
+                raise ValueError(f"duplicate case label {label}")
+            labels.add(label)
+            if value.width != self.default.width:
+                raise ValueError("case arms must share the default's width")
+
+    @property
+    def width(self) -> int:
+        return self.default.width
+
+    def children(self) -> tuple[Expr, ...]:
+        return (self.selector, *(value for _, value in self.arms), self.default)

@@ -1,0 +1,161 @@
+"""Fluent construction of RTL modules.
+
+:class:`ModuleBuilder` is the generator-facing API: chip generators in
+:mod:`repro.controllers` and :mod:`repro.smartmem` use it to emit
+flexible or specialized RTL.  Free functions (:func:`cat`,
+:func:`mux`, :func:`zext`, :func:`repeat`) cover the expression forms
+that do not read naturally as methods.
+"""
+
+from __future__ import annotations
+
+from repro.rtl.ast import Case, Concat, Const, Expr, InputRef, MemRead, Mux, RegRef
+from repro.rtl.module import Input, Memory, Module, Reg, WritePort
+
+
+def cat(*parts: Expr) -> Expr:
+    """Concatenate LSB-first: ``cat(lo, hi)`` puts ``lo`` in the low bits."""
+    if len(parts) == 1:
+        return parts[0]
+    return Concat(tuple(parts))
+
+
+def mux(sel: Expr, if1: Expr, if0: Expr) -> Expr:
+    """``sel ? if1 : if0``."""
+    return Mux(sel, if1, if0)
+
+
+def zext(expr: Expr, width: int) -> Expr:
+    """Zero-extend to ``width`` bits."""
+    if width < expr.width:
+        raise ValueError("zext cannot narrow")
+    if width == expr.width:
+        return expr
+    return Concat((expr, Const(0, width - expr.width)))
+
+
+def repeat(expr: Expr, count: int) -> Expr:
+    """Replicate an expression ``count`` times (LSB-first)."""
+    if count <= 0:
+        raise ValueError("repeat count must be positive")
+    return Concat(tuple([expr] * count)) if count > 1 else expr
+
+
+class RomHandle:
+    """Read handle for a bound (constant) memory."""
+
+    def __init__(self, memory: Memory) -> None:
+        self._memory = memory
+
+    def read(self, addr: Expr) -> MemRead:
+        return MemRead(self._memory.name, addr, self._memory.width)
+
+
+class ConfigMemHandle(RomHandle):
+    """Read handle for a writable configuration memory.
+
+    The write side is exposed as the module-level ports named in the
+    memory's :class:`~repro.rtl.module.WritePort`; at runtime (or in
+    simulation) the surrounding system programs the table through them.
+    """
+
+    @property
+    def write_port(self) -> WritePort:
+        port = self._memory.write_port
+        assert port is not None
+        return port
+
+
+class ModuleBuilder:
+    """Incrementally assemble and validate a :class:`Module`."""
+
+    def __init__(self, name: str) -> None:
+        self._module = Module(name)
+
+    # ------------------------------------------------------------------
+    # Ports and state
+    # ------------------------------------------------------------------
+    def input(self, name: str, width: int = 1) -> InputRef:
+        self._check_fresh(name)
+        self._module.inputs[name] = Input(name, width)
+        return InputRef(name, width)
+
+    def output(self, name: str, expr: Expr) -> None:
+        if name in self._module.outputs:
+            raise ValueError(f"output {name!r} already driven")
+        self._module.outputs[name] = expr
+
+    def reg(
+        self,
+        name: str,
+        width: int = 1,
+        reset_kind: str = "sync",
+        reset_value: int = 0,
+    ) -> RegRef:
+        self._check_fresh(name)
+        self._module.regs[name] = Reg(name, width, reset_kind, reset_value)
+        return RegRef(name, width)
+
+    def drive(self, reg_ref: RegRef, next_expr: Expr) -> None:
+        """Connect a register's next-state expression."""
+        reg = self._module.regs.get(reg_ref.name)
+        if reg is None:
+            raise ValueError(f"unknown register {reg_ref.name!r}")
+        if reg.next is not None:
+            raise ValueError(f"register {reg_ref.name!r} already driven")
+        reg.next = next_expr
+
+    # ------------------------------------------------------------------
+    # Memories
+    # ------------------------------------------------------------------
+    def rom(self, name: str, width: int, depth: int, contents: list[int]) -> RomHandle:
+        """A constant table: the partially-evaluated configuration."""
+        self._check_fresh(name)
+        memory = Memory(name, width, depth, contents=list(contents))
+        self._module.memories[name] = memory
+        return RomHandle(memory)
+
+    def config_mem(self, name: str, width: int, depth: int) -> ConfigMemHandle:
+        """A programmable table: the flexible configuration memory.
+
+        Creates the implicit write ports ``<name>_we``, ``<name>_waddr``
+        and ``<name>_wdata`` as module inputs.
+        """
+        self._check_fresh(name)
+        addr_width = (depth - 1).bit_length()
+        port = WritePort(f"{name}_we", f"{name}_waddr", f"{name}_wdata")
+        self.input(port.enable, 1)
+        self.input(port.addr, addr_width)
+        self.input(port.data, width)
+        memory = Memory(name, width, depth, writable=True, write_port=port)
+        self._module.memories[name] = memory
+        return ConfigMemHandle(memory)
+
+    # ------------------------------------------------------------------
+    # Control constructs
+    # ------------------------------------------------------------------
+    def case(
+        self,
+        selector: Expr,
+        arms: dict[int, Expr],
+        default: Expr,
+    ) -> Case:
+        """A parallel case expression (see :class:`repro.rtl.ast.Case`)."""
+        return Case(selector, tuple(sorted(arms.items())), default)
+
+    # ------------------------------------------------------------------
+    # Finalisation
+    # ------------------------------------------------------------------
+    def build(self) -> Module:
+        """Validate and return the finished module."""
+        self._module.validate()
+        return self._module
+
+    def _check_fresh(self, name: str) -> None:
+        taken = (
+            name in self._module.inputs
+            or name in self._module.regs
+            or name in self._module.memories
+        )
+        if taken:
+            raise ValueError(f"name {name!r} already in use")

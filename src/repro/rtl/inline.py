@@ -1,0 +1,168 @@
+"""Module composition by flattening (generator-style hierarchy).
+
+The RTL IR is deliberately flat -- synthesis operates on one module --
+so composition happens the way chip generators compose: a child
+module's contents are *inlined* into a parent builder under a name
+prefix.  Child inputs are either driven by parent expressions
+(``connections``) or re-exposed as prefixed parent inputs; child
+registers and memories are copied under prefixed names; child outputs
+come back as parent-side expressions.
+
+Configuration memories keep working across inlining: their write-port
+inputs follow the same connect-or-expose rule, so a parent can expose
+a child's programming interface or drive it from its own logic, and
+:func:`repro.pe.bind.bind_tables` sees the prefixed memory names.
+"""
+
+from __future__ import annotations
+
+from repro.rtl.ast import (
+    BinOp,
+    Case,
+    Concat,
+    Const,
+    Expr,
+    InputRef,
+    MemRead,
+    Mux,
+    Not,
+    ReduceOp,
+    RegRef,
+    Slice,
+)
+from repro.rtl.builder import ModuleBuilder
+from repro.rtl.module import Memory, Module, Reg, WritePort
+
+
+def inline(
+    parent: ModuleBuilder,
+    child: Module,
+    prefix: str,
+    connections: dict[str, Expr] | None = None,
+) -> dict[str, Expr]:
+    """Flatten ``child`` into ``parent`` under ``prefix``.
+
+    Args:
+        parent: the builder receiving the logic.
+        child: a validated module to absorb.
+        connections: child input name -> parent expression.  Unlisted
+            child inputs become parent inputs named ``{prefix}_{name}``.
+
+    Returns:
+        child output name -> parent expression.
+
+    Raises:
+        ValueError: on width mismatches or unknown connection names.
+    """
+    connections = dict(connections or {})
+    for name in connections:
+        if name not in child.inputs:
+            raise ValueError(f"connection to unknown child input {name!r}")
+
+    input_map: dict[str, Expr] = {}
+    for name, port in child.inputs.items():
+        if name in connections:
+            expr = connections[name]
+            if expr.width != port.width:
+                raise ValueError(
+                    f"connection to {name!r} has width {expr.width}, "
+                    f"expected {port.width}"
+                )
+            input_map[name] = expr
+        else:
+            input_map[name] = parent.input(f"{prefix}_{name}", port.width)
+
+    # Copy memories under prefixed names (write ports follow inputs).
+    for name, memory in child.memories.items():
+        new_name = f"{prefix}_{name}"
+        if new_name in parent._module.memories:
+            raise ValueError(f"memory name {new_name!r} already in use")
+        if memory.writable:
+            port = memory.write_port
+            assert port is not None
+            new_port = WritePort(
+                _port_name(input_map[port.enable], parent, prefix, port.enable),
+                _port_name(input_map[port.addr], parent, prefix, port.addr),
+                _port_name(input_map[port.data], parent, prefix, port.data),
+            )
+            parent._module.memories[new_name] = Memory(
+                new_name,
+                memory.width,
+                memory.depth,
+                writable=True,
+                write_port=new_port,
+            )
+        else:
+            parent._module.memories[new_name] = Memory(
+                new_name,
+                memory.width,
+                memory.depth,
+                contents=list(memory.contents or []),
+            )
+
+    cache: dict[int, Expr] = {}
+
+    def rewrite(expr: Expr) -> Expr:
+        cached = cache.get(id(expr))
+        if cached is not None:
+            return cached
+        result = _rewrite(expr, prefix, input_map, rewrite)
+        cache[id(expr)] = result
+        return result
+
+    for name, reg in child.regs.items():
+        new_name = f"{prefix}_{name}"
+        if new_name in parent._module.regs:
+            raise ValueError(f"register name {new_name!r} already in use")
+        assert reg.next is not None
+        parent._module.regs[new_name] = Reg(
+            new_name, reg.width, reg.reset_kind, reg.reset_value, rewrite(reg.next)
+        )
+
+    return {name: rewrite(expr) for name, expr in child.outputs.items()}
+
+
+def _port_name(expr: Expr, parent: ModuleBuilder, prefix: str, original: str) -> str:
+    """Write ports must remain *inputs* after inlining.
+
+    A connected write port would need write logic rewriting; keeping
+    the restriction simple and explicit: write ports may only be
+    exposed, not driven, so the mapped expression must be the exposed
+    parent input.
+    """
+    if isinstance(expr, InputRef):
+        return expr.name
+    raise ValueError(
+        f"config-memory write port {original!r} cannot be driven by "
+        f"logic; leave it unconnected so it is re-exposed"
+    )
+
+
+def _rewrite(expr: Expr, prefix: str, input_map: dict[str, Expr], rec) -> Expr:
+    if isinstance(expr, Const):
+        return expr
+    if isinstance(expr, InputRef):
+        return input_map[expr.name]
+    if isinstance(expr, RegRef):
+        return RegRef(f"{prefix}_{expr.name}", expr.width)
+    if isinstance(expr, MemRead):
+        return MemRead(f"{prefix}_{expr.mem_name}", rec(expr.addr), expr.width)
+    if isinstance(expr, Not):
+        return Not(rec(expr.operand))
+    if isinstance(expr, BinOp):
+        return BinOp(expr.op, rec(expr.left), rec(expr.right))
+    if isinstance(expr, ReduceOp):
+        return ReduceOp(expr.op, rec(expr.operand))
+    if isinstance(expr, Mux):
+        return Mux(rec(expr.sel), rec(expr.if1), rec(expr.if0))
+    if isinstance(expr, Slice):
+        return Slice(rec(expr.operand), expr.lsb, expr.width)
+    if isinstance(expr, Concat):
+        return Concat(tuple(rec(part) for part in expr.parts))
+    if isinstance(expr, Case):
+        return Case(
+            rec(expr.selector),
+            tuple((label, rec(value)) for label, value in expr.arms),
+            rec(expr.default),
+        )
+    raise TypeError(f"cannot inline {type(expr).__name__}")

@@ -1,0 +1,232 @@
+"""Module container for the RTL IR: ports, registers, memories.
+
+A :class:`Module` is a closed netlist of expressions over named inputs,
+registers and memories.  ``validate()`` enforces the invariants the
+rest of the flow assumes (resolvable references, width agreement,
+driven registers, power-of-two memory depths, correct address widths).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.rtl.ast import (
+    Case,
+    Concat,
+    Expr,
+    InputRef,
+    MemRead,
+    Mux,
+    RegRef,
+)
+
+RESET_KINDS = ("none", "sync", "async")
+
+
+@dataclass
+class Input:
+    """A module input port."""
+
+    name: str
+    width: int
+
+
+@dataclass
+class Reg:
+    """A register (bank of flops sharing one reset style).
+
+    Attributes:
+        name: unique register name.
+        width: bit width.
+        reset_kind: ``"none"``, ``"sync"`` or ``"async"``.
+        reset_value: value loaded by reset (and the deterministic
+            initial simulation value for ``"none"`` registers).
+        next: next-state expression, assigned via the builder.
+    """
+
+    name: str
+    width: int
+    reset_kind: str = "sync"
+    reset_value: int = 0
+    next: Expr | None = None
+
+    def __post_init__(self) -> None:
+        if self.reset_kind not in RESET_KINDS:
+            raise ValueError(f"unknown reset kind {self.reset_kind!r}")
+        if not 0 <= self.reset_value < (1 << self.width):
+            raise ValueError("reset value does not fit the register")
+
+    def ref(self) -> RegRef:
+        return RegRef(self.name, self.width)
+
+
+@dataclass
+class WritePort:
+    """Names of the implicit configuration-write ports of a memory."""
+
+    enable: str
+    addr: str
+    data: str
+
+
+@dataclass
+class Memory:
+    """An asynchronously-readable memory.
+
+    Two flavours, matching the paper's design points:
+
+    * ``contents`` given and not ``writable``: a ROM -- the *bound*
+      (partially evaluated) configuration.  Elaborates to pure logic.
+    * ``writable`` with a :class:`WritePort`: a configuration memory --
+      the *flexible* design.  Elaborates to a flop array plus write
+      decoding and a read mux: the area the paper's "Full" designs pay.
+    """
+
+    name: str
+    width: int
+    depth: int
+    contents: list[int] | None = None
+    writable: bool = False
+    write_port: WritePort | None = None
+
+    def __post_init__(self) -> None:
+        if self.depth < 2 or self.depth & (self.depth - 1):
+            raise ValueError("memory depth must be a power of two >= 2")
+        if self.width <= 0:
+            raise ValueError("memory width must be positive")
+        if self.writable != (self.write_port is not None):
+            raise ValueError("writable memories need a write port (and only they)")
+        if self.contents is not None:
+            if len(self.contents) > self.depth:
+                raise ValueError("more contents than rows")
+            for index, word in enumerate(self.contents):
+                if not 0 <= word < (1 << self.width):
+                    raise ValueError(f"row {index} does not fit the word width")
+        if self.contents is None and not self.writable:
+            raise ValueError("a non-writable memory must have contents (a ROM)")
+
+    @property
+    def addr_width(self) -> int:
+        return (self.depth - 1).bit_length()
+
+    def padded_contents(self) -> list[int]:
+        """Contents extended with zeros to the full depth."""
+        if self.contents is None:
+            raise ValueError(f"memory {self.name} has no bound contents")
+        return list(self.contents) + [0] * (self.depth - len(self.contents))
+
+
+@dataclass
+class Module:
+    """A synthesizable RTL module."""
+
+    name: str
+    inputs: dict[str, Input] = field(default_factory=dict)
+    outputs: dict[str, Expr] = field(default_factory=dict)
+    regs: dict[str, Reg] = field(default_factory=dict)
+    memories: dict[str, Memory] = field(default_factory=dict)
+
+    # ------------------------------------------------------------------
+    # Validation
+    # ------------------------------------------------------------------
+    def validate(self) -> None:
+        """Raise ``ValueError`` on any broken invariant."""
+        for reg in self.regs.values():
+            if reg.next is None:
+                raise ValueError(f"register {reg.name!r} has no next-state driver")
+            if reg.next.width != reg.width:
+                raise ValueError(
+                    f"register {reg.name!r} driven with width "
+                    f"{reg.next.width}, expected {reg.width}"
+                )
+        for name, expr in self.outputs.items():
+            if expr.width <= 0:
+                raise ValueError(f"output {name!r} has non-positive width")
+        for expr in self._all_exprs():
+            self._validate_expr(expr)
+
+    def _all_exprs(self):
+        roots = list(self.outputs.values())
+        roots += [reg.next for reg in self.regs.values() if reg.next is not None]
+        seen: set[int] = set()
+        stack = list(roots)
+        while stack:
+            expr = stack.pop()
+            if id(expr) in seen:
+                continue
+            seen.add(id(expr))
+            yield expr
+            stack.extend(expr.children())
+
+    def _validate_expr(self, expr: Expr) -> None:
+        if isinstance(expr, InputRef):
+            port = self.inputs.get(expr.name)
+            if port is None:
+                raise ValueError(f"unknown input {expr.name!r}")
+            if port.width != expr.width:
+                raise ValueError(
+                    f"input {expr.name!r} referenced with width {expr.width}, "
+                    f"declared {port.width}"
+                )
+        elif isinstance(expr, RegRef):
+            reg = self.regs.get(expr.name)
+            if reg is None:
+                raise ValueError(f"unknown register {expr.name!r}")
+            if reg.width != expr.width:
+                raise ValueError(
+                    f"register {expr.name!r} referenced with width {expr.width}, "
+                    f"declared {reg.width}"
+                )
+        elif isinstance(expr, MemRead):
+            memory = self.memories.get(expr.mem_name)
+            if memory is None:
+                raise ValueError(f"unknown memory {expr.mem_name!r}")
+            if memory.width != expr.width:
+                raise ValueError(f"memory {expr.mem_name!r} read width mismatch")
+            if expr.addr.width != memory.addr_width:
+                raise ValueError(
+                    f"memory {expr.mem_name!r} needs {memory.addr_width} "
+                    f"address bits, got {expr.addr.width}"
+                )
+
+    # ------------------------------------------------------------------
+    # Convenience queries used by passes
+    # ------------------------------------------------------------------
+    def case_registers(self) -> dict[str, Case]:
+        """Registers written in the case-statement FSM style.
+
+        Returns the subset of registers whose next-state expression is
+        a (possibly reset-muxed) ``Case`` over their own current value
+        -- the idiom FSM inference recognises.
+        """
+        found: dict[str, Case] = {}
+        for reg in self.regs.values():
+            expr = reg.next
+            # Peel muxes whose arms lead to the case (enable/reset muxes).
+            while isinstance(expr, Mux):
+                if isinstance(expr.if1, Case):
+                    expr = expr.if1
+                elif isinstance(expr.if0, Case):
+                    expr = expr.if0
+                else:
+                    break
+            if isinstance(expr, Case) and _selects_register(expr.selector, reg):
+                found[reg.name] = expr
+        return found
+
+    def stats(self) -> str:
+        return (
+            f"module {self.name}: {len(self.inputs)} inputs, "
+            f"{len(self.outputs)} outputs, {len(self.regs)} regs, "
+            f"{len(self.memories)} memories"
+        )
+
+
+def _selects_register(selector: Expr, reg: Reg) -> bool:
+    """True when the selector is the register itself (or all of it)."""
+    if isinstance(selector, RegRef):
+        return selector.name == reg.name
+    if isinstance(selector, Concat):
+        parts = selector.parts
+        return all(isinstance(p, RegRef) and p.name == reg.name for p in parts)
+    return False

@@ -1,0 +1,31 @@
+"""SAT-based reasoning: a CDCL solver and AIG equivalence checking.
+
+The synthesis flow uses SAT in two places:
+
+* verifying that optimization passes preserve functionality (plain and
+  care-set-conditional combinational equivalence), and
+* the state-folding pass, which asks "is this node constant over the
+  care set?" / "are these two nodes equal over the care set?".
+
+The solver is a compact but genuine CDCL implementation: two watched
+literals, first-UIP clause learning, VSIDS-style activities, and Luby
+restarts.
+"""
+
+from repro.sat.cnf import CnfBuilder
+from repro.sat.equiv import (
+    check_combinational_equivalence,
+    check_equivalence_under_care,
+    prove_lit_constant,
+    prove_lits_equal,
+)
+from repro.sat.solver import Solver
+
+__all__ = [
+    "CnfBuilder",
+    "Solver",
+    "check_combinational_equivalence",
+    "check_equivalence_under_care",
+    "prove_lit_constant",
+    "prove_lits_equal",
+]

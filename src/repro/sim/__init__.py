@@ -1,0 +1,14 @@
+"""Simulation: cycle-accurate RTL interpretation and cross-checking.
+
+- :class:`~repro.sim.rtlsim.Simulator` runs :class:`repro.rtl.Module`
+  designs cycle by cycle (the reference semantics).
+- :func:`~repro.sim.crosscheck.crosscheck_rtl_aig` drives an RTL module
+  and its elaborated AIG with the same random stimulus and compares
+  outputs -- the workhorse validation of the elaborator and of every
+  sequential-unsafe optimization (retiming, re-encoding).
+"""
+
+from repro.sim.rtlsim import Simulator
+from repro.sim.vectors import random_stimulus
+
+__all__ = ["Simulator", "random_stimulus"]

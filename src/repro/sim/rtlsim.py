@@ -1,0 +1,180 @@
+"""Cycle-accurate interpreter for RTL modules.
+
+This is the *reference semantics* of the IR: every other view of a
+design (elaborated AIG, mapped netlist) is validated against it by
+cross-simulation.  The clocking model is the usual synchronous one:
+
+* :meth:`Simulator.reset` forces every resettable register to its
+  reset value (and, for determinism, ``"none"`` registers too).
+* :meth:`Simulator.step` evaluates outputs for the current cycle from
+  current state + inputs, then advances registers and memory writes.
+"""
+
+from __future__ import annotations
+
+from repro.rtl.ast import (
+    BinOp,
+    Case,
+    Concat,
+    Const,
+    Expr,
+    InputRef,
+    MemRead,
+    Mux,
+    Not,
+    ReduceOp,
+    RegRef,
+    Slice,
+)
+from repro.rtl.module import Module
+
+
+class Simulator:
+    """Interprets a validated :class:`~repro.rtl.module.Module`."""
+
+    def __init__(self, module: Module) -> None:
+        module.validate()
+        self.module = module
+        self.reg_values: dict[str, int] = {}
+        self.mem_values: dict[str, list[int]] = {}
+        self.cycle = 0
+        for memory in module.memories.values():
+            if memory.contents is not None:
+                self.mem_values[memory.name] = memory.padded_contents()
+            else:
+                self.mem_values[memory.name] = [0] * memory.depth
+        self.reset()
+
+    def reset(self) -> None:
+        """Apply reset: all registers to their reset values."""
+        for reg in self.module.regs.values():
+            self.reg_values[reg.name] = reg.reset_value
+        self.cycle = 0
+
+    def load_memory(self, name: str, contents: list[int]) -> None:
+        """Backdoor-load a writable memory (test convenience)."""
+        memory = self.module.memories[name]
+        if memory.contents is not None:
+            raise ValueError(f"memory {name!r} is a ROM")
+        if len(contents) > memory.depth:
+            raise ValueError("too many words")
+        padded = list(contents) + [0] * (memory.depth - len(contents))
+        self.mem_values[name] = padded
+
+    def step(self, inputs: dict[str, int] | None = None) -> dict[str, int]:
+        """Advance one clock cycle; returns this cycle's output values."""
+        inputs = dict(inputs or {})
+        for name, port in self.module.inputs.items():
+            value = inputs.setdefault(name, 0)
+            if not 0 <= value < (1 << port.width):
+                raise ValueError(f"input {name!r} value {value} out of range")
+
+        cache: dict[int, int] = {}
+        outputs = {
+            name: self._eval(expr, inputs, cache)
+            for name, expr in self.module.outputs.items()
+        }
+
+        next_regs = {
+            reg.name: self._eval(reg.next, inputs, cache)
+            for reg in self.module.regs.values()
+        }
+        # Memory writes use this cycle's input values.
+        for memory in self.module.memories.values():
+            if memory.write_port is None:
+                continue
+            port = memory.write_port
+            if inputs.get(port.enable, 0):
+                addr = inputs.get(port.addr, 0)
+                data = inputs.get(port.data, 0)
+                self.mem_values[memory.name][addr] = data
+        self.reg_values.update(next_regs)
+        self.cycle += 1
+        return outputs
+
+    def run(self, stimulus: list[dict[str, int]]) -> list[dict[str, int]]:
+        """Step once per stimulus entry; returns the output trace."""
+        return [self.step(entry) for entry in stimulus]
+
+    def peek_reg(self, name: str) -> int:
+        return self.reg_values[name]
+
+    def poke_reg(self, name: str, value: int) -> None:
+        reg = self.module.regs[name]
+        if not 0 <= value < (1 << reg.width):
+            raise ValueError("value does not fit the register")
+        self.reg_values[name] = value
+
+    # ------------------------------------------------------------------
+    # Expression evaluation
+    # ------------------------------------------------------------------
+    def _eval(self, expr: Expr, inputs: dict[str, int], cache: dict[int, int]) -> int:
+        key = id(expr)
+        cached = cache.get(key)
+        if cached is not None:
+            return cached
+        value = self._eval_uncached(expr, inputs, cache)
+        cache[key] = value
+        return value
+
+    def _eval_uncached(
+        self, expr: Expr, inputs: dict[str, int], cache: dict[int, int]
+    ) -> int:
+        mask = (1 << expr.width) - 1
+        if isinstance(expr, Const):
+            return expr.value
+        if isinstance(expr, InputRef):
+            return inputs[expr.name]
+        if isinstance(expr, RegRef):
+            return self.reg_values[expr.name]
+        if isinstance(expr, MemRead):
+            addr = self._eval(expr.addr, inputs, cache)
+            return self.mem_values[expr.mem_name][addr]
+        if isinstance(expr, Not):
+            return (~self._eval(expr.operand, inputs, cache)) & mask
+        if isinstance(expr, BinOp):
+            left = self._eval(expr.left, inputs, cache)
+            right = self._eval(expr.right, inputs, cache)
+            if expr.op == "and":
+                return left & right
+            if expr.op == "or":
+                return left | right
+            if expr.op == "xor":
+                return left ^ right
+            if expr.op == "add":
+                return (left + right) & mask
+            if expr.op == "sub":
+                return (left - right) & mask
+            if expr.op == "eq":
+                return int(left == right)
+            if expr.op == "lt":
+                return int(left < right)
+            raise AssertionError(expr.op)
+        if isinstance(expr, ReduceOp):
+            value = self._eval(expr.operand, inputs, cache)
+            if expr.op == "or":
+                return int(value != 0)
+            if expr.op == "and":
+                return int(value == (1 << expr.operand.width) - 1)
+            return value.bit_count() & 1
+        if isinstance(expr, Mux):
+            sel = self._eval(expr.sel, inputs, cache)
+            chosen = expr.if1 if sel else expr.if0
+            return self._eval(chosen, inputs, cache)
+        if isinstance(expr, Slice):
+            value = self._eval(expr.operand, inputs, cache)
+            return (value >> expr.lsb) & mask
+        if isinstance(expr, Concat):
+            value = 0
+            shift = 0
+            for part in expr.parts:
+                value |= self._eval(part, inputs, cache) << shift
+                shift += part.width
+            return value
+        if isinstance(expr, Case):
+            selector = self._eval(expr.selector, inputs, cache)
+            for label, arm in expr.arms:
+                if selector == label:
+                    return self._eval(arm, inputs, cache)
+            return self._eval(expr.default, inputs, cache)
+        raise TypeError(f"cannot evaluate {type(expr).__name__}")

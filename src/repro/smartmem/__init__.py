@@ -1,0 +1,36 @@
+"""A Smart Memories-style protocol controller (PCtrl) model.
+
+The paper's Section II-C / III-C case study: a table-driven protocol
+controller shared by four processor tiles, moving cache lines through
+four data pipes under microcode control.  The real chip cannot be
+redistributed, so this package implements a scaled structural model
+with the properties Fig. 9 depends on:
+
+* a microcoded Dispatch unit (sequencer + dispatch table + microcode
+  memory) whose configuration storage dominates the flexible design;
+* four data pipes with their own control FSMs and line staging
+  buffers (substantial *non-configuration* state, so specialization
+  halves rather than eliminates sequential area);
+* cached-coherence and uncached microprograms of very different
+  sizes, so reachable-state pruning matters only for uncached mode.
+
+Entry points: :func:`~repro.smartmem.pctrl.build_pctrl` (the flexible
+design + generator knowledge) and the Full/Auto/Manual compile flows
+in :mod:`repro.smartmem.flows`.
+"""
+
+from repro.smartmem.config import MemoryMode, PCtrlConfig, PCtrlParams, RequestOp
+from repro.smartmem.flows import compile_auto, compile_full, compile_manual
+from repro.smartmem.pctrl import PCtrlDesign, build_pctrl
+
+__all__ = [
+    "MemoryMode",
+    "PCtrlConfig",
+    "PCtrlDesign",
+    "PCtrlParams",
+    "RequestOp",
+    "build_pctrl",
+    "compile_auto",
+    "compile_full",
+    "compile_manual",
+]

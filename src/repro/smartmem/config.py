@@ -1,0 +1,118 @@
+"""PCtrl configuration space: modes, requests, structural parameters."""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+
+class MemoryMode(enum.Enum):
+    """The two memory-system configurations Fig. 9 compares."""
+
+    CACHED = "cached"
+    UNCACHED = "uncached"
+
+
+class RequestOp(enum.IntEnum):
+    """Request opcodes arriving at the PCtrl dispatch table.
+
+    Opcode 0 is reserved for "no request" (the idle dispatch target).
+    Cached-mode protocol operations occupy 1..8; uncached accesses are
+    9..10.  The 4-bit opcode space leaves 11..15 unused, which the
+    dispatch table routes to the error handler.
+    """
+
+    NOP = 0
+    READ_SHARED = 1
+    READ_EXCL = 2
+    UPGRADE = 3
+    WRITEBACK = 4
+    INVALIDATE = 5
+    INTERVENTION = 6
+    FILL = 7
+    SYNC = 8
+    UNC_READ = 9
+    UNC_WRITE = 10
+    UNC_BLOCK = 11
+
+
+CACHED_OPS = (
+    RequestOp.READ_SHARED,
+    RequestOp.READ_EXCL,
+    RequestOp.UPGRADE,
+    RequestOp.WRITEBACK,
+    RequestOp.INVALIDATE,
+    RequestOp.INTERVENTION,
+    RequestOp.FILL,
+    RequestOp.SYNC,
+)
+
+UNCACHED_OPS = (RequestOp.UNC_READ, RequestOp.UNC_WRITE, RequestOp.UNC_BLOCK)
+
+
+@dataclass(frozen=True)
+class PCtrlParams:
+    """Structural (mode-independent) parameters of the generator."""
+
+    num_pipes: int = 4
+    word_bits: int = 32
+    max_line_words: int = 8
+    ucode_addr_bits: int = 6
+    opcode_bits: int = 4
+    csr_width: int = 8
+    addr_bits: int = 16
+    queue_depth: int = 4
+
+    def __post_init__(self) -> None:
+        if self.num_pipes < 1:
+            raise ValueError("need at least one data pipe")
+        if self.max_line_words & (self.max_line_words - 1):
+            raise ValueError("max_line_words must be a power of two")
+        if self.queue_depth < 2 or self.queue_depth & (self.queue_depth - 1):
+            raise ValueError("queue_depth must be a power of two >= 2")
+
+    @property
+    def offset_bits(self) -> int:
+        """Word-offset counter width (covers a full line)."""
+        return max(1, (self.max_line_words - 1).bit_length())
+
+
+@dataclass(frozen=True)
+class PCtrlConfig:
+    """One pre-silicon configuration (what specialization binds)."""
+
+    mode: MemoryMode
+    line_words: int = 8
+    access_width: int = 1  # words per beat: 1 = single, 2 = double
+
+    def __post_init__(self) -> None:
+        if self.line_words < 1:
+            raise ValueError("line_words must be positive")
+        if self.access_width not in (1, 2):
+            raise ValueError("access width is single (1) or double (2)")
+
+    @property
+    def beats_per_line(self) -> int:
+        return max(1, self.line_words // self.access_width)
+
+    @property
+    def loop_init(self) -> int:
+        """Counter preload: beats minus one (the microcode loop bound)."""
+        return self.beats_per_line - 1
+
+    def allowed_opcodes(self) -> tuple[int, ...]:
+        """Request opcodes this configuration can receive."""
+        if self.mode is MemoryMode.CACHED:
+            ops = (RequestOp.NOP,) + CACHED_OPS
+        else:
+            ops = (RequestOp.NOP,) + UNCACHED_OPS
+        return tuple(int(op) for op in ops)
+
+
+#: Cached mode streams whole 8-word lines, so the pipes' offset
+#: counters sweep their full range; uncached mode's longest transfer
+#: is the 6-beat block access (UNC_BLOCK, three double-word bus
+#: transactions), so the top of every staging buffer is unreachable --
+#: the food for the Manual flow.
+CACHED_CONFIG = PCtrlConfig(MemoryMode.CACHED, line_words=8, access_width=1)
+UNCACHED_CONFIG = PCtrlConfig(MemoryMode.UNCACHED, line_words=6, access_width=1)

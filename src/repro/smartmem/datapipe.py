@@ -1,0 +1,223 @@
+"""Data pipes: the per-tile transfer engines the Dispatch unit drives.
+
+Each pipe owns a control FSM (case-style RTL, like the hand-written
+blocks of the real chip), a word-offset counter, and a line staging
+buffer.  The FSM is kept as an explicit :class:`FsmSpec` so the
+generator can reason about it -- in particular, compute which control
+states a given *command subset* can reach, which is exactly the
+knowledge behind the paper's "Manual" unreachable-state elimination
+(uncached configurations never issue directory commands, so the
+directory states of every pipe are dead).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.controllers.fsm import FsmSpec
+from repro.controllers.fsm_rtl import fsm_to_case_rtl
+from repro.rtl.ast import Const
+from repro.rtl.builder import ModuleBuilder, mux
+from repro.rtl.module import Module
+from repro.smartmem.config import PCtrlParams
+
+# Pipe FSM states.
+IDLE = 0
+STREAM_RD = 1
+STREAM_WR = 2
+DIR_LOOKUP = 3
+DIR_UPDATE = 4
+ACK = 5
+
+STATE_NAMES = {
+    IDLE: "IDLE",
+    STREAM_RD: "STREAM_RD",
+    STREAM_WR: "STREAM_WR",
+    DIR_LOOKUP: "DIR_LOOKUP",
+    DIR_UPDATE: "DIR_UPDATE",
+    ACK: "ACK",
+}
+
+# Pipe FSM input bits (the command interface from the Dispatch unit).
+IN_SEL = 0  # this pipe is addressed
+IN_RD = 1  # word-read command
+IN_WR = 2  # word-write command
+IN_DIR = 3  # directory command
+NUM_INPUTS = 4
+
+# Pipe FSM output bits.
+OUT_BUSY = 0
+OUT_MEM_RE = 1
+OUT_MEM_WE = 2
+OUT_CNT_EN = 3
+OUT_DIR_OP = 4
+OUT_LOAD = 5  # Mealy: latch the request address on launch
+NUM_OUTPUTS = 6
+
+
+def pipe_fsm_spec() -> FsmSpec:
+    """The pipe control FSM as an explicit table."""
+    combos = 1 << NUM_INPUTS
+    next_state = [[0] * combos for _ in range(6)]
+    output = [[0] * combos for _ in range(6)]
+
+    def bits(word: int) -> tuple[bool, bool, bool, bool]:
+        return (
+            bool(word >> IN_SEL & 1),
+            bool(word >> IN_RD & 1),
+            bool(word >> IN_WR & 1),
+            bool(word >> IN_DIR & 1),
+        )
+
+    for word in range(combos):
+        sel, rd, wr, dr = bits(word)
+        addressed = sel
+        # IDLE: launch on a command addressed to this pipe.
+        if addressed and rd:
+            next_state[IDLE][word] = STREAM_RD
+        elif addressed and wr:
+            next_state[IDLE][word] = STREAM_WR
+        elif addressed and dr:
+            next_state[IDLE][word] = DIR_LOOKUP
+        else:
+            next_state[IDLE][word] = IDLE
+        # STREAM_RD: keep streaming while read beats keep arriving.
+        next_state[STREAM_RD][word] = STREAM_RD if (addressed and rd) else ACK
+        next_state[STREAM_WR][word] = STREAM_WR if (addressed and wr) else ACK
+        next_state[DIR_LOOKUP][word] = DIR_UPDATE
+        next_state[DIR_UPDATE][word] = ACK
+        next_state[ACK][word] = IDLE
+
+        for state in range(6):
+            out = 0
+            if state != IDLE:
+                out |= 1 << OUT_BUSY
+            if state == STREAM_RD:
+                out |= (1 << OUT_MEM_RE) | (1 << OUT_CNT_EN)
+            if state == STREAM_WR:
+                out |= (1 << OUT_MEM_WE) | (1 << OUT_CNT_EN)
+            if state in (DIR_LOOKUP, DIR_UPDATE):
+                out |= 1 << OUT_DIR_OP
+            if state == IDLE and addressed and (rd or wr or dr):
+                out |= 1 << OUT_LOAD
+            output[state][word] = out
+
+    return FsmSpec(
+        "pipe_ctl",
+        num_inputs=NUM_INPUTS,
+        num_outputs=NUM_OUTPUTS,
+        num_states=6,
+        reset_state=IDLE,
+        next_state=next_state,
+        output=output,
+    )
+
+
+def reachable_pipe_states(command_words: list[int]) -> tuple[int, ...]:
+    """Pipe states reachable when only these input words can occur.
+
+    ``command_words`` are FSM input words (sel/rd/wr/dir bit packs);
+    the caller derives them from the microprogram's command usage.
+    """
+    return pipe_fsm_spec().reachable_states(allowed_inputs=command_words)
+
+
+def command_words_for(uses_rd: bool, uses_wr: bool, uses_dir: bool) -> list[int]:
+    """All pipe input words a program restricted to these commands makes.
+
+    Commands are one-hot per cycle (a microinstruction carries one
+    command), and any cycle may leave the pipe unaddressed.
+    """
+    words = [0, 1 << IN_SEL]
+    if uses_rd:
+        words += [1 << IN_RD, (1 << IN_SEL) | (1 << IN_RD)]
+    if uses_wr:
+        words += [1 << IN_WR, (1 << IN_SEL) | (1 << IN_WR)]
+    if uses_dir:
+        words += [1 << IN_DIR, (1 << IN_SEL) | (1 << IN_DIR)]
+    return words
+
+
+@dataclass
+class DataPipe:
+    """Generator product: the pipe module plus its spec."""
+
+    module: Module
+    spec: FsmSpec
+
+
+def build_datapipe(params: PCtrlParams) -> DataPipe:
+    """One data pipe: control FSM + offset counter + staging buffer.
+
+    Ports:
+      inputs ``sel``, ``cmd_rd``, ``cmd_wr``, ``cmd_dir`` (from the
+      Dispatch unit), ``din`` (memory-side data);
+      outputs ``busy``, ``mem_re``, ``mem_we``, ``dir_op``, ``offset``,
+      ``dout``.
+    """
+    spec = pipe_fsm_spec()
+    fsm_module = fsm_to_case_rtl(spec, name="pipe_fsm")
+
+    from repro.rtl.inline import inline
+
+    b = ModuleBuilder("datapipe")
+    sel = b.input("sel")
+    cmd_rd = b.input("cmd_rd")
+    cmd_wr = b.input("cmd_wr")
+    cmd_dir = b.input("cmd_dir")
+    din = b.input("din", params.word_bits)
+    addr_in = b.input("addr_in", params.addr_bits)
+
+    from repro.rtl.builder import cat
+
+    fsm_in = cat(sel, cmd_rd, cmd_wr, cmd_dir)
+    outs = inline(b, fsm_module, "ctl", {"in": fsm_in})
+    ctl = outs["out"]
+    busy = ctl[OUT_BUSY]
+    mem_re = ctl[OUT_MEM_RE]
+    mem_we = ctl[OUT_MEM_WE]
+    cnt_en = ctl[OUT_CNT_EN]
+    dir_op = ctl[OUT_DIR_OP]
+    load = ctl[OUT_LOAD]
+
+    # Request address: latched on launch, incremented per beat.  This
+    # datapath is live in every configuration (uncached accesses still
+    # carry addresses), so specialization cannot remove it.
+    addr = b.reg("addr", params.addr_bits)
+    b.drive(
+        addr,
+        mux(load[0], addr_in, mux(cnt_en[0], addr + 1, addr)),
+    )
+    b.output("mem_addr", addr)
+
+    offset = b.reg("offset", params.offset_bits)
+    b.drive(
+        offset,
+        mux(
+            cnt_en[0],
+            offset + 1,
+            mux(busy[0], offset, Const(0, params.offset_bits)),
+        ),
+    )
+
+    # Line staging buffer: one register per line word, written while
+    # streaming.  This is the pipe's non-configuration state.
+    word_regs = []
+    for index in range(params.max_line_words):
+        word = b.reg(f"stage{index}", params.word_bits)
+        write_this = cnt_en & offset.eq(index)
+        b.drive(word, mux(write_this[0], din, word))
+        word_regs.append(word)
+
+    # Read-back mux for the memory-side output.
+    dout = word_regs[0]
+    for index in range(1, params.max_line_words):
+        dout = mux(offset.eq(index), word_regs[index], dout)
+
+    b.output("busy", busy)
+    b.output("mem_re", mem_re)
+    b.output("mem_we", mem_we)
+    b.output("dir_op", dir_op)
+    b.output("offset", offset)
+    b.output("dout", dout)
+    return DataPipe(b.build(), spec)

@@ -1,0 +1,78 @@
+"""Full / Auto / Manual synthesis flows for the PCtrl (Fig. 9).
+
+* **Full**: the flexible design compiled as-is; configuration memories
+  become real storage.
+* **Auto**: the configuration is bound and synthesis partially
+  evaluates the tables away.  No cross-flop knowledge is supplied --
+  this is what the tool achieves alone.
+* **Manual**: Auto plus the generator's state annotations, with
+  dispatch reachability pinned to the opcodes the configuration can
+  legally receive.  This performs, programmatically, the
+  unreachable-state eliminations the paper's authors applied by hand.
+
+All flows use the paper's 5 ns clock and ``fsm_encoding='same'`` (the
+annotations assert value sets without re-encoding, matching how the
+hand-tuned netlists kept their encodings).
+"""
+
+from __future__ import annotations
+
+from repro.pe.specialize import specialize, specialize_manual
+from repro.smartmem.config import PCtrlConfig
+from repro.smartmem.pctrl import PCtrlDesign
+from repro.synth.compiler import CompileResult, DesignCompiler
+from repro.synth.dc_options import CompileOptions
+
+
+def fig9_options(clock_period_ns: float = 5.0) -> CompileOptions:
+    """The compile options shared by the Fig. 9 flows."""
+    return CompileOptions(
+        clock_period_ns=clock_period_ns,
+        fsm_encoding="same",
+    )
+
+
+def compile_full(
+    design: PCtrlDesign,
+    compiler: DesignCompiler | None = None,
+    options: CompileOptions | None = None,
+) -> CompileResult:
+    """Synthesize the flexible design (storage and all)."""
+    compiler = compiler or DesignCompiler()
+    return compiler.compile(design.flexible, options or fig9_options())
+
+
+def compile_auto(
+    design: PCtrlDesign,
+    config: PCtrlConfig,
+    compiler: DesignCompiler | None = None,
+    options: CompileOptions | None = None,
+) -> CompileResult:
+    """Bind one configuration and let partial evaluation do the rest."""
+    compiler = compiler or DesignCompiler()
+    return specialize(
+        design.flexible,
+        design.bindings(config),
+        compiler=compiler,
+        options=options or fig9_options(),
+        annotate=False,
+    )
+
+
+def compile_manual(
+    design: PCtrlDesign,
+    config: PCtrlConfig,
+    compiler: DesignCompiler | None = None,
+    options: CompileOptions | None = None,
+) -> CompileResult:
+    """Auto plus generator-derived, configuration-pinned annotations."""
+    compiler = compiler or DesignCompiler()
+    return specialize_manual(
+        design.flexible,
+        design.bindings(config),
+        pinned={},
+        extra_annotations=design.annotations(config, pinned_opcodes=True),
+        compiler=compiler,
+        options=options or fig9_options(),
+        annotation_regs=[],
+    )

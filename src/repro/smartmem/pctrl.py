@@ -1,0 +1,262 @@
+"""The PCtrl top-level generator.
+
+Composes the Dispatch unit (flexible microcode sequencer), the CSR
+block (configuration registers implemented as a small config memory),
+the request queue, the loop counter, and four data pipes into one flat
+module -- the design whose Full/Auto/Manual areas Fig. 9 compares.
+
+The microcode is a single *combined image* holding every routine
+(coherence and uncached); a configuration decides which requests can
+arrive, not which code is loaded.  The generator also packages its
+knowledge: per-configuration memory bindings, and the state
+annotations derivable from the image (sequencer reachability under the
+configuration's opcodes, pipe-FSM reachability under the commands
+those routines issue, offset-counter bounds from the longest stream
+burst).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.controllers.assembler import AssembledProgram
+from repro.controllers.microcode import MicrocodeFormat, SeqOp
+from repro.controllers.sequencer import SequencerSpec, generate_sequencer
+from repro.rtl.ast import Const, Expr
+from repro.rtl.builder import ModuleBuilder, cat, mux
+from repro.rtl.inline import inline
+from repro.rtl.module import Module
+from repro.smartmem.config import MemoryMode, PCtrlConfig, PCtrlParams
+from repro.smartmem.datapipe import (
+    build_datapipe,
+    command_words_for,
+    reachable_pipe_states,
+)
+from repro.smartmem.protocols import (
+    CONDITIONS,
+    combined_program,
+    commands_used,
+    max_stream_run,
+    pctrl_format,
+)
+from repro.synth.dc_options import StateAnnotation
+
+#: CSR rows: [mode, loop_init, pipe_enable, reserved].
+CSR_DEPTH = 4
+CSR_ROW_MODE = 0
+CSR_ROW_LOOP = 1
+CSR_ROW_PIPES = 2
+
+
+@dataclass
+class PCtrlDesign:
+    """The flexible PCtrl plus the generator's configuration knowledge."""
+
+    params: PCtrlParams
+    format: MicrocodeFormat
+    flexible: Module
+    image: AssembledProgram
+
+    # ------------------------------------------------------------------
+    # Generator knowledge for specialization
+    # ------------------------------------------------------------------
+    def bindings(self, config: PCtrlConfig) -> dict[str, list[int]]:
+        """Memory contents for one configuration (Auto/Manual input).
+
+        The microcode and dispatch images are configuration-independent
+        (one image ships with the chip); only the CSR block differs.
+        """
+        csr = [0] * CSR_DEPTH
+        csr[CSR_ROW_MODE] = 1 if config.mode is MemoryMode.CACHED else 0
+        csr[CSR_ROW_LOOP] = config.loop_init
+        csr[CSR_ROW_PIPES] = (1 << self.params.num_pipes) - 1
+        return {
+            "seq_ucode": self.image.instruction_words(),
+            "seq_dispatch": self.image.dispatch_rows(),
+            "csr": csr,
+        }
+
+    def annotations(
+        self, config: PCtrlConfig, pinned_opcodes: bool
+    ) -> list[StateAnnotation]:
+        """State annotations derived from the microcode image.
+
+        With ``pinned_opcodes`` the dispatch successors are limited to
+        the opcodes the configuration can receive (the Manual flow);
+        otherwise every request type is considered live.
+        """
+        opcodes = config.allowed_opcodes() if pinned_opcodes else None
+        upc_values = self.image.reachable_addresses(opcodes=opcodes)
+        annotations = [StateAnnotation("seq_upc", upc_values)]
+
+        used = commands_used(self.image, opcodes=opcodes)
+        words = command_words_for(
+            uses_rd="word_rd" in used,
+            uses_wr="word_wr" in used,
+            uses_dir="dir_cmd" in used,
+        )
+        pipe_states = reachable_pipe_states(words)
+        for index in range(self.params.num_pipes):
+            annotations.append(
+                StateAnnotation(f"pipe{index}_ctl_state", pipe_states)
+            )
+
+        # Offset counters: bounded by the longest stream burst the
+        # configuration can trigger.  Uncached mode tops out at the
+        # 4-beat block access, so the upper staging words are dead.
+        run = max_stream_run(self.image, config, opcodes=opcodes)
+        offset_span = 1 << self.params.offset_bits
+        if run + 1 < offset_span:
+            offset_values = tuple(range(run + 1))
+            for index in range(self.params.num_pipes):
+                annotations.append(
+                    StateAnnotation(f"pipe{index}_offset", offset_values)
+                )
+        return annotations
+
+
+def build_pctrl(params: PCtrlParams | None = None) -> PCtrlDesign:
+    """Generate the flexible PCtrl."""
+    params = params or PCtrlParams()
+    fmt = pctrl_format(params)
+    image = combined_program(params)
+
+    b = ModuleBuilder("pctrl")
+    req_valid = b.input("req_valid")
+    req_op = b.input("req_op", params.opcode_bits)
+    req_addr = b.input("req_addr", params.addr_bits)
+    hit = b.input("hit")
+    dirty = b.input("dirty")
+    mem_din = b.input("mem_din", params.word_bits)
+
+    # Configuration state: CSR block (flexible: a writable table).
+    csr = b.config_mem("csr", params.csr_width, CSR_DEPTH)
+    loop_init = csr.read(Const(CSR_ROW_LOOP, 2))
+
+    # ------------------------------------------------------------------
+    # Request queue (mode-independent state the paper's PCtrl also had).
+    # ------------------------------------------------------------------
+    depth = params.queue_depth
+    ptr_bits = (depth - 1).bit_length()
+    head = b.reg("q_head", ptr_bits)
+    tail = b.reg("q_tail", ptr_bits)
+    count = b.reg("q_count", ptr_bits + 1)
+    empty = count.eq(0)
+    full = count.eq(depth)
+    entry_ops = [b.reg(f"q{index}_op", params.opcode_bits) for index in range(depth)]
+    entry_addrs = [
+        b.reg(f"q{index}_addr", params.addr_bits) for index in range(depth)
+    ]
+
+    # ------------------------------------------------------------------
+    # Dispatch unit: the flexible microcode sequencer.
+    # ------------------------------------------------------------------
+    cnt = b.reg("count", params.csr_width)
+    more = cnt.ne(0)
+
+    head_op = entry_ops[0]
+    head_addr = entry_addrs[0]
+    for index in range(1, depth):
+        is_index = head.eq(index)
+        head_op = mux(is_index, entry_ops[index], head_op)
+        head_addr = mux(is_index, entry_addrs[index], head_addr)
+    dispatch_op = mux(empty, Const(0, params.opcode_bits), head_op)
+
+    seq_spec = SequencerSpec(
+        "seq",
+        fmt,
+        addr_bits=params.ucode_addr_bits,
+        cond_bits=2,
+        num_conditions=len(CONDITIONS),
+        opcode_bits=params.opcode_bits,
+        flexible=True,
+        expose_seq_op=True,
+    )
+    seq_child = generate_sequencer(seq_spec).module
+    conditions = cat(~empty, more, hit, dirty)
+    seq_outs = inline(
+        b, seq_child, "seq", {"cond": conditions, "op": dispatch_op}
+    )
+    cmd = seq_outs["ctl_cmd"]
+    pipe_sel = seq_outs["ctl_pipe"]
+    cnt_ctl = seq_outs["ctl_cnt"]
+    dispatching = seq_outs["seq_op_out"].eq(int(SeqOp.DISPATCH))
+
+    # Queue pointer updates.
+    push = req_valid & ~full
+    pop = dispatching & ~empty
+    # The in-flight request's address, captured when it dispatches (the
+    # head pointer moves on immediately).
+    cur_addr = b.reg("cur_addr", params.addr_bits)
+    b.drive(cur_addr, mux(pop[0], head_addr, cur_addr))
+    b.drive(head, mux(pop[0], head + 1, head))
+    b.drive(tail, mux(push[0], tail + 1, tail))
+    delta_up = mux(push[0], count + 1, count)
+    b.drive(count, mux(pop[0], delta_up - 1, delta_up))
+    for index in range(depth):
+        write = push & tail.eq(index)
+        b.drive(entry_ops[index], mux(write[0], req_op, entry_ops[index]))
+        b.drive(entry_addrs[index], mux(write[0], req_addr, entry_addrs[index]))
+
+    # Loop counter: commanded by the microcode 'cnt' field.
+    b.drive(
+        cnt,
+        mux(
+            cnt_ctl[0],
+            loop_init,
+            mux(cnt_ctl[1] & more, cnt - 1, cnt),
+        ),
+    )
+
+    # Command decode shared by the pipes (one-hot cmd field).
+    cmd_field = fmt.field("cmd")
+    is_rd = cmd[_bit(cmd_field, "word_rd")]
+    is_wr = cmd[_bit(cmd_field, "word_wr")]
+    is_dir = cmd[_bit(cmd_field, "dir_cmd")]
+    is_ack = cmd[_bit(cmd_field, "ack")]
+    is_nack = cmd[_bit(cmd_field, "nack")]
+
+    # Four data pipes.
+    pipe = build_datapipe(params)
+    busies: list[Expr] = []
+    for index in range(params.num_pipes):
+        outs = inline(
+            b,
+            pipe.module,
+            f"pipe{index}",
+            {
+                "sel": pipe_sel[index],
+                "cmd_rd": is_rd,
+                "cmd_wr": is_wr,
+                "cmd_dir": is_dir,
+                "din": mem_din,
+                "addr_in": cur_addr,
+            },
+        )
+        busies.append(outs["busy"])
+        b.output(f"pipe{index}_re", outs["mem_re"])
+        b.output(f"pipe{index}_we", outs["mem_we"])
+        b.output(f"pipe{index}_dir", outs["dir_op"])
+        b.output(f"pipe{index}_addr", outs["mem_addr"])
+        b.output(f"pipe{index}_dout", outs["dout"])
+
+    any_busy = busies[0]
+    for busy in busies[1:]:
+        any_busy = any_busy | busy
+    b.output("busy", any_busy)
+    b.output("queue_full", full)
+    b.output("ack", is_ack)
+    b.output("nack", is_nack)
+
+    return PCtrlDesign(
+        params=params,
+        format=fmt,
+        flexible=b.build(),
+        image=image,
+    )
+
+
+def _bit(field, symbol: str) -> int:
+    """Bit index of a one-hot field symbol."""
+    value = field.values[symbol]
+    return value.bit_length() - 1

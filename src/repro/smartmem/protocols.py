@@ -1,0 +1,287 @@
+"""Microprograms for the PCtrl: cached coherence and uncached access.
+
+These are the "tables of bits" the generator emits per configuration.
+The cached program implements line-grain coherence operations (bus
+acquisition, directory lookup/update, line streaming loops); the
+uncached program only needs single-beat reads and writes.  The large
+size difference -- and the cached program's use of directory commands
+the uncached one never issues -- is what makes the paper's Manual
+optimization matter only for uncached mode.
+"""
+
+from __future__ import annotations
+
+from repro.controllers.assembler import AssembledProgram, Program
+from repro.controllers.dispatch import DispatchTable
+from repro.controllers.microcode import MicrocodeFormat, SeqOp
+from repro.smartmem.config import (
+    CACHED_OPS,
+    MemoryMode,
+    PCtrlConfig,
+    PCtrlParams,
+    RequestOp,
+    UNCACHED_OPS,
+)
+
+#: Conditions wired into the sequencer, in cond_sel order.  ``more``
+#: is "beats remain in the line loop" (counter non-zero).
+CONDITIONS = ["req", "more", "hit", "dirty"]
+
+#: Commands the Dispatch unit can issue (horizontal/one-hot field).
+COMMANDS = ["word_rd", "word_wr", "dir_cmd", "bus_req", "ack", "nack"]
+
+#: Counter-control field symbols.
+COUNTER_OPS = ["load", "dec"]
+
+
+def pctrl_format(params: PCtrlParams) -> MicrocodeFormat:
+    """The Dispatch unit's control word format (horizontal)."""
+    if params.num_pipes < 4:
+        raise ValueError(
+            "the PCtrl microprograms address pipes p0..p3; "
+            "num_pipes must be at least 4"
+        )
+    pipes = [f"p{i}" for i in range(params.num_pipes)]
+    return MicrocodeFormat.horizontal(
+        ("cmd", COMMANDS),
+        ("pipe", pipes),
+        ("cnt", COUNTER_OPS),
+    )
+
+
+def build_dispatch_table(params: PCtrlParams) -> DispatchTable:
+    """Opcode routing shared by both programs (labels resolve per mode)."""
+    table = DispatchTable("dispatch", params.opcode_bits, default="bad_op")
+    table.set(int(RequestOp.NOP), "idle")
+    for op in CACHED_OPS:
+        table.set(int(op), f"op_{op.name.lower()}")
+    for op in UNCACHED_OPS:
+        table.set(int(op), f"op_{op.name.lower()}")
+    return table
+
+
+def _line_loop(prog: Program, command: str, pipe: str, loop_label: str) -> None:
+    """Stream one line: one beat per cycle while the counter says more."""
+    prog.inst(cnt="load")
+    prog.label(loop_label)
+    prog.inst(
+        cmd=command,
+        pipe=pipe,
+        cnt="dec",
+        seq=SeqOp.BRANCH,
+        target=loop_label,
+        condition="more",
+    )
+
+
+def cached_program(params: PCtrlParams, config: PCtrlConfig) -> AssembledProgram:
+    """The coherence microprogram (every request type, line loops)."""
+    fmt = pctrl_format(params)
+    table = build_dispatch_table(params)
+    prog = Program(fmt, conditions=CONDITIONS)
+
+    prog.label("idle")
+    prog.inst(seq=SeqOp.DISPATCH)
+    _cached_routines(prog)
+
+    # Uncached requests arriving in cached mode are protocol errors.
+    for op in UNCACHED_OPS:
+        prog.label(f"op_{op.name.lower()}")
+    prog.label("bad_op")
+    prog.inst(cmd="nack", seq=SeqOp.JUMP, target="idle")
+
+    return prog.assemble(
+        addr_bits=params.ucode_addr_bits, cond_bits=2, dispatch=table
+    )
+
+
+def _cached_routines(prog: Program) -> None:
+    """The coherence routines shared by cached and combined images."""
+    # READ_SHARED: bus, directory lookup, miss -> fill line from p0/p1.
+    prog.label("op_read_shared")
+    prog.inst(cmd="bus_req")
+    prog.inst(cmd="dir_cmd", pipe="p0")
+    prog.inst(seq=SeqOp.BRANCH, target="rs_hit", condition="hit")
+    _line_loop(prog, "word_rd", "p0", "rs_fill")
+    prog.inst(cmd="dir_cmd", pipe="p1")
+    prog.label("rs_hit")
+    prog.inst(cmd="ack", seq=SeqOp.JUMP, target="idle")
+
+    # READ_EXCL: like READ_SHARED plus invalidations on other tiles.
+    prog.label("op_read_excl")
+    prog.inst(cmd="bus_req")
+    prog.inst(cmd="dir_cmd", pipe="p0")
+    prog.inst(seq=SeqOp.BRANCH, target="re_hit", condition="hit")
+    _line_loop(prog, "word_rd", "p1", "re_fill")
+    prog.label("re_hit")
+    prog.inst(cmd="dir_cmd", pipe="p2")
+    prog.inst(cmd="dir_cmd", pipe="p3")
+    prog.inst(cmd="ack", seq=SeqOp.JUMP, target="idle")
+
+    # UPGRADE: directory-only unless another tile holds dirty data.
+    prog.label("op_upgrade")
+    prog.inst(cmd="dir_cmd", pipe="p0")
+    prog.inst(seq=SeqOp.BRANCH, target="up_clean", condition="dirty")
+    _line_loop(prog, "word_rd", "p2", "up_pull")
+    prog.label("up_clean")
+    prog.inst(cmd="ack", seq=SeqOp.JUMP, target="idle")
+
+    # WRITEBACK: push a dirty line out through p2.
+    prog.label("op_writeback")
+    prog.inst(cmd="bus_req")
+    _line_loop(prog, "word_wr", "p2", "wb_push")
+    prog.inst(cmd="dir_cmd", pipe="p0")
+    prog.inst(cmd="ack", seq=SeqOp.JUMP, target="idle")
+
+    # INVALIDATE: directory walk on every tile.
+    prog.label("op_invalidate")
+    for pipe in ("p0", "p1", "p2", "p3"):
+        prog.inst(cmd="dir_cmd", pipe=pipe)
+    prog.inst(cmd="ack", seq=SeqOp.JUMP, target="idle")
+
+    # INTERVENTION: probe, then forward the line if dirty.
+    prog.label("op_intervention")
+    prog.inst(cmd="dir_cmd", pipe="p3")
+    prog.inst(seq=SeqOp.BRANCH, target="iv_done", condition="dirty")
+    _line_loop(prog, "word_wr", "p3", "iv_fwd")
+    prog.label("iv_done")
+    prog.inst(cmd="ack", seq=SeqOp.JUMP, target="idle")
+
+    # FILL: refill grant arrived; stream into p1.
+    prog.label("op_fill")
+    _line_loop(prog, "word_rd", "p1", "fl_fill")
+    prog.inst(cmd="dir_cmd", pipe="p1")
+    prog.inst(cmd="ack", seq=SeqOp.JUMP, target="idle")
+
+    # SYNC: drain all pipes, then acknowledge.
+    prog.label("op_sync")
+    prog.inst(cmd="bus_req")
+    prog.inst()
+    prog.inst(cmd="ack", seq=SeqOp.JUMP, target="idle")
+
+
+def combined_program(params: PCtrlParams) -> AssembledProgram:
+    """The single microcode image the chip ships with.
+
+    Contains every routine (coherence *and* uncached); the
+    configuration chooses which requests can arrive, not which code is
+    loaded.  This is the image Fig. 9's Auto designs bind -- and the
+    reason mode-pinned reachability ("Manual") has real work to do in
+    uncached mode: most of the image is coherence routines the mode
+    can never execute.
+    """
+    fmt = pctrl_format(params)
+    table = build_dispatch_table(params)
+    prog = Program(fmt, conditions=CONDITIONS)
+
+    prog.label("idle")
+    prog.inst(seq=SeqOp.DISPATCH)
+    _cached_routines(prog)
+    _uncached_routines(prog)
+    prog.label("bad_op")
+    prog.inst(cmd="nack", seq=SeqOp.JUMP, target="idle")
+    return prog.assemble(
+        addr_bits=params.ucode_addr_bits, cond_bits=2, dispatch=table
+    )
+
+
+def uncached_program(params: PCtrlParams, config: PCtrlConfig) -> AssembledProgram:
+    """The uncached microprogram: single-beat accesses, no directory."""
+    fmt = pctrl_format(params)
+    table = build_dispatch_table(params)
+    prog = Program(fmt, conditions=CONDITIONS)
+
+    prog.label("idle")
+    prog.inst(seq=SeqOp.DISPATCH)
+
+    _uncached_routines(prog)
+
+    # Cached entry points all land on the error handler in this mode.
+    for op in CACHED_OPS:
+        prog.label(f"op_{op.name.lower()}")
+    prog.label("bad_op")
+    prog.inst(cmd="nack", seq=SeqOp.JUMP, target="idle")
+
+    return prog.assemble(
+        addr_bits=params.ucode_addr_bits, cond_bits=2, dispatch=table
+    )
+
+
+def _uncached_routines(prog: Program) -> None:
+    """Single-beat accesses plus the 4-beat uncached block transfer."""
+    prog.label("op_unc_read")
+    prog.inst(cmd="word_rd", pipe="p0")
+    prog.inst(cmd="ack", seq=SeqOp.JUMP, target="idle")
+
+    prog.label("op_unc_write")
+    prog.inst(cmd="word_wr", pipe="p0")
+    prog.inst(cmd="ack", seq=SeqOp.JUMP, target="idle")
+
+    # Block transfer: loop bound comes from the CSR (the configuration
+    # sets it to the uncached block size).
+    prog.label("op_unc_block")
+    _line_loop(prog, "word_rd", "p1", "ub_fill")
+    prog.inst(cmd="ack", seq=SeqOp.JUMP, target="idle")
+
+
+def program_for(params: PCtrlParams, config: PCtrlConfig) -> AssembledProgram:
+    if config.mode is MemoryMode.CACHED:
+        return cached_program(params, config)
+    return uncached_program(params, config)
+
+
+def max_stream_run(
+    program: AssembledProgram,
+    config: PCtrlConfig,
+    opcodes=None,
+) -> int:
+    """Longest burst of consecutive stream beats a pipe can see.
+
+    Loop-shaped stream instructions (a BRANCH back to themselves, the
+    ``_line_loop`` idiom) can repeat up to the configured beat count;
+    straight-line stream instructions contribute their run length.
+    This is generator-side knowledge: it bounds the pipes' offset
+    counters, which is what lets mode pinning prune staging storage.
+    """
+    fmt = program.format
+    cmd_field = fmt.field("cmd")
+    stream_mask = cmd_field.values["word_rd"] | cmd_field.values["word_wr"]
+    reachable = set(program.reachable_addresses(opcodes=opcodes))
+
+    def is_stream(addr: int) -> bool:
+        bits = fmt.unpack(program.control_words[addr])["cmd"]
+        return bool(bits & stream_mask)
+
+    best = 0
+    run = 0
+    for addr in range(program.length):
+        if addr in reachable and is_stream(addr):
+            seq_op, _, target = program.seq_words[addr]
+            if seq_op == SeqOp.BRANCH and target == addr:
+                best = max(best, config.beats_per_line)
+                run = 0
+                continue
+            run += 1
+            best = max(best, run)
+        else:
+            run = 0
+    return best
+
+
+def commands_used(program: AssembledProgram, opcodes=None) -> set[str]:
+    """Which command symbols a program can issue (generator analysis).
+
+    Only addresses reachable from the dispatch surface are considered,
+    so dead routines do not pollute the result; ``opcodes`` pins the
+    request codes a configuration can receive (the Manual analysis).
+    """
+    fmt = program.format
+    cmd_field = fmt.field("cmd")
+    used: set[str] = set()
+    reachable = program.reachable_addresses(opcodes=opcodes)
+    for addr in reachable:
+        bits = fmt.unpack(program.control_words[addr])["cmd"]
+        for symbol, value in cmd_field.values.items():
+            if bits & value:
+                used.add(symbol)
+    return used

@@ -1,0 +1,34 @@
+"""The synthesis flow: elaboration, optimization, and the DC facade.
+
+The pipeline mirrors the structure of the commercial tool the paper
+used, including the behaviours the paper measures:
+
+* constant propagation/folding happens structurally during elaboration
+  and in :mod:`repro.aig.rewrite`'s sweeping;
+* value-set ("state") propagation is exact within combinational
+  windows but *stops at register boundaries* -- unless a state
+  annotation (the ``set_fsm_state_vector`` analogue) re-seeds it,
+  which is what :mod:`repro.synth.stateprop` implements;
+* FSM inference recognises only the case-statement coding style
+  (:mod:`repro.synth.fsm_infer`), not table-memory next-state logic.
+"""
+
+from repro.synth.dc_options import CompileOptions, StateAnnotation
+from repro.synth.elaborate import Elaboration, elaborate
+
+__all__ = [
+    "CompileOptions",
+    "Elaboration",
+    "StateAnnotation",
+    "elaborate",
+]
+
+
+def __getattr__(name):
+    # DesignCompiler pulls in the whole pass stack; import lazily so
+    # light-weight consumers (e.g. the elaborator tests) stay fast.
+    if name in ("DesignCompiler", "CompileResult"):
+        from repro.synth import compiler
+
+        return getattr(compiler, name)
+    raise AttributeError(name)

@@ -1,0 +1,96 @@
+"""Compiler options, modelled on the Design Compiler controls the paper
+exercises.
+
+The paper's experiments toggle exactly three tool behaviours:
+
+* ``set_fsm_state_vector`` / ``set_fsm_encoding`` -- here,
+  :class:`StateAnnotation` entries plus :attr:`CompileOptions.fsm_encoding`;
+* retiming (``compile_ultra -retime`` style) -- :attr:`CompileOptions.retime`;
+* the implicit FSM inference for case-style RTL --
+  :attr:`CompileOptions.infer_fsm`.
+
+``MAX_STATE_VECTOR_BITS`` models the tool's documented state-vector
+width limit: annotations on wider registers are ignored (with a
+warning), which is the mechanism behind Fig. 8's "annotation works for
+n <= 32" observation.
+"""
+
+from __future__ import annotations
+
+import warnings
+from dataclasses import dataclass, field
+
+MAX_STATE_VECTOR_BITS = 32
+
+ENCODING_STYLES = ("binary", "onehot", "gray", "same")
+
+
+@dataclass(frozen=True)
+class StateAnnotation:
+    """A value-set assertion on a register (the FSM state vector).
+
+    Declares that, in steady state, register ``reg_name`` only ever
+    holds values from ``values``.  The optimizer may treat all other
+    codes as don't-care downstream of the register.
+    """
+
+    reg_name: str
+    values: tuple[int, ...]
+
+    def __post_init__(self) -> None:
+        if not self.values:
+            raise ValueError("a state annotation needs at least one value")
+        if len(set(self.values)) != len(self.values):
+            raise ValueError("duplicate values in state annotation")
+
+
+@dataclass
+class CompileOptions:
+    """Knobs of the synthesis run."""
+
+    clock_period_ns: float = 5.0
+    infer_fsm: bool = True
+    fsm_encoding: str = "binary"
+    retime: bool = False
+    fold_sync_reset: bool = False
+    state_annotations: list[StateAnnotation] = field(default_factory=list)
+    use_state_folding: bool = True
+    effort_rounds: int = 2
+    sweep_support_limit: int | None = None
+
+    def __post_init__(self) -> None:
+        if self.fsm_encoding not in ENCODING_STYLES:
+            raise ValueError(f"unknown fsm encoding {self.fsm_encoding!r}")
+        if self.clock_period_ns <= 0:
+            raise ValueError("clock period must be positive")
+
+    def effective_annotations(
+        self, reg_widths: dict[str, int]
+    ) -> list[StateAnnotation]:
+        """Annotations the tool will actually honour.
+
+        Mirrors the commercial tool's state-vector width cap: wider
+        annotations are dropped with a warning rather than an error, so
+        a generator can annotate everything and let the tool use what
+        it can -- exactly the situation the paper's Fig. 8 measures.
+        """
+        honoured = []
+        for annotation in self.state_annotations:
+            width = reg_widths.get(annotation.reg_name)
+            if width is None:
+                warnings.warn(
+                    f"state annotation on unknown register "
+                    f"{annotation.reg_name!r} ignored",
+                    stacklevel=2,
+                )
+                continue
+            if width > MAX_STATE_VECTOR_BITS:
+                warnings.warn(
+                    f"state annotation on {annotation.reg_name!r} ignored: "
+                    f"{width} bits exceeds the {MAX_STATE_VECTOR_BITS}-bit "
+                    f"state vector limit",
+                    stacklevel=2,
+                )
+                continue
+            honoured.append(annotation)
+        return honoured

@@ -1,0 +1,242 @@
+"""Elaboration: RTL modules to sequential AIGs.
+
+Bit-blasts every expression into AND-inverter logic.  The two memory
+flavours diverge exactly as the paper describes:
+
+* ROMs (bound configurations) become mux trees over constant leaves,
+  which the AIG's constant folding collapses while they are built --
+  this is partial evaluation by construction;
+* writable configuration memories become one latch per bit plus write
+  decoding and a read mux tree -- the area cost of flexibility.
+
+Bit naming is ``name[i]`` for ports and registers and
+``mem[row][bit]`` for configuration storage, so every downstream
+consumer (equivalence checking, annotation seeding, reports) can
+address bits stably.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.aig.graph import AIG, CONST1, lit_compl
+from repro.aig import ops
+from repro.rtl.ast import (
+    BinOp,
+    Case,
+    Concat,
+    Const,
+    Expr,
+    InputRef,
+    MemRead,
+    Mux,
+    Not,
+    ReduceOp,
+    RegRef,
+    Slice,
+)
+from repro.rtl.module import Memory, Module
+
+
+@dataclass
+class Elaboration:
+    """An elaborated design plus name maps back into the RTL."""
+
+    module: Module
+    aig: AIG
+    input_bits: dict[str, list[int]] = field(default_factory=dict)
+    reg_bits: dict[str, list[int]] = field(default_factory=dict)
+    config_bits: dict[str, list[list[int]]] = field(default_factory=dict)
+
+    def rename_latch_bits(self, lit_map: dict[int, int]) -> None:
+        """Refresh stored literals after a rebuild pass (cleanup etc.)."""
+        for name, lits in self.reg_bits.items():
+            self.reg_bits[name] = [lit_map[lit & ~1] ^ (lit & 1) for lit in lits]
+        for name, rows in self.config_bits.items():
+            self.config_bits[name] = [
+                [lit_map[lit & ~1] ^ (lit & 1) for lit in row] for row in rows
+            ]
+        for name, lits in self.input_bits.items():
+            self.input_bits[name] = [lit_map[lit & ~1] ^ (lit & 1) for lit in lits]
+
+
+def elaborate(module: Module, fold_sync_reset: bool = False) -> Elaboration:
+    """Elaborate ``module`` into a sequential AIG.
+
+    Args:
+        module: a validated RTL module.
+        fold_sync_reset: when True, synchronous resets are converted
+            into next-state muxes on an explicit ``rst`` input and the
+            flops become plain (reset-free) ones.  This mirrors the
+            synthesis option that re-expresses sync resets as data-path
+            logic, which changes what retiming is allowed to do.
+    """
+    module.validate()
+    aig = AIG()
+    result = Elaboration(module, aig)
+
+    for name, port in module.inputs.items():
+        result.input_bits[name] = [
+            aig.add_pi(f"{name}[{bit}]") for bit in range(port.width)
+        ]
+    rst_lit: int | None = None
+    if fold_sync_reset and any(
+        reg.reset_kind == "sync" for reg in module.regs.values()
+    ):
+        rst_lit = aig.add_pi("rst")
+
+    for reg in module.regs.values():
+        kind = reg.reset_kind
+        if fold_sync_reset and kind == "sync":
+            kind = "none"
+        result.reg_bits[reg.name] = [
+            aig.add_latch(f"{reg.name}[{bit}]", kind, (reg.reset_value >> bit) & 1)
+            for bit in range(reg.width)
+        ]
+
+    for memory in module.memories.values():
+        if memory.writable:
+            result.config_bits[memory.name] = _build_config_storage(
+                aig, memory, result
+            )
+
+    cache: dict[int, list[int]] = {}
+    for name, expr in module.outputs.items():
+        word = _emit(expr, aig, result, cache)
+        for bit, lit in enumerate(word):
+            aig.add_po(f"{name}[{bit}]", lit)
+
+    for reg in module.regs.values():
+        word = _emit(reg.next, aig, result, cache)
+        if fold_sync_reset and reg.reset_kind == "sync" and rst_lit is not None:
+            reset_word = ops.const_word(reg.reset_value, reg.width)
+            word = ops.mux_word(aig, rst_lit, reset_word, word)
+        for bit, latch_lit in enumerate(result.reg_bits[reg.name]):
+            aig.set_latch_next(latch_lit, word[bit])
+
+    return result
+
+
+def _build_config_storage(
+    aig: AIG, memory: Memory, result: Elaboration
+) -> list[list[int]]:
+    """Latch array + write decode for a configuration memory."""
+    port = memory.write_port
+    assert port is not None
+    we = result.input_bits[port.enable][0]
+    waddr = result.input_bits[port.addr]
+    wdata = result.input_bits[port.data]
+    rows: list[list[int]] = []
+    for row in range(memory.depth):
+        row_lits = [
+            aig.add_latch(f"{memory.name}[{row}][{bit}]", "sync", 0)
+            for bit in range(memory.width)
+        ]
+        select = aig.and_(we, ops.eq_const(aig, waddr, row))
+        for bit, latch_lit in enumerate(row_lits):
+            aig.set_latch_next(
+                latch_lit, aig.mux(select, wdata[bit], latch_lit)
+            )
+        rows.append(row_lits)
+    return rows
+
+
+def _emit(
+    expr: Expr, aig: AIG, result: Elaboration, cache: dict[int, list[int]]
+) -> list[int]:
+    key = id(expr)
+    cached = cache.get(key)
+    if cached is not None:
+        return cached
+    word = _emit_uncached(expr, aig, result, cache)
+    if len(word) != expr.width:
+        raise AssertionError(
+            f"elaborated width {len(word)} != declared {expr.width} "
+            f"for {type(expr).__name__}"
+        )
+    cache[key] = word
+    return word
+
+
+def _emit_uncached(
+    expr: Expr, aig: AIG, result: Elaboration, cache: dict[int, list[int]]
+) -> list[int]:
+    if isinstance(expr, Const):
+        return ops.const_word(expr.value, expr.width)
+    if isinstance(expr, InputRef):
+        return list(result.input_bits[expr.name])
+    if isinstance(expr, RegRef):
+        return list(result.reg_bits[expr.name])
+    if isinstance(expr, MemRead):
+        memory = result.module.memories[expr.mem_name]
+        addr = _emit(expr.addr, aig, result, cache)
+        if memory.writable:
+            rows = result.config_bits[memory.name]
+        else:
+            rows = [
+                ops.const_word(word, memory.width)
+                for word in memory.padded_contents()
+            ]
+        return ops.table_read(aig, addr, rows)
+    if isinstance(expr, Not):
+        return ops.not_word(_emit(expr.operand, aig, result, cache))
+    if isinstance(expr, BinOp):
+        left = _emit(expr.left, aig, result, cache)
+        right = _emit(expr.right, aig, result, cache)
+        if expr.op == "and":
+            return ops.and_word(aig, left, right)
+        if expr.op == "or":
+            return ops.or_word(aig, left, right)
+        if expr.op == "xor":
+            return ops.xor_word(aig, left, right)
+        if expr.op == "add":
+            return ops.add_words(aig, left, right)
+        if expr.op == "sub":
+            return ops.add_words(aig, left, ops.not_word(right), carry_in=CONST1)
+        if expr.op == "eq":
+            return [ops.eq_word(aig, left, right)]
+        if expr.op == "lt":
+            return [_emit_lt(aig, left, right)]
+        raise AssertionError(expr.op)
+    if isinstance(expr, ReduceOp):
+        word = _emit(expr.operand, aig, result, cache)
+        if expr.op == "or":
+            return [ops.reduce_or(aig, word)]
+        if expr.op == "and":
+            return [ops.reduce_and(aig, word)]
+        acc = word[0]
+        for lit in word[1:]:
+            acc = aig.xor(acc, lit)
+        return [acc]
+    if isinstance(expr, Mux):
+        sel = _emit(expr.sel, aig, result, cache)[0]
+        if1 = _emit(expr.if1, aig, result, cache)
+        if0 = _emit(expr.if0, aig, result, cache)
+        return ops.mux_word(aig, sel, if1, if0)
+    if isinstance(expr, Slice):
+        word = _emit(expr.operand, aig, result, cache)
+        return word[expr.lsb : expr.lsb + expr.width]
+    if isinstance(expr, Concat):
+        out: list[int] = []
+        for part in expr.parts:
+            out.extend(_emit(part, aig, result, cache))
+        return out
+    if isinstance(expr, Case):
+        selector = _emit(expr.selector, aig, result, cache)
+        word = _emit(expr.default, aig, result, cache)
+        for label, arm in expr.arms:
+            match = ops.eq_const(aig, selector, label)
+            arm_word = _emit(arm, aig, result, cache)
+            word = ops.mux_word(aig, match, arm_word, word)
+        return word
+    raise TypeError(f"cannot elaborate {type(expr).__name__}")
+
+
+def _emit_lt(aig: AIG, left: list[int], right: list[int]) -> int:
+    """Unsigned less-than via the subtract borrow chain."""
+    carry = CONST1
+    for a, b in zip(left, right):
+        b_inv = lit_compl(b)
+        prop = aig.xor(a, b_inv)
+        carry = aig.or_(aig.and_(a, b_inv), aig.and_(carry, prop))
+    return lit_compl(carry)

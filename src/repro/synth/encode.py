@@ -1,0 +1,186 @@
+"""FSM state re-encoding (the ``set_fsm_encoding`` analogue).
+
+Given a register and its reachable state set, rewrite the module so
+the register holds re-encoded state codes:
+
+* ``binary``: dense codes 0..k-1 in the minimum width;
+* ``onehot``: one bit per state;
+* ``gray``: dense width with a Gray-code sequence;
+* ``same``: no structural change (annotation only).
+
+The rewrite is a pure RTL-to-RTL transform: every read of the old
+register is replaced by a decode table (new code -> old code) and the
+next-state expression is wrapped in an encode table (old code -> new
+code).  Both tables are ``Case`` expressions whose defaults are
+unreachable; the state-folding pass collapses them once the matching
+annotation is attached.  After elaboration and folding the decode and
+encode layers fuse with the surrounding logic -- this is why annotated
+table-based FSMs in the paper synthesize "nearly identical" to the
+case-statement versions.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.rtl.ast import (
+    BinOp,
+    Case,
+    Concat,
+    Const,
+    Expr,
+    InputRef,
+    MemRead,
+    Mux,
+    Not,
+    ReduceOp,
+    RegRef,
+    Slice,
+)
+from repro.rtl.module import Memory, Module, Reg
+from repro.synth.dc_options import StateAnnotation
+
+
+@dataclass(frozen=True)
+class Encoding:
+    """A state code assignment."""
+
+    style: str
+    old_width: int
+    new_width: int
+    old_to_new: dict[int, int]
+
+    @property
+    def new_codes(self) -> tuple[int, ...]:
+        return tuple(sorted(self.old_to_new.values()))
+
+
+def make_encoding(states: tuple[int, ...], style: str, old_width: int) -> Encoding:
+    """Choose codes for the given reachable states."""
+    ordered = tuple(sorted(states))
+    count = len(ordered)
+    if style == "same":
+        return Encoding(style, old_width, old_width, {s: s for s in ordered})
+    if style == "binary":
+        width = max(1, (count - 1).bit_length())
+        mapping = {state: index for index, state in enumerate(ordered)}
+        return Encoding(style, old_width, width, mapping)
+    if style == "onehot":
+        mapping = {state: 1 << index for index, state in enumerate(ordered)}
+        return Encoding(style, old_width, count, mapping)
+    if style == "gray":
+        width = max(1, (count - 1).bit_length())
+        mapping = {
+            state: index ^ (index >> 1) for index, state in enumerate(ordered)
+        }
+        return Encoding(style, old_width, width, mapping)
+    raise ValueError(f"unknown encoding style {style!r}")
+
+
+def reencode_register(
+    module: Module,
+    reg_name: str,
+    states: tuple[int, ...],
+    style: str,
+) -> tuple[Module, StateAnnotation]:
+    """Rewrite ``module`` with the register re-encoded.
+
+    Returns the new module and the annotation describing the new
+    register's value set (to be handed to the state-folding pass).
+    The original module is not modified.
+    """
+    reg = module.regs.get(reg_name)
+    if reg is None:
+        raise ValueError(f"unknown register {reg_name!r}")
+    if reg.reset_value not in states:
+        raise ValueError(
+            f"reset value {reg.reset_value} of {reg_name!r} missing from "
+            f"the state set; the annotation would be unsound"
+        )
+    encoding = make_encoding(tuple(states), style, reg.width)
+    annotation = StateAnnotation(reg_name, encoding.new_codes)
+    if style == "same":
+        return module, annotation
+
+    new_ref = RegRef(reg_name, encoding.new_width)
+    decode_arms = tuple(
+        (new_code, Const(old_code, reg.width))
+        for old_code, new_code in sorted(encoding.old_to_new.items(), key=lambda p: p[1])
+    )
+    # Default is unreachable; reuse the reset state's old code.
+    decoded = Case(new_ref, decode_arms, Const(reg.reset_value, reg.width))
+
+    cache: dict[int, Expr] = {}
+
+    def rewrite(expr: Expr) -> Expr:
+        cached = cache.get(id(expr))
+        if cached is not None:
+            return cached
+        result = _rewrite_node(expr, reg_name, decoded, rewrite)
+        cache[id(expr)] = result
+        return result
+
+    new_module = Module(module.name + f"_{style}")
+    new_module.inputs = dict(module.inputs)
+    new_module.memories = dict(module.memories)
+    for name, other in module.regs.items():
+        if name == reg_name:
+            encode_arms = tuple(
+                (old_code, Const(new_code, encoding.new_width))
+                for old_code, new_code in sorted(encoding.old_to_new.items())
+            )
+            assert other.next is not None
+            new_next = Case(
+                rewrite(other.next),
+                encode_arms,
+                Const(encoding.old_to_new[reg.reset_value], encoding.new_width),
+            )
+            new_module.regs[name] = Reg(
+                name,
+                encoding.new_width,
+                other.reset_kind,
+                encoding.old_to_new[other.reset_value],
+                new_next,
+            )
+        else:
+            assert other.next is not None
+            new_module.regs[name] = Reg(
+                name,
+                other.width,
+                other.reset_kind,
+                other.reset_value,
+                rewrite(other.next),
+            )
+    for name, expr in module.outputs.items():
+        new_module.outputs[name] = rewrite(expr)
+    new_module.validate()
+    return new_module, annotation
+
+
+def _rewrite_node(expr: Expr, reg_name: str, replacement: Expr, rec) -> Expr:
+    """Structural rewrite replacing reads of the target register."""
+    if isinstance(expr, RegRef) and expr.name == reg_name:
+        return replacement
+    if isinstance(expr, (Const, InputRef, RegRef)):
+        return expr
+    if isinstance(expr, MemRead):
+        return MemRead(expr.mem_name, rec(expr.addr), expr.width)
+    if isinstance(expr, Not):
+        return Not(rec(expr.operand))
+    if isinstance(expr, BinOp):
+        return BinOp(expr.op, rec(expr.left), rec(expr.right))
+    if isinstance(expr, ReduceOp):
+        return ReduceOp(expr.op, rec(expr.operand))
+    if isinstance(expr, Mux):
+        return Mux(rec(expr.sel), rec(expr.if1), rec(expr.if0))
+    if isinstance(expr, Slice):
+        return Slice(rec(expr.operand), expr.lsb, expr.width)
+    if isinstance(expr, Concat):
+        return Concat(tuple(rec(part) for part in expr.parts))
+    if isinstance(expr, Case):
+        return Case(
+            rec(expr.selector),
+            tuple((label, rec(value)) for label, value in expr.arms),
+            rec(expr.default),
+        )
+    raise TypeError(f"cannot rewrite {type(expr).__name__}")

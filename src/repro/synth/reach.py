@@ -1,0 +1,130 @@
+"""Reachable-state analysis for single registers.
+
+Computes the set of values a register can take, starting from its
+reset value, by exhaustively applying its next-state function over all
+relevant input combinations.  This is the analysis a chip generator
+runs over its own tables to produce state annotations ("it is fairly
+straightforward to automatically determine these state annotations
+from the FSM tables"), and -- with inputs pinned to a configuration --
+the unreachable-state identification behind the paper's "Manual"
+optimizations.
+
+The analysis is exact and therefore restricted: the register's
+next-state expression may depend only on the register itself and on
+module inputs (optionally pinned).  Wider dependencies raise, so a
+caller can fall back to the trivial full set instead of silently
+producing an unsound annotation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from itertools import product
+
+from repro.rtl.ast import Expr, InputRef, MemRead, RegRef
+from repro.rtl.module import Module
+from repro.sim.rtlsim import Simulator
+
+_MAX_FREE_INPUT_BITS = 14
+
+
+@dataclass(frozen=True)
+class SupportReport:
+    """Input/register dependencies of an expression."""
+
+    inputs: tuple[str, ...]
+    regs: tuple[str, ...]
+    memories: tuple[str, ...]
+
+
+def expression_support(expr: Expr) -> SupportReport:
+    """Names of the inputs, registers and memories an expression reads."""
+    inputs: set[str] = set()
+    regs: set[str] = set()
+    memories: set[str] = set()
+    stack = [expr]
+    seen: set[int] = set()
+    while stack:
+        node = stack.pop()
+        if id(node) in seen:
+            continue
+        seen.add(id(node))
+        if isinstance(node, InputRef):
+            inputs.add(node.name)
+        elif isinstance(node, RegRef):
+            regs.add(node.name)
+        elif isinstance(node, MemRead):
+            memories.add(node.mem_name)
+        stack.extend(node.children())
+    return SupportReport(
+        tuple(sorted(inputs)), tuple(sorted(regs)), tuple(sorted(memories))
+    )
+
+
+def reachable_states(
+    module: Module,
+    reg_name: str,
+    pinned: dict[str, int] | None = None,
+) -> tuple[int, ...]:
+    """The register's reachable value set from reset, sorted ascending.
+
+    Args:
+        module: the design.
+        reg_name: register to analyse.
+        pinned: inputs held at fixed values (a mode configuration);
+            remaining inputs are enumerated exhaustively.
+
+    Raises:
+        ValueError: when the next-state function depends on other
+            registers, on a *writable* memory, or on too many free
+            input bits for exhaustive enumeration.
+    """
+    pinned = dict(pinned or {})
+    reg = module.regs.get(reg_name)
+    if reg is None:
+        raise ValueError(f"unknown register {reg_name!r}")
+    assert reg.next is not None
+    support = expression_support(reg.next)
+    extra_regs = [name for name in support.regs if name != reg_name]
+    if extra_regs:
+        raise ValueError(
+            f"next-state of {reg_name!r} depends on other registers: "
+            f"{extra_regs}; exact reachability is not available"
+        )
+    for mem_name in support.memories:
+        if module.memories[mem_name].writable:
+            raise ValueError(
+                f"next-state of {reg_name!r} reads writable memory "
+                f"{mem_name!r}; its contents are not statically known"
+            )
+
+    free_inputs = [
+        module.inputs[name]
+        for name in support.inputs
+        if name not in pinned
+    ]
+    free_bits = sum(port.width for port in free_inputs)
+    if free_bits > _MAX_FREE_INPUT_BITS:
+        raise ValueError(
+            f"{free_bits} free input bits exceed the exhaustive "
+            f"enumeration limit ({_MAX_FREE_INPUT_BITS})"
+        )
+
+    simulator = Simulator(module)
+    input_spaces = [range(1 << port.width) for port in free_inputs]
+    reached = {reg.reset_value}
+    frontier = [reg.reset_value]
+    while frontier:
+        state = frontier.pop()
+        for combo in product(*input_spaces):
+            inputs = dict(pinned)
+            for port, value in zip(free_inputs, combo):
+                inputs[port.name] = value
+            for name, port in module.inputs.items():
+                inputs.setdefault(name, 0)
+            simulator.reg_values[reg_name] = state
+            nxt = simulator._eval(reg.next, inputs, {})
+            if nxt not in reached:
+                reached.add(nxt)
+                frontier.append(nxt)
+    return tuple(sorted(reached))

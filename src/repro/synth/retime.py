@@ -1,0 +1,231 @@
+"""Backward retiming of register banks across exclusive logic cones.
+
+The pass looks for a set of latches ``L`` whose next-state functions
+are computed by a logic cone ``C`` used by nothing else, with cone
+inputs ``I``.  When ``|I| < |L|`` the latches can be moved backward to
+the cone inputs -- fewer flops, and (crucially for the paper's Fig. 8)
+the cone becomes *combinational logic after the registers*, which puts
+any value-set structure it produces (e.g. a one-hot decode) back within
+reach of the combinational sweeping passes.
+
+Legality is where the flop type bites, exactly as the paper observed:
+
+* plain (reset-free) latches move unconditionally;
+* resettable latches move only if the reset vector has a pre-image
+  through the cone -- decided with SAT -- and a one-hot decoder's
+  all-zero reset has none, so those banks stay put;
+* synchronous resets can first be folded into next-state logic
+  (``fold_sync_reset`` at elaboration), making the bank plain at the
+  price of an extra retimed ``rst`` flop and per-bit gating.
+
+Retimed circuits are equivalent modulo a one-cycle initialization
+window; the tests check equivalence after that settle cycle.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.aig.graph import AIG, lit_node, lit_sign
+from repro.sat.cnf import CnfBuilder
+
+
+@dataclass
+class RetimeStats:
+    """Summary of a retiming run."""
+
+    moved_banks: int = 0
+    latches_removed: int = 0
+    latches_added: int = 0
+
+    @property
+    def changed(self) -> bool:
+        return self.moved_banks > 0
+
+
+def retime_backward(aig: AIG) -> tuple[AIG, RetimeStats]:
+    """Attempt one backward retiming move; returns (new AIG, stats)."""
+    stats = RetimeStats()
+    plan = _find_move(aig)
+    if plan is None:
+        return aig, stats
+    latch_set, cone_nodes, cone_inputs, resets = plan
+    new = _apply_move(aig, latch_set, cone_nodes, cone_inputs, resets)
+    stats.moved_banks = 1
+    stats.latches_removed = len(latch_set)
+    stats.latches_added = len(cone_inputs)
+    return new, stats
+
+
+def _find_move(aig: AIG):
+    """Locate a profitable, legal backward move.
+
+    Returns ``(latch indices, cone node set, cone input literals,
+    reset values per input)`` or ``None``.
+    """
+    latches = aig.latches
+    if not latches:
+        return None
+    # Group latches by reset kind; try the largest group first.
+    groups: dict[str, list[int]] = {}
+    for index, latch in enumerate(latches):
+        groups.setdefault(latch.reset_kind, []).append(index)
+
+    for kind, members in sorted(groups.items(), key=lambda kv: -len(kv[1])):
+        plan = _plan_group(aig, members, kind)
+        if plan is not None:
+            return plan
+    return None
+
+
+def _group_exclusive_nodes(aig: AIG, members: list[int]) -> set[int]:
+    """Nodes whose every fanout stays inside this group's D-pin cones.
+
+    A node qualifies when all of its references come from the group's
+    latch D-pins or from other qualifying nodes -- those are exactly
+    the nodes that can move behind the retimed registers.
+    """
+    latches = aig.latches
+    fanout = aig.fanout_counts()
+    d_refs: dict[int, int] = {}
+    for index in members:
+        node = lit_node(latches[index].next_lit)
+        d_refs[node] = d_refs.get(node, 0) + 1
+
+    exclusive: set[int] = set()
+    consumed: dict[int, int] = {}
+    for node in reversed(aig.topo_order()):
+        if not aig.is_and(node):
+            continue
+        total = fanout[node]
+        inside = consumed.get(node, 0) + d_refs.get(node, 0)
+        if total == inside and total > 0:
+            exclusive.add(node)
+            for lit in aig.fanins(node):
+                child = lit_node(lit)
+                consumed[child] = consumed.get(child, 0) + 1
+    return exclusive
+
+
+def _plan_group(aig: AIG, members: list[int], kind: str):
+    latches = aig.latches
+    exclusive = _group_exclusive_nodes(aig, members)
+    # Cone = exclusive nodes reachable from this group's D pins only
+    # through exclusive nodes.
+    cone: set[int] = set()
+    inputs: list[int] = []
+    input_nodes: set[int] = set()
+    latch_nodes = {latches[i].node for i in members}
+
+    stack = [latches[i].next_lit for i in members]
+    while stack:
+        lit = stack.pop()
+        node = lit_node(lit)
+        if node in cone:
+            continue
+        if aig.is_and(node) and node in exclusive:
+            cone.add(node)
+            stack.extend(aig.fanins(node))
+        else:
+            if node in latch_nodes:
+                return None  # self-feedback: bank cannot move
+            if node != 0 and node not in input_nodes:
+                input_nodes.add(node)
+                inputs.append(node << 1)
+    if not cone or len(inputs) >= len(members):
+        return None
+
+    if kind == "none":
+        resets = {lit: 0 for lit in inputs}
+        return members, cone, inputs, resets
+
+    # Resettable bank: find a pre-image of the reset vector with SAT.
+    builder = CnfBuilder()
+    assumptions = []
+    for index in members:
+        latch = latches[index]
+        sat_lit = builder.encode(aig, latch.next_lit)
+        assumptions.append(sat_lit if latch.reset_value else -sat_lit)
+    if not builder.solver.solve(assumptions=assumptions):
+        return None
+    resets = {}
+    for lit in inputs:
+        sat = builder.encode(aig, lit)
+        resets[lit] = int(builder.solver.model_value(sat))
+    return members, cone, inputs, resets
+
+
+def _apply_move(
+    aig: AIG,
+    members: list[int],
+    cone: set[int],
+    cone_inputs: list[int],
+    resets: dict[int, int],
+) -> AIG:
+    latches = aig.latches
+    member_set = set(members)
+    kind = latches[members[0]].reset_kind
+
+    new = AIG()
+    lit_map: dict[int, int] = {0: 0}
+    for node, name in zip(aig.pis, aig.pi_names):
+        lit_map[node << 1] = new.add_pi(name)
+    kept_latches = []
+    for index, latch in enumerate(latches):
+        if index in member_set:
+            continue
+        lit_map[latch.node << 1] = new.add_latch(
+            latch.name, latch.reset_kind, latch.reset_value
+        )
+        kept_latches.append((index, latch))
+
+    # New latches sit on the cone inputs; pick collision-free names so
+    # repeated retiming rounds stay well-formed.
+    existing_names = {latch.name for latch in latches}
+    generation = 0
+    while any(f"rt{generation}_{i}" in existing_names for i in range(len(cone_inputs))):
+        generation += 1
+    moved: dict[int, int] = {}
+    for position, lit in enumerate(cone_inputs):
+        moved[lit] = new.add_latch(
+            f"rt{generation}_{position}", kind, resets[lit]
+        )
+
+    def translate(lit: int) -> int:
+        return lit_map[lit & ~1] ^ (lit & 1)
+
+    # Rebuild the cone over the moved latch outputs.  Cone inputs are
+    # positive literals by construction.
+    cone_map: dict[int, int] = {0: 0}
+    for lit in cone_inputs:
+        cone_map[lit] = moved[lit]
+
+    def cone_translate(lit: int) -> int:
+        return cone_map[lit & ~1] ^ (lit & 1)
+
+    for node in aig.topo_order():
+        if node in cone:
+            f0, f1 = aig.fanins(node)
+            cone_map[node << 1] = new.and_(cone_translate(f0), cone_translate(f1))
+
+    # Old member-latch outputs now read the retimed cone outputs.
+    for index in members:
+        latch = latches[index]
+        lit_map[latch.node << 1] = cone_translate(latch.next_lit)
+
+    # Copy the remaining logic.
+    for node in aig.topo_order():
+        if node in cone:
+            continue
+        f0, f1 = aig.fanins(node)
+        lit_map[node << 1] = new.and_(translate(f0), translate(f1))
+
+    for name, lit in aig.pos:
+        new.add_po(name, translate(lit))
+    for original_index, latch in kept_latches:
+        new_latch_lit = lit_map[latch.node << 1]
+        new.set_latch_next(new_latch_lit, translate(latch.next_lit))
+    for lit in cone_inputs:
+        new.set_latch_next(moved[lit], translate(lit))
+    compacted, _ = new.cleanup()
+    return compacted

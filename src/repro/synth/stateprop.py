@@ -1,0 +1,251 @@
+"""State propagation and folding across register boundaries.
+
+This pass is the compiler-side half of the paper's central claim: when
+a signal is known to take only ``k < 2**n`` values (a *state
+annotation*), downstream logic can be simplified as if the remaining
+codes were don't-cares.  The windowed combinational sweeping in
+:mod:`repro.aig.rewrite` discovers such facts automatically *within*
+combinational logic; what it cannot do -- faithfully to the commercial
+tool the paper measured -- is look across a flop boundary.  This pass
+restores that ability exactly where an annotation authorises it:
+
+1. build a care predicate over the annotated latch outputs;
+2. simulate with care-respecting random states to nominate nodes that
+   look constant (or pairwise equivalent) on the care set;
+3. prove each nomination with SAT under the care assumption;
+4. rebuild the graph with the proven substitutions.
+
+The same machinery implements unreachable-state elimination ("the
+optimizations [the authors'] manual tuning performed"): a reachability
+analysis supplies a tighter value set and this pass collapses the
+logic that only existed to serve unreachable states.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+
+from repro.aig.graph import AIG, lit_compl, lit_node
+from repro.sat.cnf import CnfBuilder
+from repro.sat.equiv import prove_lit_constant, prove_lits_equal
+from repro.synth.statesets import ValueSet, care_literal
+
+_SIM_PATTERNS = 128
+_MAX_SAT_CANDIDATES = 2500
+
+
+@dataclass
+class FoldStats:
+    """What the pass accomplished (for reports and tests)."""
+
+    constants_proven: int = 0
+    merges_proven: int = 0
+    candidates_tried: int = 0
+    rounds: int = 0
+    per_round: list[tuple[int, int]] = field(default_factory=list)
+
+
+def fold_states(
+    aig: AIG,
+    annotated_buses: dict[str, tuple[list[int], ValueSet]],
+    rounds: int = 2,
+    rng: random.Random | None = None,
+) -> tuple[AIG, FoldStats]:
+    """Fold logic under the conjunction of all bus annotations.
+
+    Args:
+        aig: the design (typically already swept/balanced).
+        annotated_buses: name -> (bus literals, value set).  Bus
+            literals are usually latch outputs, but primary-input buses
+            work identically (used by tests).
+        rounds: fixpoint iterations; each round re-simulates and
+            re-proves on the rebuilt graph.
+        rng: randomness for the simulation filter.
+
+    Returns:
+        The rebuilt AIG and statistics.
+    """
+    rng = rng or random.Random(0xC0FFEE)
+    stats = FoldStats()
+    useful = {
+        name: (bus, vs)
+        for name, (bus, vs) in annotated_buses.items()
+        if not vs.is_trivial()
+    }
+    if not useful:
+        return aig, stats
+
+    current = aig
+    polluted = False
+    for _ in range(rounds):
+        buses = _rebind_buses(current, useful)
+        if buses is None:
+            break
+        constants, merges = _prove_candidates(current, buses, rng, stats)
+        polluted = True  # care predicates were built into the graph
+        if not constants and not merges:
+            break
+        current = _apply_substitutions(current, constants, merges)
+        polluted = False
+        stats.rounds += 1
+        stats.per_round.append((len(constants), len(merges)))
+        stats.constants_proven += len(constants)
+        stats.merges_proven += len(merges)
+    if polluted:
+        current, _ = current.cleanup()
+    return current, stats
+
+
+def _rebind_buses(aig: AIG, annotated):
+    """Re-locate annotated buses by latch/PI name on a rebuilt graph."""
+    by_name: dict[str, int] = {}
+    for latch in aig.latches:
+        by_name[latch.name] = latch.node << 1
+    for name, node in zip(aig.pi_names, aig.pis):
+        by_name[name] = node << 1
+    buses = {}
+    for name, (bus, value_set) in annotated.items():
+        new_bus = []
+        for index in range(value_set.width):
+            lit = by_name.get(f"{name}[{index}]")
+            if lit is None:
+                return None  # bus vanished (e.g. retimed away)
+            new_bus.append(lit)
+        buses[name] = (new_bus, value_set)
+    return buses
+
+
+def _prove_candidates(aig: AIG, buses, rng, stats: FoldStats):
+    """Simulation-filtered, SAT-confirmed constants and merges."""
+    tainted = _tainted_nodes(aig, buses)
+    signatures = _signatures(aig, buses, rng)
+    mask = (1 << _SIM_PATTERNS) - 1
+
+    builder = CnfBuilder()
+    care_lits = []
+    for bus, value_set in buses.values():
+        care = care_literal(aig, bus, value_set)
+        care_lits.append(builder.encode(aig, care))
+
+    constants: dict[int, int] = {}
+    merges: dict[int, int] = {}
+    by_signature: dict[int, int] = {}
+    order = aig.topo_order()
+    tried = 0
+    for node in order:
+        if not tainted[node]:
+            continue
+        if tried >= _MAX_SAT_CANDIDATES:
+            break
+        signature = signatures[node]
+        if signature == 0 or signature == mask:
+            tried += 1
+            stats.candidates_tried += 1
+            proven = prove_lit_constant(aig, node << 1, care_lits, builder)
+            if proven is not None:
+                constants[node] = proven
+                continue
+        representative = by_signature.get(signature)
+        complement = by_signature.get(signature ^ mask)
+        if representative is not None:
+            tried += 1
+            stats.candidates_tried += 1
+            if prove_lits_equal(
+                aig, node << 1, representative << 1, care_lits, builder
+            ):
+                merges[node] = representative << 1
+                continue
+        elif complement is not None:
+            tried += 1
+            stats.candidates_tried += 1
+            if prove_lits_equal(
+                aig, node << 1, lit_compl(complement << 1), care_lits, builder
+            ):
+                merges[node] = lit_compl(complement << 1)
+                continue
+        by_signature.setdefault(signature, node)
+    return constants, merges
+
+
+def _tainted_nodes(aig: AIG, buses) -> bytearray:
+    """Nodes downstream of any annotated bus bit."""
+    tainted = bytearray(aig.num_nodes)
+    for bus, _ in buses.values():
+        for lit in bus:
+            tainted[lit_node(lit)] = 1
+    for node in aig.topo_order():
+        f0, f1 = aig.fanins(node)
+        if tainted[lit_node(f0)] or tainted[lit_node(f1)]:
+            tainted[node] = 1
+    return tainted
+
+
+def _signatures(aig: AIG, buses, rng) -> list[int]:
+    """Bit-parallel simulation with care-respecting bus values."""
+    pi_values: dict[int, int] = {
+        node: rng.getrandbits(_SIM_PATTERNS) for node in aig.pis
+    }
+    latch_values: dict[int, int] = {
+        latch.node: rng.getrandbits(_SIM_PATTERNS) for latch in aig.latches
+    }
+    for bus, value_set in buses.values():
+        packed = value_set.sample_packed(rng, _SIM_PATTERNS)
+        for bit, lit in enumerate(bus):
+            node = lit_node(lit)
+            if aig.is_latch_output(node):
+                latch_values[node] = packed[bit]
+            else:
+                pi_values[node] = packed[bit]
+
+    mask = (1 << _SIM_PATTERNS) - 1
+    values = [0] * aig.num_nodes
+    for node in aig.pis:
+        values[node] = pi_values[node]
+    for latch in aig.latches:
+        values[latch.node] = latch_values[latch.node]
+
+    def lit_value(lit: int) -> int:
+        value = values[lit >> 1]
+        return value ^ mask if lit & 1 else value
+
+    for node in aig.topo_order():
+        f0, f1 = aig.fanins(node)
+        values[node] = lit_value(f0) & lit_value(f1)
+    return values
+
+
+def _apply_substitutions(
+    aig: AIG, constants: dict[int, int], merges: dict[int, int]
+) -> AIG:
+    """Rebuild with proven facts applied (representatives come first
+    in topo order, so substitution is well-founded)."""
+    new = AIG()
+    lit_map: dict[int, int] = {0: 0}
+    for node, name in zip(aig.pis, aig.pi_names):
+        lit_map[node << 1] = new.add_pi(name)
+    for latch in aig.latches:
+        lit_map[latch.node << 1] = new.add_latch(
+            latch.name, latch.reset_kind, latch.reset_value
+        )
+
+    def translate(lit: int) -> int:
+        return lit_map[lit & ~1] ^ (lit & 1)
+
+    for node in aig.topo_order():
+        if node in constants:
+            lit_map[node << 1] = constants[node]
+            continue
+        target = merges.get(node)
+        if target is not None:
+            lit_map[node << 1] = translate(target)
+            continue
+        f0, f1 = aig.fanins(node)
+        lit_map[node << 1] = new.and_(translate(f0), translate(f1))
+
+    for name, lit in aig.pos:
+        new.add_po(name, translate(lit))
+    for old_latch, new_latch in zip(aig.latches, new.latches):
+        new.set_latch_next(new_latch.node << 1, translate(old_latch.next_lit))
+    compacted, _ = new.cleanup()
+    return compacted

@@ -1,0 +1,87 @@
+"""Value-set (state) domain: the paper's Section III formalism.
+
+An ``n``-bit signal has k = 2**n states "in a physical design"; a
+*state restriction* records that only a subset of those values occurs.
+The paper's examples are one-hot buses (k = n) and FSM state vectors
+(k = number of reachable states).  This module provides the value-set
+object, the care-predicate construction over an AIG bus, and sampling
+support for the simulation-guided folding pass.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+from repro.aig.graph import AIG
+from repro.aig import ops
+
+
+@dataclass(frozen=True)
+class ValueSet:
+    """The allowed values of a bus, e.g. an annotated state register."""
+
+    width: int
+    values: tuple[int, ...]
+
+    def __post_init__(self) -> None:
+        if not self.values:
+            raise ValueError("empty value set")
+        limit = 1 << self.width
+        for value in self.values:
+            if not 0 <= value < limit:
+                raise ValueError(f"value {value} exceeds {self.width} bits")
+        if len(set(self.values)) != len(self.values):
+            raise ValueError("duplicate values")
+
+    @property
+    def k(self) -> int:
+        """Number of allowed states (the paper's ``k``)."""
+        return len(self.values)
+
+    def is_trivial(self) -> bool:
+        """True when the set allows every code (no information)."""
+        return self.k == 1 << self.width
+
+    @classmethod
+    def onehot(cls, width: int) -> "ValueSet":
+        """The one-hot restriction: k = n."""
+        return cls(width, tuple(1 << i for i in range(width)))
+
+    @classmethod
+    def full(cls, width: int) -> "ValueSet":
+        return cls(width, tuple(range(1 << width)))
+
+    def sample(self, rng: random.Random) -> int:
+        return self.values[rng.randrange(self.k)]
+
+    def sample_packed(self, rng: random.Random, patterns: int) -> list[int]:
+        """Per-bit packed random samples drawn from the set.
+
+        Returns ``width`` ints of ``patterns`` bits each: bit ``p`` of
+        entry ``i`` is bit ``i`` of the ``p``-th sampled value.  Used to
+        drive bit-parallel simulation with care-set-respecting states.
+        """
+        packed = [0] * self.width
+        for pattern in range(patterns):
+            value = self.sample(rng)
+            for bit in range(self.width):
+                if value >> bit & 1:
+                    packed[bit] |= 1 << pattern
+        return packed
+
+
+def care_literal(aig: AIG, bus: list[int], value_set: ValueSet) -> int:
+    """AIG literal asserting that ``bus`` holds an allowed value.
+
+    The predicate is built as a balanced OR of equality comparators --
+    the same logic a generator would emit to express the annotation.
+    These nodes are only referenced by the SAT encoder, so the final
+    cleanup drops them from the netlist.
+    """
+    if len(bus) != value_set.width:
+        raise ValueError("bus width does not match the value set")
+    if value_set.is_trivial():
+        return 1
+    terms = [ops.eq_const(aig, bus, value) for value in value_set.values]
+    return ops.reduce_or(aig, terms)

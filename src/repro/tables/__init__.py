@@ -1,0 +1,49 @@
+"""Two-level logic substrate: truth tables, cubes, and SOP minimization.
+
+Truth tables for functions of ``n`` inputs are stored as Python integers
+with ``2**n`` bits: bit ``i`` holds the function value on the input
+assignment whose binary encoding is ``i`` (input 0 is the least
+significant address bit).  Python's arbitrary-precision integers make
+bitwise set algebra over these tables both compact and fast for the
+input counts used anywhere in this project (n <= ~16).
+
+Public API
+----------
+- :class:`~repro.tables.truthtable.TruthTable` -- multi-output function.
+- :class:`~repro.tables.cube.Cube` -- a product term (implicant).
+- :class:`~repro.tables.sop.SopCover` -- a sum-of-products cover.
+- :func:`~repro.tables.isop.isop` -- Minato-Morreale irredundant SOP.
+- :func:`~repro.tables.qm.minimize_exact` -- Quine-McCluskey minimizer.
+"""
+
+from repro.tables.bits import (
+    all_ones,
+    cofactor0,
+    cofactor1,
+    popcount,
+    tt_depends_on,
+    tt_support,
+    var_mask,
+)
+from repro.tables.cube import Cube
+from repro.tables.espresso import improve_cover
+from repro.tables.isop import isop
+from repro.tables.qm import minimize_exact
+from repro.tables.sop import SopCover
+from repro.tables.truthtable import TruthTable
+
+__all__ = [
+    "Cube",
+    "improve_cover",
+    "SopCover",
+    "TruthTable",
+    "all_ones",
+    "cofactor0",
+    "cofactor1",
+    "isop",
+    "minimize_exact",
+    "popcount",
+    "tt_depends_on",
+    "tt_support",
+    "var_mask",
+]

@@ -1,0 +1,76 @@
+"""Bit-twiddling helpers for integer-encoded truth tables.
+
+A truth table over ``n`` variables is an int with ``2**n`` bits; bit
+``i`` is the function value for the input minterm ``i``.  These helpers
+implement the standard cofactor/support algebra on that encoding.
+"""
+
+from functools import lru_cache
+
+_WORD = (1 << 64) - 1
+
+
+def popcount(x: int) -> int:
+    """Number of set bits in ``x`` (x must be non-negative)."""
+    return x.bit_count()
+
+
+def all_ones(num_vars: int) -> int:
+    """The constant-1 truth table over ``num_vars`` variables."""
+    return (1 << (1 << num_vars)) - 1
+
+
+@lru_cache(maxsize=None)
+def var_mask(var: int, num_vars: int) -> int:
+    """Truth table of the projection function ``x_var`` over ``num_vars``.
+
+    Bit ``i`` of the result is 1 exactly when bit ``var`` of ``i`` is 1.
+    """
+    if not 0 <= var < num_vars:
+        raise ValueError(f"var {var} out of range for {num_vars} variables")
+    block = 1 << var  # run length of zeros, then of ones
+    ones = ((1 << block) - 1) << block  # e.g. 0b1100 for var=1
+    pattern = 0
+    total_bits = 1 << num_vars
+    stride = block * 2
+    for offset in range(0, total_bits, stride):
+        pattern |= ones << offset
+    return pattern
+
+
+def cofactor1(table: int, var: int, num_vars: int) -> int:
+    """Positive cofactor: the table with ``x_var`` fixed to 1.
+
+    The result is still expressed over all ``num_vars`` variables; the
+    cofactored variable simply no longer matters.
+    """
+    mask = var_mask(var, num_vars)
+    hi = table & mask
+    return hi | (hi >> (1 << var))
+
+
+def cofactor0(table: int, var: int, num_vars: int) -> int:
+    """Negative cofactor: the table with ``x_var`` fixed to 0."""
+    mask = var_mask(var, num_vars)
+    lo = table & ~mask
+    return lo | (lo << (1 << var))
+
+
+def tt_depends_on(table: int, var: int, num_vars: int) -> bool:
+    """True when the function actually depends on ``x_var``."""
+    return cofactor0(table, var, num_vars) != cofactor1(table, var, num_vars)
+
+
+def tt_support(table: int, num_vars: int) -> tuple[int, ...]:
+    """Indices of the variables the function depends on, ascending."""
+    return tuple(
+        var for var in range(num_vars) if tt_depends_on(table, var, num_vars)
+    )
+
+
+def minterm_iter(table: int):
+    """Yield the indices of set bits of ``table``, ascending."""
+    while table:
+        low = table & -table
+        yield low.bit_length() - 1
+        table ^= low

@@ -1,0 +1,141 @@
+"""Product terms (cubes) over a fixed set of Boolean variables.
+
+A cube fixes some subset of the variables to constants and leaves the
+rest free.  It is stored as a ``(mask, value)`` pair of ints: bit ``i``
+of ``mask`` is 1 when variable ``i`` is bound, in which case bit ``i``
+of ``value`` gives the required polarity.  Unbound positions of
+``value`` are kept at 0 so that equal cubes compare equal.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.tables.bits import all_ones, var_mask
+
+
+@dataclass(frozen=True, slots=True)
+class Cube:
+    """An implicant: a conjunction of literals.
+
+    Attributes:
+        num_vars: size of the variable universe the cube lives in.
+        mask: bound-variable bitmap.
+        value: polarity bitmap (subset of ``mask``).
+    """
+
+    num_vars: int
+    mask: int
+    value: int
+
+    def __post_init__(self) -> None:
+        universe = (1 << self.num_vars) - 1
+        if self.mask & ~universe:
+            raise ValueError("cube mask uses variables outside the universe")
+        if self.value & ~self.mask:
+            raise ValueError("cube value sets bits outside its mask")
+
+    @classmethod
+    def universal(cls, num_vars: int) -> Cube:
+        """The cube with no literals (covers everything)."""
+        return cls(num_vars, 0, 0)
+
+    @classmethod
+    def from_string(cls, text: str) -> Cube:
+        """Parse a PLA-style cube string, e.g. ``"1-0"``.
+
+        The leftmost character is the highest-numbered variable, matching
+        the way binary numbers are written.
+        """
+        num_vars = len(text)
+        mask = 0
+        value = 0
+        for position, char in enumerate(text):
+            var = num_vars - 1 - position
+            if char == "1":
+                mask |= 1 << var
+                value |= 1 << var
+            elif char == "0":
+                mask |= 1 << var
+            elif char != "-":
+                raise ValueError(f"bad cube character {char!r}")
+        return cls(num_vars, mask, value)
+
+    @classmethod
+    def of_minterm(cls, num_vars: int, minterm: int) -> Cube:
+        """The full cube selecting exactly one minterm."""
+        universe = (1 << num_vars) - 1
+        return cls(num_vars, universe, minterm & universe)
+
+    def num_literals(self) -> int:
+        """Number of bound variables (the cube's literal count)."""
+        return self.mask.bit_count()
+
+    def literals(self) -> tuple[tuple[int, bool], ...]:
+        """The cube as ``(variable, polarity)`` pairs, ascending by var."""
+        pairs = []
+        for var in range(self.num_vars):
+            bit = 1 << var
+            if self.mask & bit:
+                pairs.append((var, bool(self.value & bit)))
+        return tuple(pairs)
+
+    def contains(self, minterm: int) -> bool:
+        """True when the cube covers the given minterm."""
+        return (minterm & self.mask) == self.value
+
+    def with_literal(self, var: int, polarity: bool) -> Cube:
+        """A copy of the cube with one more literal bound."""
+        bit = 1 << var
+        if self.mask & bit:
+            raise ValueError(f"variable {var} already bound in cube")
+        value = self.value | bit if polarity else self.value
+        return Cube(self.num_vars, self.mask | bit, value)
+
+    def without_literal(self, var: int) -> Cube:
+        """A copy of the cube with variable ``var`` freed."""
+        bit = 1 << var
+        if not self.mask & bit:
+            raise ValueError(f"variable {var} not bound in cube")
+        return Cube(self.num_vars, self.mask & ~bit, self.value & ~bit)
+
+    def implies(self, other: Cube) -> bool:
+        """True when this cube is contained in ``other``."""
+        if other.mask & ~self.mask:
+            return False
+        return (self.value & other.mask) == other.value
+
+    def intersects(self, other: Cube) -> bool:
+        """True when the two cubes share at least one minterm."""
+        common = self.mask & other.mask
+        return (self.value & common) == (other.value & common)
+
+    def truth_table(self) -> int:
+        """The cube's characteristic function as a truth-table int."""
+        table = all_ones(self.num_vars)
+        for var in range(self.num_vars):
+            bit = 1 << var
+            if self.mask & bit:
+                pattern = var_mask(var, self.num_vars)
+                table &= pattern if self.value & bit else ~pattern
+        return table
+
+    def __str__(self) -> str:
+        chars = []
+        for position in range(self.num_vars - 1, -1, -1):
+            bit = 1 << position
+            if not self.mask & bit:
+                chars.append("-")
+            elif self.value & bit:
+                chars.append("1")
+            else:
+                chars.append("0")
+        return "".join(chars) if chars else "(true)"
+
+
+def cover_truth_table(cubes, num_vars: int) -> int:
+    """Union of the characteristic functions of ``cubes``."""
+    table = 0
+    for cube in cubes:
+        table |= cube.truth_table()
+    return table

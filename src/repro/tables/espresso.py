@@ -1,0 +1,84 @@
+"""Espresso-style cover improvement: EXPAND + IRREDUNDANT.
+
+Not the full Espresso loop -- a post-pass over an existing valid cover
+(usually ISOP's output) that applies its two cheapest, always-profitable
+steps:
+
+* **expand**: grow each cube by freeing literals while it stays clear
+  of the OFF-set, making cubes prime (bigger cubes subsume more and
+  cost fewer literals);
+* **irredundant**: drop cubes whose ON minterms the rest of the cover
+  already handles.
+
+Both steps only ever remove literals or cubes, so the result is never
+worse than the input under the (cubes, literals) cost model.  The
+direct sum-of-products generators use it when squeezing matters.
+"""
+
+from __future__ import annotations
+
+from repro.tables.bits import all_ones
+from repro.tables.cube import Cube, cover_truth_table
+
+
+def expand_cubes(cubes: list[Cube], off: int, num_vars: int) -> list[Cube]:
+    """Make every cube prime against the OFF-set.
+
+    Literals are tried highest-variable-first; a literal is freed when
+    the grown cube still avoids every OFF minterm.  Cubes that become
+    subsumed by an earlier expanded cube are dropped on the fly.
+    """
+    expanded: list[Cube] = []
+    for cube in cubes:
+        for var in range(num_vars - 1, -1, -1):
+            if not cube.mask >> var & 1:
+                continue
+            grown = cube.without_literal(var)
+            if grown.truth_table() & off == 0:
+                cube = grown
+        if not any(cube.implies(prior) for prior in expanded):
+            expanded.append(cube)
+    return expanded
+
+
+def irredundant_cubes(cubes: list[Cube], on: int, num_vars: int) -> list[Cube]:
+    """Remove cubes not needed to cover the ON-set.
+
+    Greedy: cubes are considered smallest-coverage-first, so large
+    cubes survive and small patch cubes go first when possible.
+    """
+    ordered = sorted(
+        range(len(cubes)),
+        key=lambda i: cubes[i].truth_table().bit_count(),
+    )
+    keep = set(range(len(cubes)))
+    for index in ordered:
+        others = [cubes[i] for i in keep if i != index]
+        if on & ~cover_truth_table(others, num_vars) == 0:
+            keep.discard(index)
+    return [cubes[i] for i in sorted(keep)]
+
+
+def improve_cover(
+    cubes: list[Cube], on: int, dc: int, num_vars: int
+) -> list[Cube]:
+    """EXPAND then IRREDUNDANT; validates the input cover first.
+
+    Args:
+        cubes: a cover with ``on <= cover <= on | dc``.
+        on: ON-set truth table.
+        dc: DC-set truth table.
+        num_vars: variable universe size.
+
+    Returns:
+        An equally valid cover with no more cubes and no more literals.
+    """
+    universe = all_ones(num_vars)
+    table = cover_truth_table(cubes, num_vars)
+    if on & ~table:
+        raise ValueError("input cover misses ON minterms")
+    if table & ~(on | dc):
+        raise ValueError("input cover touches OFF minterms")
+    off = universe & ~(on | dc)
+    expanded = expand_cubes(cubes, off, num_vars)
+    return irredundant_cubes(expanded, on, num_vars)

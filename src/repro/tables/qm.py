@@ -1,0 +1,151 @@
+"""Quine-McCluskey exact two-level minimization.
+
+Exact minimization is exponential, so this module is the *reference*
+minimizer: the tests use it (and brute force) to validate the much
+faster ISOP heuristic, and the synthesis flow uses it only for small
+cones.  It computes all prime implicants by iterated merging and then
+solves the unate covering problem exactly (branch-and-bound) up to a
+configurable size, falling back to a greedy cover above it.
+"""
+
+from __future__ import annotations
+
+from repro.tables.bits import all_ones, minterm_iter
+from repro.tables.cube import Cube
+
+_EXACT_COVER_LIMIT = 24
+
+
+def prime_implicants(on: int, dc: int, num_vars: int) -> list[Cube]:
+    """All prime implicants of the (ON | DC) set.
+
+    Classic tabular method: start from minterm cubes, repeatedly merge
+    cubes differing in one bound literal, and keep the unmerged ones.
+    """
+    care = on | dc
+    if care == 0:
+        return []
+    if care == all_ones(num_vars):
+        return [Cube.universal(num_vars)]
+
+    current: set[tuple[int, int]] = {
+        ((1 << num_vars) - 1, m) for m in minterm_iter(care)
+    }
+    primes: set[tuple[int, int]] = set()
+    while current:
+        merged: set[tuple[int, int]] = set()
+        used: set[tuple[int, int]] = set()
+        by_mask: dict[int, list[int]] = {}
+        for mask, value in current:
+            by_mask.setdefault(mask, []).append(value)
+        for mask, values in by_mask.items():
+            value_set = set(values)
+            for value in values:
+                for var in range(num_vars):
+                    bit = 1 << var
+                    if not mask & bit or value & bit:
+                        continue
+                    partner = value | bit
+                    if partner in value_set:
+                        merged.add((mask & ~bit, value))
+                        used.add((mask, value))
+                        used.add((mask, partner))
+        primes |= current - used
+        current = merged
+    return [Cube(num_vars, mask, value) for mask, value in sorted(primes)]
+
+
+def minimize_exact(on: int, dc: int, num_vars: int) -> list[Cube]:
+    """Minimum-cube SOP cover of ``on`` (ties broken by literal count).
+
+    Args:
+        on: ON-set truth table (must be covered).
+        dc: DC-set truth table (may be covered).
+        num_vars: variable universe size.
+
+    Returns:
+        A list of prime-implicant cubes covering exactly ``on`` modulo
+        don't-cares.  Exact for up to ``_EXACT_COVER_LIMIT`` ON
+        minterms; greedy beyond that.
+    """
+    if on & dc:
+        raise ValueError("ON-set and DC-set overlap")
+    if on == 0:
+        return []
+    primes = prime_implicants(on, dc, num_vars)
+    targets = list(minterm_iter(on))
+    coverage = [
+        frozenset(i for i, m in enumerate(targets) if prime.contains(m))
+        for prime in primes
+    ]
+    if len(targets) <= _EXACT_COVER_LIMIT:
+        chosen = _exact_cover(coverage, len(targets), primes)
+    else:
+        chosen = _greedy_cover(coverage, len(targets))
+    return [primes[i] for i in chosen]
+
+
+def _essential_primes(coverage: list[frozenset[int]], num_targets: int) -> set[int]:
+    """Primes that are the sole cover of some minterm."""
+    owners: dict[int, list[int]] = {t: [] for t in range(num_targets)}
+    for index, covered in enumerate(coverage):
+        for target in covered:
+            owners[target].append(index)
+    return {
+        indices[0] for indices in owners.values() if len(indices) == 1
+    }
+
+
+def _exact_cover(
+    coverage: list[frozenset[int]], num_targets: int, primes: list[Cube]
+) -> list[int]:
+    """Branch-and-bound minimum unate cover."""
+    essentials = _essential_primes(coverage, num_targets)
+    covered = set()
+    for index in essentials:
+        covered |= coverage[index]
+    remaining = frozenset(range(num_targets)) - covered
+    candidates = [
+        i for i in range(len(coverage)) if i not in essentials and coverage[i] & remaining
+    ]
+    # Order candidates by decreasing usefulness to tighten the bound early.
+    candidates.sort(key=lambda i: (-len(coverage[i] & remaining), primes[i].num_literals()))
+
+    best: list[list[int]] = [list(range(len(coverage)))]  # sentinel: everything
+
+    def cost(selection: list[int]) -> tuple[int, int]:
+        return (len(selection), sum(primes[i].num_literals() for i in selection))
+
+    def search(selection: list[int], uncovered: frozenset[int], start: int) -> None:
+        if cost(selection) >= cost(best[0]):
+            return
+        if not uncovered:
+            best[0] = list(selection)
+            return
+        target = min(uncovered)
+        for position in range(start, len(candidates)):
+            index = candidates[position]
+            if target not in coverage[index]:
+                continue
+            selection.append(index)
+            search(selection, uncovered - coverage[index], 0)
+            selection.pop()
+
+    search([], remaining, 0)
+    return sorted(essentials | set(best[0]))
+
+
+def _greedy_cover(coverage: list[frozenset[int]], num_targets: int) -> list[int]:
+    """Standard greedy set cover: largest marginal coverage first."""
+    uncovered = set(range(num_targets))
+    chosen: list[int] = []
+    while uncovered:
+        best_index = max(
+            range(len(coverage)), key=lambda i: len(coverage[i] & uncovered)
+        )
+        gained = coverage[best_index] & uncovered
+        if not gained:
+            raise AssertionError("primes fail to cover the ON-set")
+        chosen.append(best_index)
+        uncovered -= gained
+    return chosen

@@ -1,0 +1,74 @@
+"""Sum-of-products covers and their cost model.
+
+A :class:`SopCover` bundles the cubes of one output together with the
+bookkeeping the rest of the flow needs: verification against the
+specification, literal/cube counting (the classic two-level cost
+model), and evaluation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.tables.bits import all_ones
+from repro.tables.cube import Cube, cover_truth_table
+from repro.tables.isop import isop
+from repro.tables.qm import minimize_exact
+
+_EXACT_INPUT_LIMIT = 6
+
+
+@dataclass(frozen=True, slots=True)
+class SopCover:
+    """A two-level cover of a single-output function."""
+
+    num_vars: int
+    cubes: tuple[Cube, ...]
+
+    @classmethod
+    def from_truth_table(
+        cls, on: int, dc: int, num_vars: int, exact: bool | None = None
+    ) -> SopCover:
+        """Minimize ``on`` (with don't-cares ``dc``) into a cover.
+
+        ``exact=None`` picks QM for small universes and ISOP otherwise,
+        mirroring how a synthesis tool chooses effort by cone size.
+        """
+        if exact is None:
+            exact = num_vars <= _EXACT_INPUT_LIMIT
+        if exact:
+            cubes = minimize_exact(on, dc, num_vars)
+        else:
+            cubes = isop(on, dc, num_vars)
+        return cls(num_vars, tuple(cubes))
+
+    def truth_table(self) -> int:
+        """Characteristic function of the cover."""
+        return cover_truth_table(self.cubes, self.num_vars)
+
+    def verify(self, on: int, dc: int) -> bool:
+        """Check ``on <= cover <= on | dc``."""
+        table = self.truth_table()
+        return (on & ~table) == 0 and (table & ~(on | dc)) == 0
+
+    def evaluate(self, minterm: int) -> bool:
+        return any(cube.contains(minterm) for cube in self.cubes)
+
+    @property
+    def num_cubes(self) -> int:
+        return len(self.cubes)
+
+    @property
+    def num_literals(self) -> int:
+        return sum(cube.num_literals() for cube in self.cubes)
+
+    def is_constant_false(self) -> bool:
+        return not self.cubes
+
+    def is_constant_true(self) -> bool:
+        return self.truth_table() == all_ones(self.num_vars)
+
+    def __str__(self) -> str:
+        if not self.cubes:
+            return "0"
+        return " + ".join(str(cube) for cube in self.cubes)

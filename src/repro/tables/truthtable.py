@@ -1,0 +1,158 @@
+"""Multi-output truth tables.
+
+A :class:`TruthTable` is the project's canonical description of a
+combinational function: ``num_inputs`` address bits select a row, and
+each of the ``num_outputs`` columns is stored as an independent
+truth-table int.  This is exactly the "table of bits" the paper argues
+a chip generator should emit, so the same object doubles as:
+
+* the contents of a configuration memory in the flexible designs, and
+* the specification that the direct (SOP / case-statement)
+  implementations are generated from.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+from repro.tables.bits import all_ones, popcount, tt_support
+
+
+@dataclass(frozen=True, slots=True)
+class TruthTable:
+    """An ``num_inputs``-input, ``num_outputs``-output Boolean function.
+
+    Attributes:
+        num_inputs: number of address (input) bits.
+        columns: one truth-table int per output, LSB-first outputs.
+    """
+
+    num_inputs: int
+    columns: tuple[int, ...]
+
+    def __post_init__(self) -> None:
+        universe = all_ones(self.num_inputs)
+        for index, column in enumerate(self.columns):
+            if column < 0 or column & ~universe:
+                raise ValueError(f"column {index} exceeds 2^{1 << self.num_inputs} bits")
+
+    # ------------------------------------------------------------------
+    # Constructors
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_rows(cls, num_inputs: int, rows: list[int], width: int) -> TruthTable:
+        """Build from a row-per-address list of ``width``-bit words.
+
+        ``rows[i]`` is the output word for input value ``i``.  Missing
+        rows (when ``len(rows) < 2**num_inputs``) default to zero.
+        """
+        depth = 1 << num_inputs
+        if len(rows) > depth:
+            raise ValueError(f"{len(rows)} rows exceed table depth {depth}")
+        columns = [0] * width
+        word_mask = (1 << width) - 1
+        for address, word in enumerate(rows):
+            if word & ~word_mask:
+                raise ValueError(f"row {address} wider than {width} bits")
+            for bit in range(width):
+                if word >> bit & 1:
+                    columns[bit] |= 1 << address
+        return cls(num_inputs, tuple(columns))
+
+    @classmethod
+    def from_function(cls, num_inputs: int, width: int, func) -> TruthTable:
+        """Build by evaluating ``func(address) -> int`` on every row."""
+        rows = [func(address) for address in range(1 << num_inputs)]
+        return cls.from_rows(num_inputs, rows, width)
+
+    @classmethod
+    def random(cls, num_inputs: int, num_outputs: int, rng: random.Random) -> TruthTable:
+        """A uniformly random function (each output bit is a coin flip)."""
+        depth_bits = 1 << num_inputs
+        columns = tuple(rng.getrandbits(depth_bits) for _ in range(num_outputs))
+        return cls(num_inputs, columns)
+
+    @classmethod
+    def random_sparse(
+        cls,
+        num_inputs: int,
+        num_outputs: int,
+        ones_fraction: float,
+        rng: random.Random,
+    ) -> TruthTable:
+        """A random function where each output bit is 1 with the given bias.
+
+        Sparse tables model realistic control tables, which assert few
+        signals per row, unlike the dense coin-flip tables.
+        """
+        if not 0.0 <= ones_fraction <= 1.0:
+            raise ValueError("ones_fraction must lie in [0, 1]")
+        depth = 1 << num_inputs
+        columns = []
+        for _ in range(num_outputs):
+            column = 0
+            for address in range(depth):
+                if rng.random() < ones_fraction:
+                    column |= 1 << address
+            columns.append(column)
+        return cls(num_inputs, tuple(columns))
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+    @property
+    def num_outputs(self) -> int:
+        return len(self.columns)
+
+    @property
+    def depth(self) -> int:
+        """Number of rows (2**num_inputs)."""
+        return 1 << self.num_inputs
+
+    def row(self, address: int) -> int:
+        """The output word stored at ``address``."""
+        if not 0 <= address < self.depth:
+            raise IndexError(f"address {address} out of range")
+        word = 0
+        for bit, column in enumerate(self.columns):
+            if column >> address & 1:
+                word |= 1 << bit
+        return word
+
+    def rows(self) -> list[int]:
+        """All rows, index = address."""
+        return [self.row(address) for address in range(self.depth)]
+
+    def evaluate(self, address: int) -> int:
+        """Alias of :meth:`row` to emphasise functional reading."""
+        return self.row(address)
+
+    def column_ones(self, output: int) -> int:
+        """Number of ON minterms of one output."""
+        return popcount(self.columns[output])
+
+    def support(self, output: int) -> tuple[int, ...]:
+        """Input variables output ``output`` actually depends on."""
+        return tt_support(self.columns[output], self.num_inputs)
+
+    def is_constant(self, output: int) -> bool:
+        column = self.columns[output]
+        return column == 0 or column == all_ones(self.num_inputs)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, TruthTable):
+            return NotImplemented
+        return self.num_inputs == other.num_inputs and self.columns == other.columns
+
+    def __hash__(self) -> int:
+        return hash((self.num_inputs, self.columns))
+
+    def __str__(self) -> str:
+        lines = [f"TruthTable({self.num_inputs} in, {self.num_outputs} out)"]
+        if self.num_inputs <= 5:
+            for address in range(self.depth):
+                bits = format(address, f"0{self.num_inputs}b")
+                word = format(self.row(address), f"0{self.num_outputs}b")
+                lines.append(f"  {bits} -> {word}")
+        return "\n".join(lines)

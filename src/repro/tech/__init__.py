@@ -1,0 +1,33 @@
+"""Technology layer: standard cells, mapping, timing, area.
+
+The library is a synthetic 90nm-class kit (the paper used TSMC 90nm,
+which cannot be redistributed): gate areas and delays are in the
+published ballpark for that node, and -- critically for reproducing
+the paper -- *relative* areas between competing implementations are
+what the experiments consume.
+
+- :mod:`repro.tech.cells` -- cell definitions and the library.
+- :mod:`repro.tech.mapper` -- NPN cut matching + area-flow covering.
+- :mod:`repro.tech.netlist` -- the mapped gate-level netlist.
+- :mod:`repro.tech.sta` -- static timing analysis.
+- :mod:`repro.tech.sizing` -- drive selection against a clock target.
+"""
+
+from repro.tech.cells import Cell, FlopCell, Library
+from repro.tech.mapper import map_aig
+from repro.tech.netlist import AreaReport, Instance, MappedNetlist
+from repro.tech.sizing import size_for_clock
+from repro.tech.sta import TimingReport, analyze_timing
+
+__all__ = [
+    "AreaReport",
+    "Cell",
+    "FlopCell",
+    "Instance",
+    "Library",
+    "MappedNetlist",
+    "TimingReport",
+    "analyze_timing",
+    "map_aig",
+    "size_for_clock",
+]

@@ -1,0 +1,176 @@
+"""Standard cell library.
+
+Cells carry a truth table (over their input count), an area, and a
+two-parameter delay model::
+
+    delay = intrinsic + load_coeff * min(fanout, FANOUT_CAP) / drive
+
+Drive strengths X1/X2/X4 trade area for load-driving ability, which is
+what the sizing pass spends when closing timing -- and the reason the
+experiments can "synthesize pairs of designs to identical timing
+targets" like the paper does.  The fanout term saturates at
+``FANOUT_CAP`` to stand in for the buffer trees a physical flow would
+insert on very-high-fanout nets (we do not model buffering
+explicitly).
+
+Areas are synthetic but 90nm-plausible (NAND2 ~ 2.8 um^2, scan-less
+DFF ~ 15 um^2); every figure in the paper compares areas *between*
+implementations in the same library, so only consistency matters.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+DRIVES = (1, 2, 4)
+_DRIVE_AREA_FACTOR = {1: 1.0, 2: 1.6, 4: 2.5}
+
+#: Fanout saturation of the delay model (implicit buffer trees).
+FANOUT_CAP = 12
+
+
+@dataclass(frozen=True)
+class Cell:
+    """A combinational standard cell.
+
+    Attributes:
+        name: base cell name (drive suffix is added by instances).
+        arity: number of inputs.
+        table: truth table over ``arity`` variables; input ``i`` is
+            variable ``i``.
+        area: X1 area in um^2.
+        intrinsic: fixed delay in ns.
+        load_coeff: per-fanout delay in ns at X1 drive.
+    """
+
+    name: str
+    arity: int
+    table: int
+    area: float
+    intrinsic: float
+    load_coeff: float
+
+    def area_at(self, drive: int) -> float:
+        return self.area * _DRIVE_AREA_FACTOR[drive]
+
+    def delay(self, fanout: int, drive: int) -> float:
+        load = min(max(fanout, 1), FANOUT_CAP)
+        return self.intrinsic + self.load_coeff * load / drive
+
+
+@dataclass(frozen=True)
+class FlopCell:
+    """A D flip-flop cell (one per reset style)."""
+
+    name: str
+    reset_kind: str
+    area: float
+    clk_to_q: float
+    setup: float
+    load_coeff: float = 0.030
+
+    def area_at(self, drive: int) -> float:
+        return self.area * _DRIVE_AREA_FACTOR[drive]
+
+    def delay(self, fanout: int, drive: int) -> float:
+        load = min(max(fanout, 1), FANOUT_CAP)
+        return self.clk_to_q + self.load_coeff * load / drive
+
+
+def _tt(func, arity: int) -> int:
+    table = 0
+    for minterm in range(1 << arity):
+        bits = [(minterm >> i) & 1 for i in range(arity)]
+        if func(*bits):
+            table |= 1 << minterm
+    return table
+
+
+class Library:
+    """A set of combinational cells plus flop variants."""
+
+    def __init__(self, name: str, cells: list[Cell], flops: list[FlopCell]) -> None:
+        self.name = name
+        self.cells = {cell.name: cell for cell in cells}
+        self.flops = {flop.reset_kind: flop for flop in flops}
+        if "INV" not in self.cells:
+            raise ValueError("library must provide an INV cell")
+        for kind in ("none", "sync", "async"):
+            if kind not in self.flops:
+                raise ValueError(f"library must provide a {kind}-reset flop")
+
+    @property
+    def inverter(self) -> Cell:
+        return self.cells["INV"]
+
+    def flop_for(self, reset_kind: str) -> FlopCell:
+        return self.flops[reset_kind]
+
+    @classmethod
+    def tsmc90ish(cls) -> "Library":
+        """The default synthetic 90nm-class library."""
+        cells = [
+            Cell("INV", 1, _tt(lambda a: not a, 1), 1.8, 0.020, 0.018),
+            Cell("BUF", 1, _tt(lambda a: a, 1), 2.2, 0.035, 0.012),
+            Cell("NAND2", 2, _tt(lambda a, b: not (a and b), 2), 2.8, 0.030, 0.022),
+            Cell("NOR2", 2, _tt(lambda a, b: not (a or b), 2), 2.8, 0.035, 0.026),
+            Cell("AND2", 2, _tt(lambda a, b: a and b, 2), 3.5, 0.050, 0.020),
+            Cell("OR2", 2, _tt(lambda a, b: a or b, 2), 3.5, 0.055, 0.020),
+            Cell("XOR2", 2, _tt(lambda a, b: a != b, 2), 5.6, 0.070, 0.028),
+            Cell("XNOR2", 2, _tt(lambda a, b: a == b, 2), 5.6, 0.070, 0.028),
+            Cell(
+                "NAND3", 3, _tt(lambda a, b, c: not (a and b and c), 3),
+                3.6, 0.042, 0.026,
+            ),
+            Cell(
+                "NOR3", 3, _tt(lambda a, b, c: not (a or b or c), 3),
+                3.6, 0.052, 0.032,
+            ),
+            Cell(
+                "NAND4", 4,
+                _tt(lambda a, b, c, d: not (a and b and c and d), 4),
+                4.4, 0.055, 0.030,
+            ),
+            Cell(
+                "NOR4", 4, _tt(lambda a, b, c, d: not (a or b or c or d), 4),
+                4.4, 0.068, 0.038,
+            ),
+            Cell(
+                "AOI21", 3, _tt(lambda a, b, c: not ((a and b) or c), 3),
+                3.2, 0.045, 0.026,
+            ),
+            Cell(
+                "OAI21", 3, _tt(lambda a, b, c: not ((a or b) and c), 3),
+                3.2, 0.045, 0.026,
+            ),
+            Cell(
+                "AOI22", 4,
+                _tt(lambda a, b, c, d: not ((a and b) or (c and d)), 4),
+                4.0, 0.055, 0.030,
+            ),
+            Cell(
+                "OAI22", 4,
+                _tt(lambda a, b, c, d: not ((a or b) and (c or d)), 4),
+                4.0, 0.055, 0.030,
+            ),
+            Cell(
+                "MUX2", 3, _tt(lambda a, b, s: b if s else a, 3),
+                5.0, 0.060, 0.026,
+            ),
+            Cell(
+                "AO22", 4,
+                _tt(lambda a, b, c, d: (a and b) or (c and d), 4),
+                4.6, 0.065, 0.026,
+            ),
+            Cell(
+                "MAJ3", 3,
+                _tt(lambda a, b, c: (a + b + c) >= 2, 3),
+                5.2, 0.065, 0.028,
+            ),
+        ]
+        flops = [
+            FlopCell("DFF", "none", 14.6, 0.16, 0.04),
+            FlopCell("DFFS", "sync", 17.3, 0.17, 0.05),
+            FlopCell("DFFR", "async", 18.8, 0.17, 0.05),
+        ]
+        return cls("tsmc90ish", cells, flops)

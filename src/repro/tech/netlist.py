@@ -1,0 +1,166 @@
+"""Mapped gate-level netlists.
+
+The output of technology mapping: cell instances over integer nets,
+flop instances, and the area/simulation facilities the experiments and
+the verification cross-checks consume.  Net 0 is constant 0 and net 1
+constant 1 (tie cells are accounted separately).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.tech.cells import FlopCell, Library
+
+CONST0_NET = 0
+CONST1_NET = 1
+
+_TIE_AREA = 1.3
+
+
+@dataclass
+class Instance:
+    """A combinational cell instance."""
+
+    cell_name: str
+    inputs: list[int]
+    output: int
+    drive: int = 1
+
+
+@dataclass
+class FlopInstance:
+    """A sequential cell instance."""
+
+    name: str
+    cell: FlopCell
+    d_net: int
+    q_net: int
+    reset_value: int
+    drive: int = 1
+
+
+@dataclass
+class MappedNetlist:
+    """A technology-mapped design."""
+
+    library: Library
+    instances: list[Instance] = field(default_factory=list)
+    flops: list[FlopInstance] = field(default_factory=list)
+    pi_nets: dict[str, int] = field(default_factory=dict)
+    po_nets: dict[str, int] = field(default_factory=dict)
+    num_nets: int = 2  # 0 and 1 are the constants
+    num_ties: int = 0
+
+    # ------------------------------------------------------------------
+    # Construction helpers (used by the mapper)
+    # ------------------------------------------------------------------
+    def new_net(self) -> int:
+        net = self.num_nets
+        self.num_nets += 1
+        return net
+
+    def add_instance(self, cell_name: str, inputs: list[int], drive: int = 1) -> int:
+        output = self.new_net()
+        self.instances.append(Instance(cell_name, list(inputs), output, drive))
+        return output
+
+    # ------------------------------------------------------------------
+    # Reporting
+    # ------------------------------------------------------------------
+    def area_report(self) -> "AreaReport":
+        combinational = sum(
+            self.library.cells[inst.cell_name].area_at(inst.drive)
+            for inst in self.instances
+        )
+        combinational += self.num_ties * _TIE_AREA
+        sequential = sum(flop.cell.area_at(flop.drive) for flop in self.flops)
+        return AreaReport(
+            combinational=combinational,
+            sequential=sequential,
+            num_cells=len(self.instances),
+            num_flops=len(self.flops),
+        )
+
+    def fanout_counts(self) -> list[int]:
+        counts = [0] * self.num_nets
+        for inst in self.instances:
+            for net in inst.inputs:
+                counts[net] += 1
+        for flop in self.flops:
+            counts[flop.d_net] += 1
+        for net in self.po_nets.values():
+            counts[net] += 1
+        return counts
+
+    # ------------------------------------------------------------------
+    # Simulation (for cross-checking against the AIG)
+    # ------------------------------------------------------------------
+    def topo_instances(self) -> list[Instance]:
+        """Instances ordered so inputs are computed before use."""
+        producer: dict[int, Instance] = {inst.output: inst for inst in self.instances}
+        ordered: list[Instance] = []
+        state: dict[int, int] = {}
+        for inst in self.instances:
+            self._visit(inst, producer, state, ordered)
+        return ordered
+
+    def _visit(self, inst, producer, state, ordered) -> None:
+        status = state.get(inst.output, 0)
+        if status == 2:
+            return
+        if status == 1:
+            raise ValueError("combinational cycle in mapped netlist")
+        state[inst.output] = 1
+        for net in inst.inputs:
+            child = producer.get(net)
+            if child is not None:
+                self._visit(child, producer, state, ordered)
+        state[inst.output] = 2
+        ordered.append(inst)
+
+    def evaluate(
+        self, pi_values: dict[str, int], flop_values: dict[str, int] | None = None
+    ) -> tuple[dict[str, int], dict[str, int]]:
+        """One combinational evaluation; returns (POs, flop next values)."""
+        values = [0] * self.num_nets
+        values[CONST1_NET] = 1
+        for name, net in self.pi_nets.items():
+            values[net] = pi_values.get(name, 0) & 1
+        for flop in self.flops:
+            if flop_values is not None and flop.name in flop_values:
+                values[flop.q_net] = flop_values[flop.name] & 1
+            else:
+                values[flop.q_net] = flop.reset_value
+        for inst in self.topo_instances():
+            cell = self.library.cells[inst.cell_name]
+            index = 0
+            for position, net in enumerate(inst.inputs):
+                if values[net]:
+                    index |= 1 << position
+            values[inst.output] = (cell.table >> index) & 1
+        pos = {name: values[net] for name, net in self.po_nets.items()}
+        nxt = {flop.name: values[flop.d_net] for flop in self.flops}
+        return pos, nxt
+
+    def stats(self) -> str:
+        report = self.area_report()
+        return (
+            f"netlist: {report.num_cells} cells, {report.num_flops} flops, "
+            f"area {report.total:.1f} um^2 "
+            f"(comb {report.combinational:.1f} / seq {report.sequential:.1f})"
+        )
+
+
+@dataclass(frozen=True)
+class AreaReport:
+    """Split area accounting, matching the paper's Fig. 9 axes."""
+
+    combinational: float
+    sequential: float
+    num_cells: int
+    num_flops: int
+
+    @property
+    def total(self) -> float:
+        return self.combinational + self.sequential

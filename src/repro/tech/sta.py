@@ -1,0 +1,64 @@
+"""Static timing analysis over mapped netlists.
+
+Single-corner, fanout-loaded gate delays (see
+:class:`repro.tech.cells.Cell`).  Paths start at primary inputs (time
+0) and flop Q pins (clk-to-q) and end at primary outputs and flop D
+pins (plus setup).  The critical path is reported as a list of nets for
+the sizing pass to chew on.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.tech.netlist import CONST0_NET, CONST1_NET, MappedNetlist
+
+
+@dataclass
+class TimingReport:
+    """Result of one STA run."""
+
+    critical_delay: float
+    critical_path: list[int] = field(default_factory=list)
+    arrival: dict[int, float] = field(default_factory=dict)
+
+    def meets(self, clock_period: float) -> bool:
+        return self.critical_delay <= clock_period + 1e-9
+
+
+def analyze_timing(netlist: MappedNetlist) -> TimingReport:
+    """Compute arrival times and the critical path."""
+    fanout = netlist.fanout_counts()
+    arrival: dict[int, float] = {CONST0_NET: 0.0, CONST1_NET: 0.0}
+    from_net: dict[int, int] = {}
+
+    for net in netlist.pi_nets.values():
+        arrival[net] = 0.0
+    for flop in netlist.flops:
+        arrival[flop.q_net] = flop.cell.delay(fanout[flop.q_net], flop.drive)
+
+    for inst in netlist.topo_instances():
+        cell = netlist.library.cells[inst.cell_name]
+        delay = cell.delay(fanout[inst.output], inst.drive)
+        best_input = max(inst.inputs, key=lambda net: arrival.get(net, 0.0))
+        arrival[inst.output] = arrival.get(best_input, 0.0) + delay
+        from_net[inst.output] = best_input
+
+    worst_delay = 0.0
+    worst_end: int | None = None
+    for net in netlist.po_nets.values():
+        time = arrival.get(net, 0.0)
+        if time > worst_delay:
+            worst_delay, worst_end = time, net
+    for flop in netlist.flops:
+        time = arrival.get(flop.d_net, 0.0) + flop.cell.setup
+        if time > worst_delay:
+            worst_delay, worst_end = time, flop.d_net
+
+    path: list[int] = []
+    net = worst_end
+    while net is not None:
+        path.append(net)
+        net = from_net.get(net)
+    path.reverse()
+    return TimingReport(worst_delay, path, arrival)

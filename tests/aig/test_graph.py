@@ -1,0 +1,170 @@
+"""Unit tests for the AIG data structure."""
+
+import pytest
+
+from repro.aig.graph import AIG, CONST0, CONST1, lit_compl, lit_node, lit_sign
+
+
+def test_literal_helpers():
+    assert lit_node(7) == 3
+    assert lit_sign(7) == 1
+    assert lit_compl(6) == 7
+    assert lit_compl(7) == 6
+
+
+def test_constant_folding_rules():
+    aig = AIG()
+    a = aig.add_pi("a")
+    assert aig.and_(a, CONST0) == CONST0
+    assert aig.and_(CONST0, a) == CONST0
+    assert aig.and_(a, CONST1) == a
+    assert aig.and_(CONST1, a) == a
+    assert aig.and_(a, a) == a
+    assert aig.and_(a, lit_compl(a)) == CONST0
+    assert aig.num_ands == 0
+
+
+def test_structural_hashing_dedupes():
+    aig = AIG()
+    a = aig.add_pi("a")
+    b = aig.add_pi("b")
+    n1 = aig.and_(a, b)
+    n2 = aig.and_(b, a)
+    assert n1 == n2
+    assert aig.num_ands == 1
+
+
+def test_derived_ops_truth():
+    aig = AIG()
+    a = aig.add_pi("a")
+    b = aig.add_pi("b")
+    aig.add_po("and", aig.and_(a, b))
+    aig.add_po("or", aig.or_(a, b))
+    aig.add_po("xor", aig.xor(a, b))
+    aig.add_po("xnor", aig.xnor(a, b))
+    node_a, node_b = aig.pis
+    for va in (0, 1):
+        for vb in (0, 1):
+            pos, _ = aig.evaluate({node_a: va, node_b: vb})
+            assert pos["and"] == (va & vb)
+            assert pos["or"] == (va | vb)
+            assert pos["xor"] == (va ^ vb)
+            assert pos["xnor"] == 1 - (va ^ vb)
+
+
+def test_mux_folds_equal_branches():
+    aig = AIG()
+    s = aig.add_pi("s")
+    a = aig.add_pi("a")
+    assert aig.mux(s, a, a) == a
+    assert aig.mux(CONST1, a, s) == a
+    assert aig.mux(CONST0, a, s) == s
+
+
+def test_bit_parallel_evaluation():
+    aig = AIG()
+    a = aig.add_pi("a")
+    b = aig.add_pi("b")
+    aig.add_po("f", aig.and_(a, lit_compl(b)))
+    node_a, node_b = aig.pis
+    pos, _ = aig.evaluate({node_a: 0b1100, node_b: 0b1010}, width=4)
+    assert pos["f"] == 0b0100
+
+
+def test_latch_roundtrip():
+    aig = AIG()
+    a = aig.add_pi("a")
+    q = aig.add_latch("q", reset_kind="sync", reset_value=1)
+    aig.set_latch_next(q, aig.xor(q, a))
+    aig.add_po("out", q)
+    latch = aig.latches[0]
+    assert latch.reset_kind == "sync"
+    assert latch.reset_value == 1
+    # Latch defaults to its reset value when no state is supplied.
+    pos, nxt = aig.evaluate({aig.pis[0]: 1})
+    assert pos["out"] == 1
+    assert nxt["q"] == 0
+
+
+def test_latch_validation():
+    aig = AIG()
+    a = aig.add_pi("a")
+    with pytest.raises(ValueError):
+        aig.set_latch_next(a, CONST0)
+    with pytest.raises(ValueError):
+        aig.add_latch("bad", reset_kind="falling")
+    q = aig.add_latch("q")
+    with pytest.raises(ValueError):
+        aig.set_latch_next(lit_compl(q), CONST0)
+
+
+def test_topo_order_respects_dependencies():
+    aig = AIG()
+    a = aig.add_pi("a")
+    b = aig.add_pi("b")
+    c = aig.add_pi("c")
+    ab = aig.and_(a, b)
+    abc = aig.and_(ab, c)
+    aig.add_po("f", abc)
+    order = aig.topo_order()
+    assert order.index(lit_node(ab)) < order.index(lit_node(abc))
+
+
+def test_support():
+    aig = AIG()
+    a = aig.add_pi("a")
+    b = aig.add_pi("b")
+    aig.add_pi("unused")
+    f = aig.and_(a, b)
+    assert aig.support(f) == {lit_node(a), lit_node(b)}
+
+
+def test_depth_and_levels():
+    aig = AIG()
+    a = aig.add_pi("a")
+    b = aig.add_pi("b")
+    c = aig.add_pi("c")
+    f = aig.and_(aig.and_(a, b), c)
+    aig.add_po("f", f)
+    assert aig.depth() == 2
+
+
+def test_cleanup_drops_dangling():
+    aig = AIG()
+    a = aig.add_pi("a")
+    b = aig.add_pi("b")
+    aig.and_(a, b)  # dangling
+    keep = aig.or_(a, b)
+    aig.add_po("f", keep)
+    compact, _ = aig.cleanup()
+    assert compact.num_ands == 1
+    assert compact.pi_names == ["a", "b"]
+
+
+def test_cleanup_preserves_function():
+    aig = AIG()
+    a = aig.add_pi("a")
+    b = aig.add_pi("b")
+    q = aig.add_latch("q")
+    aig.set_latch_next(q, aig.xor(q, aig.and_(a, b)))
+    aig.add_po("f", aig.or_(q, a))
+    compact, _ = aig.cleanup()
+    for va in (0, 1):
+        for vb in (0, 1):
+            for vq in (0, 1):
+                old_po, old_next = aig.evaluate(
+                    {aig.pis[0]: va, aig.pis[1]: vb},
+                    {aig.latches[0].node: vq},
+                )
+                new_po, new_next = compact.evaluate(
+                    {compact.pis[0]: va, compact.pis[1]: vb},
+                    {compact.latches[0].node: vq},
+                )
+                assert old_po == new_po
+                assert old_next == new_next
+
+
+def test_check_lit_rejects_unknown():
+    aig = AIG()
+    with pytest.raises(ValueError):
+        aig.add_po("f", 99)

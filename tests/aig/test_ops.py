@@ -1,0 +1,143 @@
+"""Unit tests for word-level AIG helpers."""
+
+import random
+
+import pytest
+
+from repro.aig import ops
+from repro.aig.graph import AIG, CONST0, CONST1
+
+from tests.helpers import eval_lits, make_word, pi_assign
+
+
+def test_const_word_and_value():
+    word = ops.const_word(0b1011, 4)
+    assert word == [CONST1, CONST1, CONST0, CONST1]
+    assert ops.word_value(word) == 0b1011
+
+
+def test_word_value_of_symbolic_is_none():
+    aig = AIG()
+    a = aig.add_pi("a")
+    assert ops.word_value([CONST1, a]) is None
+
+
+def test_bitwise_ops_random():
+    rng = random.Random(3)
+    aig = AIG()
+    a = make_word(aig, "a", 6)
+    b = make_word(aig, "b", 6)
+    and_w = ops.and_word(aig, a, b)
+    or_w = ops.or_word(aig, a, b)
+    xor_w = ops.xor_word(aig, a, b)
+    not_w = ops.not_word(a)
+    for _ in range(16):
+        va = rng.getrandbits(6)
+        vb = rng.getrandbits(6)
+        pis = pi_assign(a, va) | pi_assign(b, vb)
+        assert eval_lits(aig, and_w, pis) == (va & vb)
+        assert eval_lits(aig, or_w, pis) == (va | vb)
+        assert eval_lits(aig, xor_w, pis) == (va ^ vb)
+        assert eval_lits(aig, not_w, pis) == (~va) & 0x3F
+
+
+def test_width_mismatch_raises():
+    aig = AIG()
+    a = make_word(aig, "a", 2)
+    b = make_word(aig, "b", 3)
+    with pytest.raises(ValueError):
+        ops.and_word(aig, a, b)
+
+
+def test_reductions():
+    aig = AIG()
+    a = make_word(aig, "a", 5)
+    all_and = ops.reduce_and(aig, a)
+    any_or = ops.reduce_or(aig, a)
+    assert ops.reduce_and(aig, []) == CONST1
+    assert ops.reduce_or(aig, []) == CONST0
+    for value in (0, 0b11111, 0b10101):
+        pis = pi_assign(a, value)
+        assert eval_lits(aig, [all_and], pis) == (1 if value == 0b11111 else 0)
+        assert eval_lits(aig, [any_or], pis) == (1 if value else 0)
+
+
+def test_eq_const_and_eq_word():
+    aig = AIG()
+    a = make_word(aig, "a", 4)
+    b = make_word(aig, "b", 4)
+    eq9 = ops.eq_const(aig, a, 9)
+    eq_ab = ops.eq_word(aig, a, b)
+    for va in (0, 9, 15):
+        for vb in (0, 9, 13):
+            pis = pi_assign(a, va) | pi_assign(b, vb)
+            assert eval_lits(aig, [eq9], pis) == (1 if va == 9 else 0)
+            assert eval_lits(aig, [eq_ab], pis) == (1 if va == vb else 0)
+
+
+def test_add_and_increment():
+    rng = random.Random(9)
+    aig = AIG()
+    a = make_word(aig, "a", 5)
+    b = make_word(aig, "b", 5)
+    total = ops.add_words(aig, a, b)
+    plus3 = ops.increment(aig, a, 3)
+    for _ in range(20):
+        va = rng.getrandbits(5)
+        vb = rng.getrandbits(5)
+        pis = pi_assign(a, va) | pi_assign(b, vb)
+        assert eval_lits(aig, total, pis) == (va + vb) & 0x1F
+        assert eval_lits(aig, plus3, pis) == (va + 3) & 0x1F
+
+
+def test_onehot_decode():
+    aig = AIG()
+    a = make_word(aig, "a", 3)
+    hot = ops.onehot_decode(aig, a)
+    assert len(hot) == 8
+    for value in range(8):
+        assert eval_lits(aig, hot, pi_assign(a, value)) == 1 << value
+    with pytest.raises(ValueError):
+        ops.onehot_decode(aig, a, num_outputs=9)
+
+
+def test_table_read_constant_table_folds():
+    """Reading a constant table partially evaluates to pure logic."""
+    aig = AIG()
+    addr = make_word(aig, "addr", 3)
+    contents = [3, 1, 4, 1, 5, 9, 2, 6]
+    rows = [ops.const_word(value, 4) for value in contents]
+    data = ops.table_read(aig, addr, rows)
+    for address, expected in enumerate(contents):
+        assert eval_lits(aig, data, pi_assign(addr, address)) == expected
+
+
+def test_table_read_validates():
+    aig = AIG()
+    addr = make_word(aig, "addr", 1)
+    with pytest.raises(ValueError):
+        ops.table_read(aig, addr, [])
+    with pytest.raises(ValueError):
+        ops.table_read(aig, addr, [ops.const_word(0, 2), ops.const_word(0, 3)])
+    with pytest.raises(ValueError):
+        ops.table_read(aig, addr, [ops.const_word(0, 1)] * 3)
+
+
+def test_table_read_short_table_pads_with_zero():
+    aig = AIG()
+    addr = make_word(aig, "addr", 2)
+    rows = [ops.const_word(v, 2) for v in [1, 2, 3]]
+    data = ops.table_read(aig, addr, rows)
+    assert eval_lits(aig, data, pi_assign(addr, 3)) == 0
+
+
+def test_from_truth_table():
+    rng = random.Random(17)
+    aig = AIG()
+    inputs = make_word(aig, "x", 4)
+    for _ in range(10):
+        table = rng.getrandbits(16)
+        lit = ops.from_truth_table(aig, table, inputs)
+        for minterm in range(16):
+            pis = pi_assign(inputs, minterm)
+            assert eval_lits(aig, [lit], pis) == (table >> minterm) & 1

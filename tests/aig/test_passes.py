@@ -1,0 +1,145 @@
+"""Unit tests for AIG optimization passes (balance, sweep, rewrite, cuts)."""
+
+import random
+
+from repro.aig import balance, enumerate_cuts, rewrite
+from repro.aig.graph import AIG, lit_compl
+from repro.aig.rewrite import tt_sweep
+from repro.aig import ops
+
+from tests.helpers import eval_lits, make_word, pi_assign
+
+
+def random_aig(rng, num_inputs=6, num_nodes=40, num_outputs=4):
+    aig = AIG()
+    inputs = make_word(aig, "x", num_inputs)
+    pool = list(inputs)
+    for _ in range(num_nodes):
+        a = rng.choice(pool) ^ rng.randint(0, 1)
+        b = rng.choice(pool) ^ rng.randint(0, 1)
+        pool.append(aig.and_(a, b))
+    for index in range(num_outputs):
+        aig.add_po(f"f{index}", rng.choice(pool) ^ rng.randint(0, 1))
+    return aig, inputs
+
+
+def outputs_on_all_inputs(aig, inputs, num_inputs):
+    results = []
+    lits = [lit for _, lit in aig.pos]
+    for value in range(1 << num_inputs):
+        results.append(eval_lits(aig, lits, pi_assign(inputs, value)))
+    return results
+
+
+def check_pass_preserves_function(pass_fn, seed):
+    rng = random.Random(seed)
+    aig, inputs = random_aig(rng)
+    before = outputs_on_all_inputs(aig, inputs, 6)
+    optimized = pass_fn(aig)
+    new_inputs = [node << 1 for node in optimized.pis]
+    after = outputs_on_all_inputs(optimized, new_inputs, 6)
+    assert before == after
+
+
+def test_balance_preserves_function():
+    for seed in range(5):
+        check_pass_preserves_function(balance, seed)
+
+
+def test_balance_reduces_chain_depth():
+    aig = AIG()
+    xs = make_word(aig, "x", 16)
+    acc = xs[0]
+    for lit in xs[1:]:
+        acc = aig.and_(acc, lit)
+    aig.add_po("f", acc)
+    assert aig.depth() == 15
+    balanced = balance(aig)
+    assert balanced.depth() == 4
+
+
+def test_tt_sweep_preserves_function():
+    for seed in range(5):
+        check_pass_preserves_function(tt_sweep, seed + 100)
+
+
+def test_tt_sweep_merges_equivalent_structures():
+    aig = AIG()
+    a = aig.add_pi("a")
+    b = aig.add_pi("b")
+    c = aig.add_pi("c")
+    # (a & b) & c and a & (b & c) are structurally different but equal.
+    left = aig.and_(aig.and_(a, b), c)
+    right = aig.and_(a, aig.and_(b, c))
+    aig.add_po("l", left)
+    aig.add_po("r", right)
+    swept = tt_sweep(aig)
+    (_, l_lit), (_, r_lit) = swept.pos
+    assert l_lit == r_lit
+
+
+def test_tt_sweep_finds_constants():
+    aig = AIG()
+    a = aig.add_pi("a")
+    b = aig.add_pi("b")
+    # (a | b) | (~a & ~b) is a tautology the strash rules cannot see.
+    tautology = aig.or_(aig.or_(a, b), aig.and_(lit_compl(a), lit_compl(b)))
+    aig.add_po("t", tautology)
+    swept = tt_sweep(aig)
+    assert swept.pos[0][1] == 1
+    assert swept.num_ands == 0
+
+
+def test_tt_sweep_collapses_redundant_mux_tree():
+    """A mux tree whose leaves mostly agree collapses (partial evaluation)."""
+    aig = AIG()
+    addr = make_word(aig, "addr", 4)
+    rows = [ops.const_word(0b01, 2) for _ in range(16)]
+    rows[3] = ops.const_word(0b10, 2)
+    data = ops.table_read(aig, addr, rows)
+    aig.add_po("d0", data[0])
+    aig.add_po("d1", data[1])
+    swept = tt_sweep(aig)
+    # d1 = (addr == 3), d0 = ~(addr == 3): complement sharing applies.
+    assert swept.num_ands <= 4
+
+
+def test_rewrite_preserves_function():
+    for seed in range(5):
+        check_pass_preserves_function(rewrite, seed + 200)
+
+
+def test_rewrite_does_not_blow_up():
+    rng = random.Random(5)
+    aig, _ = random_aig(rng, num_inputs=8, num_nodes=120, num_outputs=6)
+    cleaned, _ = aig.cleanup()
+    rewritten = rewrite(cleaned)
+    assert rewritten.num_ands <= cleaned.num_ands + 2
+
+
+def test_cut_enumeration_tables_match_simulation():
+    rng = random.Random(11)
+    aig, inputs = random_aig(rng, num_inputs=5, num_nodes=30, num_outputs=2)
+    cuts = enumerate_cuts(aig, k=4)
+    for node in aig.topo_order():
+        for cut in cuts[node]:
+            if not cut.leaves:
+                continue
+            # Check the cut table against direct evaluation for each
+            # assignment of the leaves that is achievable from the PIs.
+            for value in range(1 << 5):
+                pis = pi_assign(inputs, value)
+                leaf_vals = eval_lits(aig, [leaf << 1 for leaf in cut.leaves], pis)
+                node_val = eval_lits(aig, [node << 1], pis)
+                assert (cut.table >> leaf_vals) & 1 == node_val
+
+
+def test_cuts_include_trivial_cut():
+    aig = AIG()
+    a = aig.add_pi("a")
+    b = aig.add_pi("b")
+    f = aig.and_(a, b)
+    aig.add_po("f", f)
+    cuts = enumerate_cuts(aig)
+    node = f >> 1
+    assert any(cut.leaves == (node,) for cut in cuts[node])

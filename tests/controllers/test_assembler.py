@@ -1,0 +1,152 @@
+"""Unit tests for the microprogram assembler and dispatch tables."""
+
+import pytest
+
+from repro.controllers.assembler import Program
+from repro.controllers.dispatch import DispatchTable
+from repro.controllers.microcode import MicrocodeFormat, SeqOp
+
+
+def make_format():
+    return MicrocodeFormat.horizontal(
+        ("cmd", ["read", "write"]),
+        ("unit", ["p0", "p1"]),
+    )
+
+
+def simple_program():
+    fmt = make_format()
+    prog = Program(fmt, conditions=["ready", "last"])
+    prog.label("idle")
+    prog.inst(seq=SeqOp.BRANCH, target="go", condition="ready")
+    prog.inst(seq=SeqOp.JUMP, target="idle")
+    prog.label("go")
+    prog.inst(cmd="read", unit="p0")
+    prog.inst(cmd="write", unit="p1", seq=SeqOp.JUMP, target="idle")
+    return prog
+
+
+def test_assemble_resolves_labels():
+    image = simple_program().assemble()
+    assert image.labels == {"idle": 0, "go": 2}
+    assert image.length == 4
+    assert image.addr_bits == 2
+    # Branch at address 0 targets 'go' = 2 with condition 0 ('ready').
+    assert image.seq_words[0] == (int(SeqOp.BRANCH), 0, 2)
+    assert image.seq_words[3] == (int(SeqOp.JUMP), 0, 0)
+
+
+def test_instruction_words_layout():
+    image = simple_program().assemble(addr_bits=3, cond_bits=2)
+    fmt_width = image.format.width
+    words = image.instruction_words()
+    # Word 2: cmd=read (1), unit=p0 (1), NEXT.
+    control = words[2] & ((1 << fmt_width) - 1)
+    assert image.format.unpack(control) == {"cmd": 1, "unit": 1}
+    seq_op = (words[2] >> fmt_width) & 0b11
+    assert seq_op == int(SeqOp.NEXT)
+    assert image.word_width == fmt_width + 2 + 2 + 3
+
+
+def test_empty_program_rejected():
+    with pytest.raises(ValueError):
+        Program(make_format()).assemble()
+
+
+def test_undefined_label_rejected():
+    prog = Program(make_format())
+    prog.inst(seq=SeqOp.JUMP, target="nowhere")
+    with pytest.raises(KeyError):
+        prog.assemble()
+
+
+def test_duplicate_label_rejected():
+    prog = Program(make_format())
+    prog.label("a")
+    with pytest.raises(ValueError):
+        prog.label("a")
+
+
+def test_target_rules():
+    prog = Program(make_format())
+    with pytest.raises(ValueError):
+        prog.inst(seq=SeqOp.JUMP)  # missing target
+    with pytest.raises(ValueError):
+        prog.inst(seq=SeqOp.NEXT, target=3)  # spurious target
+
+
+def test_program_too_long_for_address_space():
+    prog = Program(make_format())
+    for _ in range(5):
+        prog.inst()
+    with pytest.raises(ValueError):
+        prog.assemble(addr_bits=2)
+
+
+def test_unknown_condition_rejected():
+    prog = Program(make_format(), conditions=["ready"])
+    prog.inst(seq=SeqOp.BRANCH, target=0, condition="bogus")
+    with pytest.raises(KeyError):
+        prog.assemble()
+
+
+def test_reachability_follows_control_flow():
+    fmt = make_format()
+    prog = Program(fmt)
+    prog.label("start")
+    prog.inst()  # 0 -> 1
+    prog.inst(seq=SeqOp.JUMP, target="end")  # 1 -> 3
+    prog.inst(cmd="read")  # 2: dead code
+    prog.label("end")
+    prog.inst(seq=SeqOp.JUMP, target="start")  # 3 -> 0
+    image = prog.assemble()
+    assert image.reachable_addresses() == (0, 1, 3)
+
+
+def test_reachability_through_dispatch_and_pinning():
+    fmt = make_format()
+    table = DispatchTable("disp", opcode_bits=2, default="idle")
+    table.set(1, "fast")
+    table.set(2, "slow")
+    prog = Program(fmt)
+    prog.label("idle")
+    prog.inst(seq=SeqOp.DISPATCH)  # 0
+    prog.label("fast")
+    prog.inst(seq=SeqOp.JUMP, target="idle")  # 1
+    prog.label("slow")
+    prog.inst(cmd="read")  # 2
+    prog.inst(seq=SeqOp.JUMP, target="idle")  # 3
+    image = prog.assemble(dispatch=table)
+    # All opcodes allowed: everything reachable.
+    assert image.reachable_addresses() == (0, 1, 2, 3)
+    # Pinned to opcode 1 only: the slow path is unreachable.
+    assert image.reachable_addresses(opcodes=[0, 1]) == (0, 1)
+
+
+def test_dispatch_validation():
+    with pytest.raises(ValueError):
+        DispatchTable("d", 1, entries={5: "x"})
+    table = DispatchTable("d", 1)
+    with pytest.raises(ValueError):
+        table.set(2, "x")
+    table.set(0, "missing")
+    with pytest.raises(KeyError):
+        table.resolve({})
+    table2 = DispatchTable("d2", 1, default="nope")
+    with pytest.raises(KeyError):
+        table2.resolve({})
+
+
+def test_dispatch_rows_without_table_raises():
+    image = simple_program().assemble()
+    with pytest.raises(ValueError):
+        image.dispatch_rows()
+
+
+def test_listing_mentions_labels_and_ops():
+    image = simple_program().assemble()
+    listing = image.listing()
+    assert "idle:" in listing
+    assert "go:" in listing
+    assert "BRANCH" in listing
+    assert "cmd=read" in listing

@@ -1,0 +1,80 @@
+"""Unit tests for FSM specs and random generation."""
+
+import random
+
+import pytest
+
+from repro.controllers.fsm import FsmSpec
+from repro.controllers.fsm_random import random_fsm
+
+
+def tiny_spec():
+    return FsmSpec(
+        "toggle",
+        num_inputs=1,
+        num_outputs=1,
+        num_states=2,
+        reset_state=0,
+        next_state=[[0, 1], [1, 0]],
+        output=[[0, 0], [1, 1]],
+    )
+
+
+def test_spec_validation_passes_for_wellformed():
+    spec = tiny_spec()
+    assert spec.state_bits == 1
+    assert spec.table_address_bits == 2
+
+
+def test_spec_validation_catches_errors():
+    with pytest.raises(ValueError):
+        FsmSpec("bad", 1, 1, 1, 0, [[0, 0]], [[0, 0]])  # one state
+    with pytest.raises(ValueError):
+        FsmSpec("bad", 1, 1, 2, 5, [[0, 0], [0, 0]], [[0, 0], [0, 0]])
+    with pytest.raises(ValueError):
+        FsmSpec("bad", 1, 1, 2, 0, [[0, 0]], [[0, 0], [0, 0]])  # short table
+    with pytest.raises(ValueError):
+        FsmSpec("bad", 1, 1, 2, 0, [[0, 7], [0, 0]], [[0, 0], [0, 0]])
+    with pytest.raises(ValueError):
+        FsmSpec("bad", 1, 1, 2, 0, [[0, 0], [0]], [[0, 0], [0, 0]])
+
+
+def test_step_and_run():
+    spec = tiny_spec()
+    assert spec.step(0, 1) == (1, 0)
+    assert spec.step(1, 0) == (1, 1)
+    outputs = spec.run([1, 0, 1, 1])
+    assert outputs == [0, 1, 1, 0]
+
+
+def test_trace_reports_states():
+    spec = tiny_spec()
+    trace = spec.trace([1, 1, 1])
+    assert [s for s, _ in trace] == [0, 1, 0]
+
+
+def test_state_bits_for_odd_counts():
+    spec = random_fsm(2, 2, 3, random.Random(0))
+    assert spec.state_bits == 2
+    spec17 = random_fsm(2, 2, 17, random.Random(0))
+    assert spec17.state_bits == 5
+
+
+def test_reachability_of_random_fsms():
+    rng = random.Random(7)
+    for s in (2, 3, 8, 16, 17):
+        for m in (2, 8):
+            spec = random_fsm(m, 4, s, rng)
+            assert spec.reachable_states() == tuple(range(s))
+
+
+def test_random_fsm_reproducible():
+    a = random_fsm(3, 5, 6, random.Random(42))
+    b = random_fsm(3, 5, 6, random.Random(42))
+    assert a.next_state == b.next_state
+    assert a.output == b.output
+
+
+def test_random_fsm_needs_two_states():
+    with pytest.raises(ValueError):
+        random_fsm(2, 2, 1, random.Random(0))

@@ -1,0 +1,100 @@
+"""Unit tests for microinstruction formats and fields."""
+
+import pytest
+
+from repro.controllers.microcode import Field, MicrocodeFormat, SeqOp
+
+
+def test_seqop_values_are_stable():
+    # The hardware encodes these in 2 bits; the values are part of the ABI.
+    assert int(SeqOp.NEXT) == 0
+    assert int(SeqOp.JUMP) == 1
+    assert int(SeqOp.BRANCH) == 2
+    assert int(SeqOp.DISPATCH) == 3
+
+
+def test_field_encode_symbol_int_none():
+    field = Field("cmd", 2, {"read": 1, "write": 2})
+    assert field.encode("read") == 1
+    assert field.encode(3) == 3
+    assert field.encode(None) == 0
+    with pytest.raises(KeyError):
+        field.encode("erase")
+    with pytest.raises(ValueError):
+        field.encode(4)
+
+
+def test_field_validation():
+    with pytest.raises(ValueError):
+        Field("bad", 0)
+    with pytest.raises(ValueError):
+        Field("bad", 1, {"big": 2})
+
+
+def test_field_decode():
+    field = Field("cmd", 2, {"read": 1, "write": 2})
+    assert field.decode(1) == "read"
+    assert field.decode(3) == 3
+
+
+def test_horizontal_format_is_onehot():
+    fmt = MicrocodeFormat.horizontal(
+        ("cmd", ["read", "write", "sync"]),
+        ("unit", ["p0", "p1"]),
+    )
+    assert fmt.width == 5
+    cmd = fmt.field("cmd")
+    assert cmd.onehot
+    assert cmd.values == {"read": 1, "write": 2, "sync": 4}
+
+
+def test_vertical_format_is_binary():
+    fmt = MicrocodeFormat.vertical(
+        ("cmd", ["read", "write", "sync"]),
+        ("unit", ["p0", "p1"]),
+    )
+    # 3 symbols + idle need 2 bits; 2 symbols + idle need 2 bits.
+    assert fmt.field("cmd").width == 2
+    assert fmt.field("unit").width == 2
+    assert fmt.width == 4
+    assert not fmt.field("cmd").onehot
+
+
+def test_pack_unpack_roundtrip():
+    fmt = MicrocodeFormat.horizontal(
+        ("cmd", ["read", "write"]),
+        ("unit", ["p0", "p1", "p2"]),
+    )
+    word = fmt.pack(cmd="write", unit="p2")
+    assert fmt.unpack(word) == {"cmd": 2, "unit": 4}
+    assert fmt.pack() == 0  # all idle
+
+
+def test_pack_rejects_unknown_fields():
+    fmt = MicrocodeFormat.horizontal(("cmd", ["read"]))
+    with pytest.raises(KeyError):
+        fmt.pack(cmd="read", bogus=1)
+
+
+def test_format_offsets():
+    fmt = MicrocodeFormat.horizontal(
+        ("a", ["x", "y"]),
+        ("b", ["z"]),
+    )
+    assert fmt.offset("a") == 0
+    assert fmt.offset("b") == 2
+    with pytest.raises(KeyError):
+        fmt.offset("c")
+    with pytest.raises(KeyError):
+        fmt.field("c")
+
+
+def test_duplicate_field_names_rejected():
+    with pytest.raises(ValueError):
+        MicrocodeFormat.horizontal(("a", ["x"]), ("a", ["y"]))
+
+
+def test_describe_is_symbolic():
+    fmt = MicrocodeFormat.horizontal(("cmd", ["read", "write"]))
+    text = fmt.describe(fmt.pack(cmd="read"))
+    assert "cmd=read" in text

@@ -1,0 +1,162 @@
+"""Unit tests for the microcode sequencer generator."""
+
+import pytest
+
+from repro.controllers.assembler import Program
+from repro.controllers.dispatch import DispatchTable
+from repro.controllers.microcode import MicrocodeFormat, SeqOp
+from repro.controllers.sequencer import SequencerSpec, generate_sequencer
+from repro.sim.rtlsim import Simulator
+
+
+def make_format():
+    return MicrocodeFormat.horizontal(
+        ("cmd", ["read", "write"]),
+        ("unit", ["p0", "p1"]),
+    )
+
+
+def transfer_program(fmt):
+    """idle -> (on go) read p0, read p1, write p0, loop to idle."""
+    prog = Program(fmt, conditions=["go", "stall"])
+    prog.label("idle")
+    prog.inst(seq=SeqOp.BRANCH, target="xfer", condition="go")
+    prog.inst(seq=SeqOp.JUMP, target="idle")
+    prog.label("xfer")
+    prog.inst(cmd="read", unit="p0")
+    prog.inst(cmd="read", unit="p1")
+    prog.inst(cmd="write", unit="p0", seq=SeqOp.JUMP, target="idle")
+    return prog.assemble(addr_bits=3)
+
+
+def test_spec_validation():
+    fmt = make_format()
+    with pytest.raises(ValueError):
+        SequencerSpec("s", fmt, addr_bits=0)
+    with pytest.raises(ValueError):
+        SequencerSpec("s", fmt, addr_bits=3, num_conditions=0)
+    with pytest.raises(ValueError):
+        SequencerSpec("s", fmt, addr_bits=3, cond_bits=1, num_conditions=3)
+
+
+def test_bound_sequencer_needs_program():
+    spec = SequencerSpec("s", make_format(), addr_bits=3)
+    with pytest.raises(ValueError):
+        generate_sequencer(spec)
+
+
+def test_spec_program_agreement_checked():
+    fmt = make_format()
+    image = transfer_program(fmt)
+    bad_spec = SequencerSpec("s", fmt, addr_bits=4)
+    with pytest.raises(ValueError):
+        generate_sequencer(bad_spec, image)
+
+
+def test_bound_sequencer_executes_program():
+    fmt = make_format()
+    image = transfer_program(fmt)
+    spec = SequencerSpec(
+        "xfer_ctrl", fmt, addr_bits=3, num_conditions=2, expose_upc=True
+    )
+    gen = generate_sequencer(spec, image)
+    sim = Simulator(gen.module)
+
+    # Hold go low: sits in the idle loop, no commands.
+    for _ in range(4):
+        out = sim.step({"cond": 0})
+        assert out["ctl_cmd"] == 0
+        assert out["upc_out"] in (0, 1)
+
+    # Raise go: branch to xfer and run the three transfer steps.
+    out = sim.step({"cond": 0b01})  # go=1: branch taken this cycle
+    cmds = []
+    for _ in range(3):
+        out = sim.step({"cond": 0})
+        cmds.append((out["ctl_cmd"], out["ctl_unit"]))
+    read = fmt.field("cmd").values["read"]
+    write = fmt.field("cmd").values["write"]
+    p0 = fmt.field("unit").values["p0"]
+    p1 = fmt.field("unit").values["p1"]
+    assert cmds == [(read, p0), (read, p1), (write, p0)]
+    # Back to idle.
+    assert sim.step({"cond": 0})["upc_out"] in (0, 1)
+
+
+def test_upc_annotation_from_reachability():
+    fmt = make_format()
+    image = transfer_program(fmt)
+    spec = SequencerSpec("s", fmt, addr_bits=3, num_conditions=2)
+    gen = generate_sequencer(spec, image)
+    assert gen.upc_annotation is not None
+    assert gen.upc_annotation.reg_name == "upc"
+    assert gen.upc_annotation.values == (0, 1, 2, 3, 4)
+
+
+def test_dispatch_sequencer():
+    fmt = make_format()
+    table = DispatchTable("d", opcode_bits=2, default="idle")
+    table.set(1, "rd")
+    table.set(2, "wr")
+    prog = Program(fmt)
+    prog.label("idle")
+    prog.inst(seq=SeqOp.DISPATCH)
+    prog.label("rd")
+    prog.inst(cmd="read", seq=SeqOp.JUMP, target="idle")
+    prog.label("wr")
+    prog.inst(cmd="write", seq=SeqOp.JUMP, target="idle")
+    image = prog.assemble(addr_bits=2, dispatch=table)
+
+    spec = SequencerSpec("disp_ctrl", fmt, addr_bits=2, opcode_bits=2)
+    gen = generate_sequencer(spec, image)
+    sim = Simulator(gen.module)
+    read = fmt.field("cmd").values["read"]
+    write = fmt.field("cmd").values["write"]
+
+    sim.step({"op": 1})  # dispatch consumes the opcode
+    assert sim.step({"op": 0})["ctl_cmd"] == read
+    sim.step({"op": 2})  # back at idle, dispatch to wr
+    assert sim.step({"op": 0})["ctl_cmd"] == write
+    # Unmapped opcode falls back to idle.
+    sim.step({"op": 3})
+    assert sim.step({"op": 0})["ctl_cmd"] == 0
+
+
+def test_pinned_annotation_excludes_unused_paths():
+    fmt = make_format()
+    table = DispatchTable("d", opcode_bits=2, default="idle")
+    table.set(1, "rd")
+    table.set(2, "wr")
+    prog = Program(fmt)
+    prog.label("idle")
+    prog.inst(seq=SeqOp.DISPATCH)
+    prog.label("rd")
+    prog.inst(cmd="read", seq=SeqOp.JUMP, target="idle")
+    prog.label("wr")
+    prog.inst(cmd="write", seq=SeqOp.JUMP, target="idle")
+    image = prog.assemble(addr_bits=2, dispatch=table)
+    spec = SequencerSpec("s", fmt, addr_bits=2, opcode_bits=2)
+    full = generate_sequencer(spec, image)
+    pinned = generate_sequencer(spec, image, annotation_opcodes=[0, 1])
+    assert full.upc_annotation.values == (0, 1, 2)
+    assert pinned.upc_annotation.values == (0, 1)
+
+
+def test_flexible_sequencer_programmable():
+    fmt = make_format()
+    image = transfer_program(fmt)
+    spec = SequencerSpec(
+        "flex", fmt, addr_bits=3, num_conditions=2, flexible=True,
+        expose_upc=True,
+    )
+    gen = generate_sequencer(spec)
+    assert gen.upc_annotation is None
+    sim = Simulator(gen.module)
+    # Program the microcode memory through the write port.
+    for addr, word in enumerate(image.instruction_words()):
+        sim.step({"ucode_we": 1, "ucode_waddr": addr, "ucode_wdata": word})
+    sim.reset()
+    # Same behaviour as the bound version.
+    sim.step({"cond": 0b01})
+    read = fmt.field("cmd").values["read"]
+    assert sim.step({"cond": 0})["ctl_cmd"] == read

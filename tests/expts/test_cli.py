@@ -1,0 +1,25 @@
+"""Tests for the ``python -m repro.expts`` command-line interface."""
+
+import pytest
+
+from repro.expts.__main__ import main
+
+
+def test_cli_runs_fig8_small(tmp_path, capsys):
+    out_file = tmp_path / "run.md"
+    assert main(["fig8", "--scale", "small", "--out", str(out_file)]) == 0
+    captured = capsys.readouterr().out
+    assert "Fig. 8" in captured
+    text = out_file.read_text()
+    assert "Series summary" in text
+    assert "equal-area line" in text
+
+
+def test_cli_rejects_unknown_figure():
+    with pytest.raises(SystemExit):
+        main(["fig99"])
+
+
+def test_cli_rejects_unknown_scale():
+    with pytest.raises(SystemExit):
+        main(["fig8", "--scale", "enormous"])

@@ -1,0 +1,69 @@
+"""Unit tests for experiment infrastructure."""
+
+import math
+
+import pytest
+
+from repro.expts.common import (
+    ExperimentPoint,
+    ExperimentResult,
+    RatioStats,
+    format_table,
+)
+from repro.expts.scatter import render_scatter
+
+
+def test_point_ratio():
+    point = ExperimentPoint("s", 10.0, 15.0)
+    assert point.ratio == 1.5
+    with pytest.raises(ValueError):
+        ExperimentPoint("s", 0.0, 1.0).ratio
+
+
+def test_ratio_stats_geomean():
+    stats = RatioStats.of([0.5, 2.0])
+    assert math.isclose(stats.geomean, 1.0)
+    assert stats.minimum == 0.5
+    assert stats.maximum == 2.0
+    assert stats.count == 2
+
+
+def test_ratio_stats_empty():
+    stats = RatioStats.of([])
+    assert stats.count == 0
+    assert math.isnan(stats.geomean)
+
+
+def test_result_series_and_markdown():
+    result = ExperimentResult("Test", "desc")
+    result.points.append(ExperimentPoint("a", 1.0, 2.0))
+    result.points.append(ExperimentPoint("b", 1.0, 1.0))
+    result.tables["T"] = "x y"
+    result.notes.append("a note")
+    text = result.to_markdown()
+    assert "### Test" in text
+    assert "a note" in text
+    assert "| a | 1 | 2.000" in text
+    assert result.series_names() == ["a", "b"]
+
+
+def test_format_table_alignment():
+    table = format_table(["col", "x"], [["1", "22"], ["333", "4"]])
+    lines = table.splitlines()
+    assert lines[0].startswith("col")
+    assert len(lines) == 4
+
+
+def test_scatter_renders_points_and_diagonal():
+    points = [
+        ExperimentPoint("alpha", 10.0, 10.0),
+        ExperimentPoint("beta", 100.0, 300.0),
+    ]
+    text = render_scatter(points, width=40, height=12, title="demo")
+    assert "demo" in text
+    assert "=" in text
+    assert "alpha" in text and "beta" in text
+
+
+def test_scatter_empty():
+    assert render_scatter([]) == "(no points)"

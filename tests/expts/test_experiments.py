@@ -1,0 +1,75 @@
+"""Integration tests: tiny-scale runs of every figure driver.
+
+These execute the same code paths as the benchmark/EXPERIMENTS runs
+and assert the *shape* properties that define a successful
+reproduction.
+"""
+
+import pytest
+
+from repro.expts.fig5_tables import Fig5Scale, run_fig5
+from repro.expts.fig6_fsm import Fig6Scale, run_fig6
+from repro.expts.fig8_stateprop import Fig8Scale, run_fig8
+
+
+def test_scales_exist():
+    for cls in (Fig5Scale, Fig6Scale, Fig8Scale):
+        for name in ("small", "medium", "paper"):
+            assert cls.named(name)
+        with pytest.raises(ValueError):
+            cls.named("giant")
+
+
+@pytest.fixture(scope="module")
+def fig5():
+    return run_fig5(scale="small")
+
+
+@pytest.fixture(scope="module")
+def fig6():
+    return run_fig6(scale="small")
+
+
+@pytest.fixture(scope="module")
+def fig8():
+    return run_fig8(scale="small")
+
+
+def test_fig5_points_cluster_on_equal_area_line(fig5):
+    stats = fig5.ratio_stats("table-based")
+    assert stats.count >= 9
+    # Partial evaluation makes the table style competitive: the
+    # geomean ratio sits near 1 and no point is wildly off the line.
+    assert 0.7 <= stats.geomean <= 1.3
+    assert stats.maximum <= 2.0
+    assert stats.minimum >= 0.5
+
+
+def test_fig5_produces_tables_and_scatter(fig5):
+    assert "Scatter" in fig5.tables
+    assert "Area per design pair (um^2)" in fig5.tables
+    assert "geomean" in fig5.to_markdown()
+
+
+def test_fig6_annotation_tightens_variance(fig6):
+    regular = fig6.ratio_stats("regular")
+    annotated = fig6.ratio_stats("state annotated")
+    assert regular.count == annotated.count >= 6
+    # Annotated tables track the case style at least as tightly as the
+    # unannotated ones, and stay within a tight band of it.
+    assert annotated.log_spread <= regular.log_spread + 0.05
+    assert annotated.maximum <= max(regular.maximum, 1.3)
+
+
+def test_fig8_shape(fig8):
+    comb = fig8.ratio_stats("comb/regular")
+    assert comb.maximum <= 1.01  # combinational: always ideal
+    plain = fig8.ratio_stats("plain/regular")
+    assert plain.minimum >= 1.1  # flops block state propagation
+    annotated = fig8.ratio_stats("plain/annotated")
+    assert annotated.maximum <= 1.01  # annotation recovers the ideal
+    async_retimed = fig8.ratio_stats("async/retimed")
+    assert async_retimed.minimum >= 1.1  # zero-reset bank cannot move
+    plain_retimed = fig8.ratio_stats("plain/retimed")
+    assert plain_retimed.minimum <= 1.01  # retiming helps sometimes
+    assert plain_retimed.maximum >= 1.1  # ... but not consistently

@@ -1,0 +1,55 @@
+"""Unit tests for the Fig. 7 design builder."""
+
+import pytest
+
+from repro.expts.fig7_design import build_fig7, onehot_values
+from repro.sim.rtlsim import Simulator
+
+
+def test_validation():
+    with pytest.raises(ValueError):
+        build_fig7(3, "comb", direct=False)
+    with pytest.raises(ValueError):
+        build_fig7(4, "weird", direct=False)
+
+
+def test_onehot_values():
+    assert onehot_values(4) == (1, 2, 4, 8)
+
+
+@pytest.mark.parametrize("n", [2, 4, 8])
+def test_generic_and_direct_agree_combinationally(n):
+    """With y one-hot by construction, out == b in both versions."""
+    generic = Simulator(build_fig7(n, "comb", direct=False))
+    direct = Simulator(build_fig7(n, "comb", direct=True))
+    for x in range(n):
+        for b_value in (0, (1 << n) - 1, 0b1010 % (1 << n)):
+            inputs = {"x": x, "a": (1 << n) - 1, "b": b_value}
+            got = generic.step(inputs)
+            want = direct.step(inputs)
+            assert got["out"] == want["out"] == b_value
+            assert got["y_out"] == want["y_out"] == 1 << x
+
+
+def test_flopped_variant_registers_y():
+    module = build_fig7(4, "plain", direct=False)
+    assert "y" in module.regs
+    assert module.regs["y"].reset_kind == "none"
+    sim = Simulator(module)
+    sim.step({"x": 2, "a": 0, "b": 0})
+    out = sim.step({"x": 0, "a": 0, "b": 0})
+    assert out["y_out"] == 1 << 2  # one cycle behind
+
+
+def test_reset_styles():
+    assert build_fig7(4, "sync", direct=False).regs["y"].reset_kind == "sync"
+    assert build_fig7(4, "async", direct=False).regs["y"].reset_kind == "async"
+
+
+def test_generic_mux_selects_a_on_non_onehot_state():
+    """The generic logic is NOT redundant without the one-hot fact."""
+    module = build_fig7(4, "plain", direct=False)
+    sim = Simulator(module)
+    sim.poke_reg("y", 0b0110)  # two adjacent bits: overlap fires
+    out = sim.step({"x": 0, "a": 0xF, "b": 0x0})
+    assert out["out"] == 0xF

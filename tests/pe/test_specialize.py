@@ -1,0 +1,150 @@
+"""Unit tests for the Auto/Manual specialization drivers.
+
+The miniature version of the paper's Fig. 9 methodology, on a
+sequencer small enough for unit tests: Full vs Auto vs Manual.
+"""
+
+import pytest
+
+from repro.controllers.assembler import Program
+from repro.controllers.dispatch import DispatchTable
+from repro.controllers.microcode import MicrocodeFormat, SeqOp
+from repro.controllers.sequencer import SequencerSpec, generate_sequencer
+from repro.pe.annotations import derive_annotations, onehot_annotation
+from repro.pe.specialize import specialize, specialize_manual
+from repro.synth.compiler import DesignCompiler
+from repro.synth.dc_options import CompileOptions
+
+
+def make_sequencer_pair():
+    """A flexible sequencer and a program with a rarely-used path."""
+    fmt = MicrocodeFormat.horizontal(
+        ("cmd", ["read", "write", "sync"]),
+        ("unit", ["p0", "p1"]),
+    )
+    table = DispatchTable("d", opcode_bits=2, default="idle")
+    table.set(1, "short")
+    table.set(2, "long")
+    prog = Program(fmt, conditions=["go"])
+    prog.label("idle")
+    prog.inst(seq=SeqOp.DISPATCH)
+    prog.label("short")
+    prog.inst(cmd="read", unit="p0", seq=SeqOp.JUMP, target="idle")
+    prog.label("long")
+    prog.inst(cmd="read", unit="p0")
+    prog.inst(cmd="read", unit="p1")
+    prog.inst(cmd="sync", unit="p0")
+    prog.inst(cmd="write", unit="p1", seq=SeqOp.JUMP, target="idle")
+    image = prog.assemble(addr_bits=3, dispatch=table)
+
+    flex_spec = SequencerSpec(
+        "seq", fmt, addr_bits=3, num_conditions=1, opcode_bits=2,
+        flexible=True,
+    )
+    flexible = generate_sequencer(flex_spec).module
+    return flexible, image
+
+
+def test_auto_removes_all_config_storage():
+    flexible, image = make_sequencer_pair()
+    compiler = DesignCompiler()
+    full = compiler.compile(flexible)
+    auto = specialize(
+        flexible,
+        {
+            "ucode": image.instruction_words(),
+            "dispatch": image.dispatch_rows(),
+        },
+        compiler=compiler,
+    )
+    # Full keeps the table storage: many flops.  Auto keeps only uPC.
+    assert full.area.sequential > 8 * auto.area.sequential
+    assert auto.area.combinational < full.area.combinational
+    # uPC register: 3 flops.
+    assert auto.netlist.area_report().num_flops == 3
+
+
+def test_manual_beats_auto_when_paths_are_pinned():
+    flexible, image = make_sequencer_pair()
+    compiler = DesignCompiler()
+    bindings = {
+        "ucode": image.instruction_words(),
+        "dispatch": image.dispatch_rows(),
+    }
+    auto = specialize(flexible, bindings, compiler=compiler)
+    # Manual: only opcode 1 (the short path) ever arrives.
+    from repro.synth.dc_options import StateAnnotation
+
+    reachable = image.reachable_addresses(opcodes=[0, 1])
+    manual = specialize_manual(
+        flexible,
+        bindings,
+        pinned={"op": 1},
+        extra_annotations=[StateAnnotation("upc", reachable)],
+        compiler=compiler,
+    )
+    assert manual.area.total < auto.area.total
+
+
+def test_specialized_design_behaves_like_program():
+    flexible, image = make_sequencer_pair()
+    result = specialize(
+        flexible,
+        {
+            "ucode": image.instruction_words(),
+            "dispatch": image.dispatch_rows(),
+        },
+    )
+    from repro.sim.crosscheck import NetlistSim
+
+    sim = NetlistSim(result.netlist)
+    fmt = image.format
+    read = fmt.field("cmd").values["read"]
+    write = fmt.field("cmd").values["write"]
+    sync = fmt.field("cmd").values["sync"]
+    sim.step_words({"op": 2})  # dispatch to 'long'
+    cmds = [sim.step_words({"op": 0})["ctl_cmd"] for _ in range(4)]
+    assert cmds == [read, read, sync, write]
+
+
+def test_derive_annotations_on_bound_design():
+    flexible, image = make_sequencer_pair()
+    from repro.pe.bind import bind_tables
+
+    bound = bind_tables(
+        flexible,
+        {
+            "ucode": image.instruction_words(),
+            "dispatch": image.dispatch_rows(),
+        },
+    )
+    annotations = derive_annotations(bound)
+    by_reg = {a.reg_name: a for a in annotations}
+    assert "upc" in by_reg
+    assert by_reg["upc"].values == (0, 1, 2, 3, 4, 5)
+
+
+def test_derive_annotations_unknown_reg():
+    flexible, _ = make_sequencer_pair()
+    with pytest.raises(ValueError):
+        derive_annotations(flexible, ["ghost"])
+
+
+def test_onehot_annotation():
+    annotation = onehot_annotation("y", 4)
+    assert annotation.values == (1, 2, 4, 8)
+
+
+def test_options_are_threaded_through():
+    flexible, image = make_sequencer_pair()
+    result = specialize(
+        flexible,
+        {
+            "ucode": image.instruction_words(),
+            "dispatch": image.dispatch_rows(),
+        },
+        options=CompileOptions(clock_period_ns=7.5),
+    )
+    assert result.options.clock_period_ns == 7.5
+    # Derived annotation is present in the honoured list.
+    assert any(a.reg_name == "upc" for a in result.honoured_annotations)

@@ -1,0 +1,126 @@
+"""Property-based tests for AIG construction and optimization passes."""
+
+import random
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.aig import balance, rewrite
+from repro.aig.graph import AIG, lit_compl
+from repro.aig.rewrite import tt_sweep
+from repro.aig.tt_util import expand_table, insert_var, project_table, remove_var
+from repro.sat.equiv import check_combinational_equivalence
+from repro.tables.bits import all_ones, tt_support, var_mask
+
+
+@st.composite
+def random_aig_spec(draw):
+    seed = draw(st.integers(min_value=0, max_value=10_000))
+    num_inputs = draw(st.integers(min_value=2, max_value=6))
+    num_nodes = draw(st.integers(min_value=1, max_value=50))
+    return seed, num_inputs, num_nodes
+
+
+def build_random_aig(seed, num_inputs, num_nodes):
+    rng = random.Random(seed)
+    aig = AIG()
+    pool = [aig.add_pi(f"x[{i}]") for i in range(num_inputs)]
+    for _ in range(num_nodes):
+        a = rng.choice(pool) ^ rng.randint(0, 1)
+        b = rng.choice(pool) ^ rng.randint(0, 1)
+        pool.append(aig.and_(a, b))
+    for index in range(3):
+        aig.add_po(f"f{index}", rng.choice(pool) ^ rng.randint(0, 1))
+    return aig
+
+
+@given(random_aig_spec())
+@settings(max_examples=40, deadline=None)
+def test_passes_preserve_equivalence(spec):
+    aig = build_random_aig(*spec)
+    for pass_fn in (balance, tt_sweep, rewrite):
+        optimized = pass_fn(aig)
+        assert check_combinational_equivalence(aig, optimized)
+
+
+@given(random_aig_spec())
+@settings(max_examples=40, deadline=None)
+def test_passes_never_grow_the_graph_much(spec):
+    aig = build_random_aig(*spec)
+    cleaned, _ = aig.cleanup()
+    for pass_fn in (balance, tt_sweep):
+        optimized = pass_fn(cleaned)
+        assert optimized.num_ands <= cleaned.num_ands
+
+
+@given(random_aig_spec())
+@settings(max_examples=30, deadline=None)
+def test_cleanup_idempotent(spec):
+    aig = build_random_aig(*spec)
+    once, _ = aig.cleanup()
+    twice, _ = once.cleanup()
+    assert once.num_ands == twice.num_ands
+
+
+@given(
+    st.integers(min_value=1, max_value=5).flatmap(
+        lambda n: st.tuples(
+            st.just(n),
+            st.integers(min_value=0, max_value=(1 << (1 << n)) - 1),
+            st.integers(min_value=0, max_value=n),
+        )
+    )
+)
+@settings(max_examples=80, deadline=None)
+def test_insert_then_remove_var_roundtrips(args):
+    num_vars, table, position = args
+    grown = insert_var(table, position, num_vars)
+    # The inserted variable is a non-support variable by construction.
+    assert not tt_support(grown, num_vars + 1).count(position)
+    shrunk = remove_var(grown, position, num_vars + 1)
+    assert shrunk == table
+
+
+@given(
+    st.integers(min_value=2, max_value=5).flatmap(
+        lambda n: st.tuples(
+            st.just(n),
+            st.integers(min_value=0, max_value=(1 << (1 << (n - 1))) - 1),
+        )
+    )
+)
+@settings(max_examples=60, deadline=None)
+def test_expand_table_semantics(args):
+    """Expanding onto a superset of leaves preserves the function."""
+    num_vars, table = args
+    from_leaves = tuple(range(0, 2 * (num_vars - 1), 2))  # 0,2,4,...
+    to_leaves = tuple(range(2 * num_vars - 1))  # 0..2n-2
+    expanded = expand_table(table, from_leaves, to_leaves)
+    for minterm in range(1 << len(to_leaves)):
+        source = 0
+        for index, leaf in enumerate(from_leaves):
+            position = to_leaves.index(leaf)
+            if minterm >> position & 1:
+                source |= 1 << index
+        assert (expanded >> minterm) & 1 == (table >> source) & 1
+
+
+@given(st.integers(min_value=1, max_value=6))
+@settings(max_examples=20, deadline=None)
+def test_var_mask_projection(num_vars):
+    for var in range(num_vars):
+        mask = var_mask(var, num_vars)
+        assert tt_support(mask, num_vars) == (var,)
+        assert mask | ~mask & all_ones(num_vars) == all_ones(num_vars)
+
+
+@given(random_aig_spec())
+@settings(max_examples=25, deadline=None)
+def test_project_table_on_swept_nodes(spec):
+    """tt_sweep's normalised tables only mention true support."""
+    aig = build_random_aig(*spec)
+    swept = tt_sweep(aig)
+    assert check_combinational_equivalence(aig, swept)
+    # Sweeping twice changes nothing further.
+    again = tt_sweep(swept)
+    assert again.num_ands == swept.num_ands

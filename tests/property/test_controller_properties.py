@@ -1,0 +1,109 @@
+"""Property-based tests for the controller IRs."""
+
+import random
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.controllers.assembler import Program
+from repro.controllers.fsm_random import random_fsm
+from repro.controllers.fsm_rtl import fsm_to_case_rtl, fsm_to_table_rtl
+from repro.controllers.microcode import MicrocodeFormat, SeqOp
+from repro.sim.rtlsim import Simulator
+
+
+@st.composite
+def fsm_params(draw):
+    m = draw(st.integers(min_value=1, max_value=4))
+    n = draw(st.integers(min_value=1, max_value=6))
+    s = draw(st.integers(min_value=2, max_value=9))
+    seed = draw(st.integers(min_value=0, max_value=9999))
+    return m, n, s, seed
+
+
+@given(fsm_params())
+@settings(max_examples=25, deadline=None)
+def test_fsm_styles_agree_with_spec(params):
+    m, n, s, seed = params
+    spec = random_fsm(m, n, s, random.Random(seed))
+    case_sim = Simulator(fsm_to_case_rtl(spec))
+    table_sim = Simulator(fsm_to_table_rtl(spec))
+    state = spec.reset_state
+    rng = random.Random(seed + 1)
+    for _ in range(24):
+        word = rng.getrandbits(m)
+        expected_state, expected_out = spec.step(state, word)
+        assert case_sim.step({"in": word})["out"] == expected_out
+        assert table_sim.step({"in": word})["out"] == expected_out
+        state = expected_state
+
+
+@given(fsm_params())
+@settings(max_examples=25, deadline=None)
+def test_random_fsm_reaches_every_state(params):
+    m, n, s, seed = params
+    spec = random_fsm(m, n, s, random.Random(seed))
+    assert spec.reachable_states() == tuple(range(s))
+    # Restricting to zero input words reaches at least the reset state.
+    assert spec.reachable_states(allowed_inputs=[]) == (spec.reset_state,)
+
+
+@st.composite
+def format_spec(draw):
+    num_fields = draw(st.integers(min_value=1, max_value=3))
+    fields = []
+    for index in range(num_fields):
+        symbols = draw(
+            st.lists(
+                st.sampled_from(["a", "b", "c", "d", "e", "f"]),
+                min_size=1,
+                max_size=4,
+                unique=True,
+            )
+        )
+        fields.append((f"f{index}", symbols))
+    horizontal = draw(st.booleans())
+    return fields, horizontal
+
+
+@given(format_spec(), st.data())
+@settings(max_examples=50, deadline=None)
+def test_format_pack_unpack_roundtrip(spec, data):
+    fields, horizontal = spec
+    fmt = (
+        MicrocodeFormat.horizontal(*fields)
+        if horizontal
+        else MicrocodeFormat.vertical(*fields)
+    )
+    values = {}
+    for name, symbols in fields:
+        choice = data.draw(st.sampled_from(symbols + [None]))
+        values[name] = choice
+    word = fmt.pack(**values)
+    unpacked = fmt.unpack(word)
+    for name, symbol in values.items():
+        expected = fmt.field(name).encode(symbol)
+        assert unpacked[name] == expected
+    assert 0 <= word < (1 << fmt.width)
+
+
+@given(
+    st.integers(min_value=1, max_value=10),
+    st.integers(min_value=0, max_value=99),
+)
+@settings(max_examples=40, deadline=None)
+def test_straightline_program_reachability(length, seed):
+    """A straight-line program that loops back reaches exactly its code."""
+    fmt = MicrocodeFormat.horizontal(("cmd", ["go"]))
+    prog = Program(fmt)
+    prog.label("top")
+    rng = random.Random(seed)
+    for _ in range(length):
+        if rng.random() < 0.5:
+            prog.inst(cmd="go")
+        else:
+            prog.inst()
+    prog.inst(seq=SeqOp.JUMP, target="top")
+    image = prog.assemble()
+    assert image.reachable_addresses() == tuple(range(length + 1))
+    assert image.length == length + 1

@@ -1,0 +1,87 @@
+"""Property-based tests for the two-level logic substrate."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.tables.bits import all_ones, cofactor0, cofactor1
+from repro.tables.cube import cover_truth_table
+from repro.tables.isop import isop
+from repro.tables.qm import minimize_exact, prime_implicants
+from repro.tables.sop import SopCover
+
+
+@st.composite
+def on_dc_pair(draw, max_vars=7):
+    num_vars = draw(st.integers(min_value=1, max_value=max_vars))
+    bits = 1 << num_vars
+    on = draw(st.integers(min_value=0, max_value=(1 << bits) - 1))
+    dc_raw = draw(st.integers(min_value=0, max_value=(1 << bits) - 1))
+    return on, dc_raw & ~on, num_vars
+
+
+@given(on_dc_pair())
+@settings(max_examples=150, deadline=None)
+def test_isop_always_valid(pair):
+    on, dc, num_vars = pair
+    cubes = isop(on, dc, num_vars)
+    table = cover_truth_table(cubes, num_vars)
+    assert on & ~table == 0
+    assert table & ~(on | dc) == 0
+
+
+@given(on_dc_pair(max_vars=4))
+@settings(max_examples=80, deadline=None)
+def test_qm_never_beaten_by_isop(pair):
+    """QM is exact, so its cube count lower-bounds ISOP's."""
+    on, dc, num_vars = pair
+    exact = minimize_exact(on, dc, num_vars)
+    heuristic = isop(on, dc, num_vars)
+    assert len(exact) <= len(heuristic)
+
+
+@given(on_dc_pair(max_vars=5))
+@settings(max_examples=80, deadline=None)
+def test_primes_cover_care_set(pair):
+    on, dc, num_vars = pair
+    primes = prime_implicants(on, dc, num_vars)
+    table = cover_truth_table(primes, num_vars)
+    assert table == 0 or (on | dc) & ~table == 0 or table & ~(on | dc) == 0
+    # Primes never cover OFF minterms.
+    assert table & ~(on | dc) == 0
+
+
+@given(on_dc_pair())
+@settings(max_examples=100, deadline=None)
+def test_sopcover_verify_agrees(pair):
+    on, dc, num_vars = pair
+    cover = SopCover.from_truth_table(on, dc, num_vars)
+    assert cover.verify(on, dc)
+    # Evaluate pointwise on a sample of minterms.
+    for minterm in range(0, 1 << num_vars, max(1, (1 << num_vars) // 16)):
+        value = cover.evaluate(minterm)
+        if on >> minterm & 1:
+            assert value
+        elif not (dc >> minterm & 1):
+            assert not value
+
+
+@given(
+    st.integers(min_value=1, max_value=7).flatmap(
+        lambda n: st.tuples(
+            st.just(n),
+            st.integers(min_value=0, max_value=(1 << (1 << n)) - 1),
+            st.integers(min_value=0, max_value=n - 1),
+        )
+    )
+)
+@settings(max_examples=120, deadline=None)
+def test_shannon_expansion(args):
+    """f = (x & f1) | (~x & f0) for every variable."""
+    num_vars, table, var = args
+    from repro.tables.bits import var_mask
+
+    pattern = var_mask(var, num_vars)
+    f0 = cofactor0(table, var, num_vars)
+    f1 = cofactor1(table, var, num_vars)
+    rebuilt = (pattern & f1) | (~pattern & f0) & all_ones(num_vars)
+    assert rebuilt & all_ones(num_vars) == table

@@ -1,0 +1,104 @@
+"""Unit tests for RTL expression construction and width checking."""
+
+import pytest
+
+from repro.rtl.ast import (
+    BinOp,
+    Case,
+    Concat,
+    Const,
+    InputRef,
+    Mux,
+    Not,
+    ReduceOp,
+    Slice,
+)
+
+
+def test_const_range_checked():
+    Const(7, 3)
+    with pytest.raises(ValueError):
+        Const(8, 3)
+    with pytest.raises(ValueError):
+        Const(0, 0)
+
+
+def test_operator_sugar_builds_nodes():
+    a = InputRef("a", 4)
+    b = InputRef("b", 4)
+    assert isinstance(a & b, BinOp)
+    assert isinstance(a | b, BinOp)
+    assert isinstance(a ^ b, BinOp)
+    assert isinstance(~a, Not)
+    assert isinstance(a + b, BinOp)
+    assert (a + 1).right == Const(1, 4)
+    assert a.eq(b).width == 1
+    assert a.lt(3).width == 1
+    assert a.ne(b).width == 1
+
+
+def test_coerce_rejects_junk():
+    a = InputRef("a", 2)
+    with pytest.raises(TypeError):
+        _ = a & "nope"
+
+
+def test_binop_width_mismatch():
+    with pytest.raises(ValueError):
+        BinOp("and", InputRef("a", 2), InputRef("b", 3))
+    with pytest.raises(ValueError):
+        BinOp("nand", InputRef("a", 2), InputRef("b", 2))
+
+
+def test_slice_and_getitem():
+    a = InputRef("a", 8)
+    assert a[3].width == 1
+    assert a[2:6].width == 4
+    assert a[2:6].lsb == 2
+    with pytest.raises(ValueError):
+        _ = a[6:20]
+    with pytest.raises(ValueError):
+        _ = a[0:8:2]
+    with pytest.raises(ValueError):
+        Slice(a, 0, 0)
+
+
+def test_concat_width():
+    a = InputRef("a", 3)
+    b = InputRef("b", 5)
+    assert Concat((a, b)).width == 8
+    with pytest.raises(ValueError):
+        Concat(())
+
+
+def test_mux_validation():
+    sel = InputRef("s", 1)
+    a = InputRef("a", 4)
+    b = InputRef("b", 4)
+    assert Mux(sel, a, b).width == 4
+    with pytest.raises(ValueError):
+        Mux(a, a, b)  # wide select
+    with pytest.raises(ValueError):
+        Mux(sel, a, InputRef("c", 3))
+
+
+def test_reduce_ops():
+    a = InputRef("a", 6)
+    assert a.any().width == 1
+    assert a.all().width == 1
+    assert a.parity().width == 1
+    with pytest.raises(ValueError):
+        ReduceOp("nand", a)
+
+
+def test_case_validation():
+    sel = InputRef("s", 2)
+    d = Const(0, 4)
+    case = Case(sel, ((0, Const(1, 4)), (3, Const(2, 4))), d)
+    assert case.width == 4
+    with pytest.raises(ValueError):
+        Case(sel, ((4, d),), d)  # label too wide
+    with pytest.raises(ValueError):
+        Case(sel, ((1, d), (1, d)), d)  # duplicate
+    with pytest.raises(ValueError):
+        Case(sel, ((0, Const(0, 2)),), d)  # arm width mismatch

@@ -1,0 +1,121 @@
+"""Unit tests for module inlining (generator composition)."""
+
+import pytest
+
+from repro.rtl.ast import Const
+from repro.rtl.builder import ModuleBuilder, mux
+from repro.rtl.inline import inline
+from repro.sim.rtlsim import Simulator
+
+
+def build_counter(width=3):
+    b = ModuleBuilder("counter")
+    en = b.input("en")
+    count = b.reg("count", width)
+    b.drive(count, mux(en[0], count + 1, count))
+    b.output("value", count)
+    b.output("wrap", count.eq((1 << width) - 1))
+    return b.build()
+
+
+def test_inline_exposes_unconnected_inputs():
+    parent = ModuleBuilder("top")
+    outs = inline(parent, build_counter(), "c0")
+    parent.output("v", outs["value"])
+    module = parent.build()
+    assert "c0_en" in module.inputs
+    assert "c0_count" in module.regs
+    sim = Simulator(module)
+    values = [sim.step({"c0_en": 1})["v"] for _ in range(4)]
+    assert values == [0, 1, 2, 3]
+
+
+def test_inline_with_connections():
+    parent = ModuleBuilder("top")
+    go = parent.input("go")
+    outs_a = inline(parent, build_counter(), "a", {"en": go})
+    outs_b = inline(parent, build_counter(), "b", {"en": outs_a["wrap"]})
+    parent.output("fast", outs_a["value"])
+    parent.output("slow", outs_b["value"])
+    module = parent.build()
+    sim = Simulator(module)
+    # b counts once per wrap of a (every 8 cycles with go held).  The
+    # outputs of step k show the state after k-1 edges.
+    for _ in range(17):
+        out = sim.step({"go": 1})
+    assert out["fast"] == 16 % 8
+    assert out["slow"] == 2
+
+
+def test_inline_two_instances_no_collision():
+    parent = ModuleBuilder("top")
+    inline(parent, build_counter(), "x")
+    inline(parent, build_counter(), "y")
+    module = parent.build()
+    assert "x_count" in module.regs
+    assert "y_count" in module.regs
+
+
+def test_inline_collision_rejected():
+    parent = ModuleBuilder("top")
+    inline(parent, build_counter(), "x")
+    with pytest.raises(ValueError):
+        inline(parent, build_counter(), "x")
+
+
+def test_inline_unknown_connection_rejected():
+    parent = ModuleBuilder("top")
+    with pytest.raises(ValueError, match="unknown child input"):
+        inline(parent, build_counter(), "c", {"bogus": Const(0, 1)})
+
+
+def test_inline_connection_width_checked():
+    parent = ModuleBuilder("top")
+    wide = parent.input("wide", 4)
+    with pytest.raises(ValueError, match="width"):
+        inline(parent, build_counter(), "c", {"en": wide})
+
+
+def test_inline_config_memory_write_ports_reexposed():
+    child = ModuleBuilder("leaf")
+    addr = child.input("addr", 2)
+    mem = child.config_mem("tbl", 4, 4)
+    child.output("data", mem.read(addr))
+    leaf = child.build()
+
+    parent = ModuleBuilder("top")
+    outs = inline(parent, leaf, "u0")
+    parent.output("d", outs["data"])
+    module = parent.build()
+    memory = module.memories["u0_tbl"]
+    assert memory.writable
+    assert memory.write_port.enable == "u0_tbl_we"
+    sim = Simulator(module)
+    sim.step({"u0_tbl_we": 1, "u0_tbl_waddr": 2, "u0_tbl_wdata": 9})
+    assert sim.step({"u0_addr": 2})["d"] == 9
+
+
+def test_inline_config_write_port_cannot_be_driven():
+    child = ModuleBuilder("leaf")
+    addr = child.input("addr", 2)
+    mem = child.config_mem("tbl", 4, 4)
+    child.output("data", mem.read(addr))
+    leaf = child.build()
+    parent = ModuleBuilder("top")
+    with pytest.raises(ValueError, match="write port"):
+        inline(parent, leaf, "u0", {"tbl_we": Const(1, 1)})
+
+
+def test_inline_rom_copied():
+    child = ModuleBuilder("leaf")
+    addr = child.input("addr", 1)
+    rom = child.rom("t", 4, 2, [6, 9])
+    child.output("data", rom.read(addr))
+    leaf = child.build()
+    parent = ModuleBuilder("top")
+    outs = inline(parent, leaf, "u")
+    parent.output("d", outs["data"])
+    module = parent.build()
+    assert module.memories["u_t"].contents == [6, 9]
+    sim = Simulator(module)
+    assert sim.step({"u_addr": 1})["d"] == 9

@@ -1,0 +1,149 @@
+"""Unit tests for Module/ModuleBuilder invariants."""
+
+import pytest
+
+from repro.rtl.ast import Const, RegRef
+from repro.rtl.builder import ModuleBuilder, cat, mux, repeat, zext
+from repro.rtl.module import Memory, Reg, WritePort
+
+
+def test_builder_simple_counter():
+    b = ModuleBuilder("counter")
+    en = b.input("en")
+    count = b.reg("count", 4)
+    b.drive(count, mux(en[0].eq(1), count + 1, count))
+    b.output("value", count)
+    module = b.build()
+    assert module.name == "counter"
+    assert module.regs["count"].next is not None
+
+
+def test_duplicate_names_rejected():
+    b = ModuleBuilder("m")
+    b.input("x", 2)
+    with pytest.raises(ValueError):
+        b.input("x", 2)
+    with pytest.raises(ValueError):
+        b.reg("x", 2)
+    b.output("y", Const(0, 1))
+    with pytest.raises(ValueError):
+        b.output("y", Const(0, 1))
+
+
+def test_undriven_register_fails_validation():
+    b = ModuleBuilder("m")
+    b.reg("r", 2)
+    with pytest.raises(ValueError):
+        b.build()
+
+
+def test_drive_twice_rejected():
+    b = ModuleBuilder("m")
+    r = b.reg("r", 2)
+    b.drive(r, Const(0, 2))
+    with pytest.raises(ValueError):
+        b.drive(r, Const(1, 2))
+
+
+def test_unknown_register_reference_fails():
+    b = ModuleBuilder("m")
+    r = b.reg("r", 2)
+    b.drive(r, RegRef("ghost", 2))
+    with pytest.raises(ValueError):
+        b.build()
+
+
+def test_width_mismatch_on_drive_fails():
+    b = ModuleBuilder("m")
+    r = b.reg("r", 2)
+    b.drive(r, Const(0, 3))
+    with pytest.raises(ValueError):
+        b.build()
+
+
+def test_rom_and_read():
+    b = ModuleBuilder("m")
+    addr = b.input("addr", 2)
+    table = b.rom("t", 8, 4, [1, 2, 3, 4])
+    b.output("data", table.read(addr))
+    module = b.build()
+    assert module.memories["t"].contents == [1, 2, 3, 4]
+
+
+def test_rom_wrong_addr_width_fails():
+    b = ModuleBuilder("m")
+    addr = b.input("addr", 3)
+    table = b.rom("t", 8, 4, [1, 2, 3, 4])
+    b.output("data", table.read(addr))
+    with pytest.raises(ValueError):
+        b.build()
+
+
+def test_config_mem_creates_write_ports():
+    b = ModuleBuilder("m")
+    addr = b.input("addr", 3)
+    table = b.config_mem("ucode", 6, 8)
+    b.output("data", table.read(addr))
+    module = b.build()
+    assert "ucode_we" in module.inputs
+    assert module.inputs["ucode_waddr"].width == 3
+    assert module.inputs["ucode_wdata"].width == 6
+    assert table.write_port.enable == "ucode_we"
+
+
+def test_memory_validation():
+    with pytest.raises(ValueError):
+        Memory("m", 4, 3, contents=[0])  # not a power of two
+    with pytest.raises(ValueError):
+        Memory("m", 4, 4)  # no contents and not writable
+    with pytest.raises(ValueError):
+        Memory("m", 4, 4, contents=[16])  # word too wide
+    with pytest.raises(ValueError):
+        Memory("m", 4, 4, contents=[0] * 5)  # too deep
+    with pytest.raises(ValueError):
+        Memory("m", 4, 4, writable=True)  # missing port
+    port = WritePort("we", "wa", "wd")
+    mem = Memory("m", 4, 4, writable=True, write_port=port)
+    assert mem.addr_width == 2
+
+
+def test_reg_validation():
+    with pytest.raises(ValueError):
+        Reg("r", 2, reset_kind="weird")
+    with pytest.raises(ValueError):
+        Reg("r", 2, reset_value=4)
+
+
+def test_helpers():
+    a = Const(1, 2)
+    assert cat(a).width == 2
+    assert cat(a, a).width == 4
+    assert zext(a, 5).width == 5
+    assert zext(a, 2) is a
+    with pytest.raises(ValueError):
+        zext(a, 1)
+    assert repeat(a, 3).width == 6
+    with pytest.raises(ValueError):
+        repeat(a, 0)
+
+
+def test_case_registers_detected():
+    b = ModuleBuilder("fsm")
+    go = b.input("go")
+    state = b.reg("state", 2)
+    nxt = b.case(state, {0: mux(go[0].eq(1), Const(1, 2), Const(0, 2)), 1: Const(2, 2), 2: Const(0, 2)}, Const(0, 2))
+    b.drive(state, nxt)
+    b.output("busy", state.ne(0))
+    module = b.build()
+    assert set(module.case_registers()) == {"state"}
+
+
+def test_table_register_not_detected_as_case():
+    b = ModuleBuilder("tbl")
+    go = b.input("go")
+    state = b.reg("state", 2)
+    table = b.rom("nxt", 2, 8, [0, 1, 2, 3, 0, 1, 2, 3])
+    b.drive(state, table.read(cat(state, go)))
+    b.output("busy", state.ne(0))
+    module = b.build()
+    assert module.case_registers() == {}

@@ -1,0 +1,78 @@
+"""Unit tests for the SystemVerilog pretty-printer."""
+
+import pytest
+
+from repro.rtl.ast import Const
+from repro.rtl.builder import ModuleBuilder, cat, mux
+from repro.rtl.verilog import to_verilog
+
+
+def build_demo():
+    b = ModuleBuilder("demo")
+    en = b.input("en")
+    a = b.input("a", 4)
+    count = b.reg("count", 4, reset_kind="sync", reset_value=3)
+    b.drive(count, mux(en[0], count + 1, count))
+    rom = b.rom("lut", 2, 4, [0, 1, 2, 3])
+    b.output("val", count)
+    b.output("lo", rom.read(count[0:2]))
+    b.output("mix", (a ^ count).any())
+    b.output("cc", cat(en, a[3]))
+    return b.build()
+
+
+def test_module_skeleton():
+    text = to_verilog(build_demo())
+    assert text.startswith("module demo (")
+    assert text.rstrip().endswith("endmodule")
+    assert "input  logic clk" in text
+    assert "input  logic [3:0] a" in text
+    assert "output logic [3:0] val" in text
+
+
+def test_register_process_styles():
+    text = to_verilog(build_demo())
+    assert "always_ff @(posedge clk)" in text
+    assert "if (rst) count <= 4'd3;" in text
+    assert "count <= count_next;" in text
+
+
+def test_async_reset_sensitivity():
+    b = ModuleBuilder("ar")
+    r = b.reg("r", 1, reset_kind="async", reset_value=1)
+    b.drive(r, ~r)
+    b.output("q", r)
+    text = to_verilog(b.build())
+    assert "posedge rst" in text
+
+
+def test_rom_initial_block():
+    text = to_verilog(build_demo())
+    assert "logic [1:0] lut [0:3];" in text
+    assert "lut[3] = 2'd3;" in text
+
+
+def test_config_memory_write_process():
+    b = ModuleBuilder("cfg")
+    addr = b.input("addr", 1)
+    mem = b.config_mem("t", 4, 2)
+    b.output("d", mem.read(addr))
+    text = to_verilog(b.build())
+    assert "if (t_we)" in text
+    assert "t[t_waddr] <= t_wdata;" in text
+
+
+def test_expression_forms():
+    text = to_verilog(build_demo())
+    assert "(a ^ count)" in text
+    assert "|(" in text  # reduction
+    assert "{" in text and "}" in text  # concat (MSB first)
+
+
+def test_case_expression_rendering():
+    b = ModuleBuilder("c")
+    s = b.input("s", 2)
+    b.output("o", b.case(s, {0: Const(1, 2)}, Const(2, 2)))
+    text = to_verilog(b.build())
+    assert "case_expr" in text
+    assert "default: 2'd2" in text

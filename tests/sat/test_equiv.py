@@ -1,0 +1,168 @@
+"""Unit tests for Tseitin encoding and equivalence checking."""
+
+import random
+
+import pytest
+
+from repro.aig.graph import AIG, lit_compl
+from repro.sat.cnf import CnfBuilder
+from repro.sat.equiv import (
+    check_combinational_equivalence,
+    check_equivalence_under_care,
+    prove_lit_constant,
+    prove_lits_equal,
+)
+
+from tests.helpers import make_word
+
+
+def two_input_pair(build_left, build_right):
+    left = AIG()
+    a, b = left.add_pi("a"), left.add_pi("b")
+    left.add_po("f", build_left(left, a, b))
+    right = AIG()
+    a2, b2 = right.add_pi("a"), right.add_pi("b")
+    right.add_po("f", build_right(right, a2, b2))
+    return left, right
+
+
+def test_demorgan_equivalence():
+    left, right = two_input_pair(
+        lambda g, a, b: lit_compl(g.and_(a, b)),
+        lambda g, a, b: g.or_(lit_compl(a), lit_compl(b)),
+    )
+    assert check_combinational_equivalence(left, right)
+
+
+def test_inequivalence_gives_counterexample():
+    left, right = two_input_pair(
+        lambda g, a, b: g.and_(a, b),
+        lambda g, a, b: g.or_(a, b),
+    )
+    result = check_combinational_equivalence(left, right)
+    assert not result
+    assert result.failing_output == "f"
+    # The counterexample must actually distinguish AND from OR.
+    va = result.counterexample.get("a", False)
+    vb = result.counterexample.get("b", False)
+    assert (va and vb) != (va or vb)
+
+
+def test_output_name_mismatch_raises():
+    left = AIG()
+    left.add_po("x", 0)
+    right = AIG()
+    right.add_po("y", 0)
+    with pytest.raises(ValueError):
+        check_combinational_equivalence(left, right)
+
+
+def test_latch_next_state_checked():
+    def build(swap):
+        aig = AIG()
+        a = aig.add_pi("a")
+        q = aig.add_latch("q")
+        nxt = aig.xor(q, a) if not swap else aig.and_(q, a)
+        aig.set_latch_next(q, nxt)
+        aig.add_po("out", q)
+        return aig
+
+    assert check_combinational_equivalence(build(False), build(False))
+    assert not check_combinational_equivalence(build(False), build(True))
+
+
+def test_latch_reset_mismatch_raises():
+    def build(kind):
+        aig = AIG()
+        q = aig.add_latch("q", reset_kind=kind)
+        aig.set_latch_next(q, q)
+        aig.add_po("out", q)
+        return aig
+
+    with pytest.raises(ValueError):
+        check_combinational_equivalence(build("sync"), build("async"))
+
+
+def test_equivalence_under_care():
+    # left = mux(sel is onehot) ...: f = a&b vs g = a; equal when b=1.
+    left = AIG()
+    a, b = left.add_pi("a"), left.add_pi("b")
+    left.add_po("f", left.and_(a, b))
+    right = AIG()
+    a2, b2 = right.add_pi("a"), right.add_pi("b")
+    del b2
+    right.add_po("f", a2)
+
+    care = AIG()
+    care.add_pi("a")
+    cb = care.add_pi("b")
+    care.add_po("care", cb)  # care set: b == 1
+
+    assert check_equivalence_under_care(left, right, care)
+    assert not check_combinational_equivalence(left, right)
+
+
+def test_care_output_missing_raises():
+    left = AIG()
+    left.add_po("f", 0)
+    right = AIG()
+    right.add_po("f", 0)
+    care = AIG()
+    with pytest.raises(ValueError):
+        check_equivalence_under_care(left, right, care)
+
+
+def test_prove_lit_constant_with_onehot_care():
+    """The ones-counter example from the paper's Section III.
+
+    For a one-hot bus y, y[i] & y[j] (i != j) is constant 0 -- the
+    optimization that lets the AND/mux downstream logic disappear.
+    """
+    aig = AIG()
+    y = make_word(aig, "y", 4)
+    pair = aig.and_(y[0], y[1])
+    builder = CnfBuilder()
+    # Encode one-hot care: exactly one of y is true.
+    sat_y = [builder.encode(aig, lit) for lit in y]
+    care_var = builder.solver.new_var()
+    # care -> at least one
+    builder.solver.add_clause([-care_var] + sat_y)
+    # care -> at most one
+    for i in range(4):
+        for j in range(i + 1, 4):
+            builder.solver.add_clause([-care_var, -sat_y[i], -sat_y[j]])
+
+    assert prove_lit_constant(aig, pair, [care_var], builder) == 0
+    # Without the care assumption the AND is not constant.
+    assert prove_lit_constant(aig, pair, [], builder) is None
+    # OR of all bits is constant 1 under one-hot care.
+    any_bit = aig.or_(aig.or_(y[0], y[1]), aig.or_(y[2], y[3]))
+    assert prove_lit_constant(aig, any_bit, [care_var], builder) == 1
+
+
+def test_prove_lits_equal():
+    aig = AIG()
+    a = aig.add_pi("a")
+    b = aig.add_pi("b")
+    left = aig.and_(a, b)
+    right = lit_compl(aig.or_(lit_compl(a), lit_compl(b)))
+    builder = CnfBuilder()
+    assert prove_lits_equal(aig, left, right, [], builder)
+    assert not prove_lits_equal(aig, left, a, [], builder)
+
+
+def test_random_rebuild_equivalence():
+    """cleanup() output is always equivalent to the original."""
+    rng = random.Random(6)
+    for _ in range(10):
+        aig = AIG()
+        xs = make_word(aig, "x", 5)
+        pool = list(xs)
+        for _ in range(25):
+            a = rng.choice(pool) ^ rng.randint(0, 1)
+            b = rng.choice(pool) ^ rng.randint(0, 1)
+            pool.append(aig.and_(a, b))
+        aig.add_po("f", pool[-1])
+        aig.add_po("g", rng.choice(pool))
+        rebuilt, _ = aig.cleanup()
+        assert check_combinational_equivalence(aig, rebuilt)

@@ -1,0 +1,90 @@
+"""Unit tests for the PCtrl microprograms."""
+
+from repro.smartmem.config import (
+    CACHED_CONFIG,
+    UNCACHED_CONFIG,
+    MemoryMode,
+    PCtrlConfig,
+    PCtrlParams,
+    RequestOp,
+)
+from repro.smartmem.protocols import (
+    cached_program,
+    commands_used,
+    pctrl_format,
+    program_for,
+    uncached_program,
+)
+
+
+def test_format_is_horizontal():
+    fmt = pctrl_format(PCtrlParams())
+    assert fmt.field("cmd").onehot
+    assert fmt.field("pipe").width == 4
+    assert fmt.field("cnt").width == 2
+
+
+def test_cached_program_is_much_larger():
+    params = PCtrlParams()
+    cached = cached_program(params, CACHED_CONFIG)
+    uncached = uncached_program(params, UNCACHED_CONFIG)
+    assert cached.length > 3 * uncached.length
+    assert cached.length <= 1 << params.ucode_addr_bits
+
+
+def test_dispatch_covers_all_opcodes():
+    params = PCtrlParams()
+    program = cached_program(params, CACHED_CONFIG)
+    rows = program.dispatch_rows()
+    assert len(rows) == 1 << params.opcode_bits
+    # NOP dispatches back to idle (address 0).
+    assert rows[int(RequestOp.NOP)] == program.labels["idle"]
+    # Unused opcodes land on the error handler.
+    assert rows[15] == program.labels["bad_op"]
+
+
+def test_commands_used_differ_by_mode():
+    params = PCtrlParams()
+    cached = commands_used(cached_program(params, CACHED_CONFIG))
+    uncached = commands_used(uncached_program(params, UNCACHED_CONFIG))
+    assert "dir_cmd" in cached
+    assert "dir_cmd" not in uncached
+    assert "word_rd" in uncached
+    assert "nack" in uncached
+
+
+def test_uncached_reachability_is_tiny_under_pinning():
+    params = PCtrlParams()
+    program = uncached_program(params, UNCACHED_CONFIG)
+    full = program.reachable_addresses()
+    pinned = program.reachable_addresses(
+        opcodes=UNCACHED_CONFIG.allowed_opcodes()
+    )
+    assert set(pinned) <= set(full)
+    # idle + two single-beat routines + the block loop + the handler.
+    assert len(pinned) <= 10
+
+
+def test_cached_reachability_uses_most_of_the_program():
+    params = PCtrlParams()
+    program = cached_program(params, CACHED_CONFIG)
+    pinned = program.reachable_addresses(
+        opcodes=CACHED_CONFIG.allowed_opcodes()
+    )
+    # Almost all instructions are live in cached mode.
+    assert len(pinned) >= program.length - 2
+
+
+def test_program_for_selects_by_mode():
+    params = PCtrlParams()
+    assert program_for(params, CACHED_CONFIG).length > program_for(
+        params, UNCACHED_CONFIG
+    ).length
+
+
+def test_config_loop_init():
+    config = PCtrlConfig(MemoryMode.CACHED, line_words=8, access_width=2)
+    assert config.beats_per_line == 4
+    assert config.loop_init == 3
+    single = PCtrlConfig(MemoryMode.UNCACHED, line_words=4, access_width=1)
+    assert single.loop_init == 3

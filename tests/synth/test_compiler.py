@@ -1,0 +1,190 @@
+"""End-to-end tests of the DesignCompiler facade.
+
+These check the tool behaviours the paper's experiments rely on, at
+small scale: partial evaluation of bound tables, FSM inference for
+case style only, annotation-driven recovery for table style, and the
+state-vector width cap.
+"""
+
+import warnings
+
+import pytest
+
+from repro.rtl.ast import Const
+from repro.rtl.builder import ModuleBuilder, cat, mux
+from repro.sim.crosscheck import crosscheck_rtl_netlist
+from repro.synth.compiler import DesignCompiler
+from repro.synth.dc_options import CompileOptions, StateAnnotation
+
+
+def build_case_fsm():
+    """3-state controller in the vendor-recommended case style."""
+    b = ModuleBuilder("fsm_case")
+    go = b.input("go")
+    state = b.reg("state", 2)
+    nxt = b.case(
+        state,
+        {
+            0: mux(go[0], Const(1, 2), Const(0, 2)),
+            1: Const(2, 2),
+            2: Const(0, 2),
+        },
+        Const(0, 2),
+    )
+    b.drive(state, nxt)
+    b.output("busy", state.ne(0))
+    b.output("done", state.eq(2))
+    return b.build()
+
+
+def build_table_fsm():
+    """The same machine as a bound next-state table (flexible style)."""
+    # Address = {go, state}: rows indexed by state + 4*go.
+    rows = [0, 2, 0, 0, 1, 2, 0, 0]
+    b = ModuleBuilder("fsm_table")
+    go = b.input("go")
+    state = b.reg("state", 2)
+    table = b.rom("nxt", 2, 8, rows)
+    b.drive(state, table.read(cat(state, go)))
+    b.output("busy", state.ne(0))
+    b.output("done", state.eq(2))
+    return b.build()
+
+
+def test_compile_produces_valid_netlist():
+    result = DesignCompiler().compile(build_case_fsm())
+    assert result.area.total > 0
+    assert result.area.sequential > 0
+    assert result.timing.critical_delay > 0
+    assert result.sizing.met  # 5ns is easy for this design
+    crosscheck_rtl_netlist(result.module, result.netlist, cycles=100, seed=1)
+
+
+def test_case_style_fsm_is_inferred():
+    result = DesignCompiler().compile(build_case_fsm())
+    assert len(result.inferred_fsms) == 1
+    assert result.inferred_fsms[0].states == (0, 1, 2)
+    assert any("fsm_infer" in line for line in result.log)
+
+
+def test_table_style_fsm_is_not_inferred():
+    result = DesignCompiler().compile(build_table_fsm())
+    assert result.inferred_fsms == []
+
+
+def test_case_and_table_fsm_behave_identically():
+    case_result = DesignCompiler().compile(build_case_fsm())
+    table_result = DesignCompiler().compile(build_table_fsm())
+    # Both netlists must implement the same machine as their RTL.
+    crosscheck_rtl_netlist(case_result.module, case_result.netlist, seed=2)
+    crosscheck_rtl_netlist(table_result.module, table_result.netlist, seed=2)
+
+
+def test_annotation_keeps_table_fsm_near_case_area():
+    """set_fsm_state_vector keeps the table design near the case design.
+
+    At this tiny scale (a 4-AND machine) the absolute numbers sit in
+    the tool's local-minima noise -- the effect the paper itself notes
+    ("the bumpy nature of the tool's optimization surface") -- so the
+    assertion is a band, not an ordering.  The population-level
+    ordering is checked by the Fig. 6 experiment tests.
+    """
+    compiler = DesignCompiler()
+    case_area = compiler.compile(build_case_fsm()).area.total
+    annotated = compiler.compile(
+        build_table_fsm(),
+        CompileOptions(
+            state_annotations=[StateAnnotation("state", (0, 1, 2))],
+        ),
+    )
+    crosscheck_rtl_netlist(annotated.module, annotated.netlist, seed=3)
+    assert annotated.area.total <= case_area * 1.35
+
+
+def test_annotation_wins_on_sparse_state_codes():
+    """With garbage codes in the table, the annotation pays off."""
+
+    def build(width=4):
+        # 3 states on sparse codes {0, 9, 14}; table rows for all other
+        # codes hold arbitrary junk the unannotated flow must honour.
+        rows = [0] * 32
+        codes = {0: 9, 9: 14, 14: 0}
+        for state in range(16):
+            for go in (0, 1):
+                target = codes.get(state, 5)  # junk successor
+                if go == 0:
+                    target = state if state in codes else 5
+                rows[state + 16 * go] = target
+        b = ModuleBuilder("sparse_table")
+        go = b.input("go")
+        state = b.reg("state", width)
+        table = b.rom("nxt", width, 32, rows)
+        b.drive(state, table.read(cat(state, go)))
+        b.output("busy", state.ne(0))
+        return b.build()
+
+    compiler = DesignCompiler()
+    plain = compiler.compile(build())
+    annotated = compiler.compile(
+        build(),
+        CompileOptions(state_annotations=[StateAnnotation("state", (0, 9, 14))]),
+    )
+    assert annotated.area.total < plain.area.total
+    # Binary re-encoding also drops a flop (3 states fit in 2 bits).
+    assert annotated.area.sequential < plain.area.sequential
+
+
+def test_wide_annotation_is_dropped_with_warning():
+    b = ModuleBuilder("wide")
+    data = b.input("data", 40)
+    reg = b.reg("wide_reg", 40)
+    b.drive(reg, data)
+    b.output("o", reg.any())
+    module = b.build()
+    options = CompileOptions(
+        state_annotations=[StateAnnotation("wide_reg", (0, 1))],
+    )
+    with warnings.catch_warnings(record=True) as caught:
+        warnings.simplefilter("always")
+        result = DesignCompiler().compile(module, options)
+    assert any("state vector limit" in str(w.message) for w in caught)
+    assert result.honoured_annotations == []
+
+
+def test_bound_table_partially_evaluates():
+    """A ROM-backed design synthesizes to pure logic (no config flops)."""
+    b = ModuleBuilder("pe")
+    addr = b.input("addr", 4)
+    rom = b.rom("t", 8, 16, list(range(0, 160, 10)))
+    b.output("data", rom.read(addr))
+    result = DesignCompiler().compile(b.build())
+    assert result.area.sequential == 0
+    crosscheck_rtl_netlist(result.module, result.netlist, seed=4)
+
+
+def test_flexible_table_pays_storage_area():
+    """The same function behind a config memory costs flops + mux."""
+    def build(flexible):
+        b = ModuleBuilder("flex" if flexible else "fixed")
+        addr = b.input("addr", 3)
+        if flexible:
+            mem = b.config_mem("t", 4, 8)
+        else:
+            mem = b.rom("t", 4, 8, [3, 1, 4, 1, 5, 9, 2, 6])
+        b.output("data", mem.read(addr))
+        return b.build()
+
+    compiler = DesignCompiler()
+    flexible = compiler.compile(build(True))
+    fixed = compiler.compile(build(False))
+    assert flexible.area.sequential > 0
+    assert fixed.area.sequential == 0
+    assert flexible.area.total > 3 * fixed.area.total
+
+
+def test_compile_result_summary_and_log():
+    result = DesignCompiler().compile(build_case_fsm())
+    text = result.summary()
+    assert "um^2" in text
+    assert any("map:" in line for line in result.log)
+    assert any("optimize" in line for line in result.log)

@@ -1,0 +1,96 @@
+"""Unit tests for FSM re-encoding."""
+
+import pytest
+
+from repro.rtl.ast import Const
+from repro.rtl.builder import ModuleBuilder, mux
+from repro.sim.rtlsim import Simulator
+from repro.sim.vectors import random_stimulus
+from repro.synth.encode import make_encoding, reencode_register
+
+import random
+
+
+def build_fsm(num_states=5, width=4):
+    """A one-hot-ish FSM on sparse codes to make re-encoding visible."""
+    codes = [0, 3, 7, 9, 14][:num_states]
+    b = ModuleBuilder("sparse")
+    go = b.input("go")
+    state = b.reg("state", width, reset_value=codes[0])
+    arms = {}
+    for index, code in enumerate(codes):
+        succ = codes[(index + 1) % len(codes)]
+        stay = Const(code, width)
+        arms[code] = mux(go[0], Const(succ, width), stay)
+    b.drive(state, b.case(state, arms, Const(codes[0], width)))
+    b.output("at_start", state.eq(codes[0]))
+    b.output("state_out", state)
+    return b.build(), tuple(codes)
+
+
+def test_make_encoding_styles():
+    states = (0, 3, 7)
+    binary = make_encoding(states, "binary", 4)
+    assert binary.new_width == 2
+    assert sorted(binary.old_to_new.values()) == [0, 1, 2]
+    onehot = make_encoding(states, "onehot", 4)
+    assert onehot.new_width == 3
+    assert sorted(onehot.old_to_new.values()) == [1, 2, 4]
+    gray = make_encoding(states, "gray", 4)
+    assert gray.new_width == 2
+    assert sorted(gray.old_to_new.values()) == [0, 1, 3]
+    same = make_encoding(states, "same", 4)
+    assert same.new_width == 4
+    assert same.old_to_new == {0: 0, 3: 3, 7: 7}
+
+
+def test_make_encoding_rejects_unknown_style():
+    with pytest.raises(ValueError):
+        make_encoding((0, 1), "zebra", 2)
+
+
+def test_reencode_requires_reset_in_states():
+    module, _ = build_fsm()
+    with pytest.raises(ValueError, match="reset value"):
+        reencode_register(module, "state", (3, 7), "binary")
+
+
+def test_reencode_unknown_register():
+    module, _ = build_fsm()
+    with pytest.raises(ValueError, match="unknown register"):
+        reencode_register(module, "ghost", (0,), "binary")
+
+
+@pytest.mark.parametrize("style", ["binary", "onehot", "gray"])
+def test_reencoded_fsm_behaves_identically(style):
+    module, codes = build_fsm()
+    encoded, annotation = reencode_register(module, "state", codes, style)
+    assert annotation.reg_name == "state"
+    # The annotation describes the new code set.
+    expected_width = {"binary": 3, "onehot": 5, "gray": 3}[style]
+    assert encoded.regs["state"].width == expected_width
+
+    rng = random.Random(5)
+    stimulus = random_stimulus(module, 200, rng)
+    ref = Simulator(module)
+    new = Simulator(encoded)
+    for entry in stimulus:
+        want = ref.step(entry)
+        got = new.step(entry)
+        # state_out is decoded back to *old* codes, so it must match too.
+        assert got == want
+
+
+def test_same_style_returns_original_module():
+    module, codes = build_fsm()
+    encoded, annotation = reencode_register(module, "state", codes, "same")
+    assert encoded is module
+    assert annotation.values == codes
+
+
+def test_binary_width_of_17_states():
+    """The paper's s=17 case needs 5 bits; binary re-encoding packs it."""
+    states = tuple(range(17))
+    encoding = make_encoding(states, "binary", 5)
+    assert encoding.new_width == 5
+    assert len(set(encoding.old_to_new.values())) == 17

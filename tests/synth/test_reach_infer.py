@@ -1,0 +1,135 @@
+"""Unit tests for reachability analysis and FSM inference."""
+
+import pytest
+
+from repro.rtl.ast import Const
+from repro.rtl.builder import ModuleBuilder, cat, mux
+from repro.synth.fsm_infer import infer_fsms
+from repro.synth.reach import expression_support, reachable_states
+
+
+def build_case_fsm():
+    """3-state FSM, states {0, 1, 2}, coded in 2 bits (3 unused)."""
+    b = ModuleBuilder("fsm3")
+    go = b.input("go")
+    state = b.reg("state", 2)
+    nxt = b.case(
+        state,
+        {
+            0: mux(go[0], Const(1, 2), Const(0, 2)),
+            1: Const(2, 2),
+            2: Const(0, 2),
+        },
+        Const(0, 2),
+    )
+    b.drive(state, nxt)
+    b.output("busy", state.ne(0))
+    return b.build()
+
+
+def test_expression_support():
+    module = build_case_fsm()
+    support = expression_support(module.regs["state"].next)
+    assert support.inputs == ("go",)
+    assert support.regs == ("state",)
+    assert support.memories == ()
+
+
+def test_reachable_states_of_case_fsm():
+    module = build_case_fsm()
+    assert reachable_states(module, "state") == (0, 1, 2)
+
+
+def test_reachable_states_with_pinned_input():
+    # With go pinned to 0 the machine never leaves state 0.
+    module = build_case_fsm()
+    assert reachable_states(module, "state", pinned={"go": 0}) == (0,)
+
+
+def test_reachable_states_from_nonzero_reset():
+    b = ModuleBuilder("cycle")
+    state = b.reg("state", 3, reset_value=5)
+    b.drive(state, b.case(state, {5: Const(6, 3), 6: Const(5, 3)}, Const(5, 3)))
+    b.output("o", state)
+    module = b.build()
+    assert reachable_states(module, "state") == (5, 6)
+
+
+def test_reachability_rejects_cross_register_dependence():
+    b = ModuleBuilder("pair")
+    a = b.reg("a", 2)
+    c = b.reg("c", 2)
+    b.drive(a, c)
+    b.drive(c, a + 1)
+    b.output("o", a)
+    module = b.build()
+    with pytest.raises(ValueError, match="other registers"):
+        reachable_states(module, "a")
+
+
+def test_reachability_rejects_writable_memory():
+    b = ModuleBuilder("tbl")
+    state = b.reg("state", 2)
+    mem = b.config_mem("next_tbl", 2, 4)
+    b.drive(state, mem.read(state))
+    b.output("o", state)
+    module = b.build()
+    with pytest.raises(ValueError, match="writable memory"):
+        reachable_states(module, "state")
+
+
+def test_reachability_through_rom_is_fine():
+    b = ModuleBuilder("romfsm")
+    state = b.reg("state", 2)
+    rom = b.rom("next_tbl", 2, 4, [1, 3, 0, 1])
+    b.drive(state, rom.read(state))
+    b.output("o", state)
+    module = b.build()
+    assert reachable_states(module, "state") == (0, 1, 3)
+
+
+def test_reachability_input_explosion_guard():
+    b = ModuleBuilder("wide")
+    wide = b.input("wide", 20)
+    state = b.reg("state", 2)
+    b.drive(state, mux(wide.any(), Const(1, 2), Const(0, 2)))
+    b.output("o", state)
+    module = b.build()
+    with pytest.raises(ValueError, match="free input bits"):
+        reachable_states(module, "state")
+
+
+def test_unknown_register_raises():
+    module = build_case_fsm()
+    with pytest.raises(ValueError, match="unknown register"):
+        reachable_states(module, "ghost")
+
+
+def test_infer_finds_case_fsm():
+    found = infer_fsms(build_case_fsm())
+    assert len(found) == 1
+    assert found[0].reg_name == "state"
+    assert found[0].states == (0, 1, 2)
+    assert found[0].num_states == 3
+
+
+def test_infer_ignores_table_style():
+    """The tool behaviour the paper measures: tables defeat inference."""
+    b = ModuleBuilder("tblfsm")
+    go = b.input("go")
+    state = b.reg("state", 2)
+    rom = b.rom("nxt", 2, 8, [0, 1, 2, 0, 1, 2, 0, 0])
+    b.drive(state, rom.read(cat(state, go)))
+    b.output("busy", state.ne(0))
+    module = b.build()
+    assert infer_fsms(module) == []
+
+
+def test_infer_skips_full_range_registers():
+    """A counter reaching all codes yields no useful annotation."""
+    b = ModuleBuilder("cnt")
+    state = b.reg("state", 2)
+    b.drive(state, b.case(state, {i: Const((i + 1) % 4, 2) for i in range(4)}, Const(0, 2)))
+    b.output("o", state)
+    module = b.build()
+    assert infer_fsms(module) == []

@@ -1,0 +1,142 @@
+"""Unit tests for state propagation and folding.
+
+These exercise the paper's Section III examples directly: one-hot
+restrictions collapsing downstream logic, and the flop-boundary
+behaviour that motivates annotations.
+"""
+
+import random
+
+from repro.aig.graph import AIG, lit_compl
+from repro.aig import ops
+from repro.synth.stateprop import fold_states
+from repro.synth.statesets import ValueSet
+
+from tests.helpers import eval_lits, make_word, pi_assign
+
+
+def test_onescounter_collapses_to_constant_one():
+    """The paper's example: a ones-counter of a one-hot bus is 1."""
+    aig = AIG()
+    y = make_word(aig, "y", 4)
+    # Population count == 1 comparator over 4 bits.
+    exactly_one = 0
+    for i in range(4):
+        others_zero = 1
+        for j in range(4):
+            if j != i:
+                others_zero = aig.and_(others_zero, lit_compl(y[j]))
+        exactly_one = aig.or_(exactly_one, aig.and_(y[i], others_zero))
+    aig.add_po("count_is_one", exactly_one)
+
+    folded, stats = fold_states(
+        aig, {"y": (y, ValueSet.onehot(4))}, rounds=2
+    )
+    assert folded.pos[0][1] == 1  # constant true
+    assert folded.num_ands == 0
+    assert stats.constants_proven >= 1
+
+
+def test_pairwise_and_of_onehot_is_zero():
+    aig = AIG()
+    y = make_word(aig, "y", 4)
+    pair = aig.and_(y[1], y[2])
+    aig.add_po("pair", pair)
+    folded, _ = fold_states(aig, {"y": (y, ValueSet.onehot(4))})
+    assert folded.pos[0][1] == 0
+
+
+def test_fig7_mux_becomes_redundant():
+    """y one-hot => (y & (y>>1)) == 0 => the output mux disappears."""
+    aig = AIG()
+    y = make_word(aig, "y", 8)
+    a = make_word(aig, "a", 8)
+    b = make_word(aig, "b", 8)
+    overlap = [aig.and_(y[i], y[i + 1]) for i in range(7)]
+    sel = ops.reduce_or(aig, overlap)
+    out = ops.mux_word(aig, sel, a, b)
+    for bit, lit in enumerate(out):
+        aig.add_po(f"out[{bit}]", lit)
+    before = aig.num_ands
+    folded, _ = fold_states(aig, {"y": (y, ValueSet.onehot(8))})
+    # All that remains is out = b: zero AND nodes.
+    assert folded.num_ands == 0
+    assert before > 0
+    for bit, (name, lit) in enumerate(folded.pos):
+        # output bit should be exactly b[bit] (a PI literal).
+        node_names = dict(zip(folded.pis, folded.pi_names))
+        assert node_names[lit >> 1] == f"b[{bit}]"
+
+
+def test_folding_preserves_function_on_care_set():
+    rng = random.Random(31)
+    aig = AIG()
+    y = make_word(aig, "y", 4)
+    x = make_word(aig, "x", 3)
+    pool = list(y) + list(x)
+    for _ in range(40):
+        a = rng.choice(pool) ^ rng.randint(0, 1)
+        b = rng.choice(pool) ^ rng.randint(0, 1)
+        pool.append(aig.and_(a, b))
+    for index in range(5):
+        aig.add_po(f"f{index}", rng.choice(pool) ^ rng.randint(0, 1))
+
+    value_set = ValueSet(4, (1, 2, 4, 8))
+    folded, _ = fold_states(aig, {"y": (y, value_set)})
+
+    po_lits_old = [lit for _, lit in aig.pos]
+    po_lits_new = [lit for _, lit in folded.pos]
+    new_y = [node << 1 for node, name in zip(folded.pis, folded.pi_names) if name.startswith("y")]
+    new_x = [node << 1 for node, name in zip(folded.pis, folded.pi_names) if name.startswith("x")]
+    for y_val in value_set.values:
+        for x_val in range(8):
+            want = eval_lits(
+                aig, po_lits_old, pi_assign(y, y_val) | pi_assign(x, x_val)
+            )
+            got = eval_lits(
+                folded, po_lits_new,
+                pi_assign(new_y, y_val) | pi_assign(new_x, x_val),
+            )
+            assert got == want, (y_val, x_val)
+
+
+def test_latch_bus_annotation_folds_downstream():
+    """Annotated latch outputs enable cross-flop folding."""
+    aig = AIG()
+    x = make_word(aig, "x", 2)
+    y = [aig.add_latch(f"y[{i}]") for i in range(4)]
+    dec = ops.onehot_decode(aig, x)
+    for lit, d in zip(y, dec):
+        aig.set_latch_next(lit, d)
+    # Downstream redundancy: y[0] & y[3].
+    aig.add_po("bad", aig.and_(y[0], y[3]))
+    # Without annotation nothing happens (the tool's real limitation).
+    unfolded, stats = fold_states(aig, {})
+    assert stats.constants_proven == 0
+    # With the annotation the node folds to zero.
+    folded, _ = fold_states(aig, {"y": (y, ValueSet.onehot(4))})
+    assert folded.pos[0][1] == 0
+
+
+def test_trivial_annotation_is_ignored():
+    aig = AIG()
+    y = make_word(aig, "y", 2)
+    aig.add_po("f", aig.and_(y[0], y[1]))
+    folded, stats = fold_states(aig, {"y": (y, ValueSet.full(2))})
+    assert stats.rounds == 0
+    assert folded.num_ands == 1
+
+
+def test_merge_of_care_equivalent_nodes():
+    aig = AIG()
+    y = make_word(aig, "y", 2)
+    z = aig.add_pi("z")
+    # Under care {01, 10}: y0 == ~y1, so y0&z == ~y1&z.
+    left = aig.and_(y[0], z)
+    right = aig.and_(lit_compl(y[1]), z)
+    aig.add_po("l", left)
+    aig.add_po("r", right)
+    folded, stats = fold_states(aig, {"y": (y, ValueSet(2, (1, 2)))})
+    (_, l_lit), (_, r_lit) = folded.pos
+    assert l_lit == r_lit
+    assert stats.merges_proven >= 1

@@ -1,0 +1,73 @@
+"""Unit tests for the value-set domain and care predicates."""
+
+import random
+
+import pytest
+
+from repro.aig.graph import AIG
+from repro.synth.statesets import ValueSet, care_literal
+
+from tests.helpers import eval_lits, make_word, pi_assign
+
+
+def test_valueset_validation():
+    with pytest.raises(ValueError):
+        ValueSet(2, ())
+    with pytest.raises(ValueError):
+        ValueSet(2, (4,))
+    with pytest.raises(ValueError):
+        ValueSet(2, (1, 1))
+
+
+def test_onehot_valueset():
+    vs = ValueSet.onehot(4)
+    assert vs.k == 4
+    assert set(vs.values) == {1, 2, 4, 8}
+    assert not vs.is_trivial()
+
+
+def test_full_valueset_is_trivial():
+    vs = ValueSet.full(3)
+    assert vs.k == 8
+    assert vs.is_trivial()
+
+
+def test_sampling_stays_in_set():
+    rng = random.Random(1)
+    vs = ValueSet(4, (3, 9, 12))
+    for _ in range(50):
+        assert vs.sample(rng) in (3, 9, 12)
+
+
+def test_sample_packed_consistent():
+    rng = random.Random(2)
+    vs = ValueSet(3, (1, 5))
+    packed = vs.sample_packed(rng, 32)
+    for pattern in range(32):
+        value = 0
+        for bit in range(3):
+            if packed[bit] >> pattern & 1:
+                value |= 1 << bit
+        assert value in (1, 5)
+
+
+def test_care_literal_semantics():
+    aig = AIG()
+    bus = make_word(aig, "y", 3)
+    care = care_literal(aig, bus, ValueSet(3, (2, 5)))
+    for value in range(8):
+        got = eval_lits(aig, [care], pi_assign(bus, value))
+        assert got == (1 if value in (2, 5) else 0)
+
+
+def test_care_literal_trivial_is_constant_true():
+    aig = AIG()
+    bus = make_word(aig, "y", 2)
+    assert care_literal(aig, bus, ValueSet.full(2)) == 1
+
+
+def test_care_literal_width_check():
+    aig = AIG()
+    bus = make_word(aig, "y", 2)
+    with pytest.raises(ValueError):
+        care_literal(aig, bus, ValueSet(3, (1,)))

@@ -1,0 +1,84 @@
+"""Unit tests for integer truth-table bit algebra."""
+
+import pytest
+
+from repro.tables.bits import (
+    all_ones,
+    cofactor0,
+    cofactor1,
+    minterm_iter,
+    popcount,
+    tt_depends_on,
+    tt_support,
+    var_mask,
+)
+
+
+def brute_table(func, num_vars):
+    table = 0
+    for minterm in range(1 << num_vars):
+        if func(minterm):
+            table |= 1 << minterm
+    return table
+
+
+def test_all_ones_sizes():
+    assert all_ones(0) == 0b1
+    assert all_ones(1) == 0b11
+    assert all_ones(3) == 0xFF
+
+
+def test_var_mask_matches_projection():
+    for num_vars in range(1, 7):
+        for var in range(num_vars):
+            expected = brute_table(lambda m: m >> var & 1, num_vars)
+            assert var_mask(var, num_vars) == expected
+
+
+def test_var_mask_rejects_out_of_range():
+    with pytest.raises(ValueError):
+        var_mask(3, 3)
+    with pytest.raises(ValueError):
+        var_mask(-1, 3)
+
+
+def test_cofactors_of_projection():
+    num_vars = 4
+    table = var_mask(2, num_vars)
+    assert cofactor1(table, 2, num_vars) == all_ones(num_vars)
+    assert cofactor0(table, 2, num_vars) == 0
+
+
+def test_cofactors_agree_with_bruteforce():
+    num_vars = 5
+    func = lambda m: ((m >> 1) ^ (m >> 3) ^ m) & 1  # noqa: E731
+    table = brute_table(func, num_vars)
+    for var in range(num_vars):
+        expected1 = brute_table(lambda m: func(m | (1 << var)), num_vars)
+        expected0 = brute_table(lambda m: func(m & ~(1 << var)), num_vars)
+        assert cofactor1(table, var, num_vars) == expected1
+        assert cofactor0(table, var, num_vars) == expected0
+
+
+def test_support_detects_only_real_dependencies():
+    num_vars = 5
+    table = brute_table(lambda m: (m >> 0 & 1) & (m >> 4 & 1), num_vars)
+    assert tt_support(table, num_vars) == (0, 4)
+    assert tt_depends_on(table, 0, num_vars)
+    assert not tt_depends_on(table, 2, num_vars)
+
+
+def test_support_of_constants_is_empty():
+    assert tt_support(0, 4) == ()
+    assert tt_support(all_ones(4), 4) == ()
+
+
+def test_minterm_iter_ascending():
+    assert list(minterm_iter(0b101001)) == [0, 3, 5]
+    assert list(minterm_iter(0)) == []
+
+
+def test_popcount():
+    assert popcount(0) == 0
+    assert popcount(0b1011) == 3
+    assert popcount(all_ones(6)) == 64

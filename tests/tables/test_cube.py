@@ -1,0 +1,86 @@
+"""Unit tests for cubes (implicants)."""
+
+import pytest
+
+from repro.tables.bits import all_ones
+from repro.tables.cube import Cube, cover_truth_table
+
+
+def test_from_string_roundtrip():
+    cube = Cube.from_string("1-0")
+    assert cube.num_vars == 3
+    assert str(cube) == "1-0"
+    assert cube.num_literals() == 2
+    assert cube.literals() == ((0, False), (2, True))
+
+
+def test_from_string_rejects_garbage():
+    with pytest.raises(ValueError):
+        Cube.from_string("1x0")
+
+
+def test_invalid_value_outside_mask():
+    with pytest.raises(ValueError):
+        Cube(3, 0b001, 0b010)
+
+
+def test_contains():
+    cube = Cube.from_string("1-0")
+    assert cube.contains(0b100)
+    assert cube.contains(0b110)
+    assert not cube.contains(0b101)
+    assert not cube.contains(0b000)
+
+
+def test_universal_cube_covers_everything():
+    cube = Cube.universal(4)
+    assert cube.truth_table() == all_ones(4)
+    assert cube.num_literals() == 0
+    for minterm in range(16):
+        assert cube.contains(minterm)
+
+
+def test_of_minterm_covers_exactly_one():
+    cube = Cube.of_minterm(4, 0b1010)
+    assert cube.truth_table() == 1 << 0b1010
+
+
+def test_with_and_without_literal():
+    cube = Cube.universal(3).with_literal(1, True)
+    assert str(cube) == "-1-"
+    assert cube.without_literal(1) == Cube.universal(3)
+    with pytest.raises(ValueError):
+        cube.with_literal(1, False)
+    with pytest.raises(ValueError):
+        cube.without_literal(0)
+
+
+def test_implies():
+    small = Cube.from_string("110")
+    big = Cube.from_string("1-0")
+    assert small.implies(big)
+    assert not big.implies(small)
+    assert big.implies(big)
+
+
+def test_intersects():
+    a = Cube.from_string("1--")
+    b = Cube.from_string("-0-")
+    c = Cube.from_string("0--")
+    assert a.intersects(b)
+    assert not a.intersects(c)
+
+
+def test_truth_table_matches_contains():
+    cube = Cube.from_string("-01")
+    table = cube.truth_table()
+    for minterm in range(8):
+        assert bool(table >> minterm & 1) == cube.contains(minterm)
+
+
+def test_cover_truth_table_unions():
+    cubes = [Cube.from_string("1--"), Cube.from_string("--1")]
+    table = cover_truth_table(cubes, 3)
+    for minterm in range(8):
+        expected = bool(minterm & 0b100) or bool(minterm & 0b001)
+        assert bool(table >> minterm & 1) == expected

@@ -1,0 +1,90 @@
+"""Unit and property tests for the espresso-style cover improver."""
+
+import random
+
+import pytest
+
+from repro.tables.bits import all_ones
+from repro.tables.cube import Cube, cover_truth_table
+from repro.tables.espresso import expand_cubes, improve_cover, irredundant_cubes
+from repro.tables.isop import isop
+
+
+def cover_cost(cubes):
+    return (len(cubes), sum(c.num_literals() for c in cubes))
+
+
+def test_expand_frees_literals_against_sparse_offset():
+    # f = x0 over 3 vars; start from the full minterm cube of 0b111.
+    on = 0
+    for m in range(8):
+        if m & 1:
+            on |= 1 << m
+    off = all_ones(3) & ~on
+    start = [Cube.of_minterm(3, 0b111)]
+    expanded = expand_cubes(start, off, 3)
+    assert len(expanded) == 1
+    assert expanded[0].num_literals() == 1  # grew to the prime "--1"
+    assert str(expanded[0]) == "--1"
+
+
+def test_expand_drops_subsumed_cubes():
+    on = all_ones(2)
+    start = [Cube.of_minterm(2, 0), Cube.of_minterm(2, 3)]
+    expanded = expand_cubes(start, 0, 2)
+    assert len(expanded) == 1
+    assert expanded[0] == Cube.universal(2)
+
+
+def test_irredundant_removes_patch_cube():
+    # Two primes cover everything; a middle minterm cube is redundant.
+    a = Cube.from_string("1-")
+    b = Cube.from_string("-1")
+    patch = Cube.from_string("11")
+    on = cover_truth_table([a, b], 2)
+    kept = irredundant_cubes([a, patch, b], on, 2)
+    assert patch not in kept
+    assert cover_truth_table(kept, 2) == on
+
+
+def test_improve_cover_validates_input():
+    with pytest.raises(ValueError, match="misses"):
+        improve_cover([], 0b1, 0, 1)
+    with pytest.raises(ValueError, match="touches"):
+        improve_cover([Cube.universal(1)], 0b10, 0, 1)
+
+
+def test_improve_never_worse_than_isop():
+    rng = random.Random(2011)
+    for _ in range(60):
+        num_vars = rng.randint(2, 7)
+        on = rng.getrandbits(1 << num_vars)
+        dc = rng.getrandbits(1 << num_vars) & ~on
+        base = isop(on, dc, num_vars)
+        improved = improve_cover(base, on, dc, num_vars)
+        # Still a valid cover.
+        table = cover_truth_table(improved, num_vars)
+        assert on & ~table == 0
+        assert table & ~(on | dc) == 0
+        # Never worse under (cubes, literals).
+        assert cover_cost(improved) <= cover_cost(base)
+
+
+def test_improve_actually_helps_sometimes():
+    """Starting from raw minterm covers, improvement is dramatic."""
+    rng = random.Random(5)
+    wins = 0
+    for _ in range(20):
+        num_vars = rng.randint(3, 6)
+        on = rng.getrandbits(1 << num_vars)
+        if on == 0:
+            continue
+        minterms = [
+            Cube.of_minterm(num_vars, m)
+            for m in range(1 << num_vars)
+            if on >> m & 1
+        ]
+        improved = improve_cover(minterms, on, 0, num_vars)
+        if cover_cost(improved) < cover_cost(minterms):
+            wins += 1
+    assert wins >= 15

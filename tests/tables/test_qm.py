@@ -1,0 +1,78 @@
+"""Unit tests for the Quine-McCluskey exact minimizer."""
+
+import random
+from itertools import combinations
+
+import pytest
+
+from repro.tables.bits import all_ones
+from repro.tables.cube import Cube, cover_truth_table
+from repro.tables.qm import minimize_exact, prime_implicants
+
+
+def test_primes_of_constant_true():
+    primes = prime_implicants(all_ones(3), 0, 3)
+    assert primes == [Cube.universal(3)]
+
+
+def test_primes_of_empty():
+    assert prime_implicants(0, 0, 3) == []
+
+
+def test_primes_are_implicants_and_maximal():
+    rng = random.Random(7)
+    for _ in range(20):
+        num_vars = rng.randint(1, 5)
+        care = rng.getrandbits(1 << num_vars)
+        primes = prime_implicants(care, 0, num_vars)
+        for prime in primes:
+            table = prime.truth_table()
+            assert table & ~care == 0, "prime covers an OFF minterm"
+            # Maximality: dropping any literal must leave the care set.
+            for var, _ in prime.literals():
+                grown = prime.without_literal(var)
+                assert grown.truth_table() & ~care != 0
+
+
+def test_minimize_textbook_example():
+    # f = sum m(0,1,2,5,6,7) over 3 vars: minimal cover has 3 cubes.
+    on = sum(1 << m for m in [0, 1, 2, 5, 6, 7])
+    cubes = minimize_exact(on, 0, 3)
+    assert cover_truth_table(cubes, 3) == on
+    assert len(cubes) == 3
+
+
+def test_minimize_with_dontcares():
+    # Classic 4-var example: f = m(1,3,7,11,15) d = (0,2,5)
+    on = sum(1 << m for m in [1, 3, 7, 11, 15])
+    dc = sum(1 << m for m in [0, 2, 5])
+    cubes = minimize_exact(on, dc, 4)
+    table = cover_truth_table(cubes, 4)
+    assert on & ~table == 0
+    assert table & ~(on | dc) == 0
+    assert len(cubes) <= 2
+
+
+def test_minimize_rejects_overlap():
+    with pytest.raises(ValueError):
+        minimize_exact(1, 1, 1)
+
+
+def brute_minimum_cover_size(on, dc, num_vars):
+    """Smallest number of primes covering ``on`` (exponential search)."""
+    primes = prime_implicants(on, dc, num_vars)
+    for size in range(len(primes) + 1):
+        for subset in combinations(primes, size):
+            if on & ~cover_truth_table(subset, num_vars) == 0:
+                return size
+    raise AssertionError("primes do not cover the ON-set")
+
+
+def test_minimize_is_truly_minimum_on_small_functions():
+    rng = random.Random(21)
+    for _ in range(15):
+        num_vars = rng.randint(1, 4)
+        on = rng.getrandbits(1 << num_vars)
+        dc = rng.getrandbits(1 << num_vars) & ~on
+        cubes = minimize_exact(on, dc, num_vars)
+        assert len(cubes) == brute_minimum_cover_size(on, dc, num_vars)

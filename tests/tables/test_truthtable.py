@@ -1,0 +1,69 @@
+"""Unit tests for multi-output truth tables."""
+
+import random
+
+import pytest
+
+from repro.tables.truthtable import TruthTable
+
+
+def test_from_rows_roundtrip():
+    rows = [0b00, 0b01, 0b10, 0b11]
+    table = TruthTable.from_rows(2, rows, width=2)
+    assert table.rows() == rows
+    assert table.num_outputs == 2
+    assert table.depth == 4
+
+
+def test_from_rows_validates_width_and_depth():
+    with pytest.raises(ValueError):
+        TruthTable.from_rows(1, [0, 1, 2], width=2)
+    with pytest.raises(ValueError):
+        TruthTable.from_rows(2, [0b100], width=2)
+
+
+def test_from_function():
+    table = TruthTable.from_function(3, 3, lambda a: a ^ 0b101)
+    for address in range(8):
+        assert table.evaluate(address) == address ^ 0b101
+
+
+def test_row_bounds_checked():
+    table = TruthTable.from_rows(1, [1, 0], width=1)
+    with pytest.raises(IndexError):
+        table.row(2)
+
+
+def test_random_is_reproducible():
+    a = TruthTable.random(4, 3, random.Random(5))
+    b = TruthTable.random(4, 3, random.Random(5))
+    assert a == b
+
+
+def test_random_sparse_bias():
+    rng = random.Random(11)
+    table = TruthTable.random_sparse(8, 4, 0.1, rng)
+    total_ones = sum(table.column_ones(i) for i in range(4))
+    total_bits = table.depth * 4
+    assert total_ones < total_bits * 0.25
+
+
+def test_random_sparse_validates_fraction():
+    with pytest.raises(ValueError):
+        TruthTable.random_sparse(3, 1, 1.5, random.Random(0))
+
+
+def test_support_and_constants():
+    # Output 0 = input 1; output 1 = constant 0.
+    table = TruthTable.from_function(3, 2, lambda a: (a >> 1) & 1)
+    assert table.support(0) == (1,)
+    assert table.support(1) == ()
+    assert table.is_constant(1)
+    assert not table.is_constant(0)
+
+
+def test_str_small_table_lists_rows():
+    table = TruthTable.from_rows(1, [0b1, 0b0], width=1)
+    text = str(table)
+    assert "0 -> 1" in text
+    assert "1 -> 0" in text

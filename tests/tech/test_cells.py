@@ -1,0 +1,62 @@
+"""Unit tests for the standard cell library."""
+
+import pytest
+
+from repro.tech.cells import Cell, FlopCell, Library, _tt
+
+
+def test_tt_helper():
+    assert _tt(lambda a: a, 1) == 0b10
+    assert _tt(lambda a, b: a and b, 2) == 0b1000
+    assert _tt(lambda a, b: a or b, 2) == 0b1110
+
+
+def test_default_library_has_core_cells():
+    lib = Library.tsmc90ish()
+    for name in ("INV", "NAND2", "NOR2", "XOR2", "MUX2", "AOI21"):
+        assert name in lib.cells
+    assert lib.inverter.name == "INV"
+
+
+def test_cell_truth_tables_are_correct():
+    lib = Library.tsmc90ish()
+    nand2 = lib.cells["NAND2"]
+    assert nand2.table == 0b0111
+    mux2 = lib.cells["MUX2"]
+    # inputs (a, b, s): out = s ? b : a
+    for minterm in range(8):
+        a, b, s = minterm & 1, (minterm >> 1) & 1, (minterm >> 2) & 1
+        expected = b if s else a
+        assert (mux2.table >> minterm) & 1 == expected
+
+
+def test_flop_variants_ordered_by_complexity():
+    lib = Library.tsmc90ish()
+    plain = lib.flop_for("none")
+    sync = lib.flop_for("sync")
+    asynch = lib.flop_for("async")
+    assert plain.area < sync.area < asynch.area
+
+
+def test_drive_scaling():
+    lib = Library.tsmc90ish()
+    nand2 = lib.cells["NAND2"]
+    assert nand2.area_at(1) < nand2.area_at(2) < nand2.area_at(4)
+    # Higher drive reduces load-dependent delay.
+    assert nand2.delay(4, 4) < nand2.delay(4, 1)
+    # Zero fanout is treated as one.
+    assert nand2.delay(0, 1) == nand2.delay(1, 1)
+
+
+def test_library_validation():
+    inv = Cell("INV", 1, 0b01, 1.0, 0.01, 0.01)
+    flops = [
+        FlopCell("DFF", "none", 10, 0.1, 0.05),
+        FlopCell("DFFS", "sync", 11, 0.1, 0.05),
+        FlopCell("DFFR", "async", 12, 0.1, 0.05),
+    ]
+    Library("ok", [inv], flops)
+    with pytest.raises(ValueError):
+        Library("noinv", [], flops)
+    with pytest.raises(ValueError):
+        Library("noflop", [inv], flops[:2])

@@ -1,0 +1,91 @@
+"""Unit tests for static timing analysis and gate sizing."""
+
+import random
+
+from repro.aig.graph import AIG
+from repro.tech.mapper import map_aig
+from repro.tech.sizing import achievable_targets, size_for_clock
+from repro.tech.sta import analyze_timing
+
+from tests.helpers import make_word
+
+
+def build_chain(length=24):
+    """A long AND chain: an easy critical path to study."""
+    aig = AIG()
+    xs = make_word(aig, "x", length)
+    acc = xs[0]
+    for lit in xs[1:]:
+        acc = aig.and_(acc, lit)
+    aig.add_po("f", acc)
+    return aig
+
+
+def test_arrival_times_monotone_along_path():
+    netlist = map_aig(build_chain())
+    report = analyze_timing(netlist)
+    assert report.critical_delay > 0
+    times = [report.arrival[net] for net in report.critical_path]
+    assert times == sorted(times)
+
+
+def test_sequential_paths_include_flop_margins():
+    aig = AIG()
+    a = aig.add_pi("a")
+    q = aig.add_latch("q", reset_kind="sync")
+    aig.set_latch_next(q, aig.and_(q, a))
+    aig.add_po("o", q)
+    netlist = map_aig(aig)
+    report = analyze_timing(netlist)
+    flop = netlist.flops[0]
+    # Path must include clk-to-q and setup, so it exceeds the bare gate delay.
+    gate = netlist.library.cells[netlist.instances[0].cell_name]
+    assert report.critical_delay > gate.delay(1, 1)
+    assert report.critical_delay >= flop.cell.clk_to_q + flop.cell.setup
+
+
+def test_sizing_meets_loose_target_without_work():
+    netlist = map_aig(build_chain())
+    base = analyze_timing(netlist).critical_delay
+    result = size_for_clock(netlist, base * 2)
+    assert result.met
+    assert result.upsized == 0
+
+
+def test_sizing_improves_delay_at_area_cost():
+    netlist = map_aig(build_chain(32))
+    base_delay = analyze_timing(netlist).critical_delay
+    base_area = netlist.area_report().total
+    result = size_for_clock(netlist, base_delay * 0.8)
+    after_delay = analyze_timing(netlist).critical_delay
+    after_area = netlist.area_report().total
+    assert after_delay < base_delay
+    if result.upsized:
+        assert after_area > base_area
+
+
+def test_sizing_reports_unreachable_targets():
+    netlist = map_aig(build_chain(16))
+    result = size_for_clock(netlist, 0.0001)
+    assert not result.met
+    assert result.achieved_delay > 0.0001
+
+
+def test_achievable_targets_descend():
+    targets = achievable_targets(1.0, num_points=4)
+    assert len(targets) == 4
+    assert targets[0] > 1.0
+    assert all(a > b for a, b in zip(targets, targets[1:]))
+
+
+def test_sized_netlist_still_functionally_correct():
+    rng = random.Random(4)
+    aig = build_chain(12)
+    netlist = map_aig(aig)
+    size_for_clock(netlist, analyze_timing(netlist).critical_delay * 0.8)
+    for _ in range(32):
+        pis = {node: rng.getrandbits(1) for node in aig.pis}
+        want, _ = aig.evaluate(pis)
+        names = {n: pis[node] for n, node in zip(aig.pi_names, aig.pis)}
+        got, _ = netlist.evaluate(names)
+        assert got == want
