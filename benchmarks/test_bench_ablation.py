@@ -24,9 +24,32 @@ from repro.controllers import (
 )
 from repro.controllers.fsm_random import random_fsm
 from repro.controllers.fsm_rtl import fsm_to_table_rtl
+from repro.flow import PassManager, optimize_loop, state_folding
+from repro.flow.passes import (
+    ElaboratePass,
+    EncodePass,
+    FsmInferPass,
+    HonourAnnotationsPass,
+    SizePass,
+    TechMapPass,
+)
 from repro.pe import specialize
-from repro.synth.compiler import DesignCompiler
-from repro.synth.dc_options import CompileOptions, StateAnnotation
+from repro.synth.dc_options import StateAnnotation
+
+
+def standard_pipeline(encoding="binary", clock_period_ns=5.0):
+    """The default flow, composed explicitly from flow-API stages."""
+    passes = [FsmInferPass(), HonourAnnotationsPass()]
+    if encoding != "same":
+        passes.append(EncodePass(encoding))
+    passes += [
+        ElaboratePass(),
+        optimize_loop(),
+        state_folding(),
+        TechMapPass(),
+        SizePass(clock_period_ns),
+    ]
+    return PassManager(passes)
 
 _FIELDS = (
     ("cmd", ["read", "write", "sync", "flush"]),
@@ -51,28 +74,28 @@ def _write_program(fmt: MicrocodeFormat):
     return prog.assemble(addr_bits=3, dispatch=table)
 
 
-def _sequencer_areas(fmt: MicrocodeFormat, compiler: DesignCompiler):
+def _sequencer_areas(fmt: MicrocodeFormat, pipeline: PassManager):
     image = _write_program(fmt)
     flex_spec = SequencerSpec(
         "ablate", fmt, addr_bits=3, num_conditions=2, opcode_bits=2,
         flexible=True,
     )
     flexible = generate_sequencer(flex_spec).module
-    full = compiler.compile(flexible).area
+    full = pipeline.compile(flexible).area
     auto = specialize(
         flexible,
         {
             "ucode": image.instruction_words(),
             "dispatch": image.dispatch_rows(),
         },
-        compiler=compiler,
+        pipeline=pipeline,
     ).area
     return full, auto
 
 
 def test_bench_ablation_microcode_packing(once):
     """Horizontal pays storage in the flexible design, not after PE."""
-    compiler = DesignCompiler()
+    pipeline = standard_pipeline()
 
     def run():
         horizontal = MicrocodeFormat.horizontal(*_FIELDS)
@@ -80,8 +103,8 @@ def test_bench_ablation_microcode_packing(once):
         return (
             horizontal.width,
             vertical.width,
-            _sequencer_areas(horizontal, compiler),
-            _sequencer_areas(vertical, compiler),
+            _sequencer_areas(horizontal, pipeline),
+            _sequencer_areas(vertical, pipeline),
         )
 
     h_width, v_width, (h_full, h_auto), (v_full, v_auto) = once(run)
@@ -100,21 +123,19 @@ def test_bench_ablation_microcode_packing(once):
 
 def test_bench_ablation_fsm_encodings(once):
     """binary/gray/onehot re-encodings all stay near the same area."""
-    compiler = DesignCompiler()
     spec = random_fsm(2, 4, 6, random.Random(13))
     module = fsm_to_table_rtl(spec)
 
     def run():
         areas = {}
         for style in ("binary", "gray", "onehot"):
-            options = CompileOptions(
-                fsm_encoding=style,
-                state_annotations=[StateAnnotation("state", tuple(range(6)))],
+            ctx = standard_pipeline(encoding=style).compile(
+                module,
+                annotations=[StateAnnotation("state", tuple(range(6)))],
             )
-            result = compiler.compile(module, options)
             areas[style] = (
-                result.area.total,
-                result.netlist.area_report().num_flops,
+                ctx.area.total,
+                ctx.netlist.area_report().num_flops,
             )
         return areas
 

@@ -5,6 +5,8 @@ evaluated tables synthesize to ~the same area as hand-written
 sum-of-products across the grid.
 """
 
+import pytest
+
 from repro.expts.fig5_tables import run_fig5
 
 
@@ -16,6 +18,7 @@ def test_bench_fig5_small(once):
     assert stats.maximum <= 2.0
 
 
+@pytest.mark.slow
 def test_bench_fig5_medium_slice(once):
     """A deeper slice (d up to 256) including the large-function regime
     where the paper saw table-based occasionally winning."""

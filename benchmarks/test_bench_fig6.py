@@ -5,6 +5,8 @@ into line with the vendor-recommended case style, while the
 unannotated versions show more variance.
 """
 
+import pytest
+
 from repro.expts.fig6_fsm import run_fig6
 
 
@@ -16,6 +18,7 @@ def test_bench_fig6_small(once):
     assert 0.6 <= annotated.geomean <= 1.25
 
 
+@pytest.mark.slow
 def test_bench_fig6_medium(once):
     """The full state grid (s in {2,3,8,16,17}) at m=2: the paper's
     non-power-of-two variance claim needs s in {3, 17} present."""

@@ -4,6 +4,8 @@ Asserts every qualitative claim of the paper's Section III-B on the
 Fig. 7 design family.
 """
 
+import pytest
+
 from repro.expts.fig8_stateprop import run_fig8
 
 
@@ -15,6 +17,7 @@ def test_bench_fig8_small(once):
     assert result.ratio_stats("async/retimed").minimum >= 1.1
 
 
+@pytest.mark.slow
 def test_bench_fig8_medium_annotation_cap(once):
     """Medium scale reaches n=64: beyond the 32-bit state vector cap
     the annotation is ignored and the generic design stays big."""

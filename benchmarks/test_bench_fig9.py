@@ -6,9 +6,12 @@ Asserts the paper's shape: Auto halves the flexible design's area in
 both configurations, and Manual only matters for uncached mode.
 """
 
+import pytest
+
 from repro.expts.fig9_pctrl import run_fig9
 
 
+@pytest.mark.slow
 def test_bench_fig9_small(once):
     result = once(run_fig9, scale="small")
     text = result.to_markdown()

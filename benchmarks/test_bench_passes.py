@@ -12,6 +12,7 @@ from repro.aig import balance, rewrite
 from repro.aig.graph import AIG
 from repro.aig.rewrite import tt_sweep
 from repro.aig import ops
+from repro.flow import PASS_REGISTRY, PassManager
 from repro.sat.equiv import check_combinational_equivalence
 from repro.tables.isop import isop
 from repro.tables.truthtable import TruthTable
@@ -75,3 +76,81 @@ def test_bench_sat_equivalence(benchmark, table_aig):
 
     result = benchmark.pedantic(run, rounds=1, iterations=1, warmup_rounds=0)
     assert result
+
+
+#: Registered AIG-stage leaf passes that run out of the box on a bare
+#: AIG context; the composite "optimize" is timed in its own pipeline
+#: so its body's records don't fold into the leaf timings.
+_AIG_LEAF_PASSES = ("seq_sweep", "tt_sweep", "balance", "rewrite", "retime")
+
+
+def _annotated_fsm_module():
+    """A table FSM whose annotation exercises encode and stateprop."""
+    from repro.rtl.builder import ModuleBuilder, cat
+
+    b = ModuleBuilder("bench_fsm")
+    go = b.input("go")
+    state = b.reg("state", 2)
+    table = b.rom("nxt", 2, 8, [0, 2, 0, 0, 1, 2, 0, 0])
+    b.drive(state, table.read(cat(state, go)))
+    b.output("busy", state.ne(0))
+    return b.build()
+
+
+def test_bench_each_registered_pass_individually(benchmark, table_aig):
+    """Per-pass wall time via PassRecord instrumentation.
+
+    Three pipelines together execute every pass in the registry --
+    the AIG leaf passes in isolation (cleanly attributable timings),
+    the "optimize" composite on its own (so its body's records don't
+    fold into the leaf timings), and an annotated FSM through the full
+    RTL-to-netlist flow for the rtl/netlist-stage passes -- and every
+    one leaves a timed PassRecord, so a regression in any registered
+    pass is attributable from this one case.
+    """
+    from repro.synth.dc_options import StateAnnotation
+
+    leaf_pipeline = PassManager.parse(",".join(_AIG_LEAF_PASSES))
+    optimize_pipeline = PassManager.parse("optimize")
+    full_pipeline = PassManager.parse(
+        "fsm_infer,honour_annotations,encode,elaborate,optimize,"
+        "stateprop,map,size"
+    )
+    module = _annotated_fsm_module()
+    annotations = [StateAnnotation("state", (0, 1, 2))]
+
+    def run():
+        return (
+            leaf_pipeline.compile(aig=table_aig),
+            optimize_pipeline.compile(aig=table_aig),
+            full_pipeline.compile(module, annotations=annotations),
+        )
+
+    leaf_ctx, opt_ctx, full_ctx = benchmark.pedantic(
+        run, rounds=1, iterations=1, warmup_rounds=0
+    )
+    # Isolated, attributable timings for the leaf passes.
+    leaf_timings = {}
+    for record in leaf_ctx.records:
+        if record.name in PASS_REGISTRY:
+            leaf_timings.setdefault(record.name, 0.0)
+            leaf_timings[record.name] += record.wall_time_s
+    assert sorted(leaf_timings) == sorted(_AIG_LEAF_PASSES)
+    [opt_record] = [r for r in opt_ctx.records if r.name == "optimize"]
+    assert opt_record.wall_time_s > 0.0
+
+    # Full registry coverage: every registered pass left a record.
+    recorded = {
+        record.name
+        for ctx in (leaf_ctx, opt_ctx, full_ctx)
+        for record in ctx.records
+        if not record.skipped
+    }
+    missing = set(PASS_REGISTRY) - recorded
+    assert not missing, f"registered passes with no PassRecord: {missing}"
+    # The instrumentation also carries structural before/after stats.
+    assert all(
+        r.before is not None and r.after is not None
+        for r in leaf_ctx.records
+        if r.name in _AIG_LEAF_PASSES
+    )

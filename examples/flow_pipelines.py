@@ -1,0 +1,100 @@
+#!/usr/bin/env python3
+"""The flow API: compose, reorder, and instrument synthesis pipelines.
+
+Three demonstrations on one table-based FSM:
+
+1. parse a pipeline from a spec string and read the per-pass
+   instrumentation (``PassRecord``: wall time, AND-count deltas);
+2. compare pass *orderings* — balance-then-rewrite vs
+   rewrite-then-balance — which the old monolithic driver could not
+   express;
+3. register a custom pass and use it from a spec string.
+
+Run:  python examples/flow_pipelines.py
+"""
+
+from repro.controllers import FsmSpec, fsm_to_table_rtl
+from repro.flow import (
+    Pass,
+    PassManager,
+    register_pass,
+    optimize_loop,
+)
+from repro.flow.passes import ElaboratePass, SizePass, TechMapPass
+from repro.synth.elaborate import elaborate
+
+
+def demo_spec():
+    return FsmSpec(
+        "stream",
+        num_inputs=2,
+        num_outputs=4,
+        num_states=5,
+        reset_state=0,
+        next_state=[
+            [0, 1, 2, 1],
+            [2, 2, 3, 3],
+            [3, 4, 3, 4],
+            [4, 0, 1, 0],
+            [0, 0, 2, 2],
+        ],
+        output=[
+            [0, 1, 2, 3],
+            [4, 5, 6, 7],
+            [8, 9, 10, 11],
+            [12, 13, 14, 15],
+            [1, 3, 5, 7],
+        ],
+    )
+
+
+def main() -> None:
+    module = fsm_to_table_rtl(demo_spec())
+
+    # -- 1. spec strings + instrumentation ----------------------------
+    pipeline = PassManager.parse("elaborate,optimize,map,size")
+    ctx = pipeline.compile(module)
+    print(f"pipeline: {pipeline.spec()}")
+    print(f"area {ctx.area.total:.1f} um^2, "
+          f"delay {ctx.timing.critical_delay:.3f} ns")
+    print(f"{'pass':16s} {'ms':>8s} {'d-ands':>7s}")
+    for record in ctx.records:
+        delta = record.delta_ands
+        print(f"{record.name:16s} {record.wall_time_s * 1e3:8.2f} "
+              f"{delta if delta is not None else '':>7}")
+
+    # -- 2. orderings the monolith could not express ------------------
+    aig = elaborate(module).aig
+    for spec in ("tt_sweep,balance,rewrite", "tt_sweep,rewrite,balance"):
+        out = PassManager.parse(spec).compile(aig=aig)
+        print(f"{spec:28s} -> {out.aig.num_ands} ands, "
+              f"depth {out.aig.depth()}")
+
+    # -- 3. a custom registered pass ----------------------------------
+    @register_pass("double_rewrite")
+    class DoubleRewritePass(Pass):
+        """Example custom pass: two rewrite applications back to back."""
+
+        def run(self, ctx):
+            from repro.aig.rewrite import rewrite
+
+            ctx.aig = rewrite(rewrite(ctx.aig))
+
+    custom = PassManager.parse("seq_sweep,double_rewrite")
+    out = custom.compile(aig=aig)
+    print(f"custom pipeline {custom.spec()!r} -> {out.aig.num_ands} ands")
+
+    # -- and the full flow, composed from objects ---------------------
+    full = PassManager([
+        ElaboratePass(),
+        optimize_loop(effort_rounds=3),
+        TechMapPass(),
+        SizePass(clock_period_ns=2.0),
+    ])
+    ctx = full.compile(module)
+    print(f"object-composed flow: met={ctx.sizing.met} "
+          f"achieved={ctx.sizing.achieved_delay:.3f} ns")
+
+
+if __name__ == "__main__":
+    main()

@@ -20,11 +20,12 @@ from dataclasses import dataclass, field
 
 from repro.expts.common import ExperimentPoint, ExperimentResult, format_table
 from repro.expts.scatter import render_scatter
+from repro.flow import PassManager, optimize_loop
+from repro.flow.passes import ElaboratePass, SizePass, TechMapPass
 from repro.rtl.ast import Const, Expr
 from repro.rtl.builder import ModuleBuilder, cat
 from repro.rtl.module import Module
 from repro.synth.compiler import DesignCompiler
-from repro.synth.dc_options import CompileOptions
 from repro.tables.isop import isop
 from repro.tables.truthtable import TruthTable
 
@@ -93,6 +94,18 @@ def _sop_expr(addr, on_set: int, num_inputs: int) -> Expr:
     return result
 
 
+def _comb_pipeline(clock_period_ns: float) -> PassManager:
+    """The combinational flow, composed from flow-API stages."""
+    return PassManager(
+        [
+            ElaboratePass(),
+            optimize_loop(),
+            TechMapPass(),
+            SizePass(clock_period_ns),
+        ]
+    )
+
+
 def run_fig5(
     scale: str = "small",
     compiler: DesignCompiler | None = None,
@@ -109,8 +122,10 @@ def run_fig5(
     identical timing targets".
     """
     config = Fig5Scale.named(scale)
-    compiler = compiler or DesignCompiler()
-    options = CompileOptions(clock_period_ns=clock_period_ns, infer_fsm=False)
+    library = (compiler or DesignCompiler()).library
+    # Purely combinational designs: no FSM handling, just
+    # elaborate -> optimize to convergence -> map -> size.
+    pipeline = _comb_pipeline(clock_period_ns)
     result = ExperimentResult(
         "Fig. 5 -- table-based combinational logic vs sum-of-products",
         f"Random functions, depths {config.depths}, widths "
@@ -128,8 +143,8 @@ def run_fig5(
                 label = f"d{depth}w{width}s{seed}"
                 table_module = build_table_module(table, f"tbl_{label}")
                 sop_module = build_sop_module(table, f"sop_{label}")
-                table_result = compiler.compile(table_module, options)
-                sop_result = compiler.compile(sop_module, options)
+                table_result = pipeline.compile(table_module, library=library)
+                sop_result = pipeline.compile(sop_module, library=library)
                 table_area = table_result.area.combinational
                 sop_area = sop_result.area.combinational
                 if sop_area <= 0 or table_area <= 0:
@@ -156,11 +171,9 @@ def run_fig5(
                     table_result.timing.critical_delay,
                     sop_result.timing.critical_delay,
                 )
-                tight = CompileOptions(
-                    clock_period_ns=max(slower * 0.8, 0.05), infer_fsm=False
-                )
-                tight_table = compiler.compile(table_module, tight)
-                tight_sop = compiler.compile(sop_module, tight)
+                tight = _comb_pipeline(max(slower * 0.8, 0.05))
+                tight_table = tight.compile(table_module, library=library)
+                tight_sop = tight.compile(sop_module, library=library)
                 if not (tight_table.sizing.met and tight_sop.sizing.met):
                     continue  # not an identical achievable target
                 result.points.append(

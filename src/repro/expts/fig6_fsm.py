@@ -22,8 +22,17 @@ from repro.controllers.fsm_random import random_fsm
 from repro.controllers.fsm_rtl import fsm_to_case_rtl, fsm_to_table_rtl
 from repro.expts.common import ExperimentPoint, ExperimentResult, format_table
 from repro.expts.scatter import render_scatter
+from repro.flow import PassManager, optimize_loop, state_folding
+from repro.flow.passes import (
+    ElaboratePass,
+    EncodePass,
+    FsmInferPass,
+    HonourAnnotationsPass,
+    SizePass,
+    TechMapPass,
+)
 from repro.synth.compiler import DesignCompiler
-from repro.synth.dc_options import CompileOptions, StateAnnotation
+from repro.synth.dc_options import StateAnnotation
 
 PAPER_INPUTS = (2, 8)
 PAPER_OUTPUTS = (2, 8, 16)
@@ -55,18 +64,28 @@ def run_fig6(
 ) -> ExperimentResult:
     """Run the Fig. 6 sweep at the given scale."""
     config = Fig6Scale.named(scale)
-    compiler = compiler or DesignCompiler()
+    library = (compiler or DesignCompiler()).library
     result = ExperimentResult(
         "Fig. 6 -- FSM synthesis: table-based vs case-statement",
         f"Random FSMs, m in {config.inputs}, n in {config.outputs}, "
         f"s in {config.states}, seeds {config.seeds}; identical "
         f"relaxed timing target ({clock_period_ns} ns).",
     )
-    case_options = CompileOptions(
-        clock_period_ns=clock_period_ns, infer_fsm=True, fsm_encoding="binary"
-    )
-    regular_options = CompileOptions(
-        clock_period_ns=clock_period_ns, infer_fsm=True, fsm_encoding="binary"
+    # One pipeline serves all three treatments: FSM inference plus
+    # binary re-encoding of whatever annotations are present (inferred
+    # for the case style, user-supplied for the annotated treatment,
+    # none for the regular treatment).
+    pipeline = PassManager(
+        [
+            FsmInferPass(),
+            HonourAnnotationsPass(),
+            EncodePass("binary"),
+            ElaboratePass(),
+            optimize_loop(),
+            state_folding(),
+            TechMapPass(),
+            SizePass(clock_period_ns),
+        ]
     )
     rows = []
     for m in config.inputs:
@@ -77,22 +96,18 @@ def run_fig6(
                     spec = random_fsm(m, n, s, rng)
                     label = f"m{m}n{n}s{s}x{seed}"
 
-                    case_area = compiler.compile(
-                        fsm_to_case_rtl(spec), case_options
+                    case_area = pipeline.compile(
+                        fsm_to_case_rtl(spec), library=library
                     ).area.total
-                    regular_area = compiler.compile(
-                        fsm_to_table_rtl(spec), regular_options
+                    regular_area = pipeline.compile(
+                        fsm_to_table_rtl(spec), library=library
                     ).area.total
-                    annotated_options = CompileOptions(
-                        clock_period_ns=clock_period_ns,
-                        infer_fsm=True,
-                        fsm_encoding="binary",
-                        state_annotations=[
+                    annotated_area = pipeline.compile(
+                        fsm_to_table_rtl(spec),
+                        annotations=[
                             StateAnnotation("state", tuple(range(s)))
                         ],
-                    )
-                    annotated_area = compiler.compile(
-                        fsm_to_table_rtl(spec), annotated_options
+                        library=library,
                     ).area.total
 
                     result.points.append(

@@ -23,8 +23,15 @@ from dataclasses import dataclass
 from repro.expts.common import ExperimentPoint, ExperimentResult, format_table
 from repro.expts.fig7_design import FLOP_STYLES, build_fig7, onehot_values
 from repro.expts.scatter import render_scatter
+from repro.flow import PassManager, optimize_loop, retime_stage, state_folding
+from repro.flow.passes import (
+    ElaboratePass,
+    HonourAnnotationsPass,
+    SizePass,
+    TechMapPass,
+)
 from repro.synth.compiler import DesignCompiler
-from repro.synth.dc_options import CompileOptions, StateAnnotation
+from repro.synth.dc_options import StateAnnotation
 
 PAPER_WIDTHS = (2, 4, 8, 16, 32, 64, 128)
 
@@ -51,7 +58,7 @@ def run_fig8(
 ) -> ExperimentResult:
     """Run the Fig. 8 sweep at the given scale."""
     config = Fig8Scale.named(scale)
-    compiler = compiler or DesignCompiler()
+    library = (compiler or DesignCompiler()).library
     result = ExperimentResult(
         "Fig. 8 -- generic vs direct area for the Fig. 7 design",
         f"Bus widths {config.widths}; flop styles {FLOP_STYLES}; "
@@ -59,41 +66,58 @@ def run_fig8(
         f"{clock_period_ns} ns target.",
     )
 
-    def compile_area(module, options) -> float:
-        return compiler.compile(module, options).area.total
+    # Each treatment is its own explicit pipeline (no FSM inference,
+    # no re-encoding -- the annotated treatment asserts value sets on
+    # the existing one-hot codes).
+    def back_end():
+        return [TechMapPass(), SizePass(clock_period_ns)]
 
-    base = CompileOptions(clock_period_ns=clock_period_ns, infer_fsm=False)
+    regular = PassManager(
+        [ElaboratePass(), optimize_loop(), *back_end()]
+    )
+    retimed = PassManager(
+        [
+            ElaboratePass(fold_sync_reset=True),
+            optimize_loop(),
+            retime_stage(),
+            *back_end(),
+        ]
+    )
+    annotated = PassManager(
+        [
+            HonourAnnotationsPass(),
+            ElaboratePass(),
+            optimize_loop(),
+            state_folding(),
+            *back_end(),
+        ]
+    )
+
     rows = []
     for n in config.widths:
         for style in FLOP_STYLES:
             direct = build_fig7(n, style, direct=True)
             generic = build_fig7(n, style, direct=False)
-            treatments: dict[str, CompileOptions] = {
-                "regular": base,
-            }
+            treatments = {"regular": (regular, [])}
             if style != "comb":
-                treatments["retimed"] = CompileOptions(
-                    clock_period_ns=clock_period_ns,
-                    infer_fsm=False,
-                    retime=True,
+                treatments["retimed"] = (retimed, [])
+                treatments["annotated"] = (
+                    annotated,
+                    [StateAnnotation("y", onehot_values(n))],
                 )
-                treatments["annotated"] = CompileOptions(
-                    clock_period_ns=clock_period_ns,
-                    infer_fsm=False,
-                    fsm_encoding="same",
-                    state_annotations=[
-                        StateAnnotation("y", onehot_values(n))
-                    ],
-                )
-            for treatment, options in treatments.items():
+            for treatment, (pipeline, annotations) in treatments.items():
                 # Both designs of a pair get identical settings, the
                 # paper's methodology ("we synthesized these pairs of
                 # designs ...").
                 with warnings.catch_warnings():
                     # The >32-bit annotation warning is the point here.
                     warnings.simplefilter("ignore")
-                    direct_area = compile_area(direct, options)
-                    generic_area = compile_area(generic, options)
+                    direct_area = pipeline.compile(
+                        direct, annotations=annotations, library=library
+                    ).area.total
+                    generic_area = pipeline.compile(
+                        generic, annotations=annotations, library=library
+                    ).area.total
                 series = f"{style}/{treatment}"
                 result.points.append(
                     ExperimentPoint(

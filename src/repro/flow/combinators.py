@@ -1,0 +1,229 @@
+"""Pass combinators: repetition, conditionals, and fixed points.
+
+These are what turn a flat pass list into a real pipeline language:
+
+* :class:`Repeat` -- run a pass a fixed number of times (``rewrite[2]``
+  in spec syntax);
+* :class:`Conditional` -- skip a pass, instead of erroring, when it is
+  not applicable (``retime?``);
+* :func:`until_converged` / :class:`FixedPoint` -- iterate a body of
+  passes until a metric stops improving (the old
+  ``DesignCompiler._optimize`` convergence loop, generalized);
+* :class:`WhileProgress` -- re-run a driver pass (plus follow-up
+  passes) for as long as the driver reports structural progress (the
+  retime and state-folding stages of the classic flow).
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import replace
+from typing import Callable, Sequence
+
+from repro.flow.core import FlowContext, Pass, PassRecord
+
+
+class Repeat(Pass):
+    """Run ``inner`` exactly ``times`` times."""
+
+    def __init__(self, inner: Pass, times: int) -> None:
+        super().__init__()
+        if times < 1:
+            raise ValueError(f"repeat count must be >= 1, got {times}")
+        self.inner = inner
+        self.times = times
+        self.name = f"{inner.name}[{times}]"
+        self.stage = inner.stage
+
+    def ready(self, ctx: FlowContext) -> bool:
+        return self.inner.ready(ctx)
+
+    def applies(self, ctx: FlowContext) -> bool:
+        return self.inner.applies(ctx)
+
+    def run(self, ctx: FlowContext) -> None:
+        for _ in range(self.times):
+            self.inner.execute(ctx)
+
+    def spec(self) -> str:
+        return f"{self.inner.spec()}[{self.times}]"
+
+
+class Conditional(Pass):
+    """Run ``inner`` only when it is ready and applicable.
+
+    Where a bare pass *errors* on a stage mismatch, a conditional entry
+    records a skipped :class:`PassRecord` and moves on -- that is what
+    the ``?`` suffix in a pipeline spec means.
+    """
+
+    def __init__(self, inner: Pass) -> None:
+        super().__init__()
+        self.inner = inner
+        self.name = f"{inner.name}?"
+        self.stage = inner.stage
+
+    def ready(self, ctx: FlowContext) -> bool:
+        return True  # never errors; skipping is the whole point
+
+    def execute(self, ctx: FlowContext) -> PassRecord:
+        if self.inner.ready(ctx) and self.inner.applies(ctx):
+            return self.inner.execute(ctx)
+        record = PassRecord(
+            name=self.name,
+            stage=self.stage,
+            wall_time_s=0.0,
+            before=ctx.aig_stats(),
+            after=ctx.aig_stats(),
+            skipped=True,
+        )
+        ctx.records.append(record)
+        return record
+
+    def run(self, ctx: FlowContext) -> None:  # pragma: no cover
+        raise AssertionError("Conditional overrides execute()")
+
+    def spec(self) -> str:
+        return f"{self.inner.spec()}?"
+
+
+def _num_ands(ctx: FlowContext) -> int:
+    assert ctx.aig is not None
+    return ctx.aig.num_ands
+
+
+class FixedPoint(Pass):
+    """Iterate a body of AIG passes until a metric stops improving.
+
+    Faithful generalization of the classic convergence loop: every
+    round snapshots the metric, runs the body, and logs a
+    ``label[round]: before -> after`` line.  A round that *grows* the
+    metric (after the first round, with no structural progress flagged)
+    is rejected -- the pre-round AIG is restored -- and iteration
+    stops; a round that neither shrinks the metric nor makes progress
+    is accepted and iteration stops.
+    """
+
+    stage = "aig"
+
+    def __init__(
+        self,
+        passes: Sequence[Pass],
+        max_rounds: int = 4,
+        label: str = "optimize",
+        metric: Callable[[FlowContext], int] | None = None,
+    ) -> None:
+        super().__init__()
+        if max_rounds < 1:
+            raise ValueError(f"max_rounds must be >= 1, got {max_rounds}")
+        self.passes = list(passes)
+        self.max_rounds = max_rounds
+        self.label = label
+        self.metric = metric or _num_ands
+        self.name = label
+
+    def run(self, ctx: FlowContext) -> None:
+        # The progress flag is shared context state; preserve the
+        # caller's signal and report our own aggregate on exit so
+        # fixed points nest (an inner loop's per-round resets must not
+        # erase an outer combinator's view of what this body did).
+        outer_progress = ctx.progress
+        initial = self.metric(ctx)
+        any_progress = False
+        for round_index in range(self.max_rounds):
+            start = time.perf_counter()
+            round_start = len(ctx.records)
+            before_aig = ctx.aig
+            before_stats = ctx.aig_stats()
+            before = self.metric(ctx)
+            ctx.progress = False
+            for item in self.passes:
+                item.execute(ctx)
+            after = self.metric(ctx)
+            progress = ctx.progress
+            any_progress = any_progress or progress
+            ctx.emit(
+                f"{self.label}[{round_index}]",
+                f"{self.label}[{round_index}]: {before} -> "
+                f"{after} ands, depth {ctx.aig.depth()}",
+                before=before_stats,
+                wall_time_s=time.perf_counter() - start,
+            )
+            if after >= before and round_index > 0 and not progress:
+                ctx.aig = before_aig  # reject the growing round
+                # Flag the round's records: their stats describe work
+                # that was just rolled back (log lines untouched).
+                ctx.records[round_start:] = [
+                    replace(record, rejected=True)
+                    for record in ctx.records[round_start:]
+                ]
+                break
+            if after == before and not progress:
+                break
+        ctx.progress = (
+            outer_progress or any_progress or self.metric(ctx) < initial
+        )
+
+    def spec(self) -> str:
+        body = ",".join(item.spec() for item in self.passes)
+        return f"{self.label}({body})[{self.max_rounds}]"
+
+
+def until_converged(
+    *passes: Pass,
+    max_rounds: int = 4,
+    label: str = "optimize",
+    metric: Callable[[FlowContext], int] | None = None,
+) -> FixedPoint:
+    """Fixed-point combinator over a body of passes (see
+    :class:`FixedPoint` for the exact acceptance rule)."""
+    return FixedPoint(passes, max_rounds=max_rounds, label=label, metric=metric)
+
+
+class WhileProgress(Pass):
+    """Re-run ``driver`` (then ``then``) while the driver progresses.
+
+    Each round clears the context progress flag and executes the
+    driver; if the driver did not flag progress the loop stops
+    immediately (without running the follow-up passes).  This is the
+    shape of the classic retime stage (retime, then re-optimize, up to
+    four times) and of the state-folding stage (fold once, then
+    re-optimize only if folding happened).
+    """
+
+    stage = "aig"
+
+    def __init__(
+        self,
+        driver: Pass,
+        then: Sequence[Pass] = (),
+        max_rounds: int = 1,
+        label: str | None = None,
+    ) -> None:
+        super().__init__()
+        if max_rounds < 1:
+            raise ValueError(f"max_rounds must be >= 1, got {max_rounds}")
+        self.driver = driver
+        self.then = list(then)
+        self.max_rounds = max_rounds
+        self.name = label or f"{driver.name}_stage"
+
+    def applies(self, ctx: FlowContext) -> bool:
+        return self.driver.applies(ctx)
+
+    def run(self, ctx: FlowContext) -> None:
+        outer_progress = ctx.progress
+        any_progress = False
+        for _ in range(self.max_rounds):
+            ctx.progress = False
+            self.driver.execute(ctx)
+            if not ctx.progress:
+                break
+            any_progress = True
+            for item in self.then:
+                item.execute(ctx)
+        ctx.progress = outer_progress or any_progress
+
+    def spec(self) -> str:
+        body = ",".join(item.spec() for item in [self.driver] + self.then)
+        return f"{self.name}({body})[{self.max_rounds}]"

@@ -1,0 +1,325 @@
+"""Core of the pass pipeline: context, records, passes, registry.
+
+The design state a synthesis run threads from RTL to sized netlist
+lives in one :class:`FlowContext`.  A :class:`Pass` is a named,
+stage-declared transform over that context; running one through
+:meth:`Pass.execute` appends a structured :class:`PassRecord`
+(wall-clock time, before/after AIG statistics, and any human-readable
+detail lines) to the context, which is what
+``CompileResult.log`` renders for backward compatibility.
+
+Passes register themselves under a short name with
+:func:`register_pass`, which is what makes string pipeline specs like
+``"seq_sweep,balance,rewrite[2]"`` parseable (see
+:mod:`repro.flow.manager`).
+"""
+
+from __future__ import annotations
+
+import sys
+import time
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Callable
+
+if TYPE_CHECKING:
+    from repro.aig.graph import AIG
+    from repro.rtl.module import Module
+    from repro.synth.dc_options import StateAnnotation
+    from repro.synth.elaborate import Elaboration
+    from repro.synth.stateprop import FoldStats
+    from repro.tech.cells import Library
+    from repro.tech.netlist import AreaReport, MappedNetlist
+    from repro.tech.sizing import SizingResult
+    from repro.tech.sta import TimingReport
+
+#: Elaborating deep RTL expressions recurses; keep plenty of headroom.
+RECURSION_HEADROOM = 100_000
+
+#: The representations a pass may declare it operates on.
+STAGES = ("rtl", "aig", "netlist")
+
+
+class FlowError(Exception):
+    """A malformed pipeline: unknown pass, bad spec, stage misuse."""
+
+
+@dataclass(frozen=True)
+class AigStats:
+    """A cheap structural snapshot of the AIG for instrumentation."""
+
+    num_ands: int
+    num_latches: int
+
+    @classmethod
+    def of(cls, aig: "AIG | None") -> "AigStats | None":
+        if aig is None:
+            return None
+        return cls(num_ands=aig.num_ands, num_latches=len(aig.latches))
+
+
+@dataclass(frozen=True)
+class PassRecord:
+    """What one pass execution did: the structured successor of the
+    old free-form ``log: list[str]``."""
+
+    name: str
+    stage: str
+    wall_time_s: float
+    before: AigStats | None
+    after: AigStats | None
+    messages: tuple[str, ...] = ()
+    skipped: bool = False
+    #: True when a fixed-point combinator rolled this round back: the
+    #: stats describe work that never reached the final design (the
+    #: legacy log line is still emitted, matching the seed flow).
+    rejected: bool = False
+
+    @property
+    def delta_ands(self) -> int | None:
+        """AND-node change (negative means the pass shrank the AIG)."""
+        if self.before is None or self.after is None:
+            return None
+        return self.after.num_ands - self.before.num_ands
+
+
+def render_log(records: list["PassRecord"]) -> list[str]:
+    """Flatten pass records back into the legacy log-line format."""
+    return [message for record in records for message in record.messages]
+
+
+@dataclass
+class FlowContext:
+    """The design state threaded through a pipeline.
+
+    A context starts from RTL (``module``), an elaborated ``aig``, or
+    both; passes move the design forward and deposit their results
+    (netlist, reports, fold statistics) and instrumentation
+    (``records``) here.
+    """
+
+    module: "Module | None" = None
+    aig: "AIG | None" = None
+    netlist: "MappedNetlist | None" = None
+    annotations: list["StateAnnotation"] = field(default_factory=list)
+    library: "Library | None" = None
+    seed: int = 2011
+    elaboration: "Elaboration | None" = None
+    inferred_fsms: list = field(default_factory=list)
+    fold_stats: "FoldStats | None" = None
+    sizing: "SizingResult | None" = None
+    timing: "TimingReport | None" = None
+    area: "AreaReport | None" = None
+    records: list[PassRecord] = field(default_factory=list)
+    #: Set by passes that made structural progress this round; reset
+    #: and read by the fixed-point combinators.
+    progress: bool = False
+
+    def mark_progress(self) -> None:
+        self.progress = True
+
+    def aig_stats(self) -> AigStats | None:
+        return AigStats.of(self.aig)
+
+    def emit(
+        self,
+        name: str,
+        *messages: str,
+        stage: str = "aig",
+        wall_time_s: float = 0.0,
+        before: AigStats | None = None,
+    ) -> PassRecord:
+        """Append an inline record (used by combinators for per-round
+        lines so the legacy log order is preserved exactly)."""
+        record = PassRecord(
+            name=name,
+            stage=stage,
+            wall_time_s=wall_time_s,
+            before=before,
+            after=self.aig_stats(),
+            messages=messages,
+        )
+        self.records.append(record)
+        return record
+
+    @property
+    def log(self) -> list[str]:
+        """The legacy free-form log, rendered from the records."""
+        return render_log(self.records)
+
+
+class Pass:
+    """One named transform over a :class:`FlowContext`.
+
+    Subclasses declare ``stage`` -- the representation they consume
+    (``"rtl"`` passes run before elaboration, ``"aig"`` passes need an
+    elaborated graph, ``"netlist"`` passes need a mapped netlist) --
+    and implement :meth:`run`.  Detail lines for the legacy log are
+    reported through :meth:`note`.
+    """
+
+    name: str = "pass"
+    stage: str = "aig"
+
+    def __init__(self) -> None:
+        self._notes: list[str] = []
+
+    # -- the transform ------------------------------------------------
+    def run(self, ctx: FlowContext) -> None:
+        raise NotImplementedError
+
+    def note(self, message: str) -> None:
+        """Attach a legacy-format log line to this execution's record."""
+        self._notes.append(message)
+
+    # -- applicability ------------------------------------------------
+    def ready(self, ctx: FlowContext) -> bool:
+        """Is the context in the representation this pass consumes?"""
+        if self.stage == "rtl":
+            return ctx.module is not None and ctx.aig is None
+        if self.stage == "aig":
+            return ctx.aig is not None
+        return ctx.netlist is not None
+
+    def applies(self, ctx: FlowContext) -> bool:
+        """Would running this pass do anything useful?  Conditional
+        pipeline entries (``name?``) are skipped when this is False."""
+        return True
+
+    def requirement(self) -> str:
+        return {
+            "rtl": "needs an un-elaborated RTL module",
+            "aig": "needs an elaborated AIG",
+            "netlist": "needs a mapped netlist",
+        }[self.stage]
+
+    # -- execution ----------------------------------------------------
+    def execute(self, ctx: FlowContext) -> PassRecord:
+        """Stage-check, run, and record this pass on ``ctx``."""
+        if not self.ready(ctx):
+            raise FlowError(
+                f"pass {self.name!r} (stage {self.stage}) cannot run here: "
+                f"{self.requirement()}"
+            )
+        before = ctx.aig_stats()
+        self._notes = []
+        start = time.perf_counter()
+        self.run(ctx)
+        elapsed = time.perf_counter() - start
+        record = PassRecord(
+            name=self.name,
+            stage=self.stage,
+            wall_time_s=elapsed,
+            before=before,
+            after=ctx.aig_stats(),
+            messages=tuple(self._notes),
+        )
+        self._notes = []
+        ctx.records.append(record)
+        return record
+
+    def params(self) -> dict:
+        """Non-default constructor parameters, for spec rendering and
+        fingerprinting.  Parameterized passes override this; only
+        spec-representable values (numbers, strings, bools, None)
+        belong here."""
+        return {}
+
+    def spec(self) -> str:
+        """The pipeline-spec syntax that reconstructs this pass,
+        including non-default parameters (``encode{style=gray}``)."""
+        params = self.params()
+        if not params:
+            return self.name
+        body = ",".join(
+            f"{key}={render_spec_value(value)}"
+            for key, value in sorted(params.items())
+        )
+        return f"{self.name}{{{body}}}"
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<{type(self).__name__} {self.spec()!r}>"
+
+
+#: Global registry: spec name -> zero-argument pass factory.
+PASS_REGISTRY: dict[str, Callable[[], Pass]] = {}
+
+
+def register_pass(name: str):
+    """Class decorator adding a pass to the global registry.
+
+    The registered class must be constructible with no arguments (its
+    defaults are what a string pipeline spec gets); richer
+    parameterizations are built in Python.  Re-registering a name is a
+    hard error -- silent shadowing would make specs ambiguous.
+    """
+
+    def decorate(cls):
+        if name in PASS_REGISTRY:
+            raise FlowError(
+                f"pass name {name!r} already registered by "
+                f"{PASS_REGISTRY[name].__qualname__}"
+            )
+        cls.name = name
+        PASS_REGISTRY[name] = cls
+        return cls
+
+    return decorate
+
+
+def registered_pass_names() -> list[str]:
+    return sorted(PASS_REGISTRY)
+
+
+def make_pass(name: str, **params) -> Pass:
+    """Instantiate a registered pass, with optional constructor
+    parameters (from a spec's ``{key=value,...}`` options)."""
+    try:
+        factory = PASS_REGISTRY[name]
+    except KeyError:
+        raise FlowError(
+            f"unknown pass {name!r}; registered passes: "
+            f"{', '.join(registered_pass_names())}"
+        ) from None
+    try:
+        return factory(**params)
+    except (TypeError, ValueError) as exc:
+        raise FlowError(
+            f"pass {name!r} rejected options {sorted(params)}: {exc}"
+        ) from None
+
+
+def render_spec_value(value) -> str:
+    """Render a parameter value in spec syntax (parse_spec_value's
+    inverse for the supported types)."""
+    if value is None:
+        return "none"
+    if isinstance(value, bool):
+        return "true" if value else "false"
+    return str(value)
+
+
+def parse_spec_value(text: str):
+    """Parse a spec option value: none/true/false, int, float, or a
+    bare string."""
+    lowered = text.lower()
+    if lowered == "none":
+        return None
+    if lowered == "true":
+        return True
+    if lowered == "false":
+        return False
+    try:
+        return int(text)
+    except ValueError:
+        pass
+    try:
+        return float(text)
+    except ValueError:
+        pass
+    return text
+
+
+def ensure_recursion_headroom() -> None:
+    """Deep RTL expression trees recurse during elaboration."""
+    if sys.getrecursionlimit() < RECURSION_HEADROOM:
+        sys.setrecursionlimit(RECURSION_HEADROOM)

@@ -1,0 +1,175 @@
+"""The pass manager: an ordered pipeline of passes over one context.
+
+A :class:`PassManager` can be built three ways:
+
+* directly from pass objects -- ``PassManager([ElaboratePass(), ...])``;
+* from a string spec over the global registry --
+  ``PassManager.parse("seq_sweep,tt_sweep,balance,rewrite[2],retime?")``
+  where ``name{key=value,...}`` sets constructor parameters
+  (``encode{style=gray}``), ``name[k]`` repeats a pass ``k`` times,
+  and ``name?`` makes it conditional (skipped instead of erroring
+  when not applicable);
+* by the synthesis facade, which assembles the default pipeline from
+  :class:`repro.synth.dc_options.CompileOptions`.
+
+``spec()`` renders a manager back to the string form; for pipelines
+built purely from registered passes the two round-trip.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Iterable, Sequence
+
+from repro.flow.combinators import Conditional, Repeat
+from repro.flow.core import (
+    FlowContext,
+    FlowError,
+    Pass,
+    ensure_recursion_headroom,
+    make_pass,
+    parse_spec_value,
+)
+
+_ITEM_RE = re.compile(
+    r"^(?P<name>[A-Za-z_][A-Za-z0-9_]*)"
+    r"(?:\{(?P<opts>[^{}]*)\})?"
+    r"(?:\[(?P<times>\d+)\])?"
+    r"(?P<cond>\?)?$"
+)
+
+
+def _split_items(spec: str) -> list[str]:
+    """Split a spec on top-level commas (commas inside ``{...}``
+    option blocks belong to the item)."""
+    items: list[str] = []
+    depth = 0
+    current: list[str] = []
+    for char in spec:
+        if char == "," and depth == 0:
+            items.append("".join(current))
+            current = []
+            continue
+        if char == "{":
+            depth += 1
+        elif char == "}":
+            depth = max(depth - 1, 0)
+        current.append(char)
+    items.append("".join(current))
+    stripped = [item.strip() for item in items]
+    for item in stripped:
+        if not item:
+            raise FlowError(f"empty pass name in pipeline spec {spec!r}")
+    return stripped
+
+
+def _parse_options(opts: str | None, item: str) -> dict:
+    """Parse a ``{key=value,...}`` option block into kwargs."""
+    if opts is None:
+        return {}
+    params: dict = {}
+    for chunk in opts.split(","):
+        chunk = chunk.strip()
+        if not chunk or "=" not in chunk:
+            raise FlowError(
+                f"malformed option {chunk!r} in spec item {item!r} "
+                f"(expected key=value)"
+            )
+        key, _, value = chunk.partition("=")
+        params[key.strip()] = parse_spec_value(value.strip())
+    return params
+
+
+class PassManager:
+    """An ordered list of passes executed over a :class:`FlowContext`."""
+
+    def __init__(self, passes: Sequence[Pass] = ()) -> None:
+        self.passes: list[Pass] = list(passes)
+
+    # -- construction -------------------------------------------------
+    def append(self, item: Pass) -> "PassManager":
+        self.passes.append(item)
+        return self
+
+    def extend(self, items: Iterable[Pass]) -> "PassManager":
+        self.passes.extend(items)
+        return self
+
+    @classmethod
+    def parse(cls, spec: str) -> "PassManager":
+        """Build a pipeline from a comma-separated spec string.
+
+        Grammar per item: ``NAME``, optionally ``{key=value,...}``
+        (constructor parameters, e.g. ``encode{style=gray}``),
+        optionally ``[count]`` (repeat the pass ``count`` >= 1 times),
+        optionally a trailing ``?`` (run only if applicable).  Unknown
+        names, unknown options, and malformed items raise
+        :class:`FlowError`.
+        """
+        passes: list[Pass] = []
+        for item in _split_items(spec):
+            match = _ITEM_RE.match(item)
+            if match is None:
+                raise FlowError(
+                    f"cannot parse pipeline spec item {item!r} "
+                    f"(expected NAME, NAME{{k=v}}, NAME[count], or NAME?)"
+                )
+            instance = make_pass(
+                match["name"], **_parse_options(match["opts"], item)
+            )
+            if match["times"] is not None:
+                times = int(match["times"])
+                if times < 1:
+                    raise FlowError(
+                        f"repeat count must be >= 1 in {item!r}"
+                    )
+                instance = Repeat(instance, times)
+            if match["cond"]:
+                instance = Conditional(instance)
+            passes.append(instance)
+        return cls(passes)
+
+    def spec(self) -> str:
+        """Render back to the string form ``parse`` accepts (for
+        pipelines made of registered passes, a round-trip)."""
+        return ",".join(item.spec() for item in self.passes)
+
+    # -- execution ----------------------------------------------------
+    def run(self, ctx: FlowContext) -> FlowContext:
+        """Execute every pass in order on ``ctx`` and return it."""
+        ensure_recursion_headroom()
+        for item in self.passes:
+            item.execute(ctx)
+        return ctx
+
+    def compile(
+        self,
+        module=None,
+        *,
+        aig=None,
+        annotations: Sequence = (),
+        library=None,
+        seed: int = 2011,
+    ) -> FlowContext:
+        """Convenience: build a fresh context and run the pipeline.
+
+        Start from RTL (``module``), an already-elaborated ``aig``, or
+        both; ``annotations`` seed the context's state annotations.
+        """
+        ctx = FlowContext(
+            module=module,
+            aig=aig,
+            annotations=list(annotations),
+            library=library,
+            seed=seed,
+        )
+        return self.run(ctx)
+
+    def __len__(self) -> int:
+        return len(self.passes)
+
+    def __iter__(self):
+        return iter(self.passes)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"PassManager({self.spec()!r})"

@@ -1,0 +1,407 @@
+"""The registered synthesis passes.
+
+Each pass wraps one engine from :mod:`repro.synth`, :mod:`repro.aig`,
+or :mod:`repro.tech` and declares the representation it consumes:
+
+======================  =======  =============================================
+spec name               stage    engine
+======================  =======  =============================================
+``fsm_infer``           rtl      :func:`repro.synth.fsm_infer.infer_fsms`
+``honour_annotations``  rtl      :func:`repro.synth.dc_options.effective_annotations`
+``encode``              rtl      :func:`repro.synth.encode.reencode_register`
+``elaborate``           rtl      :func:`repro.synth.elaborate.elaborate`
+``seq_sweep``           aig      :func:`repro.synth.sweep.seq_sweep`
+``tt_sweep``            aig      :func:`repro.aig.rewrite.tt_sweep`
+``balance``             aig      :func:`repro.aig.balance.balance`
+``rewrite``             aig      :func:`repro.aig.rewrite.rewrite`
+``retime``              aig      :func:`repro.synth.retime.retime_backward`
+``stateprop``           aig      :func:`repro.synth.stateprop.fold_states`
+``optimize``            aig      fixed point of sweep/balance/rewrite
+``map``                 aig      :func:`repro.tech.mapper.map_aig`
+``size``                netlist  sizing + STA + area report
+======================  =======  =============================================
+
+The message strings passes :meth:`~repro.flow.core.Pass.note` are the
+exact legacy ``CompileResult.log`` lines; do not reword them casually.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.aig.balance import balance
+from repro.aig.graph import AIG
+from repro.aig.rewrite import rewrite, tt_sweep
+from repro.flow.combinators import FixedPoint
+from repro.flow.core import FlowContext, Pass, register_pass
+from repro.synth.dc_options import (
+    ENCODING_STYLES,
+    StateAnnotation,
+    effective_annotations,
+)
+from repro.synth.elaborate import elaborate
+from repro.synth.encode import reencode_register
+from repro.synth.fsm_infer import infer_fsms
+from repro.synth.retime import retime_backward
+from repro.synth.stateprop import fold_states
+from repro.synth.statesets import ValueSet
+from repro.synth.sweep import seq_sweep
+from repro.tech.cells import Library
+from repro.tech.mapper import map_aig
+from repro.tech.sizing import size_for_clock
+from repro.tech.sta import analyze_timing
+
+
+@register_pass("fsm_infer")
+class FsmInferPass(Pass):
+    """Recognise case-style FSMs and add their state sets as
+    annotations (user annotations on the same register win)."""
+
+    stage = "rtl"
+
+    def run(self, ctx: FlowContext) -> None:
+        inferred = infer_fsms(ctx.module)
+        ctx.inferred_fsms = list(inferred)
+        for fsm in inferred:
+            if any(a.reg_name == fsm.reg_name for a in ctx.annotations):
+                continue
+            ctx.annotations.append(StateAnnotation(fsm.reg_name, fsm.states))
+            self.note(
+                f"fsm_infer: {fsm.reg_name} has {fsm.num_states} "
+                f"reachable states"
+            )
+
+
+@register_pass("honour_annotations")
+class HonourAnnotationsPass(Pass):
+    """Drop annotations the tool cannot honour (unknown registers,
+    state vectors wider than the 32-bit cap) with a warning."""
+
+    stage = "rtl"
+
+    def run(self, ctx: FlowContext) -> None:
+        reg_widths = {
+            name: reg.width for name, reg in ctx.module.regs.items()
+        }
+        ctx.annotations = effective_annotations(ctx.annotations, reg_widths)
+
+
+@register_pass("encode")
+class EncodePass(Pass):
+    """Re-encode every annotated state register (``set_fsm_encoding``)."""
+
+    stage = "rtl"
+
+    def __init__(self, style: str = "binary") -> None:
+        super().__init__()
+        if style not in ENCODING_STYLES:
+            raise ValueError(f"unknown fsm encoding {style!r}")
+        self.style = style
+
+    def params(self) -> dict:
+        return {"style": self.style} if self.style != "binary" else {}
+
+    def applies(self, ctx: FlowContext) -> bool:
+        return self.style != "same" and bool(ctx.annotations)
+
+    def run(self, ctx: FlowContext) -> None:
+        if self.style == "same":
+            return
+        reencoded: list[StateAnnotation] = []
+        for annotation in ctx.annotations:
+            ctx.module, new_annotation = reencode_register(
+                ctx.module,
+                annotation.reg_name,
+                annotation.values,
+                self.style,
+            )
+            reencoded.append(new_annotation)
+            self.note(
+                f"encode: {annotation.reg_name} -> "
+                f"{self.style} ({len(annotation.values)} states)"
+            )
+        ctx.annotations = reencoded
+
+
+@register_pass("elaborate")
+class ElaboratePass(Pass):
+    """Elaborate RTL to a sequential AIG (bound tables partially
+    evaluate here by construction)."""
+
+    stage = "rtl"
+
+    def __init__(self, fold_sync_reset: bool = False) -> None:
+        super().__init__()
+        self.fold_sync_reset = fold_sync_reset
+
+    def params(self) -> dict:
+        return {"fold_sync_reset": True} if self.fold_sync_reset else {}
+
+    def run(self, ctx: FlowContext) -> None:
+        ctx.elaboration = elaborate(
+            ctx.module, fold_sync_reset=self.fold_sync_reset
+        )
+        ctx.aig = ctx.elaboration.aig
+        self.note(f"elaborate: {ctx.aig.stats()}")
+
+
+@register_pass("seq_sweep")
+class SeqSweepPass(Pass):
+    """Remove stuck/duplicate registers; flags progress when it does."""
+
+    def run(self, ctx: FlowContext) -> None:
+        ctx.aig, removed = seq_sweep(ctx.aig)
+        if removed:
+            self.note(f"seq_sweep: removed {removed} registers")
+            ctx.mark_progress()
+
+
+@register_pass("tt_sweep")
+class TtSweepPass(Pass):
+    """Functional sweep: merge nodes with identical truth tables."""
+
+    def __init__(self, support_limit: int | None = None) -> None:
+        super().__init__()
+        if support_limit is not None and support_limit < 1:
+            raise ValueError(
+                f"support_limit must be None or >= 1, got {support_limit}"
+            )
+        self.support_limit = support_limit
+
+    def params(self) -> dict:
+        if self.support_limit is None:
+            return {}
+        return {"support_limit": self.support_limit}
+
+    def run(self, ctx: FlowContext) -> None:
+        ctx.aig = tt_sweep(ctx.aig, support_limit=self.support_limit)
+
+
+@register_pass("balance")
+class BalancePass(Pass):
+    """Tree-balance AND cones to reduce depth."""
+
+    def run(self, ctx: FlowContext) -> None:
+        ctx.aig = balance(ctx.aig)
+
+
+@register_pass("rewrite")
+class RewritePass(Pass):
+    """Cut-based rewriting against precomputed NPN structures."""
+
+    def __init__(self, k: int = 4, max_cuts: int = 6) -> None:
+        super().__init__()
+        self.k = k
+        self.max_cuts = max_cuts
+
+    def params(self) -> dict:
+        params = {}
+        if self.k != 4:
+            params["k"] = self.k
+        if self.max_cuts != 6:
+            params["max_cuts"] = self.max_cuts
+        return params
+
+    def run(self, ctx: FlowContext) -> None:
+        ctx.aig = rewrite(ctx.aig, k=self.k, max_cuts=self.max_cuts)
+
+
+@register_pass("retime")
+class RetimePass(Pass):
+    """One backward-retime step; flags progress when flops moved."""
+
+    def run(self, ctx: FlowContext) -> None:
+        ctx.aig, stats = retime_backward(ctx.aig)
+        if stats.changed:
+            self.note(
+                f"retime: moved {stats.latches_removed} flops back to "
+                f"{stats.latches_added} cone inputs"
+            )
+            ctx.mark_progress()
+
+
+@register_pass("stateprop")
+class FoldStatesPass(Pass):
+    """Fold unreachable states under the honoured annotations.
+
+    Locates each annotated register's latch bus in the AIG (annotations
+    whose bus optimization already dissolved are dropped with a log
+    line), then runs randomized value-set propagation.  Flags progress
+    when any folding actually ran, which is what gates the follow-up
+    re-optimization in the default flow.
+    """
+
+    def __init__(self, rounds: int = 2) -> None:
+        super().__init__()
+        if rounds < 1:
+            raise ValueError(f"rounds must be >= 1, got {rounds}")
+        self.rounds = rounds
+
+    def params(self) -> dict:
+        return {"rounds": self.rounds} if self.rounds != 2 else {}
+
+    def applies(self, ctx: FlowContext) -> bool:
+        return bool(ctx.annotations)
+
+    def run(self, ctx: FlowContext) -> None:
+        if not ctx.annotations:
+            return
+        buses = {}
+        for annotation in ctx.annotations:
+            if ctx.module is not None:
+                width = (
+                    ctx.module.regs[annotation.reg_name].width
+                    if annotation.reg_name in ctx.module.regs
+                    else None
+                )
+            else:
+                # AIG-only context: recover the width from latch names.
+                width = latch_bus_width(ctx.aig, annotation.reg_name)
+            if width is None:
+                continue
+            bus = find_bus(ctx.aig, annotation.reg_name, width)
+            if bus is None:
+                self.note(
+                    f"stateprop: bus {annotation.reg_name} no longer "
+                    f"exists (dropped)"
+                )
+                continue
+            buses[annotation.reg_name] = (
+                bus,
+                ValueSet(width, tuple(sorted(annotation.values))),
+            )
+        if not buses:
+            return
+        ctx.aig, ctx.fold_stats = fold_states(
+            ctx.aig, buses, rounds=self.rounds, rng=random.Random(ctx.seed)
+        )
+        self.note(
+            f"stateprop: {ctx.fold_stats.constants_proven} constants, "
+            f"{ctx.fold_stats.merges_proven} merges over "
+            f"{ctx.fold_stats.rounds} rounds"
+        )
+        ctx.mark_progress()
+
+
+@register_pass("optimize")
+class OptimizeLoop(FixedPoint):
+    """The classic sweep/balance/rewrite rounds, as a fixed point."""
+
+    def __init__(
+        self, effort_rounds: int = 2, support_limit: int | None = None
+    ) -> None:
+        self.effort_rounds = effort_rounds
+        self.support_limit = support_limit
+        super().__init__(
+            [
+                SeqSweepPass(),
+                TtSweepPass(support_limit),
+                BalancePass(),
+                RewritePass(),
+            ],
+            max_rounds=effort_rounds,
+            label="optimize",
+        )
+
+    def params(self) -> dict:
+        params = {}
+        if self.effort_rounds != 2:
+            params["effort_rounds"] = self.effort_rounds
+        if self.support_limit is not None:
+            params["support_limit"] = self.support_limit
+        return params
+
+    def spec(self) -> str:
+        # The registered name plus the effort knobs; the body is fixed.
+        return Pass.spec(self)
+
+
+#: Libraries reconstructible from a spec string (``map{library=...}``).
+LIBRARY_FACTORIES = {"tsmc90ish": Library.tsmc90ish}
+
+
+@register_pass("map")
+class TechMapPass(Pass):
+    """Technology-map the AIG onto the context's cell library.
+
+    A library pinned on the pass (object or registered name) overrides
+    the context's; it is rendered into ``spec()`` by name so pipelines
+    differing only in library fingerprint differently.
+    """
+
+    def __init__(self, library: Library | str | None = None) -> None:
+        super().__init__()
+        if isinstance(library, str):
+            try:
+                library = LIBRARY_FACTORIES[library]()
+            except KeyError:
+                raise ValueError(
+                    f"unknown library {library!r}; known: "
+                    f"{', '.join(sorted(LIBRARY_FACTORIES))}"
+                ) from None
+        self.library = library
+
+    def params(self) -> dict:
+        if self.library is None:
+            return {}
+        return {"library": self.library.name}
+
+    def run(self, ctx: FlowContext) -> None:
+        library = self.library or ctx.library or Library.tsmc90ish()
+        ctx.netlist = map_aig(ctx.aig, library)
+        self.note(f"map: {ctx.netlist.stats()}")
+
+
+@register_pass("size")
+class SizePass(Pass):
+    """Gate sizing against the clock target, then STA + area report."""
+
+    stage = "netlist"
+
+    def __init__(self, clock_period_ns: float = 5.0) -> None:
+        super().__init__()
+        if clock_period_ns <= 0:
+            raise ValueError("clock period must be positive")
+        self.clock_period_ns = clock_period_ns
+
+    def params(self) -> dict:
+        if self.clock_period_ns == 5.0:
+            return {}
+        return {"clock_period_ns": self.clock_period_ns}
+
+    def run(self, ctx: FlowContext) -> None:
+        ctx.sizing = size_for_clock(ctx.netlist, self.clock_period_ns)
+        ctx.timing = analyze_timing(ctx.netlist)
+        ctx.area = ctx.netlist.area_report()
+        self.note(
+            f"size: met={ctx.sizing.met} "
+            f"achieved={ctx.sizing.achieved_delay:.3f} ns "
+            f"({ctx.sizing.upsized} upsizes)"
+        )
+
+
+def latch_bus_width(aig: AIG, reg_name: str) -> int | None:
+    """Infer a register's width from its ``name[bit]`` latches (used
+    when a pipeline starts from an AIG with no RTL module attached)."""
+    prefix = f"{reg_name}["
+    bits = [
+        int(latch.name[len(prefix):-1])
+        for latch in aig.latches
+        if latch.name.startswith(prefix) and latch.name.endswith("]")
+        and latch.name[len(prefix):-1].isdigit()
+    ]
+    if not bits:
+        return None
+    return max(bits) + 1
+
+
+def find_bus(aig: AIG, reg_name: str, width: int) -> list[int] | None:
+    """Locate the latch-output literals of a register by name."""
+    by_name = {latch.name: latch.node << 1 for latch in aig.latches}
+    bus = []
+    for bit in range(width):
+        lit = by_name.get(f"{reg_name}[{bit}]")
+        if lit is None:
+            return None
+        bus.append(lit)
+    return bus

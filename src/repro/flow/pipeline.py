@@ -1,0 +1,108 @@
+"""Standard pipeline builders.
+
+:func:`default_pipeline` assembles, from a
+:class:`~repro.synth.dc_options.CompileOptions`, exactly the flow the
+old monolithic ``DesignCompiler.compile`` ran -- same passes, same
+order, same convergence rules -- which is what keeps the facade
+byte-compatible with the seed implementation.  The smaller builders
+(:func:`optimize_loop`, :func:`retime_stage`, :func:`state_folding`)
+are the stages experiments compose directly.
+"""
+
+from __future__ import annotations
+
+from repro.flow.combinators import WhileProgress
+from repro.flow.core import Pass
+from repro.flow.manager import PassManager
+from repro.flow.passes import (
+    ElaboratePass,
+    EncodePass,
+    FoldStatesPass,
+    FsmInferPass,
+    HonourAnnotationsPass,
+    OptimizeLoop,
+    RetimePass,
+    SizePass,
+    TechMapPass,
+)
+from repro.synth.dc_options import CompileOptions
+
+
+def optimize_loop(
+    effort_rounds: int = 2, support_limit: int | None = None
+) -> Pass:
+    """Sweep/balance/rewrite rounds until AND count converges."""
+    return OptimizeLoop(effort_rounds, support_limit)
+
+
+def retime_stage(
+    effort_rounds: int = 2,
+    support_limit: int | None = None,
+    max_rounds: int = 4,
+) -> Pass:
+    """Backward retiming with re-optimization after each move."""
+    return WhileProgress(
+        RetimePass(),
+        then=[optimize_loop(effort_rounds, support_limit)],
+        max_rounds=max_rounds,
+        label="retime_stage",
+    )
+
+
+def state_folding(
+    effort_rounds: int = 2, support_limit: int | None = None
+) -> Pass:
+    """Annotation-driven state folding, re-optimizing if it fired."""
+    return WhileProgress(
+        FoldStatesPass(effort_rounds),
+        then=[optimize_loop(effort_rounds, support_limit)],
+        max_rounds=1,
+        label="state_folding",
+    )
+
+
+def run_default_flow(module, options: CompileOptions, library=None):
+    """Run the facade's flow on ``module`` and return the context.
+
+    Seeds the context with ``options.state_annotations`` -- the one
+    piece of a ``CompileOptions`` that is design state rather than
+    pipeline structure -- so this helper, unlike calling
+    ``default_pipeline(options).compile(module)`` bare, honours the
+    options completely.
+    """
+    return default_pipeline(options).compile(
+        module,
+        annotations=list(options.state_annotations),
+        library=library,
+    )
+
+
+def default_pipeline(options: CompileOptions) -> PassManager:
+    """The facade's flow, assembled from the classic option knobs.
+
+    Note that ``options.state_annotations`` are *context* state, not
+    pipeline structure: pass them to ``compile(annotations=...)`` (or
+    use :func:`run_default_flow`, which does) -- a bare
+    ``default_pipeline(options).compile(module)`` runs un-annotated.
+    """
+    pipeline = PassManager()
+    if options.infer_fsm:
+        pipeline.append(FsmInferPass())
+    pipeline.append(HonourAnnotationsPass())
+    if options.fsm_encoding != "same":
+        pipeline.append(EncodePass(options.fsm_encoding))
+    pipeline.append(
+        ElaboratePass(
+            fold_sync_reset=options.fold_sync_reset or options.retime
+        )
+    )
+    effort = options.effort_rounds
+    limit = options.sweep_support_limit
+    pipeline.append(optimize_loop(effort, limit))
+    if options.retime:
+        pipeline.append(retime_stage(effort, limit))
+    if options.use_state_folding:
+        pipeline.append(state_folding(effort, limit))
+    pipeline.append(TechMapPass())
+    pipeline.append(SizePass(options.clock_period_ns))
+    return pipeline

@@ -13,10 +13,17 @@
 
 from __future__ import annotations
 
+from dataclasses import replace
+
+from repro.flow import PassManager
 from repro.pe.annotations import derive_annotations
 from repro.pe.bind import bind_tables
 from repro.rtl.module import Module
-from repro.synth.compiler import CompileResult, DesignCompiler
+from repro.synth.compiler import (
+    CompileResult,
+    DesignCompiler,
+    result_from_context,
+)
 from repro.synth.dc_options import CompileOptions, StateAnnotation
 
 
@@ -27,6 +34,7 @@ def specialize(
     options: CompileOptions | None = None,
     annotate: bool = True,
     annotation_regs: list[str] | None = None,
+    pipeline: PassManager | None = None,
 ) -> CompileResult:
     """The Auto flow: bind the tables and compile.
 
@@ -37,6 +45,11 @@ def specialize(
         options: compile options; generator annotations are appended.
         annotate: derive reachability annotations from the bound design.
         annotation_regs: restrict derivation to these registers.
+        pipeline: run this flow pipeline instead of the default one the
+            compiler facade builds from ``options``.  The pipeline's
+            own pass parameters then govern the run: ``options`` only
+            contributes ``state_annotations`` (and is stored on the
+            result for reference), so keep the two consistent.
     """
     compiler = compiler or DesignCompiler()
     options = options or CompileOptions()
@@ -46,8 +59,8 @@ def specialize(
         for annotation in derive_annotations(bound, annotation_regs):
             if not any(a.reg_name == annotation.reg_name for a in annotations):
                 annotations.append(annotation)
-    run_options = _with_annotations(options, annotations)
-    return compiler.compile(bound, run_options)
+    run_options = replace(options, state_annotations=annotations)
+    return _compile(compiler, bound, run_options, pipeline)
 
 
 def specialize_manual(
@@ -58,6 +71,7 @@ def specialize_manual(
     compiler: DesignCompiler | None = None,
     options: CompileOptions | None = None,
     annotation_regs: list[str] | None = None,
+    pipeline: PassManager | None = None,
 ) -> CompileResult:
     """The Manual flow: Auto plus configuration-pinned reachability.
 
@@ -79,21 +93,21 @@ def specialize_manual(
     for annotation in derive_annotations(bound, annotation_regs, pinned=pinned):
         if not any(a.reg_name == annotation.reg_name for a in annotations):
             annotations.append(annotation)
-    run_options = _with_annotations(options, annotations)
-    return compiler.compile(bound, run_options)
+    run_options = replace(options, state_annotations=annotations)
+    return _compile(compiler, bound, run_options, pipeline)
 
 
-def _with_annotations(
-    options: CompileOptions, annotations: list[StateAnnotation]
-) -> CompileOptions:
-    return CompileOptions(
-        clock_period_ns=options.clock_period_ns,
-        infer_fsm=options.infer_fsm,
-        fsm_encoding=options.fsm_encoding,
-        retime=options.retime,
-        fold_sync_reset=options.fold_sync_reset,
-        state_annotations=annotations,
-        use_state_folding=options.use_state_folding,
-        effort_rounds=options.effort_rounds,
-        sweep_support_limit=options.sweep_support_limit,
+def _compile(
+    compiler: DesignCompiler,
+    bound: Module,
+    options: CompileOptions,
+    pipeline: PassManager | None,
+) -> CompileResult:
+    if pipeline is None:
+        return compiler.compile(bound, options)
+    ctx = pipeline.compile(
+        bound,
+        annotations=list(options.state_annotations),
+        library=compiler.library,
     )
+    return result_from_context(ctx, options)

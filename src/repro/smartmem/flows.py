@@ -10,9 +10,11 @@
   legally receive.  This performs, programmatically, the
   unreachable-state eliminations the paper's authors applied by hand.
 
-All flows use the paper's 5 ns clock and ``fsm_encoding='same'`` (the
-annotations assert value sets without re-encoding, matching how the
-hand-tuned netlists kept their encodings).
+All flows run the flow-API pipeline the facade builds from their
+options (``default_pipeline(fig9_options())`` for the defaults): the
+paper's 5 ns clock and no re-encoding (the annotations assert value
+sets without changing codes, matching how the hand-tuned netlists
+kept their encodings).
 """
 
 from __future__ import annotations

@@ -15,35 +15,30 @@
 5. state propagation/folding under the honoured annotations;
 6. technology mapping, then gate sizing against the clock target.
 
-The result carries the area split (combinational vs sequential -- the
-axes of the paper's Fig. 9), achieved timing, and a pass-by-pass log.
+Since the flow API redesign the facade is thin: it builds the default
+:class:`repro.flow.PassManager` pipeline from the options (see
+:func:`repro.flow.pipeline.default_pipeline`) and packages the final
+:class:`repro.flow.FlowContext` as a :class:`CompileResult`.  The
+result carries the area split (combinational vs sequential -- the axes
+of the paper's Fig. 9), achieved timing, and per-pass
+:class:`~repro.flow.PassRecord` instrumentation; the legacy
+pass-by-pass string log is still available as :attr:`CompileResult.log`.
 """
 
 from __future__ import annotations
 
-import random
-import sys
 from dataclasses import dataclass, field
 
-from repro.aig.balance import balance
 from repro.aig.graph import AIG
-from repro.aig.rewrite import rewrite, tt_sweep
+from repro.flow.core import FlowContext, PassRecord, render_log
+from repro.flow.pipeline import run_default_flow
 from repro.rtl.module import Module
 from repro.synth.dc_options import CompileOptions, StateAnnotation
-from repro.synth.elaborate import Elaboration, elaborate
-from repro.synth.encode import reencode_register
-from repro.synth.fsm_infer import infer_fsms
-from repro.synth.retime import retime_backward
-from repro.synth.stateprop import FoldStats, fold_states
-from repro.synth.statesets import ValueSet
-from repro.synth.sweep import seq_sweep
+from repro.synth.stateprop import FoldStats
 from repro.tech.cells import Library
-from repro.tech.mapper import map_aig
 from repro.tech.netlist import AreaReport, MappedNetlist
-from repro.tech.sizing import SizingResult, size_for_clock
-from repro.tech.sta import TimingReport, analyze_timing
-
-_RECURSION_HEADROOM = 100_000
+from repro.tech.sizing import SizingResult
+from repro.tech.sta import TimingReport
 
 
 @dataclass
@@ -60,7 +55,13 @@ class CompileResult:
     inferred_fsms: list = field(default_factory=list)
     honoured_annotations: list[StateAnnotation] = field(default_factory=list)
     fold_stats: FoldStats | None = None
-    log: list[str] = field(default_factory=list)
+    records: list[PassRecord] = field(default_factory=list)
+
+    @property
+    def log(self) -> list[str]:
+        """The pass-by-pass log in its legacy string format, rendered
+        from the structured :attr:`records`."""
+        return render_log(self.records)
 
     def summary(self) -> str:
         return (
@@ -72,8 +73,33 @@ class CompileResult:
         )
 
 
+def result_from_context(
+    ctx: FlowContext, options: CompileOptions
+) -> CompileResult:
+    """Package a completed flow context as a :class:`CompileResult`."""
+    return CompileResult(
+        module=ctx.module,
+        options=options,
+        aig=ctx.aig,
+        netlist=ctx.netlist,
+        area=ctx.area,
+        timing=ctx.timing,
+        sizing=ctx.sizing,
+        inferred_fsms=ctx.inferred_fsms,
+        honoured_annotations=ctx.annotations,
+        fold_stats=ctx.fold_stats,
+        records=list(ctx.records),
+    )
+
+
 class DesignCompiler:
-    """Synthesize RTL modules to mapped netlists."""
+    """Synthesize RTL modules to mapped netlists.
+
+    A thin facade over :mod:`repro.flow`: every ``compile`` call builds
+    the default pipeline for the given options and runs it on a fresh
+    context.  Callers who need to compose, reorder, or instrument the
+    flow construct a :class:`~repro.flow.PassManager` directly.
+    """
 
     def __init__(self, library: Library | None = None) -> None:
         self.library = library or Library.tsmc90ish()
@@ -83,169 +109,5 @@ class DesignCompiler:
     ) -> CompileResult:
         """Run the full flow on ``module``."""
         options = options or CompileOptions()
-        log: list[str] = []
-        if sys.getrecursionlimit() < _RECURSION_HEADROOM:
-            sys.setrecursionlimit(_RECURSION_HEADROOM)
-
-        # ------------------------------------------------------------
-        # 1. FSM inference and annotations.
-        # ------------------------------------------------------------
-        working = module
-        annotations: list[StateAnnotation] = list(options.state_annotations)
-        inferred = []
-        if options.infer_fsm:
-            inferred = infer_fsms(module)
-            for fsm in inferred:
-                if any(a.reg_name == fsm.reg_name for a in annotations):
-                    continue
-                annotations.append(StateAnnotation(fsm.reg_name, fsm.states))
-                log.append(
-                    f"fsm_infer: {fsm.reg_name} has {fsm.num_states} "
-                    f"reachable states"
-                )
-
-        reg_widths = {name: reg.width for name, reg in working.regs.items()}
-        annotations = CompileOptions(
-            clock_period_ns=options.clock_period_ns,
-            state_annotations=annotations,
-        ).effective_annotations(reg_widths)
-
-        if options.fsm_encoding != "same":
-            reencoded: list[StateAnnotation] = []
-            for annotation in annotations:
-                working, new_annotation = reencode_register(
-                    working,
-                    annotation.reg_name,
-                    annotation.values,
-                    options.fsm_encoding,
-                )
-                reencoded.append(new_annotation)
-                log.append(
-                    f"encode: {annotation.reg_name} -> "
-                    f"{options.fsm_encoding} ({len(annotation.values)} states)"
-                )
-            annotations = reencoded
-
-        # ------------------------------------------------------------
-        # 2. Elaboration (constant folding happens here).
-        # ------------------------------------------------------------
-        fold_sync = options.fold_sync_reset or options.retime
-        elaboration = elaborate(working, fold_sync_reset=fold_sync)
-        aig = elaboration.aig
-        log.append(f"elaborate: {aig.stats()}")
-
-        # ------------------------------------------------------------
-        # 3. Combinational optimization rounds.
-        # ------------------------------------------------------------
-        aig = self._optimize(aig, options, log)
-
-        # ------------------------------------------------------------
-        # 4. Retiming.
-        # ------------------------------------------------------------
-        if options.retime:
-            for _ in range(4):
-                aig, stats = retime_backward(aig)
-                if not stats.changed:
-                    break
-                log.append(
-                    f"retime: moved {stats.latches_removed} flops back to "
-                    f"{stats.latches_added} cone inputs"
-                )
-                aig = self._optimize(aig, options, log)
-
-        # ------------------------------------------------------------
-        # 5. State propagation / folding under annotations.
-        # ------------------------------------------------------------
-        fold_stats: FoldStats | None = None
-        if annotations and options.use_state_folding:
-            buses = {}
-            for annotation in annotations:
-                width = (
-                    working.regs[annotation.reg_name].width
-                    if annotation.reg_name in working.regs
-                    else None
-                )
-                if width is None:
-                    continue
-                bus = _find_bus(aig, annotation.reg_name, width)
-                if bus is None:
-                    log.append(
-                        f"stateprop: bus {annotation.reg_name} no longer "
-                        f"exists (dropped)"
-                    )
-                    continue
-                buses[annotation.reg_name] = (
-                    bus,
-                    ValueSet(width, tuple(sorted(annotation.values))),
-                )
-            if buses:
-                aig, fold_stats = fold_states(
-                    aig, buses, rounds=options.effort_rounds,
-                    rng=random.Random(2011),
-                )
-                log.append(
-                    f"stateprop: {fold_stats.constants_proven} constants, "
-                    f"{fold_stats.merges_proven} merges over "
-                    f"{fold_stats.rounds} rounds"
-                )
-                aig = self._optimize(aig, options, log)
-
-        # ------------------------------------------------------------
-        # 6. Mapping and sizing.
-        # ------------------------------------------------------------
-        netlist = map_aig(aig, self.library)
-        sizing = size_for_clock(netlist, options.clock_period_ns)
-        timing = analyze_timing(netlist)
-        area = netlist.area_report()
-        log.append(f"map: {netlist.stats()}")
-        log.append(
-            f"size: met={sizing.met} achieved={sizing.achieved_delay:.3f} ns "
-            f"({sizing.upsized} upsizes)"
-        )
-        return CompileResult(
-            module=working,
-            options=options,
-            aig=aig,
-            netlist=netlist,
-            area=area,
-            timing=timing,
-            sizing=sizing,
-            inferred_fsms=inferred,
-            honoured_annotations=annotations,
-            fold_stats=fold_stats,
-            log=log,
-        )
-
-    def _optimize(self, aig: AIG, options: CompileOptions, log: list[str]) -> AIG:
-        """Sweep/balance/rewrite rounds until size converges."""
-        best = aig
-        for round_index in range(max(options.effort_rounds, 1)):
-            before = best.num_ands
-            seq_swept, removed = seq_sweep(best)
-            if removed:
-                log.append(f"seq_sweep: removed {removed} registers")
-            swept = tt_sweep(seq_swept, support_limit=options.sweep_support_limit)
-            balanced = balance(swept)
-            rewritten = rewrite(balanced)
-            log.append(
-                f"optimize[{round_index}]: {before} -> "
-                f"{rewritten.num_ands} ands, depth {rewritten.depth()}"
-            )
-            if rewritten.num_ands >= before and round_index > 0 and not removed:
-                break
-            best = rewritten
-            if rewritten.num_ands == before and not removed:
-                break
-        return best
-
-
-def _find_bus(aig: AIG, reg_name: str, width: int) -> list[int] | None:
-    """Locate the latch-output literals of a register by name."""
-    by_name = {latch.name: latch.node << 1 for latch in aig.latches}
-    bus = []
-    for bit in range(width):
-        lit = by_name.get(f"{reg_name}[{bit}]")
-        if lit is None:
-            return None
-        bus.append(lit)
-    return bus
+        ctx = run_default_flow(module, options, library=self.library)
+        return result_from_context(ctx, options)

@@ -63,34 +63,51 @@ class CompileOptions:
             raise ValueError(f"unknown fsm encoding {self.fsm_encoding!r}")
         if self.clock_period_ns <= 0:
             raise ValueError("clock period must be positive")
+        if self.effort_rounds < 1:
+            raise ValueError(
+                f"effort_rounds must be >= 1, got {self.effort_rounds}"
+            )
+        if self.sweep_support_limit is not None and self.sweep_support_limit < 1:
+            raise ValueError(
+                f"sweep_support_limit must be None or >= 1, "
+                f"got {self.sweep_support_limit}"
+            )
 
     def effective_annotations(
         self, reg_widths: dict[str, int]
     ) -> list[StateAnnotation]:
-        """Annotations the tool will actually honour.
+        """Annotations the tool will actually honour (see the module
+        function :func:`effective_annotations`)."""
+        return effective_annotations(self.state_annotations, reg_widths)
 
-        Mirrors the commercial tool's state-vector width cap: wider
-        annotations are dropped with a warning rather than an error, so
-        a generator can annotate everything and let the tool use what
-        it can -- exactly the situation the paper's Fig. 8 measures.
-        """
-        honoured = []
-        for annotation in self.state_annotations:
-            width = reg_widths.get(annotation.reg_name)
-            if width is None:
-                warnings.warn(
-                    f"state annotation on unknown register "
-                    f"{annotation.reg_name!r} ignored",
-                    stacklevel=2,
-                )
-                continue
-            if width > MAX_STATE_VECTOR_BITS:
-                warnings.warn(
-                    f"state annotation on {annotation.reg_name!r} ignored: "
-                    f"{width} bits exceeds the {MAX_STATE_VECTOR_BITS}-bit "
-                    f"state vector limit",
-                    stacklevel=2,
-                )
-                continue
-            honoured.append(annotation)
-        return honoured
+
+def effective_annotations(
+    annotations: list[StateAnnotation], reg_widths: dict[str, int]
+) -> list[StateAnnotation]:
+    """Annotations the tool will actually honour.
+
+    Mirrors the commercial tool's state-vector width cap: wider
+    annotations are dropped with a warning rather than an error, so
+    a generator can annotate everything and let the tool use what
+    it can -- exactly the situation the paper's Fig. 8 measures.
+    """
+    honoured = []
+    for annotation in annotations:
+        width = reg_widths.get(annotation.reg_name)
+        if width is None:
+            warnings.warn(
+                f"state annotation on unknown register "
+                f"{annotation.reg_name!r} ignored",
+                stacklevel=2,
+            )
+            continue
+        if width > MAX_STATE_VECTOR_BITS:
+            warnings.warn(
+                f"state annotation on {annotation.reg_name!r} ignored: "
+                f"{width} bits exceeds the {MAX_STATE_VECTOR_BITS}-bit "
+                f"state vector limit",
+                stacklevel=2,
+            )
+            continue
+        honoured.append(annotation)
+    return honoured

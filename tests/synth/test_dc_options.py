@@ -1,0 +1,52 @@
+"""Option validation and the annotation width-cap helper."""
+
+import warnings
+
+import pytest
+
+from repro.synth.dc_options import (
+    CompileOptions,
+    StateAnnotation,
+    effective_annotations,
+)
+
+
+def test_effort_rounds_must_be_positive():
+    with pytest.raises(ValueError, match="effort_rounds"):
+        CompileOptions(effort_rounds=0)
+    with pytest.raises(ValueError, match="effort_rounds"):
+        CompileOptions(effort_rounds=-3)
+    assert CompileOptions(effort_rounds=1).effort_rounds == 1
+
+
+def test_sweep_support_limit_must_be_none_or_positive():
+    with pytest.raises(ValueError, match="sweep_support_limit"):
+        CompileOptions(sweep_support_limit=0)
+    assert CompileOptions(sweep_support_limit=None).sweep_support_limit is None
+    assert CompileOptions(sweep_support_limit=4).sweep_support_limit == 4
+
+
+def test_effective_annotations_is_a_module_function():
+    annotations = [
+        StateAnnotation("ok", (0, 1)),
+        StateAnnotation("wide", (0, 1)),
+        StateAnnotation("ghost", (0,)),
+    ]
+    with warnings.catch_warnings(record=True) as caught:
+        warnings.simplefilter("always")
+        honoured = effective_annotations(
+            annotations, {"ok": 4, "wide": 40}
+        )
+    assert [a.reg_name for a in honoured] == ["ok"]
+    messages = [str(w.message) for w in caught]
+    assert any("state vector limit" in m for m in messages)
+    assert any("unknown register" in m for m in messages)
+
+
+def test_method_form_still_works():
+    options = CompileOptions(
+        state_annotations=[StateAnnotation("s", (0, 1))]
+    )
+    assert options.effective_annotations({"s": 2}) == [
+        StateAnnotation("s", (0, 1))
+    ]
