@@ -24,7 +24,13 @@ from repro.controllers import (
 )
 from repro.controllers.fsm_random import random_fsm
 from repro.controllers.fsm_rtl import fsm_to_table_rtl
-from repro.flow import PassManager, optimize_loop, state_folding
+from repro.flow import (
+    CompileJob,
+    PassManager,
+    compile_many,
+    optimize_loop,
+    state_folding,
+)
 from repro.flow.passes import (
     ElaboratePass,
     EncodePass,
@@ -33,7 +39,7 @@ from repro.flow.passes import (
     SizePass,
     TechMapPass,
 )
-from repro.pe import specialize
+from repro.pe import prepare_auto
 from repro.synth.dc_options import StateAnnotation
 
 
@@ -81,16 +87,23 @@ def _sequencer_areas(fmt: MicrocodeFormat, pipeline: PassManager):
         flexible=True,
     )
     flexible = generate_sequencer(flex_spec).module
-    full = pipeline.compile(flexible).area
-    auto = specialize(
+    bound, run_options = prepare_auto(
         flexible,
         {
             "ucode": image.instruction_words(),
             "dispatch": image.dispatch_rows(),
         },
-        pipeline=pipeline,
-    ).area
-    return full, auto
+    )
+    compiled = compile_many(
+        [
+            CompileJob("full", pipeline, module=flexible),
+            CompileJob(
+                "auto", pipeline, module=bound,
+                annotations=tuple(run_options.state_annotations),
+            ),
+        ]
+    )
+    return compiled["full"].area, compiled["auto"].area
 
 
 def test_bench_ablation_microcode_packing(once):
@@ -127,17 +140,24 @@ def test_bench_ablation_fsm_encodings(once):
     module = fsm_to_table_rtl(spec)
 
     def run():
-        areas = {}
-        for style in ("binary", "gray", "onehot"):
-            ctx = standard_pipeline(encoding=style).compile(
-                module,
-                annotations=[StateAnnotation("state", tuple(range(6)))],
+        styles = ("binary", "gray", "onehot")
+        compiled = compile_many(
+            [
+                CompileJob(
+                    style, standard_pipeline(encoding=style),
+                    module=module,
+                    annotations=(StateAnnotation("state", tuple(range(6))),),
+                )
+                for style in styles
+            ]
+        )
+        return {
+            style: (
+                compiled[style].area.total,
+                compiled[style].netlist.area_report().num_flops,
             )
-            areas[style] = (
-                ctx.area.total,
-                ctx.netlist.area_report().num_flops,
-            )
-        return areas
+            for style in styles
+        }
 
     areas = once(run)
     assert areas["onehot"][1] == 6  # one flop per state

@@ -112,9 +112,11 @@ def test_bench_each_registered_pass_individually(benchmark, table_aig):
 
     leaf_pipeline = PassManager.parse(",".join(_AIG_LEAF_PASSES))
     optimize_pipeline = PassManager.parse("optimize")
+    # retime_stage/state_folding cover their drivers too: the body's
+    # retime and stateprop records land in the same context.
     full_pipeline = PassManager.parse(
         "fsm_infer,honour_annotations,encode,elaborate,optimize,"
-        "stateprop,map,size"
+        "retime_stage,state_folding,stateprop,map,size"
     )
     module = _annotated_fsm_module()
     annotations = [StateAnnotation("state", (0, 1, 2))]

@@ -15,6 +15,7 @@ trivially reducible AND node.
 
 from __future__ import annotations
 
+import hashlib
 from dataclasses import dataclass, field
 
 CONST0 = 0
@@ -382,6 +383,52 @@ class AIG:
         for old_latch, new_latch in zip(self._latches, new._latches):
             new.set_latch_next(new_latch.node << 1, translate(old_latch.next_lit))
         return new, lit_map
+
+    def canonical_hash(self) -> str:
+        """Content hash of the observable graph, stable across
+        processes and interpreter runs.
+
+        Nodes are renumbered canonically -- constant, PIs and latches
+        in creation order, then reachable AND nodes in topological
+        order -- so the digest depends only on names, reset behaviour,
+        and the structure of the output cones, never on raw node ids
+        or dead (unreachable) logic.  This is the module/graph half of
+        the compile-cache fingerprint (see :mod:`repro.flow.cache`).
+        """
+        renumber: dict[int, int] = {0: 0}
+        for node in self._pis:
+            renumber[node] = len(renumber)
+        for latch in self._latches:
+            renumber[latch.node] = len(renumber)
+        order = self.topo_order()
+        for node in order:
+            renumber[node] = len(renumber)
+
+        def canon_lit(lit: int) -> int:
+            return (renumber[lit_node(lit)] << 1) | (lit & 1)
+
+        digest = hashlib.sha256()
+        digest.update(repr(("pis", tuple(self._pi_names))).encode())
+        for latch in self._latches:
+            digest.update(
+                repr(
+                    (
+                        "latch",
+                        latch.name,
+                        latch.reset_kind,
+                        latch.reset_value,
+                        canon_lit(latch.next_lit),
+                    )
+                ).encode()
+            )
+        for node in order:
+            fanin0, fanin1 = self.fanins(node)
+            digest.update(
+                repr(("and", canon_lit(fanin0), canon_lit(fanin1))).encode()
+            )
+        for name, lit in self._pos:
+            digest.update(repr(("po", name, canon_lit(lit))).encode())
+        return digest.hexdigest()
 
     def stats(self) -> str:
         return (

@@ -18,9 +18,16 @@ class ExperimentPoint:
 
     @property
     def ratio(self) -> float:
-        """y / x -- for equal-area scatters, 1.0 means 'on the line'."""
+        """y / x -- for equal-area scatters, 1.0 means 'on the line'.
+
+        A zero ``y`` (a fully-optimized-away design) is a legal ratio
+        of 0.0; :meth:`RatioStats.of` excludes such points from the
+        geometric statistics rather than crashing on ``log(0)``.
+        """
         if self.x <= 0:
             raise ValueError(f"point {self.label!r} has non-positive x")
+        if self.y < 0:
+            raise ValueError(f"point {self.label!r} has negative y")
         return self.y / self.x
 
 
@@ -63,6 +70,13 @@ class ExperimentResult:
                     f"| {stats.minimum:.3f} | {stats.maximum:.3f} |"
                 )
             lines.append("")
+            for name in self.series_names():
+                stats = self.ratio_stats(name)
+                if stats.excluded:
+                    lines.append(
+                        f"- {name}: {stats.excluded} non-positive ratio "
+                        f"point(s) excluded from the geometric stats"
+                    )
         for note in self.notes:
             lines.append(f"- {note}")
         lines.append("")
@@ -71,19 +85,34 @@ class ExperimentResult:
 
 @dataclass(frozen=True)
 class RatioStats:
-    """Geometric summary of y/x ratios in a series."""
+    """Geometric summary of y/x ratios in a series.
+
+    Non-positive ratios (a zero-area point) have no logarithm; they
+    are excluded from ``geomean``/``log_spread`` and counted in
+    ``excluded`` so a single degenerate point reports itself instead
+    of crashing a whole sweep.  ``count``, ``minimum`` and ``maximum``
+    still describe every ratio given.
+    """
 
     count: int
     geomean: float
     minimum: float
     maximum: float
     log_spread: float
+    excluded: int = 0
 
     @classmethod
     def of(cls, ratios: list[float]) -> "RatioStats":
+        nan = float("nan")
         if not ratios:
-            return cls(0, float("nan"), float("nan"), float("nan"), float("nan"))
-        logs = [math.log(r) for r in ratios]
+            return cls(0, nan, nan, nan, nan)
+        positive = [r for r in ratios if r > 0]
+        excluded = len(ratios) - len(positive)
+        if not positive:
+            return cls(
+                len(ratios), nan, min(ratios), max(ratios), nan, excluded
+            )
+        logs = [math.log(r) for r in positive]
         mean = sum(logs) / len(logs)
         spread = (
             math.sqrt(sum((l - mean) ** 2 for l in logs) / len(logs))
@@ -96,6 +125,7 @@ class RatioStats:
             minimum=min(ratios),
             maximum=max(ratios),
             log_spread=spread,
+            excluded=excluded,
         )
 
 

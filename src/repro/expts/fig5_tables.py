@@ -16,11 +16,11 @@ at large depths because SOP starting points are not ideal either.
 from __future__ import annotations
 
 import random
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 from repro.expts.common import ExperimentPoint, ExperimentResult, format_table
 from repro.expts.scatter import render_scatter
-from repro.flow import PassManager, optimize_loop
+from repro.flow import CompileJob, PassManager, compile_many, optimize_loop
 from repro.flow.passes import ElaboratePass, SizePass, TechMapPass
 from repro.rtl.ast import Const, Expr
 from repro.rtl.builder import ModuleBuilder, cat
@@ -111,6 +111,9 @@ def run_fig5(
     compiler: DesignCompiler | None = None,
     clock_period_ns: float = 20.0,
     sweep_timing: bool = False,
+    workers: int = 1,
+    cache=None,
+    pipeline: "PassManager | str | None" = None,
 ) -> ExperimentResult:
     """Run the Fig. 5 sweep at the given scale.
 
@@ -120,12 +123,22 @@ def run_fig5(
     targets; pairs where either design misses the tight target are
     dropped, per the paper's "only compare designs that synthesized to
     identical timing targets".
+
+    ``workers``/``cache`` fan the independent compiles out across
+    processes and skip fingerprint-identical jobs (see
+    :func:`repro.flow.compile_many`); the result tables stay
+    byte-identical to a cold serial run.  ``pipeline`` (a spec string
+    or a ready pipeline) replaces the default relaxed-target flow; the
+    tightened phase always uses the standard combinational pipeline.
     """
     config = Fig5Scale.named(scale)
     library = (compiler or DesignCompiler()).library
     # Purely combinational designs: no FSM handling, just
     # elaborate -> optimize to convergence -> map -> size.
-    pipeline = _comb_pipeline(clock_period_ns)
+    if pipeline is None:
+        pipeline = _comb_pipeline(clock_period_ns)
+    elif isinstance(pipeline, str):
+        pipeline = PassManager.parse(pipeline)
     result = ExperimentResult(
         "Fig. 5 -- table-based combinational logic vs sum-of-products",
         f"Random functions, depths {config.depths}, widths "
@@ -133,58 +146,111 @@ def run_fig5(
         f"timing target ({clock_period_ns} ns) for both designs"
         + ("; plus a tightened common target per pair." if sweep_timing else "."),
     )
-    rows = []
-    for depth in config.depths:
+
+    grid = [
+        (depth, width, seed)
+        for depth in config.depths
+        for width in config.widths
+        for seed in config.seeds
+    ]
+    modules = {}
+    jobs = []
+    for depth, width, seed in grid:
         num_inputs = (depth - 1).bit_length()
-        for width in config.widths:
-            for seed in config.seeds:
-                rng = random.Random(hash((depth, width, seed)) & 0xFFFFFFFF)
-                table = TruthTable.random(num_inputs, width, rng)
-                label = f"d{depth}w{width}s{seed}"
-                table_module = build_table_module(table, f"tbl_{label}")
-                sop_module = build_sop_module(table, f"sop_{label}")
-                table_result = pipeline.compile(table_module, library=library)
-                sop_result = pipeline.compile(sop_module, library=library)
-                table_area = table_result.area.combinational
-                sop_area = sop_result.area.combinational
-                if sop_area <= 0 or table_area <= 0:
-                    continue  # degenerate (constant) function
-                result.points.append(
-                    ExperimentPoint(
-                        "table-based", sop_area, table_area, label,
-                        {"depth": depth, "width": width, "seed": seed},
-                    )
+        rng = random.Random(hash((depth, width, seed)) & 0xFFFFFFFF)
+        table = TruthTable.random(num_inputs, width, rng)
+        label = f"d{depth}w{width}s{seed}"
+        table_module = build_table_module(table, f"tbl_{label}")
+        sop_module = build_sop_module(table, f"sop_{label}")
+        modules[label] = (table_module, sop_module)
+        jobs.append(
+            CompileJob(
+                (label, "table"), pipeline,
+                module=table_module, library=library,
+            )
+        )
+        jobs.append(
+            CompileJob(
+                (label, "sop"), pipeline,
+                module=sop_module, library=library,
+            )
+        )
+    compiled = compile_many(jobs, workers=workers, cache=cache)
+
+    # The tightened targets depend on the relaxed-phase timing, so the
+    # sweep is a second fan-out.
+    tight_compiled = {}
+    if sweep_timing:
+        tight_jobs = []
+        for depth, width, seed in grid:
+            label = f"d{depth}w{width}s{seed}"
+            table_result = compiled[(label, "table")]
+            sop_result = compiled[(label, "sop")]
+            if (
+                sop_result.area.combinational <= 0
+                or table_result.area.combinational <= 0
+            ):
+                continue
+            slower = max(
+                table_result.timing.critical_delay,
+                sop_result.timing.critical_delay,
+            )
+            tight = _comb_pipeline(max(slower * 0.8, 0.05))
+            table_module, sop_module = modules[label]
+            tight_jobs.append(
+                CompileJob(
+                    (label, "table"), tight,
+                    module=table_module, library=library,
                 )
-                rows.append(
-                    [
-                        str(depth),
-                        str(width),
-                        str(seed),
-                        f"{sop_area:.1f}",
-                        f"{table_area:.1f}",
-                        f"{table_area / sop_area:.3f}",
-                    ]
+            )
+            tight_jobs.append(
+                CompileJob(
+                    (label, "sop"), tight,
+                    module=sop_module, library=library,
                 )
-                if not sweep_timing:
-                    continue
-                slower = max(
-                    table_result.timing.critical_delay,
-                    sop_result.timing.critical_delay,
-                )
-                tight = _comb_pipeline(max(slower * 0.8, 0.05))
-                tight_table = tight.compile(table_module, library=library)
-                tight_sop = tight.compile(sop_module, library=library)
-                if not (tight_table.sizing.met and tight_sop.sizing.met):
-                    continue  # not an identical achievable target
-                result.points.append(
-                    ExperimentPoint(
-                        "table-based (tight)",
-                        tight_sop.area.combinational,
-                        tight_table.area.combinational,
-                        label,
-                        {"depth": depth, "width": width, "seed": seed},
-                    )
-                )
+            )
+        tight_compiled = compile_many(
+            tight_jobs, workers=workers, cache=cache
+        )
+
+    rows = []
+    for depth, width, seed in grid:
+        label = f"d{depth}w{width}s{seed}"
+        table_area = compiled[(label, "table")].area.combinational
+        sop_area = compiled[(label, "sop")].area.combinational
+        if sop_area <= 0 or table_area <= 0:
+            continue  # degenerate (constant) function
+        result.points.append(
+            ExperimentPoint(
+                "table-based", sop_area, table_area, label,
+                {"depth": depth, "width": width, "seed": seed},
+            )
+        )
+        rows.append(
+            [
+                str(depth),
+                str(width),
+                str(seed),
+                f"{sop_area:.1f}",
+                f"{table_area:.1f}",
+                f"{table_area / sop_area:.3f}",
+            ]
+        )
+        if not sweep_timing:
+            continue
+        tight_table = tight_compiled[(label, "table")]
+        tight_sop = tight_compiled[(label, "sop")]
+        if not (tight_table.sizing.met and tight_sop.sizing.met):
+            continue  # not an identical achievable target
+        result.points.append(
+            ExperimentPoint(
+                "table-based (tight)",
+                tight_sop.area.combinational,
+                tight_table.area.combinational,
+                label,
+                {"depth": depth, "width": width, "seed": seed},
+            )
+        )
     result.tables["Area per design pair (um^2)"] = format_table(
         ["depth", "width", "seed", "SOP", "table", "ratio"], rows
     )

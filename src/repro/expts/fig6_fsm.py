@@ -22,7 +22,13 @@ from repro.controllers.fsm_random import random_fsm
 from repro.controllers.fsm_rtl import fsm_to_case_rtl, fsm_to_table_rtl
 from repro.expts.common import ExperimentPoint, ExperimentResult, format_table
 from repro.expts.scatter import render_scatter
-from repro.flow import PassManager, optimize_loop, state_folding
+from repro.flow import (
+    CompileJob,
+    PassManager,
+    compile_many,
+    optimize_loop,
+    state_folding,
+)
 from repro.flow.passes import (
     ElaboratePass,
     EncodePass,
@@ -61,8 +67,19 @@ def run_fig6(
     scale: str = "small",
     compiler: DesignCompiler | None = None,
     clock_period_ns: float = 20.0,
+    workers: int = 1,
+    cache=None,
+    pipeline: "PassManager | str | None" = None,
 ) -> ExperimentResult:
-    """Run the Fig. 6 sweep at the given scale."""
+    """Run the Fig. 6 sweep at the given scale.
+
+    ``workers`` fans the independent compiles out across processes and
+    ``cache`` (a :class:`~repro.flow.CompileCache`) skips jobs whose
+    fingerprints were already compiled; both leave the result tables
+    byte-identical to a cold serial run.  ``pipeline`` (a spec string
+    or a ready pipeline ending in map/size stages) replaces the default
+    flow for every treatment -- the ROADMAP's pass-order ablations.
+    """
     config = Fig6Scale.named(scale)
     library = (compiler or DesignCompiler()).library
     result = ExperimentResult(
@@ -75,61 +92,83 @@ def run_fig6(
     # binary re-encoding of whatever annotations are present (inferred
     # for the case style, user-supplied for the annotated treatment,
     # none for the regular treatment).
-    pipeline = PassManager(
-        [
-            FsmInferPass(),
-            HonourAnnotationsPass(),
-            EncodePass("binary"),
-            ElaboratePass(),
-            optimize_loop(),
-            state_folding(),
-            TechMapPass(),
-            SizePass(clock_period_ns),
-        ]
-    )
+    if pipeline is None:
+        pipeline = PassManager(
+            [
+                FsmInferPass(),
+                HonourAnnotationsPass(),
+                EncodePass("binary"),
+                ElaboratePass(),
+                optimize_loop(),
+                state_folding(),
+                TechMapPass(),
+                SizePass(clock_period_ns),
+            ]
+        )
+    elif isinstance(pipeline, str):
+        pipeline = PassManager.parse(pipeline)
+
+    grid = [
+        (m, n, s, seed)
+        for m in config.inputs
+        for n in config.outputs
+        for s in config.states
+        for seed in config.seeds
+    ]
+    jobs = []
+    for m, n, s, seed in grid:
+        rng = random.Random(hash((m, n, s, seed)) & 0xFFFFFFFF)
+        spec = random_fsm(m, n, s, rng)
+        label = f"m{m}n{n}s{s}x{seed}"
+        table_module = fsm_to_table_rtl(spec)
+        jobs.append(
+            CompileJob(
+                (label, "case"), pipeline,
+                module=fsm_to_case_rtl(spec), library=library,
+            )
+        )
+        jobs.append(
+            CompileJob(
+                (label, "regular"), pipeline,
+                module=table_module, library=library,
+            )
+        )
+        jobs.append(
+            CompileJob(
+                (label, "annotated"), pipeline,
+                module=table_module,
+                annotations=(StateAnnotation("state", tuple(range(s))),),
+                library=library,
+            )
+        )
+    compiled = compile_many(jobs, workers=workers, cache=cache)
+
     rows = []
-    for m in config.inputs:
-        for n in config.outputs:
-            for s in config.states:
-                for seed in config.seeds:
-                    rng = random.Random(hash((m, n, s, seed)) & 0xFFFFFFFF)
-                    spec = random_fsm(m, n, s, rng)
-                    label = f"m{m}n{n}s{s}x{seed}"
-
-                    case_area = pipeline.compile(
-                        fsm_to_case_rtl(spec), library=library
-                    ).area.total
-                    regular_area = pipeline.compile(
-                        fsm_to_table_rtl(spec), library=library
-                    ).area.total
-                    annotated_area = pipeline.compile(
-                        fsm_to_table_rtl(spec),
-                        annotations=[
-                            StateAnnotation("state", tuple(range(s)))
-                        ],
-                        library=library,
-                    ).area.total
-
-                    result.points.append(
-                        ExperimentPoint(
-                            "regular", case_area, regular_area, label,
-                            {"m": m, "n": n, "s": s},
-                        )
-                    )
-                    result.points.append(
-                        ExperimentPoint(
-                            "state annotated", case_area, annotated_area,
-                            label, {"m": m, "n": n, "s": s},
-                        )
-                    )
-                    rows.append(
-                        [
-                            str(m), str(n), str(s), str(seed),
-                            f"{case_area:.1f}",
-                            f"{regular_area:.1f}",
-                            f"{annotated_area:.1f}",
-                        ]
-                    )
+    for m, n, s, seed in grid:
+        label = f"m{m}n{n}s{s}x{seed}"
+        case_area = compiled[(label, "case")].area.total
+        regular_area = compiled[(label, "regular")].area.total
+        annotated_area = compiled[(label, "annotated")].area.total
+        result.points.append(
+            ExperimentPoint(
+                "regular", case_area, regular_area, label,
+                {"m": m, "n": n, "s": s},
+            )
+        )
+        result.points.append(
+            ExperimentPoint(
+                "state annotated", case_area, annotated_area,
+                label, {"m": m, "n": n, "s": s},
+            )
+        )
+        rows.append(
+            [
+                str(m), str(n), str(s), str(seed),
+                f"{case_area:.1f}",
+                f"{regular_area:.1f}",
+                f"{annotated_area:.1f}",
+            ]
+        )
     result.tables["Area per FSM (um^2)"] = format_table(
         ["m", "n", "s", "seed", "case", "table", "table+annot"], rows
     )

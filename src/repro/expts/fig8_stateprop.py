@@ -23,7 +23,14 @@ from dataclasses import dataclass
 from repro.expts.common import ExperimentPoint, ExperimentResult, format_table
 from repro.expts.fig7_design import FLOP_STYLES, build_fig7, onehot_values
 from repro.expts.scatter import render_scatter
-from repro.flow import PassManager, optimize_loop, retime_stage, state_folding
+from repro.flow import (
+    CompileJob,
+    PassManager,
+    compile_many,
+    optimize_loop,
+    retime_stage,
+    state_folding,
+)
 from repro.flow.passes import (
     ElaboratePass,
     HonourAnnotationsPass,
@@ -55,8 +62,16 @@ def run_fig8(
     scale: str = "small",
     compiler: DesignCompiler | None = None,
     clock_period_ns: float = 20.0,
+    workers: int = 1,
+    cache=None,
 ) -> ExperimentResult:
-    """Run the Fig. 8 sweep at the given scale."""
+    """Run the Fig. 8 sweep at the given scale.
+
+    ``workers``/``cache`` fan the independent compiles out across
+    processes and skip fingerprint-identical jobs (see
+    :func:`repro.flow.compile_many`); the result tables stay
+    byte-identical to a cold serial run.
+    """
     config = Fig8Scale.named(scale)
     library = (compiler or DesignCompiler()).library
     result = ExperimentResult(
@@ -93,31 +108,48 @@ def run_fig8(
         ]
     )
 
-    rows = []
+    def treatments_for(n, style):
+        treatments = {"regular": (regular, ())}
+        if style != "comb":
+            treatments["retimed"] = (retimed, ())
+            treatments["annotated"] = (
+                annotated,
+                (StateAnnotation("y", onehot_values(n)),),
+            )
+        return treatments
+
+    jobs = []
     for n in config.widths:
         for style in FLOP_STYLES:
             direct = build_fig7(n, style, direct=True)
             generic = build_fig7(n, style, direct=False)
-            treatments = {"regular": (regular, [])}
-            if style != "comb":
-                treatments["retimed"] = (retimed, [])
-                treatments["annotated"] = (
-                    annotated,
-                    [StateAnnotation("y", onehot_values(n))],
-                )
-            for treatment, (pipeline, annotations) in treatments.items():
+            for treatment, (pipeline, annotations) in treatments_for(
+                n, style
+            ).items():
                 # Both designs of a pair get identical settings, the
                 # paper's methodology ("we synthesized these pairs of
                 # designs ...").
-                with warnings.catch_warnings():
-                    # The >32-bit annotation warning is the point here.
-                    warnings.simplefilter("ignore")
-                    direct_area = pipeline.compile(
-                        direct, annotations=annotations, library=library
-                    ).area.total
-                    generic_area = pipeline.compile(
-                        generic, annotations=annotations, library=library
-                    ).area.total
+                for role, module in (("direct", direct), ("generic", generic)):
+                    jobs.append(
+                        CompileJob(
+                            (n, style, treatment, role), pipeline,
+                            module=module, annotations=annotations,
+                            library=library,
+                        )
+                    )
+    with warnings.catch_warnings():
+        # The >32-bit annotation warning is the point here.  Workers
+        # inherit the filter under the fork start method; under spawn
+        # they may still print it to stderr, which is harmless noise.
+        warnings.simplefilter("ignore")
+        compiled = compile_many(jobs, workers=workers, cache=cache)
+
+    rows = []
+    for n in config.widths:
+        for style in FLOP_STYLES:
+            for treatment in treatments_for(n, style):
+                direct_area = compiled[(n, style, treatment, "direct")].area.total
+                generic_area = compiled[(n, style, treatment, "generic")].area.total
                 series = f"{style}/{treatment}"
                 result.points.append(
                     ExperimentPoint(

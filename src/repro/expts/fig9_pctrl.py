@@ -13,15 +13,20 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from repro.expts.common import ExperimentResult, format_table
+from repro.flow import CompileJob, compile_many, default_pipeline
 from repro.smartmem.config import (
     CACHED_CONFIG,
     UNCACHED_CONFIG,
     PCtrlConfig,
     PCtrlParams,
 )
-from repro.smartmem.flows import compile_auto, compile_full, compile_manual
+from repro.smartmem.flows import auto_inputs, full_inputs, manual_inputs
 from repro.smartmem.pctrl import build_pctrl
-from repro.synth.compiler import CompileResult, DesignCompiler
+from repro.synth.compiler import (
+    CompileResult,
+    DesignCompiler,
+    result_from_context,
+)
 
 
 @dataclass(frozen=True)
@@ -50,25 +55,50 @@ class Fig9Scale:
 def run_fig9(
     scale: str = "medium",
     compiler: DesignCompiler | None = None,
+    workers: int = 1,
+    cache=None,
 ) -> ExperimentResult:
-    """Run the Full/Auto/Manual comparison."""
+    """Run the Full/Auto/Manual comparison.
+
+    The five distinct syntheses (Full is configuration-independent;
+    Auto and Manual exist per configuration) are independent jobs:
+    ``workers`` fans them out across processes and ``cache`` skips
+    fingerprint-identical reruns (see :func:`repro.flow.compile_many`).
+    """
     params = Fig9Scale.named(scale).params
     compiler = compiler or DesignCompiler()
     design = build_pctrl(params)
 
-    runs: dict[tuple[str, str], CompileResult] = {}
-    full = compile_full(design, compiler=compiler)
+    # The (module, options) pairs the compile_full/auto/manual flows
+    # synthesize, from their single definition in repro.smartmem.flows.
+    inputs: dict[tuple[str, str], tuple] = {}
+    inputs[("full", "any")] = full_inputs(design)
     for config, config_name in (
         (CACHED_CONFIG, "cached"),
         (UNCACHED_CONFIG, "uncached"),
     ):
+        inputs[("auto", config_name)] = auto_inputs(design, config)
+        inputs[("manual", config_name)] = manual_inputs(design, config)
+    jobs = [
+        CompileJob(
+            key,
+            default_pipeline(options),
+            module=module,
+            annotations=tuple(options.state_annotations),
+            library=compiler.library,
+        )
+        for key, (module, options) in inputs.items()
+    ]
+    compiled = compile_many(jobs, workers=workers, cache=cache)
+
+    runs: dict[tuple[str, str], CompileResult] = {}
+    full = result_from_context(compiled[("full", "any")], inputs[("full", "any")][1])
+    for config_name in ("cached", "uncached"):
         runs[("full", config_name)] = full
-        runs[("auto", config_name)] = compile_auto(
-            design, config, compiler=compiler
-        )
-        runs[("manual", config_name)] = compile_manual(
-            design, config, compiler=compiler
-        )
+        for flow in ("auto", "manual"):
+            runs[(flow, config_name)] = result_from_context(
+                compiled[(flow, config_name)], inputs[(flow, config_name)][1]
+            )
 
     result = ExperimentResult(
         "Fig. 9 -- PCtrl area: Full / Auto / Manual x Cached / Uncached",

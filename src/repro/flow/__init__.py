@@ -43,8 +43,22 @@ after which ``PassManager.parse("...,my_pass,...")`` just works.  The
 wrapper that builds :func:`~repro.flow.pipeline.default_pipeline` from
 ``CompileOptions`` -- same numbers, same logs, but every stage now
 composable, reorderable, and individually timed.
+
+Compiles are cacheable and parallelizable::
+
+    from repro.flow import CompileCache, CompileJob, compile_many
+
+    cache = CompileCache(".repro-cache")        # memory LRU + disk
+    ctx = full.compile(my_module, cache=cache)  # fingerprint-keyed
+    results = compile_many(                     # process-pool fan-out
+        [CompileJob(i, full, module=m) for i, m in enumerate(modules)],
+        workers=8, cache=cache,
+    )
+
+(see :mod:`repro.flow.cache` and :mod:`repro.flow.parallel`).
 """
 
+from repro.flow.cache import CompileCache, flow_fingerprint
 from repro.flow.combinators import (
     Conditional,
     FixedPoint,
@@ -65,6 +79,12 @@ from repro.flow.core import (
     render_log,
 )
 from repro.flow.manager import PassManager
+from repro.flow.parallel import (
+    CompileJob,
+    CompileJobError,
+    compile_many,
+    default_workers,
+)
 from repro.flow.pipeline import (
     default_pipeline,
     optimize_loop,
@@ -78,6 +98,9 @@ from repro.flow import passes as passes  # noqa: F401
 
 __all__ = [
     "AigStats",
+    "CompileCache",
+    "CompileJob",
+    "CompileJobError",
     "Conditional",
     "FixedPoint",
     "FlowContext",
@@ -88,7 +111,10 @@ __all__ = [
     "PassRecord",
     "Repeat",
     "WhileProgress",
+    "compile_many",
     "default_pipeline",
+    "default_workers",
+    "flow_fingerprint",
     "make_pass",
     "optimize_loop",
     "passes",

@@ -1,0 +1,216 @@
+"""Content-addressed caching for flow pipeline compiles.
+
+The figure drivers re-synthesize hundreds of independent
+(module, pipeline) pairs, and repeated sweeps re-run identical jobs
+from scratch.  This module keys a completed :class:`FlowContext` on a
+stable *fingerprint* of everything that determines the result:
+
+* the canonical content hash of the input design
+  (:meth:`Module.canonical_hash` / :meth:`AIG.canonical_hash`),
+* the rendered pipeline spec, including every non-default pass
+  parameter (:meth:`PassManager.spec` -- which is why spec round-trip
+  fidelity is load-bearing),
+* the seeded annotations, the RNG seed, and the cell library.
+
+:class:`CompileCache` layers a bounded in-memory LRU over an optional
+on-disk store.  Disk entries are pickled contexts written atomically
+(temp file + :func:`os.replace`), so a directory can be shared by the
+worker processes of :func:`repro.flow.parallel.compile_many` and
+across interpreter runs (``python -m repro.expts`` reuses
+``.repro-cache/`` by default).  Corrupt or truncated entries read as
+misses, never as errors.
+
+Cached contexts must be treated as read-only: an in-memory hit returns
+the stored object itself.
+
+Disk entries are **pickles**: loading one executes whatever its bytes
+describe, so only point ``path`` at directories you trust (your own
+working tree, your own CI workspace).  Do not share a cache directory
+with writers you would not let run code on your machine.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import os
+import pickle
+import tempfile
+from collections import OrderedDict
+from pathlib import Path
+from typing import TYPE_CHECKING, Sequence
+
+if TYPE_CHECKING:
+    from repro.aig.graph import AIG
+    from repro.flow.core import FlowContext
+    from repro.rtl.module import Module
+    from repro.synth.dc_options import StateAnnotation
+    from repro.tech.cells import Library
+
+#: Bump whenever fingerprinted semantics change (pass behaviour,
+#: context pickling layout) to invalidate every existing entry.
+FINGERPRINT_VERSION = 1
+
+
+def flow_fingerprint(
+    spec: str,
+    *,
+    module: "Module | None" = None,
+    aig: "AIG | None" = None,
+    annotations: Sequence["StateAnnotation"] = (),
+    library: "Library | None" = None,
+    seed: int = 2011,
+) -> str:
+    """The cache key of one ``PassManager.compile`` invocation.
+
+    Everything the run's result can depend on goes in: canonical input
+    hashes, the rendered pipeline spec (per-pass parameters included),
+    the seeded annotations in order (order can matter -- encoding
+    assigns codes by iteration), the library identity, and the RNG
+    seed.  Annotation values are hashed in the order given, and the
+    spec is the *rendered* string, so any pass whose parameters cannot
+    round-trip through spec syntax raises rather than fingerprinting
+    ambiguously.
+    """
+    digest = hashlib.sha256()
+    digest.update(repr(("flow-fingerprint", FINGERPRINT_VERSION)).encode())
+    digest.update(repr(("spec", spec)).encode())
+    digest.update(
+        repr(
+            ("module", None if module is None else module.canonical_hash())
+        ).encode()
+    )
+    digest.update(
+        repr(("aig", None if aig is None else aig.canonical_hash())).encode()
+    )
+    digest.update(
+        repr(
+            (
+                "annotations",
+                tuple((a.reg_name, tuple(a.values)) for a in annotations),
+            )
+        ).encode()
+    )
+    digest.update(
+        repr(
+            (
+                "library",
+                None if library is None else library.canonical_hash(),
+            )
+        ).encode()
+    )
+    digest.update(repr(("seed", seed)).encode())
+    return digest.hexdigest()
+
+
+class CompileCache:
+    """A two-layer (memory LRU, optional disk) store of completed
+    flow contexts, keyed by :func:`flow_fingerprint`.
+
+    Args:
+        path: directory of the on-disk store; created on first write.
+            ``None`` keeps the cache memory-only.
+        max_memory_entries: LRU bound of the in-memory layer.
+    """
+
+    def __init__(
+        self,
+        path: str | os.PathLike | None = None,
+        max_memory_entries: int = 512,
+    ) -> None:
+        if max_memory_entries < 1:
+            raise ValueError(
+                f"max_memory_entries must be >= 1, got {max_memory_entries}"
+            )
+        self.path = None if path is None else Path(path)
+        self.max_memory_entries = max_memory_entries
+        self._memory: OrderedDict[str, "FlowContext"] = OrderedDict()
+        self.memory_hits = 0
+        self.disk_hits = 0
+        self.misses = 0
+        self.stores = 0
+
+    # -- lookup -------------------------------------------------------
+    @property
+    def hits(self) -> int:
+        return self.memory_hits + self.disk_hits
+
+    def get(self, key: str) -> "FlowContext | None":
+        """The cached context for ``key``, or None on a miss."""
+        hit = self._memory.get(key)
+        if hit is not None:
+            self._memory.move_to_end(key)
+            self.memory_hits += 1
+            return hit
+        hit = self._disk_get(key)
+        if hit is not None:
+            self.disk_hits += 1
+            self.put_memory(key, hit)
+            return hit
+        self.misses += 1
+        return None
+
+    def put(self, key: str, ctx: "FlowContext") -> None:
+        """Store a completed context under ``key`` (memory and disk)."""
+        self.put_memory(key, ctx)
+        self._disk_put(key, ctx)
+        self.stores += 1
+
+    def stats(self) -> str:
+        return (
+            f"cache: {self.memory_hits} memory hits, "
+            f"{self.disk_hits} disk hits, {self.misses} misses, "
+            f"{self.stores} stores"
+        )
+
+    # -- the memory layer ---------------------------------------------
+    def put_memory(self, key: str, ctx: "FlowContext") -> None:
+        """Store in the memory layer only (used when the disk layer
+        was already written by a worker process)."""
+        self._memory[key] = ctx
+        self._memory.move_to_end(key)
+        while len(self._memory) > self.max_memory_entries:
+            self._memory.popitem(last=False)
+
+    # -- the disk layer -----------------------------------------------
+    def _entry_file(self, key: str) -> Path:
+        # Two-level fanout keeps directories small on big sweeps.
+        return self.path / key[:2] / f"{key}.pkl"
+
+    def _disk_get(self, key: str) -> "FlowContext | None":
+        if self.path is None:
+            return None
+        try:
+            with open(self._entry_file(key), "rb") as handle:
+                return pickle.load(handle)
+        except FileNotFoundError:
+            return None
+        except (OSError, pickle.UnpicklingError, EOFError, AttributeError,
+                ImportError, IndexError):
+            # A truncated or stale entry is a miss, not an error.
+            return None
+
+    def _disk_put(self, key: str, ctx: "FlowContext") -> None:
+        if self.path is None:
+            return
+        entry = self._entry_file(key)
+        entry.parent.mkdir(parents=True, exist_ok=True)
+        # Atomic publish: concurrent workers may race on the same key,
+        # and a reader must never observe a half-written pickle.
+        handle = tempfile.NamedTemporaryFile(
+            dir=entry.parent, prefix=f".{key[:8]}-", suffix=".tmp",
+            delete=False,
+        )
+        try:
+            with handle:
+                pickle.dump(ctx, handle, protocol=pickle.HIGHEST_PROTOCOL)
+            os.replace(handle.name, entry)
+        except BaseException:
+            try:
+                os.unlink(handle.name)
+            except OSError:
+                pass
+            raise
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        where = "memory" if self.path is None else str(self.path)
+        return f"<CompileCache {where} {self.stats()!r}>"

@@ -20,7 +20,7 @@ import time
 from dataclasses import replace
 from typing import Callable, Sequence
 
-from repro.flow.core import FlowContext, Pass, PassRecord
+from repro.flow.core import FlowContext, FlowError, Pass, PassRecord
 
 
 class Repeat(Pass):
@@ -165,6 +165,15 @@ class FixedPoint(Pass):
         )
 
     def spec(self) -> str:
+        if self.metric is not _num_ands:
+            # A callable has no faithful spec form, and spec() doubles
+            # as the cache fingerprint: two loops differing only in
+            # metric must never collide.  Register a named pass (like
+            # OptimizeLoop) to make such a loop fingerprintable.
+            raise FlowError(
+                f"fixed point {self.label!r} with a custom metric has "
+                f"no spec form"
+            )
         body = ",".join(item.spec() for item in self.passes)
         return f"{self.label}({body})[{self.max_rounds}]"
 

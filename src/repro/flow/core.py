@@ -16,6 +16,7 @@ Passes register themselves under a short name with
 
 from __future__ import annotations
 
+import math
 import sys
 import time
 from dataclasses import dataclass, field
@@ -73,6 +74,10 @@ class PassRecord:
     #: stats describe work that never reached the final design (the
     #: legacy log line is still emitted, matching the seed flow).
     rejected: bool = False
+    #: True when ``run()`` raised: the record preserves whatever notes
+    #: the pass emitted before dying, so error reports (and parallel
+    #: job failures) keep their log context.
+    failed: bool = False
 
     @property
     def delta_ands(self) -> int | None:
@@ -203,17 +208,36 @@ class Pass:
         before = ctx.aig_stats()
         self._notes = []
         start = time.perf_counter()
-        self.run(ctx)
-        elapsed = time.perf_counter() - start
+        try:
+            self.run(ctx)
+        except Exception:
+            # Record the failed execution anyway: the notes emitted up
+            # to the failure are exactly the log context an error
+            # report needs, and dropping them here would also leak
+            # stale notes into the next execution.
+            ctx.records.append(
+                PassRecord(
+                    name=self.name,
+                    stage=self.stage,
+                    wall_time_s=time.perf_counter() - start,
+                    before=before,
+                    after=ctx.aig_stats(),
+                    messages=tuple(self._notes),
+                    failed=True,
+                )
+            )
+            raise
+        finally:
+            notes = tuple(self._notes)
+            self._notes = []
         record = PassRecord(
             name=self.name,
             stage=self.stage,
-            wall_time_s=elapsed,
+            wall_time_s=time.perf_counter() - start,
             before=before,
             after=ctx.aig_stats(),
-            messages=tuple(self._notes),
+            messages=notes,
         )
-        self._notes = []
         ctx.records.append(record)
         return record
 
@@ -226,7 +250,19 @@ class Pass:
 
     def spec(self) -> str:
         """The pipeline-spec syntax that reconstructs this pass,
-        including non-default parameters (``encode{style=gray}``)."""
+        including non-default parameters (``encode{style=gray}``).
+
+        ``spec()`` doubles as the compile-cache fingerprint, so an
+        anonymous pass (one that never set ``name``) has no spec form:
+        two distinct anonymous passes would otherwise fingerprint --
+        and cache -- identically.
+        """
+        if self.name == Pass.name:
+            raise FlowError(
+                f"{type(self).__name__} has no spec form: set a "
+                f"distinct `name` (or register it) so pipelines "
+                f"containing it render and fingerprint unambiguously"
+            )
         params = self.params()
         if not params:
             return self.name
@@ -237,7 +273,10 @@ class Pass:
         return f"{self.name}{{{body}}}"
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
-        return f"<{type(self).__name__} {self.spec()!r}>"
+        try:
+            return f"<{type(self).__name__} {self.spec()!r}>"
+        except FlowError:
+            return f"<{type(self).__name__} (no spec form)>"
 
 
 #: Global registry: spec name -> zero-argument pass factory.
@@ -288,19 +327,64 @@ def make_pass(name: str, **params) -> Pass:
         ) from None
 
 
+#: Characters a bare (unquoted) string value may not contain: spec
+#: structure (item/option separators, braces, repeat/conditional
+#: markers) and the quoting machinery itself.
+_SPEC_UNSAFE_CHARS = frozenset(",{}[]=?'\"\\")
+
+
 def render_spec_value(value) -> str:
-    """Render a parameter value in spec syntax (parse_spec_value's
-    inverse for the supported types)."""
+    """Render a parameter value in spec syntax: the exact inverse of
+    :func:`parse_spec_value`.
+
+    Strings that would not read back verbatim -- because they contain
+    spec structure characters (``,``, ``{``, ``}``, ``=``, ...), hold
+    whitespace, or would re-parse as a different type (``"none"``,
+    ``"true"``, ``"42"``, ``"nan"``) -- are emitted in single quotes
+    with backslash escapes.  Values with no faithful spec form
+    (non-finite floats, arbitrary objects) raise :class:`FlowError`
+    instead of silently producing an ambiguous spec: ``Pass.spec()``
+    is a cache fingerprint, so it must never lie.
+    """
     if value is None:
         return "none"
     if isinstance(value, bool):
         return "true" if value else "false"
-    return str(value)
+    if isinstance(value, int):
+        return str(value)
+    if isinstance(value, float):
+        if not math.isfinite(value):
+            raise FlowError(
+                f"non-finite float {value!r} is not spec-representable "
+                f"(it would read back as a quoted string)"
+            )
+        return repr(value)
+    if isinstance(value, str):
+        if _renders_bare(value):
+            return value
+        escaped = value.replace("\\", "\\\\").replace("'", "\\'")
+        return f"'{escaped}'"
+    raise FlowError(
+        f"{type(value).__name__} value {value!r} is not spec-representable"
+    )
+
+
+def _renders_bare(value: str) -> bool:
+    """Would this string survive a bare (unquoted) round-trip?"""
+    if not value:
+        return False
+    if any(ch in _SPEC_UNSAFE_CHARS or ch.isspace() for ch in value):
+        return False
+    parsed = parse_spec_value(value)
+    return type(parsed) is str and parsed == value
 
 
 def parse_spec_value(text: str):
-    """Parse a spec option value: none/true/false, int, float, or a
-    bare string."""
+    """Parse a spec option value: a ``'...'``-quoted string (escapes:
+    ``\\'`` and ``\\\\``), none/true/false, int, float, or a bare
+    string."""
+    if text.startswith("'"):
+        return _parse_quoted(text)
     lowered = text.lower()
     if lowered == "none":
         return None
@@ -317,6 +401,30 @@ def parse_spec_value(text: str):
     except ValueError:
         pass
     return text
+
+
+def _parse_quoted(text: str):
+    """Decode a single-quoted spec value (must span the whole text)."""
+    out: list[str] = []
+    escaped = False
+    for index in range(1, len(text)):
+        char = text[index]
+        if escaped:
+            out.append(char)
+            escaped = False
+            continue
+        if char == "\\":
+            escaped = True
+            continue
+        if char == "'":
+            if index != len(text) - 1:
+                raise FlowError(
+                    f"malformed quoted value {text!r}: content after "
+                    f"the closing quote"
+                )
+            return "".join(out)
+        out.append(char)
+    raise FlowError(f"unterminated quoted value {text!r}")
 
 
 def ensure_recursion_headroom() -> None:

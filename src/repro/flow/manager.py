@@ -8,7 +8,8 @@ A :class:`PassManager` can be built three ways:
   where ``name{key=value,...}`` sets constructor parameters
   (``encode{style=gray}``), ``name[k]`` repeats a pass ``k`` times,
   and ``name?`` makes it conditional (skipped instead of erroring
-  when not applicable);
+  when not applicable); string values containing spec structure are
+  single-quoted with backslash escapes (``tag='a,b'``);
 * by the synthesis facade, which assembles the default pipeline from
   :class:`repro.synth.dc_options.CompileOptions`.
 
@@ -31,36 +32,121 @@ from repro.flow.core import (
     parse_spec_value,
 )
 
-_ITEM_RE = re.compile(
-    r"^(?P<name>[A-Za-z_][A-Za-z0-9_]*)"
-    r"(?:\{(?P<opts>[^{}]*)\})?"
-    r"(?:\[(?P<times>\d+)\])?"
-    r"(?P<cond>\?)?$"
-)
+_NAME_RE = re.compile(r"[A-Za-z_][A-Za-z0-9_]*")
+_TIMES_RE = re.compile(r"\[(\d+)\]")
 
 
-def _split_items(spec: str) -> list[str]:
-    """Split a spec on top-level commas (commas inside ``{...}``
-    option blocks belong to the item)."""
+def _split_top_level(
+    text: str, source: str, *, track_braces: bool
+) -> list[str]:
+    """Split on top-level commas, honouring single-quoted values (and,
+    optionally, ``{...}`` nesting).  Unbalanced braces and unterminated
+    quotes are hard errors -- silently clamping them would mis-split
+    items instead of reporting the malformed spec."""
     items: list[str] = []
-    depth = 0
     current: list[str] = []
-    for char in spec:
+    depth = 0
+    in_quote = False
+    escaped = False
+    for char in text:
+        if in_quote:
+            current.append(char)
+            if escaped:
+                escaped = False
+            elif char == "\\":
+                escaped = True
+            elif char == "'":
+                in_quote = False
+            continue
+        if char == "'":
+            in_quote = True
+            current.append(char)
+            continue
         if char == "," and depth == 0:
             items.append("".join(current))
             current = []
             continue
-        if char == "{":
+        if track_braces and char == "{":
             depth += 1
-        elif char == "}":
-            depth = max(depth - 1, 0)
+        elif track_braces and char == "}":
+            if depth == 0:
+                raise FlowError(f"unbalanced '}}' in pipeline spec {source!r}")
+            depth -= 1
         current.append(char)
+    if in_quote:
+        raise FlowError(f"unterminated quote in pipeline spec {source!r}")
+    if depth:
+        raise FlowError(f"unbalanced '{{' in pipeline spec {source!r}")
     items.append("".join(current))
-    stripped = [item.strip() for item in items]
+    return items
+
+
+def _split_items(spec: str) -> list[str]:
+    """Split a spec on top-level commas (commas inside ``{...}``
+    option blocks and quoted values belong to the item)."""
+    stripped = [
+        item.strip()
+        for item in _split_top_level(spec, spec, track_braces=True)
+    ]
     for item in stripped:
         if not item:
             raise FlowError(f"empty pass name in pipeline spec {spec!r}")
     return stripped
+
+
+def _option_block_end(text: str, item: str) -> int:
+    """Index of the ``}`` closing the option block ``text`` starts
+    with, honouring nesting and quoted values."""
+    depth = 0
+    in_quote = False
+    escaped = False
+    for index, char in enumerate(text):
+        if in_quote:
+            if escaped:
+                escaped = False
+            elif char == "\\":
+                escaped = True
+            elif char == "'":
+                in_quote = False
+            continue
+        if char == "'":
+            in_quote = True
+        elif char == "{":
+            depth += 1
+        elif char == "}":
+            depth -= 1
+            if depth == 0:
+                return index
+    raise FlowError(f"unbalanced '{{' in spec item {item!r}")
+
+
+def _parse_item(item: str) -> tuple[str, str | None, int | None, bool]:
+    """Decompose one spec item into (name, options, times, cond)."""
+    syntax_hint = (
+        f"cannot parse pipeline spec item {item!r} "
+        f"(expected NAME, NAME{{k=v}}, NAME[count], or NAME?)"
+    )
+    match = _NAME_RE.match(item)
+    if match is None:
+        raise FlowError(syntax_hint)
+    name = match.group()
+    rest = item[match.end():]
+    opts: str | None = None
+    if rest.startswith("{"):
+        end = _option_block_end(rest, item)
+        opts = rest[1:end]
+        rest = rest[end + 1:]
+    times: int | None = None
+    if rest.startswith("["):
+        times_match = _TIMES_RE.match(rest)
+        if times_match is None:
+            raise FlowError(syntax_hint)
+        times = int(times_match.group(1))
+        rest = rest[times_match.end():]
+    cond = rest == "?"
+    if rest and not cond:
+        raise FlowError(syntax_hint)
+    return name, opts, times, cond
 
 
 def _parse_options(opts: str | None, item: str) -> dict:
@@ -68,7 +154,7 @@ def _parse_options(opts: str | None, item: str) -> dict:
     if opts is None:
         return {}
     params: dict = {}
-    for chunk in opts.split(","):
+    for chunk in _split_top_level(opts, item, track_braces=False):
         chunk = chunk.strip()
         if not chunk or "=" not in chunk:
             raise FlowError(
@@ -108,23 +194,15 @@ class PassManager:
         """
         passes: list[Pass] = []
         for item in _split_items(spec):
-            match = _ITEM_RE.match(item)
-            if match is None:
-                raise FlowError(
-                    f"cannot parse pipeline spec item {item!r} "
-                    f"(expected NAME, NAME{{k=v}}, NAME[count], or NAME?)"
-                )
-            instance = make_pass(
-                match["name"], **_parse_options(match["opts"], item)
-            )
-            if match["times"] is not None:
-                times = int(match["times"])
+            name, opts, times, cond = _parse_item(item)
+            instance = make_pass(name, **_parse_options(opts, item))
+            if times is not None:
                 if times < 1:
                     raise FlowError(
                         f"repeat count must be >= 1 in {item!r}"
                     )
                 instance = Repeat(instance, times)
-            if match["cond"]:
+            if cond:
                 instance = Conditional(instance)
             passes.append(instance)
         return cls(passes)
@@ -150,12 +228,35 @@ class PassManager:
         annotations: Sequence = (),
         library=None,
         seed: int = 2011,
+        cache=None,
     ) -> FlowContext:
         """Convenience: build a fresh context and run the pipeline.
 
         Start from RTL (``module``), an already-elaborated ``aig``, or
         both; ``annotations`` seed the context's state annotations.
+
+        With a :class:`~repro.flow.cache.CompileCache` as ``cache``,
+        the run is keyed on the fingerprint of (inputs, rendered
+        pipeline spec, seed, library): a hit returns the cached
+        completed context without executing any pass, a miss runs the
+        pipeline and stores the result.  Treat cached contexts as
+        read-only -- in-memory hits share one object.
         """
+        fingerprint = None
+        if cache is not None:
+            from repro.flow.cache import flow_fingerprint
+
+            fingerprint = flow_fingerprint(
+                self.spec(),
+                module=module,
+                aig=aig,
+                annotations=annotations,
+                library=library,
+                seed=seed,
+            )
+            hit = cache.get(fingerprint)
+            if hit is not None:
+                return hit
         ctx = FlowContext(
             module=module,
             aig=aig,
@@ -163,7 +264,10 @@ class PassManager:
             library=library,
             seed=seed,
         )
-        return self.run(ctx)
+        self.run(ctx)
+        if cache is not None:
+            cache.put(fingerprint, ctx)
+        return ctx
 
     def __len__(self) -> int:
         return len(self.passes)
@@ -172,4 +276,7 @@ class PassManager:
         return iter(self.passes)
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
-        return f"PassManager({self.spec()!r})"
+        try:
+            return f"PassManager({self.spec()!r})"
+        except FlowError:
+            return f"PassManager(<{len(self.passes)} passes, no spec form>)"

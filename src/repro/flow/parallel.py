@@ -1,0 +1,237 @@
+"""Process-pool fan-out for independent (module, pipeline) compiles.
+
+The figure drivers compile hundreds of independent jobs; this module
+distributes them across worker processes with :func:`compile_many`,
+returning completed :class:`FlowContext` objects (pass records and
+all) keyed by job, in submission order.
+
+Caching composes: hits are resolved in the parent before any worker
+spawns, workers share the disk layer of a path-backed
+:class:`~repro.flow.cache.CompileCache` (atomic entry files make the
+sharing safe), and every parallel result is folded back into the
+parent cache so later serial queries hit in memory.
+
+A failing job raises :class:`CompileJobError` carrying the job key and
+the pass records accumulated up to the failure -- the log context an
+error report needs -- identically from the serial and the parallel
+path (the earliest failing job in submission order wins, so error
+behaviour is deterministic regardless of worker scheduling).
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+import sys
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Hashable, Iterable, Sequence
+
+from repro.flow.cache import CompileCache, flow_fingerprint
+from repro.flow.core import (
+    FlowContext,
+    FlowError,
+    PassRecord,
+    ensure_recursion_headroom,
+    render_log,
+)
+from repro.flow.manager import PassManager
+
+if TYPE_CHECKING:
+    from repro.aig.graph import AIG
+    from repro.rtl.module import Module
+    from repro.tech.cells import Library
+
+
+@dataclass(frozen=True)
+class CompileJob:
+    """One independent compile: a pipeline over one design.
+
+    ``pipeline`` may be a :class:`PassManager` or a spec string (parsed
+    in the worker); everything else mirrors the keyword surface of
+    :meth:`PassManager.compile`.  ``key`` identifies the job in the
+    result mapping and must be unique within one ``compile_many`` call.
+    """
+
+    key: Hashable
+    pipeline: "PassManager | str"
+    module: "Module | None" = None
+    aig: "AIG | None" = None
+    annotations: tuple = ()
+    library: "Library | None" = None
+    seed: int = 2011
+
+
+class CompileJobError(FlowError):
+    """A compile job failed; carries the job key and the pass records
+    (hence log lines) accumulated up to the failure."""
+
+    def __init__(
+        self, key: Hashable, error: str, records: Sequence[PassRecord] = ()
+    ) -> None:
+        self.key = key
+        self.error = error
+        self.records = list(records)
+        tail = render_log(self.records)[-4:]
+        message = f"compile job {key!r} failed: {error}"
+        if tail:
+            message += "; log tail: " + " | ".join(tail)
+        super().__init__(message)
+
+    def __reduce__(self):
+        # Default exception pickling replays ``args`` (the rendered
+        # message) into ``__init__`` -- replay the real fields instead
+        # so the error crosses the process pool intact.
+        return (CompileJobError, (self.key, self.error, self.records))
+
+
+def _resolve_pipeline(pipeline: "PassManager | str") -> PassManager:
+    if isinstance(pipeline, str):
+        return PassManager.parse(pipeline)
+    return pipeline
+
+
+def _job_fingerprint(job: CompileJob, pipeline: PassManager) -> str:
+    return flow_fingerprint(
+        pipeline.spec(),
+        module=job.module,
+        aig=job.aig,
+        annotations=job.annotations,
+        library=job.library,
+        seed=job.seed,
+    )
+
+
+def _execute_job(
+    job: CompileJob,
+    cache: CompileCache | None,
+    fingerprint: str | None = None,
+) -> FlowContext:
+    """Run one job (cache-aware), wrapping failures with their log
+    context.  A caller that already missed on ``fingerprint`` passes
+    it in to skip the redundant second lookup."""
+    pipeline = _resolve_pipeline(job.pipeline)
+    if cache is not None and fingerprint is None:
+        fingerprint = _job_fingerprint(job, pipeline)
+        hit = cache.get(fingerprint)
+        if hit is not None:
+            return hit
+    ctx = FlowContext(
+        module=job.module,
+        aig=job.aig,
+        annotations=list(job.annotations),
+        library=job.library,
+        seed=job.seed,
+    )
+    try:
+        pipeline.run(ctx)
+    except CompileJobError:
+        raise
+    except Exception as exc:
+        raise CompileJobError(
+            job.key, f"{type(exc).__name__}: {exc}", ctx.records
+        ) from exc
+    if cache is not None:
+        cache.put(fingerprint, ctx)
+    return ctx
+
+
+def _worker_run(job: CompileJob, cache_path: str | None) -> FlowContext:
+    """Entry point executed inside a pool worker."""
+    ensure_recursion_headroom()
+    cache = None if cache_path is None else CompileCache(path=cache_path)
+    return _execute_job(job, cache)
+
+
+def _pool_context():
+    """Fork on Linux (cheap, inherits the recursion limit and warning
+    filters); spawn elsewhere -- fork is crash-prone on macOS, which is
+    why CPython itself switched that platform's default to spawn."""
+    methods = multiprocessing.get_all_start_methods()
+    use_fork = sys.platform == "linux" and "fork" in methods
+    return multiprocessing.get_context("fork" if use_fork else "spawn")
+
+
+def default_workers() -> int:
+    """A sensible worker count for ``--jobs 0`` style requests."""
+    return max(os.cpu_count() or 1, 1)
+
+
+def compile_many(
+    jobs: Iterable[CompileJob],
+    *,
+    workers: int = 1,
+    cache: CompileCache | None = None,
+) -> "dict[Hashable, FlowContext]":
+    """Compile independent jobs, optionally across worker processes.
+
+    Returns ``{job.key: completed FlowContext}`` in submission order;
+    each context carries its own :class:`PassRecord` stream, which is
+    how per-job instrumentation merges back.  Results are bit-identical
+    to running the same jobs serially -- parallelism only changes wall
+    time, never outputs (contexts cross the process boundary by
+    pickle, which preserves floats exactly).
+
+    With a cache, hits are resolved up front in the parent (no worker
+    is spawned for them); misses computed by workers are folded back
+    into the parent's memory layer, and the disk layer -- when the
+    cache has a ``path`` -- is shared with the workers directly.
+    """
+    jobs = list(jobs)
+    seen_keys: set = set()
+    for job in jobs:
+        if job.key in seen_keys:
+            raise FlowError(f"duplicate compile job key {job.key!r}")
+        seen_keys.add(job.key)
+
+    ensure_recursion_headroom()
+    results: dict[Hashable, FlowContext] = {}
+    pending: list[tuple[int, CompileJob, str | None]] = []
+    for index, job in enumerate(jobs):
+        if cache is not None:
+            pipeline = _resolve_pipeline(job.pipeline)
+            fingerprint = _job_fingerprint(job, pipeline)
+            hit = cache.get(fingerprint)
+            if hit is not None:
+                results[job.key] = hit
+                continue
+            pending.append((index, job, fingerprint))
+        else:
+            pending.append((index, job, None))
+
+    if workers <= 1 or len(pending) <= 1:
+        for _, job, fingerprint in pending:
+            results[job.key] = _execute_job(job, cache, fingerprint)
+    else:
+        cache_path = None if cache is None or cache.path is None else str(
+            cache.path
+        )
+        failures: list[tuple[int, CompileJobError]] = []
+        with ProcessPoolExecutor(
+            max_workers=min(workers, len(pending)),
+            mp_context=_pool_context(),
+            initializer=ensure_recursion_headroom,
+        ) as pool:
+            futures = [
+                (index, job, fingerprint,
+                 pool.submit(_worker_run, job, cache_path))
+                for index, job, fingerprint in pending
+            ]
+            for index, job, fingerprint, future in futures:
+                try:
+                    ctx = future.result()
+                except CompileJobError as exc:
+                    failures.append((index, exc))
+                    continue
+                results[job.key] = ctx
+                if cache is not None:
+                    # The worker already published to the shared disk
+                    # layer; fold into the parent's memory layer too.
+                    cache.put_memory(fingerprint, ctx)
+        if failures:
+            # Deterministic: the earliest job in submission order
+            # raises, exactly as the serial path would.
+            failures.sort(key=lambda pair: pair[0])
+            raise failures[0][1]
+
+    return {job.key: results[job.key] for job in jobs}

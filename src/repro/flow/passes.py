@@ -32,8 +32,8 @@ import random
 from repro.aig.balance import balance
 from repro.aig.graph import AIG
 from repro.aig.rewrite import rewrite, tt_sweep
-from repro.flow.combinators import FixedPoint
-from repro.flow.core import FlowContext, Pass, register_pass
+from repro.flow.combinators import FixedPoint, WhileProgress
+from repro.flow.core import FlowContext, FlowError, Pass, register_pass
 from repro.synth.dc_options import (
     ENCODING_STYLES,
     StateAnnotation,
@@ -316,6 +316,75 @@ class OptimizeLoop(FixedPoint):
         return Pass.spec(self)
 
 
+@register_pass("retime_stage")
+class RetimeStage(WhileProgress):
+    """The classic retiming stage: backward retiming with
+    re-optimization after each move, while flops keep moving.
+
+    Registered so pipeline specs can place it freely -- the ROADMAP's
+    "retime before vs after folding" ablations need no code changes.
+    """
+
+    def __init__(
+        self,
+        effort_rounds: int = 2,
+        support_limit: int | None = None,
+        max_rounds: int = 4,
+    ) -> None:
+        self.effort_rounds = effort_rounds
+        self.support_limit = support_limit
+        super().__init__(
+            RetimePass(),
+            then=[OptimizeLoop(effort_rounds, support_limit)],
+            max_rounds=max_rounds,
+            label="retime_stage",
+        )
+
+    def params(self) -> dict:
+        params = {}
+        if self.effort_rounds != 2:
+            params["effort_rounds"] = self.effort_rounds
+        if self.support_limit is not None:
+            params["support_limit"] = self.support_limit
+        if self.max_rounds != 4:
+            params["max_rounds"] = self.max_rounds
+        return params
+
+    def spec(self) -> str:
+        # The registered name plus the knobs; the body is fixed.
+        return Pass.spec(self)
+
+
+@register_pass("state_folding")
+class StateFoldingStage(WhileProgress):
+    """Annotation-driven state folding, re-optimizing if it fired --
+    the classic flow's folding stage as a registered, spec-placeable
+    pass."""
+
+    def __init__(
+        self, effort_rounds: int = 2, support_limit: int | None = None
+    ) -> None:
+        self.effort_rounds = effort_rounds
+        self.support_limit = support_limit
+        super().__init__(
+            FoldStatesPass(effort_rounds),
+            then=[OptimizeLoop(effort_rounds, support_limit)],
+            max_rounds=1,
+            label="state_folding",
+        )
+
+    def params(self) -> dict:
+        params = {}
+        if self.effort_rounds != 2:
+            params["effort_rounds"] = self.effort_rounds
+        if self.support_limit is not None:
+            params["support_limit"] = self.support_limit
+        return params
+
+    def spec(self) -> str:
+        return Pass.spec(self)
+
+
 #: Libraries reconstructible from a spec string (``map{library=...}``).
 LIBRARY_FACTORIES = {"tsmc90ish": Library.tsmc90ish}
 
@@ -344,6 +413,17 @@ class TechMapPass(Pass):
     def params(self) -> dict:
         if self.library is None:
             return {}
+        factory = LIBRARY_FACTORIES.get(self.library.name)
+        if (
+            factory is None
+            or factory().canonical_hash() != self.library.canonical_hash()
+        ):
+            # The name alone would render (and fingerprint) a modified
+            # library as the stock one.
+            raise FlowError(
+                f"library {self.library.name!r} pinned on map is not a "
+                f"registered library; the pipeline has no spec form"
+            )
         return {"library": self.library.name}
 
     def run(self, ctx: FlowContext) -> None:

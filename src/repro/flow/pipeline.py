@@ -11,18 +11,17 @@ are the stages experiments compose directly.
 
 from __future__ import annotations
 
-from repro.flow.combinators import WhileProgress
 from repro.flow.core import Pass
 from repro.flow.manager import PassManager
 from repro.flow.passes import (
     ElaboratePass,
     EncodePass,
-    FoldStatesPass,
     FsmInferPass,
     HonourAnnotationsPass,
     OptimizeLoop,
-    RetimePass,
+    RetimeStage,
     SizePass,
+    StateFoldingStage,
     TechMapPass,
 )
 from repro.synth.dc_options import CompileOptions
@@ -41,39 +40,32 @@ def retime_stage(
     max_rounds: int = 4,
 ) -> Pass:
     """Backward retiming with re-optimization after each move."""
-    return WhileProgress(
-        RetimePass(),
-        then=[optimize_loop(effort_rounds, support_limit)],
-        max_rounds=max_rounds,
-        label="retime_stage",
-    )
+    return RetimeStage(effort_rounds, support_limit, max_rounds)
 
 
 def state_folding(
     effort_rounds: int = 2, support_limit: int | None = None
 ) -> Pass:
     """Annotation-driven state folding, re-optimizing if it fired."""
-    return WhileProgress(
-        FoldStatesPass(effort_rounds),
-        then=[optimize_loop(effort_rounds, support_limit)],
-        max_rounds=1,
-        label="state_folding",
-    )
+    return StateFoldingStage(effort_rounds, support_limit)
 
 
-def run_default_flow(module, options: CompileOptions, library=None):
+def run_default_flow(module, options: CompileOptions, library=None, cache=None):
     """Run the facade's flow on ``module`` and return the context.
 
     Seeds the context with ``options.state_annotations`` -- the one
     piece of a ``CompileOptions`` that is design state rather than
     pipeline structure -- so this helper, unlike calling
     ``default_pipeline(options).compile(module)`` bare, honours the
-    options completely.
+    options completely.  ``cache`` is a
+    :class:`~repro.flow.cache.CompileCache`; see
+    :meth:`PassManager.compile`.
     """
     return default_pipeline(options).compile(
         module,
         annotations=list(options.state_annotations),
         library=library,
+        cache=cache,
     )
 
 

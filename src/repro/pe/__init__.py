@@ -17,12 +17,19 @@ The generator-side API of the paper's methodology:
 
 from repro.pe.annotations import derive_annotations, onehot_annotation
 from repro.pe.bind import bind_tables
-from repro.pe.specialize import specialize, specialize_manual
+from repro.pe.specialize import (
+    prepare_auto,
+    prepare_manual,
+    specialize,
+    specialize_manual,
+)
 
 __all__ = [
     "bind_tables",
     "derive_annotations",
     "onehot_annotation",
+    "prepare_auto",
+    "prepare_manual",
     "specialize",
     "specialize_manual",
 ]

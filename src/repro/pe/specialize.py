@@ -27,6 +27,52 @@ from repro.synth.compiler import (
 from repro.synth.dc_options import CompileOptions, StateAnnotation
 
 
+def prepare_auto(
+    flexible: Module,
+    bindings: dict[str, list[int]],
+    options: CompileOptions | None = None,
+    annotate: bool = True,
+    annotation_regs: list[str] | None = None,
+) -> tuple[Module, CompileOptions]:
+    """The synthesis *inputs* of the Auto flow: the bound module and
+    the run options (annotations appended), without compiling.
+
+    This is the job-preparation half of :func:`specialize`; drivers
+    that fan compiles out with :func:`repro.flow.compile_many` use it
+    to build :class:`~repro.flow.CompileJob` entries.
+    """
+    options = options or CompileOptions()
+    bound = bind_tables(flexible, bindings)
+    annotations = list(options.state_annotations)
+    if annotate:
+        for annotation in derive_annotations(bound, annotation_regs):
+            if not any(a.reg_name == annotation.reg_name for a in annotations):
+                annotations.append(annotation)
+    return bound, replace(options, state_annotations=annotations)
+
+
+def prepare_manual(
+    flexible: Module,
+    bindings: dict[str, list[int]],
+    pinned: dict[str, int],
+    extra_annotations: list[StateAnnotation] | None = None,
+    options: CompileOptions | None = None,
+    annotation_regs: list[str] | None = None,
+) -> tuple[Module, CompileOptions]:
+    """The synthesis inputs of the Manual flow (see
+    :func:`specialize_manual`), without compiling."""
+    options = options or CompileOptions()
+    bound = bind_tables(flexible, bindings)
+    annotations = list(options.state_annotations)
+    for annotation in extra_annotations or []:
+        if not any(a.reg_name == annotation.reg_name for a in annotations):
+            annotations.append(annotation)
+    for annotation in derive_annotations(bound, annotation_regs, pinned=pinned):
+        if not any(a.reg_name == annotation.reg_name for a in annotations):
+            annotations.append(annotation)
+    return bound, replace(options, state_annotations=annotations)
+
+
 def specialize(
     flexible: Module,
     bindings: dict[str, list[int]],
@@ -52,14 +98,9 @@ def specialize(
             result for reference), so keep the two consistent.
     """
     compiler = compiler or DesignCompiler()
-    options = options or CompileOptions()
-    bound = bind_tables(flexible, bindings)
-    annotations = list(options.state_annotations)
-    if annotate:
-        for annotation in derive_annotations(bound, annotation_regs):
-            if not any(a.reg_name == annotation.reg_name for a in annotations):
-                annotations.append(annotation)
-    run_options = replace(options, state_annotations=annotations)
+    bound, run_options = prepare_auto(
+        flexible, bindings, options, annotate, annotation_regs
+    )
     return _compile(compiler, bound, run_options, pipeline)
 
 
@@ -84,16 +125,10 @@ def specialize_manual(
     opcodes) that RTL-level reachability cannot see.
     """
     compiler = compiler or DesignCompiler()
-    options = options or CompileOptions()
-    bound = bind_tables(flexible, bindings)
-    annotations = list(options.state_annotations)
-    for annotation in extra_annotations or []:
-        if not any(a.reg_name == annotation.reg_name for a in annotations):
-            annotations.append(annotation)
-    for annotation in derive_annotations(bound, annotation_regs, pinned=pinned):
-        if not any(a.reg_name == annotation.reg_name for a in annotations):
-            annotations.append(annotation)
-    run_options = replace(options, state_annotations=annotations)
+    bound, run_options = prepare_manual(
+        flexible, bindings, pinned, extra_annotations, options,
+        annotation_regs,
+    )
     return _compile(compiler, bound, run_options, pipeline)
 
 

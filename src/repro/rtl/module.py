@@ -8,16 +8,22 @@ driven registers, power-of-two memory depths, correct address widths).
 
 from __future__ import annotations
 
+import hashlib
 from dataclasses import dataclass, field
 
 from repro.rtl.ast import (
+    BinOp,
     Case,
     Concat,
+    Const,
     Expr,
     InputRef,
     MemRead,
     Mux,
+    Not,
+    ReduceOp,
     RegRef,
+    Slice,
 )
 
 RESET_KINDS = ("none", "sync", "async")
@@ -220,6 +226,117 @@ class Module:
             f"{len(self.outputs)} outputs, {len(self.regs)} regs, "
             f"{len(self.memories)} memories"
         )
+
+    # ------------------------------------------------------------------
+    # Fingerprinting
+    # ------------------------------------------------------------------
+    def canonical_hash(self) -> str:
+        """Content hash of the module, stable across processes and
+        interpreter runs.
+
+        Covers everything elaboration consumes -- ports, register
+        declarations and drivers, memory declarations and bound
+        contents, output expressions -- so two modules hash equal
+        exactly when a synthesis flow cannot tell them apart.  This is
+        the RTL half of the compile-cache fingerprint (see
+        :mod:`repro.flow.cache`).
+        """
+        digest = hashlib.sha256()
+        memo: dict[int, bytes] = {}
+        digest.update(repr(("module", self.name)).encode())
+        for name, port in self.inputs.items():
+            digest.update(repr(("input", name, port.width)).encode())
+        for name, reg in self.regs.items():
+            digest.update(
+                repr(
+                    ("reg", name, reg.width, reg.reset_kind, reg.reset_value)
+                ).encode()
+            )
+            digest.update(
+                b"-" if reg.next is None else _expr_digest(reg.next, memo)
+            )
+        for name, memory in self.memories.items():
+            write_port = (
+                None
+                if memory.write_port is None
+                else (
+                    memory.write_port.enable,
+                    memory.write_port.addr,
+                    memory.write_port.data,
+                )
+            )
+            digest.update(
+                repr(
+                    (
+                        "memory",
+                        name,
+                        memory.width,
+                        memory.depth,
+                        None
+                        if memory.contents is None
+                        else tuple(memory.contents),
+                        memory.writable,
+                        write_port,
+                    )
+                ).encode()
+            )
+        for name, expr in self.outputs.items():
+            digest.update(repr(("output", name)).encode())
+            digest.update(_expr_digest(expr, memo))
+        return digest.hexdigest()
+
+
+def _expr_header(expr: Expr) -> tuple:
+    """The scalar identity of one AST node (children hashed apart)."""
+    if isinstance(expr, Const):
+        return ("const", expr.value, expr.width)
+    if isinstance(expr, InputRef):
+        return ("in", expr.name, expr.width)
+    if isinstance(expr, RegRef):
+        return ("regref", expr.name, expr.width)
+    if isinstance(expr, MemRead):
+        return ("memread", expr.mem_name, expr.width)
+    if isinstance(expr, Not):
+        return ("not",)
+    if isinstance(expr, BinOp):
+        return ("bin", expr.op)
+    if isinstance(expr, ReduceOp):
+        return ("reduce", expr.op)
+    if isinstance(expr, Mux):
+        return ("mux",)
+    if isinstance(expr, Slice):
+        return ("slice", expr.lsb, expr.width)
+    if isinstance(expr, Concat):
+        return ("concat", len(expr.parts))
+    if isinstance(expr, Case):
+        return ("case", tuple(label for label, _ in expr.arms))
+    return ("expr", type(expr).__name__, expr.width)
+
+
+def _expr_digest(expr: Expr, memo: dict[int, bytes]) -> bytes:
+    """Bottom-up digest of an expression DAG.
+
+    Iterative and memoized by object identity: shared subtrees are
+    hashed once, so heavily-shared generator output stays linear (a
+    naive tree walk would revisit shared nodes exponentially often).
+    """
+    stack = [expr]
+    while stack:
+        node = stack[-1]
+        if id(node) in memo:
+            stack.pop()
+            continue
+        children = node.children()
+        pending = [child for child in children if id(child) not in memo]
+        if pending:
+            stack.extend(pending)
+            continue
+        stack.pop()
+        digest = hashlib.sha256(repr(_expr_header(node)).encode())
+        for child in children:
+            digest.update(memo[id(child)])
+        memo[id(node)] = digest.digest()
+    return memo[id(expr)]
 
 
 def _selects_register(selector: Expr, reg: Reg) -> bool:

@@ -19,7 +19,8 @@ kept their encodings).
 
 from __future__ import annotations
 
-from repro.pe.specialize import specialize, specialize_manual
+from repro.pe.specialize import prepare_auto, prepare_manual
+from repro.rtl.module import Module
 from repro.smartmem.config import PCtrlConfig
 from repro.smartmem.pctrl import PCtrlDesign
 from repro.synth.compiler import CompileResult, DesignCompiler
@@ -34,6 +35,52 @@ def fig9_options(clock_period_ns: float = 5.0) -> CompileOptions:
     )
 
 
+# -- flow definitions (the single source of truth) ---------------------
+#
+# Each *_inputs helper returns the (module, options) pair its flow
+# synthesizes.  The compile_* wrappers and the fig9 driver's
+# compile_many jobs are both built on these, so the flow definitions
+# exist exactly once.
+
+def full_inputs(
+    design: PCtrlDesign, options: CompileOptions | None = None
+) -> tuple[Module, CompileOptions]:
+    """Full: the flexible design as-is (storage and all)."""
+    return design.flexible, options or fig9_options()
+
+
+def auto_inputs(
+    design: PCtrlDesign,
+    config: PCtrlConfig,
+    options: CompileOptions | None = None,
+) -> tuple[Module, CompileOptions]:
+    """Auto: one configuration bound, no cross-flop knowledge."""
+    return prepare_auto(
+        design.flexible,
+        design.bindings(config),
+        options=options or fig9_options(),
+        annotate=False,
+    )
+
+
+def manual_inputs(
+    design: PCtrlDesign,
+    config: PCtrlConfig,
+    options: CompileOptions | None = None,
+) -> tuple[Module, CompileOptions]:
+    """Manual: Auto plus generator-derived, config-pinned annotations."""
+    return prepare_manual(
+        design.flexible,
+        design.bindings(config),
+        pinned={},
+        extra_annotations=design.annotations(config, pinned_opcodes=True),
+        options=options or fig9_options(),
+        annotation_regs=[],
+    )
+
+
+# -- one-call synthesis wrappers ---------------------------------------
+
 def compile_full(
     design: PCtrlDesign,
     compiler: DesignCompiler | None = None,
@@ -41,7 +88,8 @@ def compile_full(
 ) -> CompileResult:
     """Synthesize the flexible design (storage and all)."""
     compiler = compiler or DesignCompiler()
-    return compiler.compile(design.flexible, options or fig9_options())
+    module, run_options = full_inputs(design, options)
+    return compiler.compile(module, run_options)
 
 
 def compile_auto(
@@ -52,13 +100,8 @@ def compile_auto(
 ) -> CompileResult:
     """Bind one configuration and let partial evaluation do the rest."""
     compiler = compiler or DesignCompiler()
-    return specialize(
-        design.flexible,
-        design.bindings(config),
-        compiler=compiler,
-        options=options or fig9_options(),
-        annotate=False,
-    )
+    module, run_options = auto_inputs(design, config, options)
+    return compiler.compile(module, run_options)
 
 
 def compile_manual(
@@ -69,12 +112,5 @@ def compile_manual(
 ) -> CompileResult:
     """Auto plus generator-derived, configuration-pinned annotations."""
     compiler = compiler or DesignCompiler()
-    return specialize_manual(
-        design.flexible,
-        design.bindings(config),
-        pinned={},
-        extra_annotations=design.annotations(config, pinned_opcodes=True),
-        compiler=compiler,
-        options=options or fig9_options(),
-        annotation_regs=[],
-    )
+    module, run_options = manual_inputs(design, config, options)
+    return compiler.compile(module, run_options)

@@ -76,7 +76,13 @@ class CompileResult:
 def result_from_context(
     ctx: FlowContext, options: CompileOptions
 ) -> CompileResult:
-    """Package a completed flow context as a :class:`CompileResult`."""
+    """Package a completed flow context as a :class:`CompileResult`.
+
+    List state is copied out so a caller mutating the result cannot
+    corrupt a context that may live on in a compile cache; the big
+    structural objects (AIG, netlist, reports) are shared and must be
+    treated as read-only for the same reason.
+    """
     return CompileResult(
         module=ctx.module,
         options=options,
@@ -85,8 +91,8 @@ def result_from_context(
         area=ctx.area,
         timing=ctx.timing,
         sizing=ctx.sizing,
-        inferred_fsms=ctx.inferred_fsms,
-        honoured_annotations=ctx.annotations,
+        inferred_fsms=list(ctx.inferred_fsms),
+        honoured_annotations=list(ctx.annotations),
         fold_stats=ctx.fold_stats,
         records=list(ctx.records),
     )
@@ -105,9 +111,17 @@ class DesignCompiler:
         self.library = library or Library.tsmc90ish()
 
     def compile(
-        self, module: Module, options: CompileOptions | None = None
+        self,
+        module: Module,
+        options: CompileOptions | None = None,
+        cache=None,
     ) -> CompileResult:
-        """Run the full flow on ``module``."""
+        """Run the full flow on ``module``.
+
+        ``cache`` is a :class:`~repro.flow.cache.CompileCache`; on a
+        fingerprint hit the synthesis is skipped entirely and the
+        result is repackaged from the cached context.
+        """
         options = options or CompileOptions()
-        ctx = run_default_flow(module, options, library=self.library)
+        ctx = run_default_flow(module, options, library=self.library, cache=cache)
         return result_from_context(ctx, options)

@@ -20,6 +20,7 @@ implementations in the same library, so only consistency matters.
 
 from __future__ import annotations
 
+import hashlib
 from dataclasses import dataclass
 
 DRIVES = (1, 2, 4)
@@ -105,6 +106,31 @@ class Library:
 
     def flop_for(self, reset_kind: str) -> FlopCell:
         return self.flops[reset_kind]
+
+    def canonical_hash(self) -> str:
+        """Content hash over every cell and flop parameter, stable
+        across processes.  Two libraries that merely share a ``name``
+        but differ in any area/delay number hash apart -- which is
+        what keeps compile-cache fingerprints honest."""
+        digest = hashlib.sha256()
+        digest.update(repr(("library", self.name)).encode())
+        for name in sorted(self.cells):
+            cell = self.cells[name]
+            digest.update(
+                repr(
+                    ("cell", cell.name, cell.arity, cell.table,
+                     cell.area, cell.intrinsic, cell.load_coeff)
+                ).encode()
+            )
+        for kind in sorted(self.flops):
+            flop = self.flops[kind]
+            digest.update(
+                repr(
+                    ("flop", flop.name, flop.reset_kind, flop.area,
+                     flop.clk_to_q, flop.setup, flop.load_coeff)
+                ).encode()
+            )
+        return digest.hexdigest()
 
     @classmethod
     def tsmc90ish(cls) -> "Library":

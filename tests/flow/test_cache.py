@@ -1,0 +1,257 @@
+"""The compile cache: fingerprints, hit/miss/invalidation, disk layer."""
+
+import pytest
+
+from repro.flow import (
+    CompileCache,
+    FlowError,
+    PassManager,
+    flow_fingerprint,
+)
+from repro.flow.core import Pass, register_pass
+from repro.rtl.builder import ModuleBuilder
+from repro.synth.dc_options import StateAnnotation
+from repro.tech.cells import Library
+
+
+def build_rom_module(scale=3, name="m"):
+    b = ModuleBuilder(name)
+    addr = b.input("addr", 4)
+    rom = b.rom("t", 8, 16, [(scale * i + 1) % 256 for i in range(16)])
+    b.output("data", rom.read(addr))
+    return b.build()
+
+
+def full_pipeline():
+    return PassManager.parse("elaborate,optimize,map,size")
+
+
+# ---------------------------------------------------------------------
+# Canonical hashes.
+# ---------------------------------------------------------------------
+
+def test_module_hash_is_content_addressed():
+    assert (
+        build_rom_module().canonical_hash()
+        == build_rom_module().canonical_hash()
+    )
+    assert (
+        build_rom_module(3).canonical_hash()
+        != build_rom_module(5).canonical_hash()
+    )
+    assert (
+        build_rom_module(name="a").canonical_hash()
+        != build_rom_module(name="b").canonical_hash()
+    )
+
+
+def test_aig_hash_is_content_addressed():
+    from repro.synth.elaborate import elaborate
+
+    one = elaborate(build_rom_module()).aig
+    two = elaborate(build_rom_module()).aig
+    other = elaborate(build_rom_module(5)).aig
+    assert one.canonical_hash() == two.canonical_hash()
+    assert one.canonical_hash() != other.canonical_hash()
+
+
+def test_aig_hash_ignores_dead_nodes():
+    from repro.aig.graph import AIG
+
+    def build(extra_dead):
+        aig = AIG()
+        a = aig.add_pi("a")
+        b = aig.add_pi("b")
+        aig.add_po("y", aig.and_(a, b))
+        if extra_dead:
+            aig.and_(aig.not_(a), aig.not_(b))  # unreachable from outputs
+        return aig
+
+    assert build(False).canonical_hash() == build(True).canonical_hash()
+
+
+# ---------------------------------------------------------------------
+# Fingerprints.
+# ---------------------------------------------------------------------
+
+def test_fingerprint_covers_every_input():
+    module = build_rom_module()
+    base = dict(module=module, seed=1, library=Library.tsmc90ish())
+    fp = flow_fingerprint("elaborate,optimize", **base)
+    assert fp == flow_fingerprint("elaborate,optimize", **base)
+    assert fp != flow_fingerprint("elaborate", **base)
+    assert fp != flow_fingerprint(
+        "elaborate,optimize", **{**base, "seed": 2}
+    )
+    assert fp != flow_fingerprint(
+        "elaborate,optimize", **{**base, "module": build_rom_module(5)}
+    )
+    assert fp != flow_fingerprint("elaborate,optimize", **{**base, "library": None})
+    annotated = flow_fingerprint(
+        "elaborate,optimize",
+        annotations=(StateAnnotation("state", (0, 1)),),
+        **base,
+    )
+    assert fp != annotated
+
+
+def test_differently_parameterized_pipelines_fingerprint_apart():
+    module = build_rom_module()
+    one = PassManager.parse("elaborate,optimize,map,size")
+    two = PassManager.parse("elaborate,optimize,map,size{clock_period_ns=2.0}")
+    assert flow_fingerprint(one.spec(), module=module) != flow_fingerprint(
+        two.spec(), module=module
+    )
+
+
+# ---------------------------------------------------------------------
+# Hit / miss / invalidation through PassManager.compile.
+# ---------------------------------------------------------------------
+
+def test_memory_cache_hit_returns_same_context():
+    cache = CompileCache()
+    pipeline = full_pipeline()
+    first = pipeline.compile(build_rom_module(), cache=cache)
+    second = pipeline.compile(build_rom_module(), cache=cache)
+    assert second is first
+    assert cache.memory_hits == 1 and cache.misses == 1 and cache.stores == 1
+
+
+def test_cache_invalidates_on_param_seed_and_module_change():
+    cache = CompileCache()
+    pipeline = full_pipeline()
+    pipeline.compile(build_rom_module(), cache=cache)
+    # Different pass parameter -> miss.
+    PassManager.parse("elaborate,optimize,map,size{clock_period_ns=2.0}").compile(
+        build_rom_module(), cache=cache
+    )
+    # Different seed -> miss.
+    pipeline.compile(build_rom_module(), seed=99, cache=cache)
+    # Edited module -> miss.
+    pipeline.compile(build_rom_module(5), cache=cache)
+    assert cache.hits == 0 and cache.misses == 4 and cache.stores == 4
+
+
+def test_disk_cache_survives_a_new_cache_instance(tmp_path):
+    pipeline = full_pipeline()
+    warm = CompileCache(tmp_path / "cache")
+    first = pipeline.compile(build_rom_module(), cache=warm)
+
+    executed = []
+
+    @register_pass("disk_probe")
+    class DiskProbe(Pass):
+        stage = "rtl"
+
+        def run(self, ctx):
+            executed.append(self.name)
+
+    try:
+        probed = PassManager.parse("disk_probe,elaborate,optimize,map,size")
+        cold = CompileCache(tmp_path / "cache")
+        probed.compile(build_rom_module(), cache=cold)
+        assert executed == ["disk_probe"]  # cold: the pipeline really ran
+        again = CompileCache(tmp_path / "cache")
+        result = probed.compile(build_rom_module(), cache=again)
+        assert executed == ["disk_probe"]  # warm: zero passes executed
+        assert again.disk_hits == 1 and again.misses == 0
+        assert result.area.total == first.area.total
+    finally:
+        from repro.flow import PASS_REGISTRY
+
+        PASS_REGISTRY.pop("disk_probe", None)
+
+
+def test_corrupt_disk_entry_reads_as_miss(tmp_path):
+    cache = CompileCache(tmp_path / "cache")
+    pipeline = full_pipeline()
+    pipeline.compile(build_rom_module(), cache=cache)
+    [entry] = list((tmp_path / "cache").rglob("*.pkl"))
+    entry.write_bytes(b"not a pickle")
+    fresh = CompileCache(tmp_path / "cache")
+    ctx = pipeline.compile(build_rom_module(), cache=fresh)
+    assert fresh.misses == 1 and fresh.disk_hits == 0
+    assert ctx.area is not None
+
+
+def test_cached_results_equal_uncached_results():
+    pipeline = full_pipeline()
+    plain = pipeline.compile(build_rom_module())
+    cache = CompileCache()
+    pipeline.compile(build_rom_module(), cache=cache)
+    cached = pipeline.compile(build_rom_module(), cache=cache)
+    assert cached.area.total == plain.area.total
+    assert cached.log == plain.log
+
+
+def test_lru_bound_evicts_oldest():
+    cache = CompileCache(max_memory_entries=2)
+    pipeline = full_pipeline()
+    for scale in (3, 5, 7):  # third insert evicts the first
+        pipeline.compile(build_rom_module(scale), cache=cache)
+    pipeline.compile(build_rom_module(3), cache=cache)  # evicted -> miss
+    assert cache.misses == 4
+    pipeline.compile(build_rom_module(7), cache=cache)
+    assert cache.memory_hits == 1
+
+
+def test_bad_memory_bound_rejected():
+    with pytest.raises(ValueError):
+        CompileCache(max_memory_entries=0)
+
+
+# ---------------------------------------------------------------------
+# Fingerprint soundness guards.
+# ---------------------------------------------------------------------
+
+def test_modified_library_fingerprints_apart_despite_same_name():
+    from dataclasses import replace as dc_replace
+
+    stock = Library.tsmc90ish()
+    tweaked = Library.tsmc90ish()
+    inv = tweaked.cells["INV"]
+    tweaked.cells["INV"] = dc_replace(inv, area=inv.area * 2)
+    assert stock.name == tweaked.name
+    assert stock.canonical_hash() != tweaked.canonical_hash()
+    module = build_rom_module()
+    assert flow_fingerprint(
+        "elaborate,map", module=module, library=stock
+    ) != flow_fingerprint("elaborate,map", module=module, library=tweaked)
+
+
+def test_pinned_unregistered_library_has_no_spec_form():
+    from dataclasses import replace as dc_replace
+
+    from repro.flow.passes import TechMapPass
+
+    tweaked = Library.tsmc90ish()
+    inv = tweaked.cells["INV"]
+    tweaked.cells["INV"] = dc_replace(inv, area=inv.area * 2)
+    with pytest.raises(FlowError, match="no spec form"):
+        PassManager([TechMapPass(tweaked)]).spec()
+    # The stock library still renders by name.
+    assert TechMapPass(Library.tsmc90ish()).spec() == "map{library=tsmc90ish}"
+
+
+def test_custom_metric_fixed_point_has_no_spec_form():
+    from repro.flow import until_converged
+    from repro.flow.passes import RewritePass
+
+    loop = until_converged(RewritePass(), metric=lambda ctx: ctx.aig.depth())
+    with pytest.raises(FlowError, match="custom metric"):
+        loop.spec()
+    # The default metric keeps its spec form.
+    assert "rewrite" in until_converged(RewritePass()).spec()
+
+
+def test_anonymous_pass_has_no_spec_form():
+    class Anonymous(Pass):
+        def run(self, ctx):
+            pass
+
+    with pytest.raises(FlowError, match="no spec form"):
+        Anonymous().spec()
+    with pytest.raises(FlowError, match="no spec form"):
+        PassManager([Anonymous()]).compile(
+            build_rom_module(), cache=CompileCache()
+        )
