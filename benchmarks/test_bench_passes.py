@@ -1,35 +1,30 @@
 """Microbenchmarks for the synthesis substrate.
 
 These track the cost of the passes the figure-level benchmarks are
-built from, so a performance regression is attributable.
+built from, so a performance regression is attributable.  The
+workload builders and registry-covering pipelines are shared with
+``python -m repro.track record bench`` (:mod:`repro.track.bench`);
+set ``REPRO_RUN_STORE=<dir>`` to additionally persist this run's
+per-pass timings into that run store for cross-commit diffing.
 """
 
+import os
 import random
 
 import pytest
 
 from repro.aig import balance, rewrite
-from repro.aig.graph import AIG
 from repro.aig.rewrite import tt_sweep
-from repro.aig import ops
 from repro.flow import PASS_REGISTRY, PassManager
 from repro.sat.equiv import check_combinational_equivalence
 from repro.tables.isop import isop
-from repro.tables.truthtable import TruthTable
+from repro.track.bench import (
+    AIG_LEAF_PASSES,
+    FULL_FLOW_SPEC,
+    annotated_fsm_module,
+    build_table_aig,
+)
 from repro.tech.mapper import map_aig
-
-
-def build_table_aig(num_inputs=8, width=16, seed=0):
-    rng = random.Random(seed)
-    table = TruthTable.random(num_inputs, width, rng)
-    aig = AIG()
-    addr = [aig.add_pi(f"a[{i}]") for i in range(num_inputs)]
-    rows = [ops.const_word(word, width) for word in table.rows()]
-    data = ops.table_read(aig, addr, rows)
-    for bit, lit in enumerate(data):
-        aig.add_po(f"d[{bit}]", lit)
-    cleaned, _ = aig.cleanup()
-    return cleaned
 
 
 @pytest.fixture(scope="module")
@@ -78,23 +73,18 @@ def test_bench_sat_equivalence(benchmark, table_aig):
     assert result
 
 
-#: Registered AIG-stage leaf passes that run out of the box on a bare
-#: AIG context; the composite "optimize" is timed in its own pipeline
-#: so its body's records don't fold into the leaf timings.
-_AIG_LEAF_PASSES = ("seq_sweep", "tt_sweep", "balance", "rewrite", "retime")
+def _maybe_store_run(contexts) -> None:
+    """Persist this run's per-pass totals when ``REPRO_RUN_STORE`` is
+    set (CI exports it so every commit's bench lands in the store)."""
+    store_dir = os.environ.get("REPRO_RUN_STORE")
+    if not store_dir:
+        return
+    from repro.track.bench import store_bench_record
 
-
-def _annotated_fsm_module():
-    """A table FSM whose annotation exercises encode and stateprop."""
-    from repro.rtl.builder import ModuleBuilder, cat
-
-    b = ModuleBuilder("bench_fsm")
-    go = b.input("go")
-    state = b.reg("state", 2)
-    table = b.rom("nxt", 2, 8, [0, 2, 0, 0, 1, 2, 0, 0])
-    b.drive(state, table.read(cat(state, go)))
-    b.output("busy", state.ne(0))
-    return b.build()
+    store_bench_record(
+        contexts, store_dir,
+        commit=os.environ.get("REPRO_RUN_COMMIT", "HEAD"),
+    )
 
 
 def test_bench_each_registered_pass_individually(benchmark, table_aig):
@@ -110,15 +100,12 @@ def test_bench_each_registered_pass_individually(benchmark, table_aig):
     """
     from repro.synth.dc_options import StateAnnotation
 
-    leaf_pipeline = PassManager.parse(",".join(_AIG_LEAF_PASSES))
+    leaf_pipeline = PassManager.parse(",".join(AIG_LEAF_PASSES))
     optimize_pipeline = PassManager.parse("optimize")
     # retime_stage/state_folding cover their drivers too: the body's
     # retime and stateprop records land in the same context.
-    full_pipeline = PassManager.parse(
-        "fsm_infer,honour_annotations,encode,elaborate,optimize,"
-        "retime_stage,state_folding,stateprop,map,size"
-    )
-    module = _annotated_fsm_module()
+    full_pipeline = PassManager.parse(FULL_FLOW_SPEC)
+    module = annotated_fsm_module()
     annotations = [StateAnnotation("state", (0, 1, 2))]
 
     def run():
@@ -137,7 +124,7 @@ def test_bench_each_registered_pass_individually(benchmark, table_aig):
         if record.name in PASS_REGISTRY:
             leaf_timings.setdefault(record.name, 0.0)
             leaf_timings[record.name] += record.wall_time_s
-    assert sorted(leaf_timings) == sorted(_AIG_LEAF_PASSES)
+    assert sorted(leaf_timings) == sorted(AIG_LEAF_PASSES)
     [opt_record] = [r for r in opt_ctx.records if r.name == "optimize"]
     assert opt_record.wall_time_s > 0.0
 
@@ -154,5 +141,6 @@ def test_bench_each_registered_pass_individually(benchmark, table_aig):
     assert all(
         r.before is not None and r.after is not None
         for r in leaf_ctx.records
-        if r.name in _AIG_LEAF_PASSES
+        if r.name in AIG_LEAF_PASSES
     )
+    _maybe_store_run((leaf_ctx, opt_ctx, full_ctx))

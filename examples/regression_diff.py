@@ -1,0 +1,80 @@
+#!/usr/bin/env python3
+"""The run store API: record a sweep, perturb it, diff the records.
+
+What ``python -m repro.track`` does from the command line, driven
+directly through :mod:`repro.flow.store`:
+
+1. run the Fig. 6 driver (cached) and persist its complete result —
+   figure points plus aggregated per-pass wall times — as a
+   ``RunRecord`` under a "baseline" label;
+2. record a second run under a "candidate" label — same tree, so the
+   cache serves every compile and the diff is provably clean;
+3. inject a fake area bump and pass slowdown into the candidate and
+   show how ``diff_runs`` classifies them against thresholds.
+
+Run:  python examples/regression_diff.py
+"""
+
+import tempfile
+from dataclasses import replace
+
+from repro.expts import run_fig6
+from repro.flow import CompileCache, RunRecord, RunStore, diff_runs
+from repro.flow.store import now
+
+AREA_PCT = 1.0   # areas are deterministic: flag any real growth
+TIME_PCT = 50.0  # wall clocks are noisy: flag only big slowdowns
+
+
+def record(store, cache, commit):
+    result = run_fig6(scale="small", cache=cache)
+    record = RunRecord(
+        figure="fig6", commit=commit, result=result,
+        scale="small", created_at=now(),
+    )
+    store.put(record)
+    print(f"recorded {len(result.points)} points at {commit!r}; "
+          f"{cache.stats()}")
+    return record
+
+
+def main():
+    with tempfile.TemporaryDirectory() as tmp:
+        store = RunStore(f"{tmp}/runs")
+        cache = CompileCache(f"{tmp}/cache")
+
+        print("== 1. record a baseline (cold: every job compiles)")
+        record(store, cache, "baseline")
+
+        print("\n== 2. record a candidate from the same tree (all hits)")
+        record(store, cache, "candidate")
+        diff = diff_runs(store.get("baseline", "fig6"),
+                         store.get("candidate", "fig6"))
+        print(diff.render(AREA_PCT, TIME_PCT))
+        assert diff.identical, "same tree + cache must diff clean"
+
+        print("\n== 3. inject a 10% area bump and a 3x pass slowdown")
+        candidate = store.get("candidate", "fig6")
+        result = candidate.result
+        victim = result.points[0]
+        result.points[0] = replace(victim, y=victim.y * 1.10)
+        slow = result.pass_totals["optimize"]
+        result.pass_totals["optimize"] = replace(
+            slow, wall_time_s=slow.wall_time_s * 3.0
+        )
+        store.put(candidate)
+
+        diff = diff_runs(store.get("baseline", "fig6"),
+                         store.get("candidate", "fig6"))
+        print(diff.render(AREA_PCT, TIME_PCT))
+        areas = diff.area_regressions(AREA_PCT)
+        times = diff.time_regressions(TIME_PCT)
+        print(f"\nflagged: {len(areas)} area regression(s) "
+              f"({areas[0].series}/{areas[0].label} {areas[0].y_pct:+.1f}%), "
+              f"{len(times)} pass slowdown(s) "
+              f"({times[0].name} {times[0].time_pct:+.1f}%)")
+        print("`python -m repro.track diff` would exit 1 here.")
+
+
+if __name__ == "__main__":
+    main()

@@ -176,6 +176,9 @@ def run_fig5(
             )
         )
     compiled = compile_many(jobs, workers=workers, cache=cache)
+    result.absorb_flow(compiled.values())
+    result.meta["pipeline"] = pipeline.spec()
+    result.meta["clock_period_ns"] = clock_period_ns
 
     # The tightened targets depend on the relaxed-phase timing, so the
     # sweep is a second fan-out.
@@ -212,6 +215,7 @@ def run_fig5(
         tight_compiled = compile_many(
             tight_jobs, workers=workers, cache=cache
         )
+        result.absorb_flow(tight_compiled.values())
 
     rows = []
     for depth, width, seed in grid:

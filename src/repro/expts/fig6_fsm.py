@@ -142,6 +142,9 @@ def run_fig6(
             )
         )
     compiled = compile_many(jobs, workers=workers, cache=cache)
+    result.absorb_flow(compiled.values())
+    result.meta["pipeline"] = pipeline.spec()
+    result.meta["clock_period_ns"] = clock_period_ns
 
     rows = []
     for m, n, s, seed in grid:

@@ -143,6 +143,13 @@ def run_fig8(
         # they may still print it to stderr, which is harmless noise.
         warnings.simplefilter("ignore")
         compiled = compile_many(jobs, workers=workers, cache=cache)
+    result.absorb_flow(compiled.values())
+    result.meta["pipelines"] = {
+        "regular": regular.spec(),
+        "retimed": retimed.spec(),
+        "annotated": annotated.spec(),
+    }
+    result.meta["clock_period_ns"] = clock_period_ns
 
     rows = []
     for n in config.widths:

@@ -58,7 +58,7 @@ Compiles are cacheable and parallelizable::
 (see :mod:`repro.flow.cache` and :mod:`repro.flow.parallel`).
 """
 
-from repro.flow.cache import CompileCache, flow_fingerprint
+from repro.flow.cache import CompileCache, SweepStats, flow_fingerprint
 from repro.flow.combinators import (
     Conditional,
     FixedPoint,
@@ -92,6 +92,13 @@ from repro.flow.pipeline import (
     run_default_flow,
     state_folding,
 )
+from repro.flow.store import (
+    RunDiff,
+    RunRecord,
+    RunStore,
+    StoreError,
+    diff_runs,
+)
 
 # Importing the pass module populates the registry.
 from repro.flow import passes as passes  # noqa: F401
@@ -110,10 +117,16 @@ __all__ = [
     "PassManager",
     "PassRecord",
     "Repeat",
+    "RunDiff",
+    "RunRecord",
+    "RunStore",
+    "StoreError",
+    "SweepStats",
     "WhileProgress",
     "compile_many",
     "default_pipeline",
     "default_workers",
+    "diff_runs",
     "flow_fingerprint",
     "make_pass",
     "optimize_loop",

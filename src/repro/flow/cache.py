@@ -35,7 +35,9 @@ import hashlib
 import os
 import pickle
 import tempfile
+import time
 from collections import OrderedDict
+from dataclasses import dataclass
 from pathlib import Path
 from typing import TYPE_CHECKING, Sequence
 
@@ -70,6 +72,25 @@ def flow_fingerprint(
     spec is the *rendered* string, so any pass whose parameters cannot
     round-trip through spec syntax raises rather than fingerprinting
     ambiguously.
+
+    Args:
+        spec: the rendered pipeline spec (:meth:`PassManager.spec`).
+        module: the un-elaborated RTL input, when the flow starts from
+            RTL; hashed by :meth:`Module.canonical_hash`.
+        aig: the elaborated input, when the flow starts from an AIG;
+            hashed by :meth:`AIG.canonical_hash`.
+        annotations: seeded state annotations, hashed in order.
+        library: the cell library (``canonical_hash()``); ``None``
+            means the flow's default library.
+        seed: the context RNG seed.
+
+    Returns:
+        A hex SHA-256 digest; equal digests mean "same compile".
+
+    Raises:
+        FlowError: via ``spec`` rendering upstream -- a pipeline whose
+            parameters have no faithful spec form must not be
+            fingerprinted (two distinct pipelines could collide).
     """
     digest = hashlib.sha256()
     digest.update(repr(("flow-fingerprint", FINGERPRINT_VERSION)).encode())
@@ -135,7 +156,18 @@ class CompileCache:
         return self.memory_hits + self.disk_hits
 
     def get(self, key: str) -> "FlowContext | None":
-        """The cached context for ``key``, or None on a miss."""
+        """Look up a completed context by fingerprint.
+
+        A disk hit is promoted into the memory layer.  Corrupt or
+        truncated disk entries read as misses, never as errors.
+
+        Args:
+            key: a :func:`flow_fingerprint` digest.
+
+        Returns:
+            The cached context (treat as read-only -- memory hits
+            share one object), or ``None`` on a miss.
+        """
         hit = self._memory.get(key)
         if hit is not None:
             self._memory.move_to_end(key)
@@ -150,7 +182,17 @@ class CompileCache:
         return None
 
     def put(self, key: str, ctx: "FlowContext") -> None:
-        """Store a completed context under ``key`` (memory and disk)."""
+        """Store a completed context under ``key`` (memory and disk).
+
+        Args:
+            key: a :func:`flow_fingerprint` digest.
+            ctx: the finished flow context; stored by reference in
+                memory and pickled to disk, so do not mutate it after
+                storing.
+
+        Raises:
+            OSError: the disk layer's directory is not writable.
+        """
         self.put_memory(key, ctx)
         self._disk_put(key, ctx)
         self.stores += 1
@@ -211,6 +253,104 @@ class CompileCache:
                 pass
             raise
 
+    # -- garbage collection -------------------------------------------
+    def sweep(
+        self,
+        max_bytes: int | None = None,
+        max_age_days: float | None = None,
+    ) -> "SweepStats":
+        """Evict disk entries by age, then by size budget.
+
+        ``.repro-cache/`` otherwise grows without bound: every distinct
+        (design, pipeline, seed, library) fingerprint adds a pickle
+        that nothing ever deletes.  The sweep first drops entries older
+        than ``max_age_days`` (by mtime -- ``os.replace`` preserves the
+        write time, so age means "time since this result was
+        computed"), then, if the survivors still exceed ``max_bytes``,
+        drops the oldest survivors first until the budget holds.
+        Concurrently-deleted files are skipped, so sweeping a live
+        shared cache is safe; the memory layer is left intact (it is
+        bounded by ``max_memory_entries`` already).
+
+        Args:
+            max_bytes: total size budget for the disk layer; ``None``
+                means no size bound.
+            max_age_days: entries older than this are evicted
+                regardless of the size budget; ``None`` means no age
+                bound.
+
+        Returns:
+            A :class:`SweepStats` describing what was scanned, what
+            was removed, and the bytes before/after.  A memory-only
+            cache returns all-zero stats.
+
+        Raises:
+            ValueError: a negative ``max_bytes`` or ``max_age_days``.
+        """
+        if max_bytes is not None and max_bytes < 0:
+            raise ValueError(f"max_bytes must be >= 0, got {max_bytes}")
+        if max_age_days is not None and max_age_days < 0:
+            raise ValueError(
+                f"max_age_days must be >= 0, got {max_age_days}"
+            )
+        if self.path is None or not self.path.is_dir():
+            return SweepStats()
+
+        entries: list[tuple[float, int, Path]] = []  # (mtime, size, path)
+        for file in self.path.glob("*/*.pkl"):
+            try:
+                stat = file.stat()
+            except OSError:
+                continue  # deleted (or unreadable) under us: skip
+            entries.append((stat.st_mtime, stat.st_size, file))
+        bytes_before = sum(size for _, size, _ in entries)
+        scanned = len(entries)
+
+        doomed: list[tuple[float, int, Path]] = []
+        if max_age_days is not None:
+            horizon = time.time() - max_age_days * 86400.0
+            doomed = [e for e in entries if e[0] < horizon]
+            entries = [e for e in entries if e[0] >= horizon]
+        if max_bytes is not None:
+            entries.sort()  # oldest first
+            kept_bytes = sum(size for _, size, _ in entries)
+            while entries and kept_bytes > max_bytes:
+                victim = entries.pop(0)
+                kept_bytes -= victim[1]
+                doomed.append(victim)
+
+        removed = 0
+        freed = 0
+        for _, size, file in doomed:
+            try:
+                os.unlink(file)
+            except OSError:
+                continue  # already gone: someone else swept it
+            removed += 1
+            freed += size
+        return SweepStats(
+            scanned=scanned,
+            removed=removed,
+            bytes_before=bytes_before,
+            bytes_after=bytes_before - freed,
+        )
+
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         where = "memory" if self.path is None else str(self.path)
         return f"<CompileCache {where} {self.stats()!r}>"
+
+
+@dataclass(frozen=True)
+class SweepStats:
+    """What one :meth:`CompileCache.sweep` did."""
+
+    scanned: int = 0
+    removed: int = 0
+    bytes_before: int = 0
+    bytes_after: int = 0
+
+    def __str__(self) -> str:
+        return (
+            f"swept {self.removed}/{self.scanned} entries, "
+            f"{self.bytes_before} -> {self.bytes_after} bytes"
+        )

@@ -57,6 +57,21 @@ class AigStats:
             return None
         return cls(num_ands=aig.num_ands, num_latches=len(aig.latches))
 
+    def to_json(self) -> dict:
+        """A plain-JSON form (see :meth:`from_json` for the inverse)."""
+        return {"num_ands": self.num_ands, "num_latches": self.num_latches}
+
+    @classmethod
+    def from_json(cls, data: "dict | None") -> "AigStats | None":
+        """Rebuild from :meth:`to_json` output (``None`` passes through,
+        mirroring the optional before/after slots of a record)."""
+        if data is None:
+            return None
+        return cls(
+            num_ands=int(data["num_ands"]),
+            num_latches=int(data["num_latches"]),
+        )
+
 
 @dataclass(frozen=True)
 class PassRecord:
@@ -85,6 +100,40 @@ class PassRecord:
         if self.before is None or self.after is None:
             return None
         return self.after.num_ands - self.before.num_ands
+
+    def to_json(self) -> dict:
+        """A plain-JSON form of the record, suitable for the run store.
+
+        Every field round-trips (including the ``skipped`` /
+        ``rejected`` / ``failed`` flags); :meth:`from_json` is the
+        exact inverse.
+        """
+        return {
+            "name": self.name,
+            "stage": self.stage,
+            "wall_time_s": self.wall_time_s,
+            "before": None if self.before is None else self.before.to_json(),
+            "after": None if self.after is None else self.after.to_json(),
+            "messages": list(self.messages),
+            "skipped": self.skipped,
+            "rejected": self.rejected,
+            "failed": self.failed,
+        }
+
+    @classmethod
+    def from_json(cls, data: dict) -> "PassRecord":
+        """Rebuild a record from :meth:`to_json` output."""
+        return cls(
+            name=data["name"],
+            stage=data["stage"],
+            wall_time_s=float(data["wall_time_s"]),
+            before=AigStats.from_json(data["before"]),
+            after=AigStats.from_json(data["after"]),
+            messages=tuple(data["messages"]),
+            skipped=bool(data["skipped"]),
+            rejected=bool(data["rejected"]),
+            failed=bool(data["failed"]),
+        )
 
 
 def render_log(records: list["PassRecord"]) -> list[str]:

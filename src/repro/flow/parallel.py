@@ -153,7 +153,13 @@ def _pool_context():
 
 
 def default_workers() -> int:
-    """A sensible worker count for ``--jobs 0`` style requests."""
+    """A sensible worker count for ``--jobs 0`` style requests.
+
+    Returns:
+        One worker per CPU core the scheduler reports (at least 1):
+        the jobs are CPU-bound synthesis runs, so oversubscription
+        buys nothing.
+    """
     return max(os.cpu_count() or 1, 1)
 
 
@@ -165,17 +171,36 @@ def compile_many(
 ) -> "dict[Hashable, FlowContext]":
     """Compile independent jobs, optionally across worker processes.
 
-    Returns ``{job.key: completed FlowContext}`` in submission order;
-    each context carries its own :class:`PassRecord` stream, which is
-    how per-job instrumentation merges back.  Results are bit-identical
-    to running the same jobs serially -- parallelism only changes wall
-    time, never outputs (contexts cross the process boundary by
-    pickle, which preserves floats exactly).
+    Results are bit-identical to running the same jobs serially --
+    parallelism only changes wall time, never outputs (contexts cross
+    the process boundary by pickle, which preserves floats exactly).
 
     With a cache, hits are resolved up front in the parent (no worker
     is spawned for them); misses computed by workers are folded back
     into the parent's memory layer, and the disk layer -- when the
-    cache has a ``path`` -- is shared with the workers directly.
+    cache has a ``path`` -- is shared with the workers directly
+    (atomic entry files make concurrent writers safe).  A memory-only
+    cache still dedups across one ``compile_many`` call, but workers
+    cannot share it.
+
+    Args:
+        jobs: the independent compiles; ``job.key`` must be unique
+            within the call.
+        workers: process count; ``<= 1`` runs serially in-process.
+        cache: a shared :class:`~repro.flow.cache.CompileCache`, or
+            ``None`` to always compile.
+
+    Returns:
+        ``{job.key: completed FlowContext}`` in submission order; each
+        context carries its own :class:`PassRecord` stream, which is
+        how per-job instrumentation merges back.
+
+    Raises:
+        FlowError: duplicate job keys.
+        CompileJobError: a job failed; the earliest failing job in
+            submission order raises (deterministic regardless of
+            worker scheduling), carrying its key and the pass records
+            accumulated up to the failure.
     """
     jobs = list(jobs)
     seen_keys: set = set()

@@ -1,0 +1,547 @@
+"""Cross-run result store: persistent, diffable records of flow runs.
+
+The compile cache (:mod:`repro.flow.cache`) makes repeated sweeps
+cheap; this module makes them *comparable across commits*.  A
+:class:`RunStore` persists one versioned JSON record per
+(commit, figure/driver) pair -- the complete
+:class:`~repro.expts.common.ExperimentResult` with every figure point,
+the rendered pipeline specs that produced it, and the per-pass
+instrumentation aggregated from the sweep's
+:class:`~repro.flow.core.PassRecord` streams (wall times, AND-node
+deltas, failed/rejected counts).  :func:`diff_runs` then compares two
+stored records point-by-point and pass-by-pass, which is what
+``python -m repro.track diff`` and the CI regression gate are built
+on.
+
+Layout on disk (human-readable, ``git diff``-able JSON)::
+
+    .repro-runs/
+        <full commit sha or label>/
+            fig5.json
+            fig6.json
+            bench_passes.json
+
+Records are written atomically (temp file + :func:`os.replace`), so a
+store directory can be shared between concurrent recorders the same
+way the compile cache is.  Unlike cache entries, records are *not*
+pickles: loading one never executes code, so stores can be passed
+around as CI artifacts safely.
+
+Keying discipline: the record key is (commit, figure); everything
+else the result depended on -- module identity per point label, the
+rendered pipeline spec(s), the sweep scale, the RNG seeds, and the
+cell library hash -- is stored *inside* the record (``result.meta``,
+``library``), so a diff can refuse to compare apples to oranges
+instead of silently reporting every point as regressed.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import os
+import re
+import tempfile
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import TYPE_CHECKING, Iterator
+
+from repro.flow.core import FlowError
+
+if TYPE_CHECKING:
+    from repro.expts.common import ExperimentResult, PassTotals
+
+#: Bump whenever the record layout changes incompatibly; a store
+#: written by a newer layout refuses to load instead of mis-reading.
+RUN_STORE_VERSION = 1
+
+#: Default store directory, a sibling of ``.repro-cache/``.
+DEFAULT_STORE_DIR = ".repro-runs"
+
+#: Commit labels and figure names become path components; confine them
+#: to one safe charset instead of trusting the caller.
+_KEY_RE = re.compile(r"[A-Za-z0-9][A-Za-z0-9._-]*\Z")
+
+
+class StoreError(FlowError):
+    """A malformed store operation: bad key, corrupt or
+    incompatible record."""
+
+
+def _check_key(kind: str, value: str) -> str:
+    if not _KEY_RE.match(value):
+        raise StoreError(
+            f"{kind} {value!r} is not a valid store key (want "
+            f"[A-Za-z0-9._-]+ not starting with '.')"
+        )
+    return value
+
+
+@dataclass(frozen=True)
+class RunRecord:
+    """One stored run: a figure's complete result at one commit.
+
+    Args:
+        figure: driver name (``fig5`` ... ``fig9``, ``bench_passes``).
+        commit: full commit sha, or any label (``worktree``) when the
+            run was not made from a clean commit.
+        result: the complete experiment result, pass totals included.
+        scale: the sweep scale the driver ran at.
+        library: canonical hash of the cell library, so diffs across
+            library changes can be detected rather than misread.
+        created_at: seconds since the epoch at store time.
+    """
+
+    figure: str
+    commit: str
+    result: "ExperimentResult"
+    scale: str = ""
+    library: str = ""
+    created_at: float = 0.0
+    version: int = RUN_STORE_VERSION
+
+    def to_json(self) -> dict:
+        return {
+            "version": self.version,
+            "figure": self.figure,
+            "commit": self.commit,
+            "scale": self.scale,
+            "library": self.library,
+            "created_at": self.created_at,
+            "result": self.result.to_json(),
+        }
+
+    @classmethod
+    def from_json(cls, data: dict) -> "RunRecord":
+        """Rebuild a record; a layout newer than this code refuses to
+        load (:class:`StoreError`) instead of silently mis-reading.
+
+        Raises:
+            StoreError: unsupported ``version`` or missing fields.
+        """
+        from repro.expts.common import ExperimentResult
+
+        try:
+            version = int(data["version"])
+            if version > RUN_STORE_VERSION:
+                raise StoreError(
+                    f"run record version {version} is newer than this "
+                    f"code understands ({RUN_STORE_VERSION}); update "
+                    f"the checkout that reads the store"
+                )
+            return cls(
+                figure=data["figure"],
+                commit=data["commit"],
+                result=ExperimentResult.from_json(data["result"]),
+                scale=data.get("scale", ""),
+                library=data.get("library", ""),
+                created_at=float(data.get("created_at", 0.0)),
+                version=version,
+            )
+        except (KeyError, TypeError, ValueError) as exc:
+            raise StoreError(f"malformed run record: {exc}") from exc
+
+
+class RunStore:
+    """A directory of versioned run records keyed by (commit, figure).
+
+    Args:
+        root: store directory (created on first write); default
+            ``.repro-runs``.
+    """
+
+    def __init__(self, root: str | os.PathLike = DEFAULT_STORE_DIR) -> None:
+        self.root = Path(root)
+
+    # -- keys ---------------------------------------------------------
+    def record_file(self, commit: str, figure: str) -> Path:
+        """The path a (commit, figure) record lives at.
+
+        Raises:
+            StoreError: a key that is not filesystem-safe.
+        """
+        return (
+            self.root
+            / _check_key("commit", commit)
+            / f"{_check_key('figure', figure)}.json"
+        )
+
+    # -- write --------------------------------------------------------
+    def put(self, record: RunRecord) -> Path:
+        """Persist ``record``, replacing any previous record of the
+        same (commit, figure).
+
+        The write is atomic (temp file + rename), so concurrent
+        recorders -- or a reader racing a writer -- never observe a
+        half-written record.
+
+        Returns:
+            The path written.
+
+        Raises:
+            StoreError: unsafe commit/figure key.
+            OSError: the store directory is not writable.
+        """
+        entry = self.record_file(record.commit, record.figure)
+        entry.parent.mkdir(parents=True, exist_ok=True)
+        payload = json.dumps(
+            record.to_json(), indent=1, sort_keys=True, allow_nan=False
+        )
+        handle = tempfile.NamedTemporaryFile(
+            "w",
+            dir=entry.parent,
+            prefix=f".{record.figure}-",
+            suffix=".tmp",
+            delete=False,
+            encoding="utf-8",
+        )
+        try:
+            with handle:
+                handle.write(payload)
+                handle.write("\n")
+            os.replace(handle.name, entry)
+        except BaseException:
+            try:
+                os.unlink(handle.name)
+            except OSError:
+                pass
+            raise
+        return entry
+
+    # -- read ---------------------------------------------------------
+    def get(self, commit: str, figure: str) -> RunRecord | None:
+        """The stored record, or ``None`` when this (commit, figure)
+        was never recorded.
+
+        Raises:
+            StoreError: the record exists but is corrupt or written by
+                a newer layout -- unlike the compile cache, a damaged
+                *result* record is an error, not a silent miss: a diff
+                that quietly skipped it would report a clean run.
+        """
+        entry = self.record_file(commit, figure)
+        try:
+            text = entry.read_text(encoding="utf-8")
+        except FileNotFoundError:
+            return None
+        try:
+            return RunRecord.from_json(json.loads(text))
+        except json.JSONDecodeError as exc:
+            raise StoreError(f"corrupt run record {entry}: {exc}") from exc
+
+    def commits(self) -> list[str]:
+        """Commit labels with at least one record, sorted by the most
+        recent record time (oldest first)."""
+        if not self.root.is_dir():
+            return []
+        stamped = []
+        for child in self.root.iterdir():
+            records = list(child.glob("*.json"))
+            if child.is_dir() and records:
+                stamped.append(
+                    (max(f.stat().st_mtime for f in records), child.name)
+                )
+        return [name for _, name in sorted(stamped)]
+
+    def figures(self, commit: str) -> list[str]:
+        """Figure names recorded for ``commit``, sorted."""
+        folder = self.root / _check_key("commit", commit)
+        if not folder.is_dir():
+            return []
+        return sorted(f.stem for f in folder.glob("*.json"))
+
+    def entries(self) -> Iterator[RunRecord]:
+        """Every stored record, oldest commit first."""
+        for commit in self.commits():
+            for figure in self.figures(commit):
+                record = self.get(commit, figure)
+                if record is not None:
+                    yield record
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<RunStore {self.root}>"
+
+
+# ---------------------------------------------------------------------
+# Diffing two stored runs.
+# ---------------------------------------------------------------------
+
+def _pct_change(old: float, new: float) -> float:
+    """Percent change from ``old`` to ``new`` (0 -> x is +inf)."""
+    if old == 0:
+        return 0.0 if new == 0 else math.inf
+    return (new - old) / old * 100.0
+
+
+@dataclass(frozen=True)
+class PointDelta:
+    """One figure point's change between two stored runs."""
+
+    series: str
+    label: str
+    y_old: float
+    y_new: float
+    x_old: float
+    x_new: float
+
+    @property
+    def y_pct(self) -> float:
+        """Percent change of the measured value (y: the treatment's
+        area for the scatter figures)."""
+        return _pct_change(self.y_old, self.y_new)
+
+    @property
+    def changed(self) -> bool:
+        return self.y_old != self.y_new or self.x_old != self.x_new
+
+
+@dataclass(frozen=True)
+class PassDelta:
+    """One pass's aggregated change between two stored runs."""
+
+    name: str
+    old: "PassTotals"
+    new: "PassTotals"
+
+    @property
+    def time_pct(self) -> float:
+        """Percent change of the total wall time spent in this pass."""
+        return _pct_change(self.old.wall_time_s, self.new.wall_time_s)
+
+    @property
+    def structural_change(self) -> bool:
+        """Did the pass do different *work* (calls, AND-node movement,
+        failure/rejection counts), as opposed to just running slower?"""
+        return (
+            self.old.calls != self.new.calls
+            or self.old.delta_ands != self.new.delta_ands
+            or self.old.failed != self.new.failed
+            or self.old.rejected != self.new.rejected
+            or self.old.skipped != self.new.skipped
+        )
+
+
+@dataclass
+class RunDiff:
+    """The comparison of one figure's runs at two commits.
+
+    ``point_deltas``/``pass_deltas`` cover keys present in both runs;
+    points or passes that appear on only one side are listed
+    separately (a *partial* baseline is reported, never silently
+    treated as clean).
+    """
+
+    figure: str
+    baseline_commit: str
+    current_commit: str
+    point_deltas: list[PointDelta] = field(default_factory=list)
+    pass_deltas: list[PassDelta] = field(default_factory=list)
+    only_in_baseline: list[str] = field(default_factory=list)
+    only_in_current: list[str] = field(default_factory=list)
+    passes_only_in_baseline: list[str] = field(default_factory=list)
+    passes_only_in_current: list[str] = field(default_factory=list)
+    notes: list[str] = field(default_factory=list)
+
+    # -- judgements ---------------------------------------------------
+    def changed_points(self) -> list[PointDelta]:
+        return [d for d in self.point_deltas if d.changed]
+
+    def area_regressions(self, threshold_pct: float) -> list[PointDelta]:
+        """Points whose measured value grew more than
+        ``threshold_pct`` percent (area: bigger is worse)."""
+        return [
+            d for d in self.point_deltas if d.y_pct > threshold_pct
+        ]
+
+    def time_regressions(
+        self, threshold_pct: float, min_time_s: float = 0.05
+    ) -> list[PassDelta]:
+        """Passes whose total wall time grew more than
+        ``threshold_pct`` percent.
+
+        Args:
+            threshold_pct: relative growth that counts as a
+                regression; wall clocks are noisy, so CI uses a far
+                looser bound here than for areas.
+            min_time_s: ignore passes faster than this on *both*
+                sides -- a 2 ms pass doubling is measurement noise.
+        """
+        return [
+            d
+            for d in self.pass_deltas
+            if max(d.old.wall_time_s, d.new.wall_time_s) >= min_time_s
+            and d.time_pct > threshold_pct
+        ]
+
+    def structural_changes(self) -> list[PassDelta]:
+        return [d for d in self.pass_deltas if d.structural_change]
+
+    @property
+    def incomplete(self) -> bool:
+        """True when the two runs did not cover the same keys."""
+        return bool(
+            self.only_in_baseline
+            or self.only_in_current
+            or self.passes_only_in_baseline
+            or self.passes_only_in_current
+        )
+
+    @property
+    def identical(self) -> bool:
+        """No value changed and both runs covered the same keys
+        (pass wall times are compared exactly, which holds when the
+        current run was served entirely from the compile cache)."""
+        return (
+            not self.incomplete
+            and not self.changed_points()
+            and not any(
+                d.old != d.new for d in self.pass_deltas
+            )
+        )
+
+    # -- rendering ----------------------------------------------------
+    def render(
+        self,
+        area_threshold_pct: float,
+        time_threshold_pct: float,
+        min_time_s: float = 0.05,
+    ) -> str:
+        """A human-readable report; regressions past the thresholds
+        are marked ``<<`` so they stand out in CI logs."""
+        lines = [
+            f"== {self.figure}: {self.baseline_commit[:12]} -> "
+            f"{self.current_commit[:12]} =="
+        ]
+        for note in self.notes:
+            lines.append(f"!! {note}")
+        for key in self.only_in_baseline:
+            lines.append(f"!! point only in baseline: {key}")
+        for key in self.only_in_current:
+            lines.append(f"!! point only in current: {key}")
+        for name in self.passes_only_in_baseline:
+            lines.append(f"!! pass only in baseline: {name}")
+        for name in self.passes_only_in_current:
+            lines.append(f"!! pass only in current: {name}")
+
+        area_bad = set(
+            id(d) for d in self.area_regressions(area_threshold_pct)
+        )
+        changed = self.changed_points()
+        if changed:
+            lines.append(f"-- {len(changed)} figure point(s) changed:")
+            for delta in changed:
+                marker = " <<" if id(delta) in area_bad else ""
+                lines.append(
+                    f"   {delta.series}/{delta.label}: "
+                    f"y {delta.y_old:.1f} -> {delta.y_new:.1f} "
+                    f"({delta.y_pct:+.1f}%), "
+                    f"x {delta.x_old:.1f} -> {delta.x_new:.1f}{marker}"
+                )
+        time_bad = set(
+            id(d)
+            for d in self.time_regressions(time_threshold_pct, min_time_s)
+        )
+        slower = [
+            d
+            for d in self.pass_deltas
+            if d.old.wall_time_s != d.new.wall_time_s or d.structural_change
+        ]
+        if slower:
+            lines.append(f"-- {len(slower)} pass total(s) changed:")
+            for delta in sorted(
+                slower, key=lambda d: -abs(d.time_pct)
+            ):
+                marker = " <<" if id(delta) in time_bad else ""
+                lines.append(
+                    f"   {delta.name}: {delta.old.wall_time_s:.3f}s -> "
+                    f"{delta.new.wall_time_s:.3f}s "
+                    f"({delta.time_pct:+.1f}%), "
+                    f"calls {delta.old.calls} -> {delta.new.calls}, "
+                    f"dands {delta.old.delta_ands} -> "
+                    f"{delta.new.delta_ands}{marker}"
+                )
+        if len(lines) == 1:
+            lines.append("   identical: no point or pass deltas")
+        return "\n".join(lines)
+
+
+def diff_runs(baseline: RunRecord, current: RunRecord) -> RunDiff:
+    """Compare two stored runs of the same figure.
+
+    Points are matched by (series, label), passes by name; keys
+    present on only one side are reported in the diff's
+    ``only_in_*`` lists rather than dropped.  A library or scale
+    mismatch is recorded as a note -- the numbers are still compared,
+    but the report says why they may differ wholesale.
+
+    Raises:
+        StoreError: the records describe different figures.
+    """
+    if baseline.figure != current.figure:
+        raise StoreError(
+            f"cannot diff {baseline.figure!r} against {current.figure!r}"
+        )
+    diff = RunDiff(
+        figure=baseline.figure,
+        baseline_commit=baseline.commit,
+        current_commit=current.commit,
+    )
+    if baseline.library and current.library \
+            and baseline.library != current.library:
+        diff.notes.append(
+            "cell libraries differ; area deltas reflect the library "
+            "change, not the flow"
+        )
+    if baseline.scale != current.scale:
+        diff.notes.append(
+            f"scales differ (baseline {baseline.scale!r}, current "
+            f"{current.scale!r}); coverage will not match"
+        )
+
+    old_points = {
+        (p.series, p.label): p for p in baseline.result.points
+    }
+    new_points = {(p.series, p.label): p for p in current.result.points}
+    for key in old_points.keys() | new_points.keys():
+        old = old_points.get(key)
+        new = new_points.get(key)
+        if old is None:
+            diff.only_in_current.append("/".join(key))
+        elif new is None:
+            diff.only_in_baseline.append("/".join(key))
+        else:
+            diff.point_deltas.append(
+                PointDelta(
+                    series=key[0],
+                    label=key[1],
+                    y_old=old.y,
+                    y_new=new.y,
+                    x_old=old.x,
+                    x_new=new.x,
+                )
+            )
+    diff.point_deltas.sort(key=lambda d: (d.series, d.label))
+    diff.only_in_baseline.sort()
+    diff.only_in_current.sort()
+
+    old_passes = baseline.result.pass_totals
+    new_passes = current.result.pass_totals
+    for name in sorted(old_passes.keys() | new_passes.keys()):
+        old_totals = old_passes.get(name)
+        new_totals = new_passes.get(name)
+        if old_totals is None:
+            diff.passes_only_in_current.append(name)
+        elif new_totals is None:
+            diff.passes_only_in_baseline.append(name)
+        else:
+            diff.pass_deltas.append(
+                PassDelta(name=name, old=old_totals, new=new_totals)
+            )
+    return diff
+
+
+def now() -> float:
+    """Store timestamp (seconds since the epoch); one seam for tests
+    that need deterministic ``created_at`` values."""
+    return time.time()

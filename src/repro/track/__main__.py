@@ -1,0 +1,23 @@
+"""Command-line entry point: cross-commit run recording and diffing.
+
+Usage::
+
+    python -m repro.track record fig5 --scale small
+    python -m repro.track record all --jobs 0
+    python -m repro.track list
+    python -m repro.track diff HEAD~1 HEAD
+    python -m repro.track diff HEAD~1 HEAD --warn-only   # CI soft gate
+    python -m repro.track gc --max-bytes 500M --max-age-days 30
+
+``diff`` exits 1 when a regression exceeds the thresholds (0 with
+``--warn-only``); see ``docs/cli.md`` for the full reference.
+"""
+
+from __future__ import annotations
+
+import sys
+
+from repro.track import main
+
+if __name__ == "__main__":
+    sys.exit(main())
