@@ -15,14 +15,15 @@ import pytest
 
 from repro.aig import balance, rewrite
 from repro.aig.rewrite import tt_sweep
-from repro.flow import PASS_REGISTRY, PassManager
+from repro.flow import PASS_REGISTRY
 from repro.sat.equiv import check_combinational_equivalence
 from repro.tables.isop import isop
 from repro.track.bench import (
     AIG_LEAF_PASSES,
-    FULL_FLOW_SPEC,
     annotated_fsm_module,
+    bench_pipelines,
     build_table_aig,
+    frontend_inputs,
 )
 from repro.tech.mapper import map_aig
 
@@ -90,34 +91,36 @@ def _maybe_store_run(contexts) -> None:
 def test_bench_each_registered_pass_individually(benchmark, table_aig):
     """Per-pass wall time via PassRecord instrumentation.
 
-    Three pipelines together execute every pass in the registry --
-    the AIG leaf passes in isolation (cleanly attributable timings),
-    the "optimize" composite on its own (so its body's records don't
-    fold into the leaf timings), and an annotated FSM through the full
-    RTL-to-netlist flow for the rtl/netlist-stage passes -- and every
-    one leaves a timed PassRecord, so a regression in any registered
-    pass is attributable from this one case.
+    The shared bench pipelines together execute every pass in the
+    registry -- the AIG leaf passes in isolation (cleanly attributable
+    timings), the "optimize" composite on its own (so its body's
+    records don't fold into the leaf timings), an annotated FSM
+    through the full RTL-to-netlist flow for the rtl/netlist-stage
+    passes, and each frontend lowering on its own controller IR --
+    and every one leaves a timed PassRecord, so a regression in any
+    registered pass is attributable from this one case.
     """
     from repro.synth.dc_options import StateAnnotation
 
-    leaf_pipeline = PassManager.parse(",".join(AIG_LEAF_PASSES))
-    optimize_pipeline = PassManager.parse("optimize")
-    # retime_stage/state_folding cover their drivers too: the body's
-    # retime and stateprop records land in the same context.
-    full_pipeline = PassManager.parse(FULL_FLOW_SPEC)
+    pipelines = bench_pipelines()
     module = annotated_fsm_module()
     annotations = [StateAnnotation("state", (0, 1, 2))]
+    fsm, table, program, flexible, bindings = frontend_inputs()
 
     def run():
         return (
-            leaf_pipeline.compile(aig=table_aig),
-            optimize_pipeline.compile(aig=table_aig),
-            full_pipeline.compile(module, annotations=annotations),
+            pipelines["leaf"].compile(aig=table_aig),
+            pipelines["optimize"].compile(aig=table_aig),
+            pipelines["full"].compile(module, annotations=annotations),
+            pipelines["fsm_lower"].compile(ctrl=fsm),
+            pipelines["table_lower"].compile(ctrl=table),
+            pipelines["sop_lower"].compile(ctrl=table),
+            pipelines["useq_lower"].compile(ctrl=program),
+            pipelines["bind"].compile(flexible, bindings=bindings),
         )
 
-    leaf_ctx, opt_ctx, full_ctx = benchmark.pedantic(
-        run, rounds=1, iterations=1, warmup_rounds=0
-    )
+    contexts = benchmark.pedantic(run, rounds=1, iterations=1, warmup_rounds=0)
+    leaf_ctx, opt_ctx = contexts[0], contexts[1]
     # Isolated, attributable timings for the leaf passes.
     leaf_timings = {}
     for record in leaf_ctx.records:
@@ -131,16 +134,25 @@ def test_bench_each_registered_pass_individually(benchmark, table_aig):
     # Full registry coverage: every registered pass left a record.
     recorded = {
         record.name
-        for ctx in (leaf_ctx, opt_ctx, full_ctx)
+        for ctx in contexts
         for record in ctx.records
         if not record.skipped
     }
     missing = set(PASS_REGISTRY) - recorded
     assert not missing, f"registered passes with no PassRecord: {missing}"
-    # The instrumentation also carries structural before/after stats.
+    # The instrumentation also carries structural before/after stats,
+    # AIG ones on the leaf passes and frontend ones on the lowerings.
     assert all(
         r.before is not None and r.after is not None
         for r in leaf_ctx.records
         if r.name in AIG_LEAF_PASSES
     )
-    _maybe_store_run((leaf_ctx, opt_ctx, full_ctx))
+    ctrl_records = [
+        record
+        for ctx in contexts
+        for record in ctx.records
+        if record.stage == "ctrl"
+    ]
+    assert ctrl_records  # the frontend pipelines really ran
+    assert all(record.ctrl_before is not None for record in ctrl_records)
+    _maybe_store_run(contexts)

@@ -1,14 +1,17 @@
 #!/usr/bin/env python3
 """The flow API: compose, reorder, and instrument synthesis pipelines.
 
-Three demonstrations on one table-based FSM:
+Four demonstrations on one FSM:
 
 1. parse a pipeline from a spec string and read the per-pass
    instrumentation (``PassRecord``: wall time, AND-count deltas);
 2. compare pass *orderings* — balance-then-rewrite vs
    rewrite-then-balance — which the old monolithic driver could not
    express;
-3. register a custom pass and use it from a spec string.
+3. register a custom pass and use it from a spec string;
+4. start from the *controller IR*: the FSM spec itself enters the
+   pipeline and a ``ctrl``-stage pass lowers it, so state-encoding
+   ablations (onehot vs gray vs binary) are one spec token.
 
 Run:  python examples/flow_pipelines.py
 """
@@ -94,6 +97,22 @@ def main() -> None:
     ctx = full.compile(module)
     print(f"object-composed flow: met={ctx.sizing.met} "
           f"achieved={ctx.sizing.achieved_delay:.3f} ns")
+
+    # -- 4. the frontend stage: lower the IR inside the flow ----------
+    # No hand-built RTL: the spec string starts at the controller IR
+    # (the paper's thesis), and the encoding is an ablation knob.
+    for style in ("binary", "onehot", "gray"):
+        pipeline = PassManager.parse(
+            f"fsm_encode{{style={style}}},elaborate,optimize,"
+            f"state_folding,map,size"
+        )
+        out = pipeline.compile(ctrl=demo_spec())
+        record = next(r for r in out.records if r.name == "fsm_encode")
+        print(f"fsm_encode{{style={style}}}: "
+              f"{record.ctrl_before.items}-state "
+              f"{record.ctrl_before.kind} -> area {out.area.total:.1f} "
+              f"um^2, state width "
+              f"{out.module.regs['state'].width}")
 
 
 if __name__ == "__main__":

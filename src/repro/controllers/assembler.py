@@ -25,10 +25,24 @@ never execute.
 
 from __future__ import annotations
 
+import hashlib
 from dataclasses import dataclass, field
 
 from repro.controllers.dispatch import DispatchTable
 from repro.controllers.microcode import MicrocodeFormat, SeqOp
+
+
+def _format_key(format: MicrocodeFormat) -> tuple:
+    """A stable, hashable content key for a microcode format."""
+    return tuple(
+        (
+            f.name,
+            f.width,
+            None if f.values is None else tuple(sorted(f.values.items())),
+            f.onehot,
+        )
+        for f in format.fields
+    )
 
 
 @dataclass
@@ -84,6 +98,36 @@ class AssembledProgram:
         if self.dispatch is None:
             raise ValueError("program has no dispatch table")
         return self.dispatch.resolve(self.labels)
+
+    # -- the ControllerIR protocol (repro.flow.core) -------------------
+    def ir_hash(self) -> str:
+        """Stable content hash over the assembled image (words, labels,
+        and the attached dispatch table)."""
+        digest = hashlib.sha256()
+        digest.update(
+            repr(
+                (
+                    "microcode",
+                    _format_key(self.format),
+                    self.addr_bits,
+                    self.cond_bits,
+                    tuple(self.control_words),
+                    tuple(self.seq_words),
+                    tuple(sorted(self.labels.items())),
+                    None if self.dispatch is None else self.dispatch.ir_hash(),
+                    tuple(sorted(self.condition_names.items())),
+                )
+            ).encode()
+        )
+        return digest.hexdigest()
+
+    def ir_stats(self) -> dict:
+        """Cheap stats for frontend instrumentation (``CtrlStats``)."""
+        return {
+            "kind": "microcode",
+            "items": self.length,
+            "bits": self.word_width,
+        }
 
     def reachable_addresses(
         self, entry_labels: list[str] | None = None, opcodes=None
@@ -152,12 +196,51 @@ class Program:
         self,
         format: MicrocodeFormat,
         conditions: list[str] | None = None,
+        dispatch: DispatchTable | None = None,
     ) -> None:
         self.format = format
         self.instructions: list[Instruction] = []
         self.labels: dict[str, int] = {}
         self.condition_names = {
             name: index for index, name in enumerate(conditions or [])
+        }
+        #: Default dispatch table for :meth:`assemble` (what the
+        #: ``microcode_pack`` flow pass resolves against); an explicit
+        #: ``assemble(dispatch=...)`` argument overrides it.
+        self.dispatch = dispatch
+
+    # -- the ControllerIR protocol (repro.flow.core) -------------------
+    def ir_hash(self) -> str:
+        """Stable content hash over the symbolic program."""
+        digest = hashlib.sha256()
+        digest.update(
+            repr(
+                (
+                    "program",
+                    _format_key(self.format),
+                    tuple(
+                        (
+                            tuple(sorted(i.fields.items())),
+                            int(i.seq),
+                            i.target,
+                            i.condition,
+                        )
+                        for i in self.instructions
+                    ),
+                    tuple(sorted(self.labels.items())),
+                    tuple(sorted(self.condition_names.items())),
+                    None if self.dispatch is None else self.dispatch.ir_hash(),
+                )
+            ).encode()
+        )
+        return digest.hexdigest()
+
+    def ir_stats(self) -> dict:
+        """Cheap stats for frontend instrumentation (``CtrlStats``)."""
+        return {
+            "kind": "program",
+            "items": len(self.instructions),
+            "bits": self.format.width,
         }
 
     def label(self, name: str) -> None:
@@ -185,7 +268,13 @@ class Program:
         cond_bits: int = 2,
         dispatch: DispatchTable | None = None,
     ) -> AssembledProgram:
-        """Resolve labels and pack every instruction."""
+        """Resolve labels and pack every instruction.
+
+        ``dispatch`` defaults to the table attached at construction
+        time (``Program(fmt, dispatch=...)``).
+        """
+        if dispatch is None:
+            dispatch = self.dispatch
         length = len(self.instructions)
         if length == 0:
             raise ValueError("empty program")

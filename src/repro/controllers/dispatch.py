@@ -9,6 +9,7 @@ labels.
 
 from __future__ import annotations
 
+import hashlib
 from dataclasses import dataclass, field
 
 
@@ -36,6 +37,31 @@ class DispatchTable:
     @property
     def depth(self) -> int:
         return 1 << self.opcode_bits
+
+    # -- the ControllerIR protocol (repro.flow.core) -------------------
+    def ir_hash(self) -> str:
+        """Stable content hash over the symbolic table."""
+        digest = hashlib.sha256()
+        digest.update(
+            repr(
+                (
+                    "dispatch",
+                    self.name,
+                    self.opcode_bits,
+                    tuple(sorted(self.entries.items())),
+                    self.default,
+                )
+            ).encode()
+        )
+        return digest.hexdigest()
+
+    def ir_stats(self) -> dict:
+        """Cheap stats for frontend instrumentation (``CtrlStats``)."""
+        return {
+            "kind": "dispatch",
+            "items": self.depth,
+            "bits": self.opcode_bits,
+        }
 
     def set(self, opcode: int, label: str) -> None:
         if not 0 <= opcode < self.depth:

@@ -13,6 +13,7 @@ realisation is validated against.
 
 from __future__ import annotations
 
+import hashlib
 from dataclasses import dataclass, field
 
 
@@ -63,6 +64,37 @@ class FsmSpec:
                         raise ValueError(
                             f"{kind}[{state}] entry {value} out of range"
                         )
+
+    # ------------------------------------------------------------------
+    # The ControllerIR protocol (repro.flow.core)
+    # ------------------------------------------------------------------
+    def ir_hash(self) -> str:
+        """Stable content hash over everything a lowering depends on
+        (the name included -- it becomes the RTL module name)."""
+        digest = hashlib.sha256()
+        digest.update(
+            repr(
+                (
+                    "fsm",
+                    self.name,
+                    self.num_inputs,
+                    self.num_outputs,
+                    self.num_states,
+                    self.reset_state,
+                    tuple(tuple(row) for row in self.next_state),
+                    tuple(tuple(row) for row in self.output),
+                )
+            ).encode()
+        )
+        return digest.hexdigest()
+
+    def ir_stats(self) -> dict:
+        """Cheap stats for frontend instrumentation (``CtrlStats``)."""
+        return {
+            "kind": "fsm",
+            "items": self.num_states,
+            "bits": self.num_inputs + self.num_outputs,
+        }
 
     # ------------------------------------------------------------------
     # Derived properties

@@ -20,9 +20,10 @@ if it has the controller microcode".
 
 from __future__ import annotations
 
+import hashlib
 from dataclasses import dataclass
 
-from repro.controllers.assembler import AssembledProgram
+from repro.controllers.assembler import AssembledProgram, _format_key
 from repro.controllers.microcode import MicrocodeFormat, SeqOp
 from repro.rtl.ast import Const, Expr
 from repro.rtl.builder import ModuleBuilder, mux
@@ -55,6 +56,36 @@ class SequencerSpec:
     @property
     def word_width(self) -> int:
         return self.format.width + 2 + self.cond_bits + self.addr_bits
+
+    # -- the ControllerIR protocol (repro.flow.core) -------------------
+    def ir_hash(self) -> str:
+        """Stable content hash over the structural parameters."""
+        digest = hashlib.sha256()
+        digest.update(
+            repr(
+                (
+                    "sequencer",
+                    self.name,
+                    _format_key(self.format),
+                    self.addr_bits,
+                    self.cond_bits,
+                    self.num_conditions,
+                    self.opcode_bits,
+                    self.flexible,
+                    self.expose_upc,
+                    self.expose_seq_op,
+                )
+            ).encode()
+        )
+        return digest.hexdigest()
+
+    def ir_stats(self) -> dict:
+        """Cheap stats for frontend instrumentation (``CtrlStats``)."""
+        return {
+            "kind": "sequencer",
+            "items": 1 << self.addr_bits,
+            "bits": self.word_width,
+        }
 
 
 @dataclass

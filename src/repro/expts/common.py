@@ -19,6 +19,17 @@ def _finite_or_none(value: float) -> float | None:
     return value if math.isfinite(value) else None
 
 
+def sizing_meta(ctx) -> dict:
+    """The per-point sizing outcome a driver persists in a figure
+    point's ``meta``: the one definition of the timing-persistence
+    schema that ``repro.flow.store.diff_runs`` reads back by key for
+    the ``--max-delay-pct`` gate."""
+    return {
+        "critical_delay": ctx.timing.critical_delay,
+        "met": ctx.sizing.met,
+    }
+
+
 def _none_or_nan(value: float | None) -> float:
     return float("nan") if value is None else float(value)
 

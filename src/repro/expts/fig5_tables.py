@@ -1,16 +1,23 @@
 """Fig. 5: table-based combinational logic vs direct sum-of-products.
 
 For random multi-output functions over a (depth x width) grid, build
+the :class:`~repro.tables.truthtable.TruthTable` controller IR once
+per grid point and lower it two ways *inside the flow*:
 
-* the *table-based* implementation: the function bound into a ROM read
-  (what a generator emits; partial evaluation folds it into logic), and
-* the *direct* implementation: per-output two-level sum-of-products
-  RTL (what a designer would hand-write),
+* ``table_rom`` -- the *table-based* implementation: the function
+  bound into a ROM read (what a generator emits; partial evaluation
+  folds it into logic), and
+* ``table_minimize`` -- the *direct* implementation: per-output
+  two-level sum-of-products RTL (what a designer would hand-write),
 
 synthesize both to the same achievable timing target, and scatter the
 areas against the equal-area line.  The paper's claim: the points
 hug the line over ~3 decades, with table-based occasionally *winning*
 at large depths because SOP starting points are not ideal either.
+
+Each compile job carries the IR, not a pre-built module -- the whole
+run is spec strings over ``compile_many``, so the lowering is cached
+and fingerprinted together with the synthesis.
 """
 
 from __future__ import annotations
@@ -18,15 +25,16 @@ from __future__ import annotations
 import random
 from dataclasses import dataclass
 
-from repro.expts.common import ExperimentPoint, ExperimentResult, format_table
+from repro.expts.common import (
+    ExperimentPoint,
+    ExperimentResult,
+    format_table,
+    sizing_meta,
+)
 from repro.expts.scatter import render_scatter
 from repro.flow import CompileJob, PassManager, compile_many, optimize_loop
 from repro.flow.passes import ElaboratePass, SizePass, TechMapPass
-from repro.rtl.ast import Const, Expr
-from repro.rtl.builder import ModuleBuilder, cat
-from repro.rtl.module import Module
 from repro.synth.compiler import DesignCompiler
-from repro.tables.isop import isop
 from repro.tables.truthtable import TruthTable
 
 #: The paper's full grid.
@@ -53,49 +61,8 @@ class Fig5Scale:
         raise ValueError(f"unknown scale {name!r}")
 
 
-def build_table_module(table: TruthTable, name: str) -> Module:
-    """The flexible style, bound: a ROM read."""
-    b = ModuleBuilder(name)
-    addr = b.input("addr", table.num_inputs)
-    rom = b.rom("table", table.num_outputs, table.depth, table.rows())
-    b.output("out", rom.read(addr))
-    return b.build()
-
-
-def build_sop_module(table: TruthTable, name: str) -> Module:
-    """The direct style: sum-of-products assignments per output bit."""
-    b = ModuleBuilder(name)
-    addr = b.input("addr", table.num_inputs)
-    bits: list[Expr] = []
-    for output in range(table.num_outputs):
-        bits.append(_sop_expr(addr, table.columns[output], table.num_inputs))
-    b.output("out", cat(*bits) if len(bits) > 1 else bits[0])
-    return b.build()
-
-
-def _sop_expr(addr, on_set: int, num_inputs: int) -> Expr:
-    if on_set == 0:
-        return Const(0, 1)
-    terms: list[Expr] = []
-    for cube in isop(on_set, 0, num_inputs):
-        literals = [
-            addr[var : var + 1] if polarity else ~addr[var : var + 1]
-            for var, polarity in cube.literals()
-        ]
-        if not literals:
-            return Const(1, 1)
-        term = literals[0]
-        for lit in literals[1:]:
-            term = term & lit
-        terms.append(term)
-    result = terms[0]
-    for term in terms[1:]:
-        result = result | term
-    return result
-
-
-def _comb_pipeline(clock_period_ns: float) -> PassManager:
-    """The combinational flow, composed from flow-API stages."""
+def _comb_spec(clock_period_ns: float) -> str:
+    """The combinational RTL-onward flow, rendered to spec syntax."""
     return PassManager(
         [
             ElaboratePass(),
@@ -103,7 +70,7 @@ def _comb_pipeline(clock_period_ns: float) -> PassManager:
             TechMapPass(),
             SizePass(clock_period_ns),
         ]
-    )
+    ).spec()
 
 
 def run_fig5(
@@ -128,17 +95,21 @@ def run_fig5(
     processes and skip fingerprint-identical jobs (see
     :func:`repro.flow.compile_many`); the result tables stay
     byte-identical to a cold serial run.  ``pipeline`` (a spec string
-    or a ready pipeline) replaces the default relaxed-target flow; the
-    tightened phase always uses the standard combinational pipeline.
+    or a ready pipeline) replaces the default relaxed-target RTL
+    flow; each treatment's lowering pass (``table_rom`` /
+    ``table_minimize``) is prepended by the driver.  The tightened
+    phase always uses the standard combinational pipeline.
     """
     config = Fig5Scale.named(scale)
     library = (compiler or DesignCompiler()).library
-    # Purely combinational designs: no FSM handling, just
+    # Purely combinational designs: no FSM handling, just lower ->
     # elaborate -> optimize to convergence -> map -> size.
     if pipeline is None:
-        pipeline = _comb_pipeline(clock_period_ns)
+        body = _comb_spec(clock_period_ns)
     elif isinstance(pipeline, str):
-        pipeline = PassManager.parse(pipeline)
+        body = PassManager.parse(pipeline).spec()
+    else:
+        body = pipeline.spec()
     result = ExperimentResult(
         "Fig. 5 -- table-based combinational logic vs sum-of-products",
         f"Random functions, depths {config.depths}, widths "
@@ -153,31 +124,29 @@ def run_fig5(
         for width in config.widths
         for seed in config.seeds
     ]
-    modules = {}
+    tables = {}
     jobs = []
     for depth, width, seed in grid:
         num_inputs = (depth - 1).bit_length()
         rng = random.Random(hash((depth, width, seed)) & 0xFFFFFFFF)
         table = TruthTable.random(num_inputs, width, rng)
         label = f"d{depth}w{width}s{seed}"
-        table_module = build_table_module(table, f"tbl_{label}")
-        sop_module = build_sop_module(table, f"sop_{label}")
-        modules[label] = (table_module, sop_module)
+        tables[label] = table
         jobs.append(
             CompileJob(
-                (label, "table"), pipeline,
-                module=table_module, library=library,
+                (label, "table"), f"table_rom,{body}",
+                ctrl=table, library=library,
             )
         )
         jobs.append(
             CompileJob(
-                (label, "sop"), pipeline,
-                module=sop_module, library=library,
+                (label, "sop"), f"table_minimize,{body}",
+                ctrl=table, library=library,
             )
         )
     compiled = compile_many(jobs, workers=workers, cache=cache)
     result.absorb_flow(compiled.values())
-    result.meta["pipeline"] = pipeline.spec()
+    result.meta["pipeline"] = body
     result.meta["clock_period_ns"] = clock_period_ns
 
     # The tightened targets depend on the relaxed-phase timing, so the
@@ -198,18 +167,17 @@ def run_fig5(
                 table_result.timing.critical_delay,
                 sop_result.timing.critical_delay,
             )
-            tight = _comb_pipeline(max(slower * 0.8, 0.05))
-            table_module, sop_module = modules[label]
+            tight_body = _comb_spec(max(slower * 0.8, 0.05))
             tight_jobs.append(
                 CompileJob(
-                    (label, "table"), tight,
-                    module=table_module, library=library,
+                    (label, "table"), f"table_rom,{tight_body}",
+                    ctrl=tables[label], library=library,
                 )
             )
             tight_jobs.append(
                 CompileJob(
-                    (label, "sop"), tight,
-                    module=sop_module, library=library,
+                    (label, "sop"), f"table_minimize,{tight_body}",
+                    ctrl=tables[label], library=library,
                 )
             )
         tight_compiled = compile_many(
@@ -220,14 +188,16 @@ def run_fig5(
     rows = []
     for depth, width, seed in grid:
         label = f"d{depth}w{width}s{seed}"
-        table_area = compiled[(label, "table")].area.combinational
+        table_ctx = compiled[(label, "table")]
+        table_area = table_ctx.area.combinational
         sop_area = compiled[(label, "sop")].area.combinational
         if sop_area <= 0 or table_area <= 0:
             continue  # degenerate (constant) function
         result.points.append(
             ExperimentPoint(
                 "table-based", sop_area, table_area, label,
-                {"depth": depth, "width": width, "seed": seed},
+                {"depth": depth, "width": width, "seed": seed,
+                 **sizing_meta(table_ctx)},
             )
         )
         rows.append(
@@ -252,7 +222,8 @@ def run_fig5(
                 tight_sop.area.combinational,
                 tight_table.area.combinational,
                 label,
-                {"depth": depth, "width": width, "seed": seed},
+                {"depth": depth, "width": width, "seed": seed,
+                 **sizing_meta(tight_table)},
             )
         )
     result.tables["Area per design pair (um^2)"] = format_table(

@@ -1,11 +1,15 @@
 """Fig. 6: table-based FSMs vs case-statement FSMs.
 
-For random Mealy machines over the paper's (m, n, s) grid, compile
+For random Mealy machines over the paper's (m, n, s) grid, ship the
+:class:`~repro.controllers.fsm.FsmSpec` controller IR into the flow
+and lower it per treatment:
 
-* the *direct* case-statement style (FSM inference re-encodes it),
-* the *table-based* style with no help ("Regular"), and
-* the table-based style with ``set_fsm_state_vector`` /
-  ``set_fsm_encoding`` supplied ("State annotated"),
+* ``fsm_encode{realize=case}`` -- the *direct* case-statement style
+  (FSM inference re-encodes it),
+* ``fsm_encode`` (table realisation) with no help ("Regular"), and
+* the same lowering with ``set_fsm_state_vector`` /
+  ``set_fsm_encoding`` supplied as seeded annotations
+  ("State annotated"),
 
 and scatter table-based areas against the case-statement areas.  The
 paper's claims: Regular shows upward variance concentrated at
@@ -19,8 +23,12 @@ import random
 from dataclasses import dataclass
 
 from repro.controllers.fsm_random import random_fsm
-from repro.controllers.fsm_rtl import fsm_to_case_rtl, fsm_to_table_rtl
-from repro.expts.common import ExperimentPoint, ExperimentResult, format_table
+from repro.expts.common import (
+    ExperimentPoint,
+    ExperimentResult,
+    format_table,
+    sizing_meta,
+)
 from repro.expts.scatter import render_scatter
 from repro.flow import (
     CompileJob,
@@ -78,7 +86,9 @@ def run_fig6(
     fingerprints were already compiled; both leave the result tables
     byte-identical to a cold serial run.  ``pipeline`` (a spec string
     or a ready pipeline ending in map/size stages) replaces the default
-    flow for every treatment -- the ROADMAP's pass-order ablations.
+    RTL-onward flow for every treatment -- the ROADMAP's pass-order
+    ablations; the driver prepends each treatment's ``fsm_encode``
+    lowering item.
     """
     config = Fig6Scale.named(scale)
     library = (compiler or DesignCompiler()).library
@@ -88,12 +98,13 @@ def run_fig6(
         f"s in {config.states}, seeds {config.seeds}; identical "
         f"relaxed timing target ({clock_period_ns} ns).",
     )
-    # One pipeline serves all three treatments: FSM inference plus
-    # binary re-encoding of whatever annotations are present (inferred
-    # for the case style, user-supplied for the annotated treatment,
-    # none for the regular treatment).
+    # One RTL-onward body serves all three treatments: FSM inference
+    # plus binary re-encoding of whatever annotations are present
+    # (inferred for the case style, user-supplied for the annotated
+    # treatment, none for the regular treatment).  The treatments
+    # differ only in the lowering prefix and the seeded annotations.
     if pipeline is None:
-        pipeline = PassManager(
+        body = PassManager(
             [
                 FsmInferPass(),
                 HonourAnnotationsPass(),
@@ -104,9 +115,15 @@ def run_fig6(
                 TechMapPass(),
                 SizePass(clock_period_ns),
             ]
-        )
+        ).spec()
     elif isinstance(pipeline, str):
-        pipeline = PassManager.parse(pipeline)
+        body = PassManager.parse(pipeline).spec()
+    else:
+        body = pipeline.spec()
+    lowerings = {
+        "case": "fsm_encode{realize=case}",
+        "table": "fsm_encode",
+    }
 
     grid = [
         (m, n, s, seed)
@@ -120,48 +137,50 @@ def run_fig6(
         rng = random.Random(hash((m, n, s, seed)) & 0xFFFFFFFF)
         spec = random_fsm(m, n, s, rng)
         label = f"m{m}n{n}s{s}x{seed}"
-        table_module = fsm_to_table_rtl(spec)
         jobs.append(
             CompileJob(
-                (label, "case"), pipeline,
-                module=fsm_to_case_rtl(spec), library=library,
+                (label, "case"), f"{lowerings['case']},{body}",
+                ctrl=spec, library=library,
             )
         )
         jobs.append(
             CompileJob(
-                (label, "regular"), pipeline,
-                module=table_module, library=library,
+                (label, "regular"), f"{lowerings['table']},{body}",
+                ctrl=spec, library=library,
             )
         )
         jobs.append(
             CompileJob(
-                (label, "annotated"), pipeline,
-                module=table_module,
+                (label, "annotated"), f"{lowerings['table']},{body}",
+                ctrl=spec,
                 annotations=(StateAnnotation("state", tuple(range(s))),),
                 library=library,
             )
         )
     compiled = compile_many(jobs, workers=workers, cache=cache)
     result.absorb_flow(compiled.values())
-    result.meta["pipeline"] = pipeline.spec()
+    result.meta["pipeline"] = body
+    result.meta["lowerings"] = dict(lowerings)
     result.meta["clock_period_ns"] = clock_period_ns
 
     rows = []
     for m, n, s, seed in grid:
         label = f"m{m}n{n}s{s}x{seed}"
         case_area = compiled[(label, "case")].area.total
-        regular_area = compiled[(label, "regular")].area.total
-        annotated_area = compiled[(label, "annotated")].area.total
+        regular_ctx = compiled[(label, "regular")]
+        annotated_ctx = compiled[(label, "annotated")]
+        regular_area = regular_ctx.area.total
+        annotated_area = annotated_ctx.area.total
         result.points.append(
             ExperimentPoint(
                 "regular", case_area, regular_area, label,
-                {"m": m, "n": n, "s": s},
+                {"m": m, "n": n, "s": s, **sizing_meta(regular_ctx)},
             )
         )
         result.points.append(
             ExperimentPoint(
                 "state annotated", case_area, annotated_area,
-                label, {"m": m, "n": n, "s": s},
+                label, {"m": m, "n": n, "s": s, **sizing_meta(annotated_ctx)},
             )
         )
         rows.append(

@@ -20,7 +20,12 @@ from __future__ import annotations
 import warnings
 from dataclasses import dataclass
 
-from repro.expts.common import ExperimentPoint, ExperimentResult, format_table
+from repro.expts.common import (
+    ExperimentPoint,
+    ExperimentResult,
+    format_table,
+    sizing_meta,
+)
 from repro.expts.fig7_design import FLOP_STYLES, build_fig7, onehot_values
 from repro.expts.scatter import render_scatter
 from repro.flow import (
@@ -81,15 +86,17 @@ def run_fig8(
         f"{clock_period_ns} ns target.",
     )
 
-    # Each treatment is its own explicit pipeline (no FSM inference,
-    # no re-encoding -- the annotated treatment asserts value sets on
-    # the existing one-hot codes).
+    # Each treatment is its own explicit pipeline, expressed as a spec
+    # string over the registry (no FSM inference, no re-encoding --
+    # the annotated treatment asserts value sets on the existing
+    # one-hot codes).  The object pipelines below only exist to render
+    # the specs, which keeps every non-default parameter faithful.
     def back_end():
         return [TechMapPass(), SizePass(clock_period_ns)]
 
     regular = PassManager(
         [ElaboratePass(), optimize_loop(), *back_end()]
-    )
+    ).spec()
     retimed = PassManager(
         [
             ElaboratePass(fold_sync_reset=True),
@@ -97,7 +104,7 @@ def run_fig8(
             retime_stage(),
             *back_end(),
         ]
-    )
+    ).spec()
     annotated = PassManager(
         [
             HonourAnnotationsPass(),
@@ -106,7 +113,7 @@ def run_fig8(
             state_folding(),
             *back_end(),
         ]
-    )
+    ).spec()
 
     def treatments_for(n, style):
         treatments = {"regular": (regular, ())}
@@ -145,9 +152,9 @@ def run_fig8(
         compiled = compile_many(jobs, workers=workers, cache=cache)
     result.absorb_flow(compiled.values())
     result.meta["pipelines"] = {
-        "regular": regular.spec(),
-        "retimed": retimed.spec(),
-        "annotated": annotated.spec(),
+        "regular": regular,
+        "retimed": retimed,
+        "annotated": annotated,
     }
     result.meta["clock_period_ns"] = clock_period_ns
 
@@ -156,12 +163,14 @@ def run_fig8(
         for style in FLOP_STYLES:
             for treatment in treatments_for(n, style):
                 direct_area = compiled[(n, style, treatment, "direct")].area.total
-                generic_area = compiled[(n, style, treatment, "generic")].area.total
+                generic_ctx = compiled[(n, style, treatment, "generic")]
+                generic_area = generic_ctx.area.total
                 series = f"{style}/{treatment}"
                 result.points.append(
                     ExperimentPoint(
                         series, direct_area, generic_area, f"n{n}",
-                        {"n": n, "style": style, "treatment": treatment},
+                        {"n": n, "style": style, "treatment": treatment,
+                         **sizing_meta(generic_ctx)},
                     )
                 )
                 rows.append(

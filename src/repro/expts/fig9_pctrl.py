@@ -6,11 +6,16 @@ for the Cached and Uncached configurations, and tabulates
 combinational and sequential area per bar, exactly the axes of the
 paper's figure.  A switched-capacitance proxy (area-weighted) stands
 in for the paper's paired power claim.
+
+Every job ships the *flexible* module plus its configuration data:
+the Auto/Manual binding happens inside the flow (the ``pe_bind``
+pass), so the whole run is spec strings over ``compile_many`` and the
+binding is fingerprinted and cached with the synthesis.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
 
 from repro.expts.common import ExperimentResult, format_table
 from repro.flow import CompileJob, compile_many, default_pipeline
@@ -20,7 +25,7 @@ from repro.smartmem.config import (
     PCtrlConfig,
     PCtrlParams,
 )
-from repro.smartmem.flows import auto_inputs, full_inputs, manual_inputs
+from repro.smartmem.flows import auto_job, full_job, manual_job
 from repro.smartmem.pctrl import build_pctrl
 from repro.synth.compiler import (
     CompileResult,
@@ -69,36 +74,47 @@ def run_fig9(
     compiler = compiler or DesignCompiler()
     design = build_pctrl(params)
 
-    # The (module, options) pairs the compile_full/auto/manual flows
-    # synthesize, from their single definition in repro.smartmem.flows.
+    # The (module, bindings, annotations, options) tuples each flow
+    # synthesizes, from their single definition in
+    # repro.smartmem.flows.  Full runs the facade's default flow;
+    # Auto/Manual prepend the pe_bind stage.
     inputs: dict[tuple[str, str], tuple] = {}
-    inputs[("full", "any")] = full_inputs(design)
+    inputs[("full", "any")] = full_job(design)
     for config, config_name in (
         (CACHED_CONFIG, "cached"),
         (UNCACHED_CONFIG, "uncached"),
     ):
-        inputs[("auto", config_name)] = auto_inputs(design, config)
-        inputs[("manual", config_name)] = manual_inputs(design, config)
-    jobs = [
-        CompileJob(
-            key,
-            default_pipeline(options),
-            module=module,
-            annotations=tuple(options.state_annotations),
-            library=compiler.library,
+        inputs[("auto", config_name)] = auto_job(design, config)
+        inputs[("manual", config_name)] = manual_job(design, config)
+    jobs = []
+    for key, (module, bindings, annotations, options) in inputs.items():
+        body = default_pipeline(options).spec()
+        jobs.append(
+            CompileJob(
+                key,
+                body if bindings is None else f"pe_bind,{body}",
+                module=module,
+                bindings=bindings,
+                annotations=annotations,
+                library=compiler.library,
+            )
         )
-        for key, (module, options) in inputs.items()
-    ]
     compiled = compile_many(jobs, workers=workers, cache=cache)
 
     runs: dict[tuple[str, str], CompileResult] = {}
-    full = result_from_context(compiled[("full", "any")], inputs[("full", "any")][1])
+
+    def packaged(key) -> CompileResult:
+        _, _, annotations, options = inputs[key]
+        return result_from_context(
+            compiled[key],
+            replace(options, state_annotations=list(annotations)),
+        )
+
+    full = packaged(("full", "any"))
     for config_name in ("cached", "uncached"):
         runs[("full", config_name)] = full
         for flow in ("auto", "manual"):
-            runs[(flow, config_name)] = result_from_context(
-                compiled[(flow, config_name)], inputs[(flow, config_name)][1]
-            )
+            runs[(flow, config_name)] = packaged((flow, config_name))
 
     result = ExperimentResult(
         "Fig. 9 -- PCtrl area: Full / Auto / Manual x Cached / Uncached",
@@ -109,7 +125,11 @@ def run_fig9(
     )
     result.absorb_flow(compiled.values())
     result.meta["pipelines"] = {
-        "/".join(job.key): job.pipeline.spec() for job in jobs
+        "/".join(job.key): (
+            job.pipeline if isinstance(job.pipeline, str)
+            else job.pipeline.spec()
+        )
+        for job in jobs
     }
     rows = []
     for config_name in ("cached", "uncached"):

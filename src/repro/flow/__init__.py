@@ -69,10 +69,13 @@ from repro.flow.combinators import (
 from repro.flow.core import (
     PASS_REGISTRY,
     AigStats,
+    ControllerIR,
+    CtrlStats,
     FlowContext,
     FlowError,
     Pass,
     PassRecord,
+    is_controller_ir,
     make_pass,
     register_pass,
     registered_pass_names,
@@ -100,8 +103,10 @@ from repro.flow.store import (
     diff_runs,
 )
 
-# Importing the pass module populates the registry.
+# Importing the pass modules populates the registry: the synthesis
+# passes first, then the frontend (controller-IR) lowerings.
 from repro.flow import passes as passes  # noqa: F401
+from repro.flow import frontend as frontend  # noqa: F401
 
 __all__ = [
     "AigStats",
@@ -109,6 +114,8 @@ __all__ = [
     "CompileJob",
     "CompileJobError",
     "Conditional",
+    "ControllerIR",
+    "CtrlStats",
     "FixedPoint",
     "FlowContext",
     "FlowError",
@@ -128,6 +135,8 @@ __all__ = [
     "default_workers",
     "diff_runs",
     "flow_fingerprint",
+    "frontend",
+    "is_controller_ir",
     "make_pass",
     "optimize_loop",
     "passes",

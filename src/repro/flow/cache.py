@@ -41,6 +41,8 @@ from dataclasses import dataclass
 from pathlib import Path
 from typing import TYPE_CHECKING, Sequence
 
+from repro.flow.core import FlowError, is_controller_ir
+
 if TYPE_CHECKING:
     from repro.aig.graph import AIG
     from repro.flow.core import FlowContext
@@ -50,15 +52,19 @@ if TYPE_CHECKING:
 
 #: Bump whenever fingerprinted semantics change (pass behaviour,
 #: context pickling layout) to invalidate every existing entry.
-FINGERPRINT_VERSION = 1
+#: Version 2: controller-IR inputs (``ctrl``) and configuration
+#: ``bindings`` joined the key when the frontend became passes.
+FINGERPRINT_VERSION = 2
 
 
 def flow_fingerprint(
     spec: str,
     *,
+    ctrl=None,
     module: "Module | None" = None,
     aig: "AIG | None" = None,
     annotations: Sequence["StateAnnotation"] = (),
+    bindings: "dict[str, list[int]] | None" = None,
     library: "Library | None" = None,
     seed: int = 2011,
 ) -> str:
@@ -75,11 +81,17 @@ def flow_fingerprint(
 
     Args:
         spec: the rendered pipeline spec (:meth:`PassManager.spec`).
+        ctrl: the controller-IR input, when the flow starts from the
+            frontend stage; hashed by its ``ir_hash()`` (the
+            :class:`~repro.flow.core.ControllerIR` protocol), so a
+            warm run skips the lowering as well as the synthesis.
         module: the un-elaborated RTL input, when the flow starts from
             RTL; hashed by :meth:`Module.canonical_hash`.
         aig: the elaborated input, when the flow starts from an AIG;
             hashed by :meth:`AIG.canonical_hash`.
         annotations: seeded state annotations, hashed in order.
+        bindings: configuration-memory contents consumed by the
+            ``pe_bind`` pass; hashed name-sorted.
         library: the cell library (``canonical_hash()``); ``None``
             means the flow's default library.
         seed: the context RNG seed.
@@ -90,14 +102,37 @@ def flow_fingerprint(
     Raises:
         FlowError: via ``spec`` rendering upstream -- a pipeline whose
             parameters have no faithful spec form must not be
-            fingerprinted (two distinct pipelines could collide).
+            fingerprinted (two distinct pipelines could collide); also
+            when ``ctrl`` does not implement the ControllerIR
+            protocol (an unhashable IR input must not be cached).
     """
     digest = hashlib.sha256()
     digest.update(repr(("flow-fingerprint", FINGERPRINT_VERSION)).encode())
     digest.update(repr(("spec", spec)).encode())
+    if ctrl is not None and not is_controller_ir(ctrl):
+        raise FlowError(
+            f"{type(ctrl).__name__} input has no ir_hash(): only "
+            f"ControllerIR inputs can be fingerprinted"
+        )
+    digest.update(
+        repr(("ctrl", None if ctrl is None else ctrl.ir_hash())).encode()
+    )
     digest.update(
         repr(
             ("module", None if module is None else module.canonical_hash())
+        ).encode()
+    )
+    digest.update(
+        repr(
+            (
+                "bindings",
+                None
+                if bindings is None
+                else tuple(
+                    (name, tuple(words))
+                    for name, words in sorted(bindings.items())
+                ),
+            )
         ).encode()
     )
     digest.update(

@@ -36,12 +36,82 @@ if TYPE_CHECKING:
 #: Elaborating deep RTL expressions recurses; keep plenty of headroom.
 RECURSION_HEADROOM = 100_000
 
-#: The representations a pass may declare it operates on.
-STAGES = ("rtl", "aig", "netlist")
+#: The representations a pass may declare it operates on.  ``ctrl`` is
+#: the frontend stage: the context holds a controller intermediate
+#: representation (FSM spec, microprogram, truth table, ...) that has
+#: not been lowered to RTL yet.
+STAGES = ("ctrl", "rtl", "aig", "netlist")
 
 
 class FlowError(Exception):
     """A malformed pipeline: unknown pass, bad spec, stage misuse."""
+
+
+def is_controller_ir(value) -> bool:
+    """Does ``value`` implement the :class:`ControllerIR` protocol?"""
+    return hasattr(value, "ir_hash") and hasattr(value, "ir_stats")
+
+
+class ControllerIR:
+    """The structural protocol of a controller intermediate
+    representation (duck-typed -- IR classes do not inherit from this).
+
+    A controller IR is what a chip generator emits *before* RTL: an
+    :class:`~repro.controllers.fsm.FsmSpec`, a symbolic or assembled
+    microprogram, a dispatch table, a sequencer spec, or a truth
+    table.  To participate in the flow's ``ctrl`` stage an IR class
+    implements two methods (and nothing else -- the IR layer stays
+    free of any dependency on the pass framework):
+
+    * ``ir_hash() -> str``: a stable content hash covering everything
+      a lowering's output can depend on; the compile cache keys warm
+      runs on it, so two IRs with equal hashes must lower to
+      equal hardware.
+    * ``ir_stats() -> dict``: cheap summary statistics with the keys
+      ``kind`` (a short IR-type tag), ``items`` (states /
+      instructions / rows), and ``bits`` (the IR's characteristic
+      word width) -- the frontend analogue of :class:`AigStats`,
+      recorded on ``ctrl``-stage :class:`PassRecord` entries.
+    """
+
+
+@dataclass(frozen=True)
+class CtrlStats:
+    """A cheap snapshot of a controller IR (the frontend counterpart
+    of :class:`AigStats`): what kind of IR the context holds, how many
+    items it has (states, instructions, table rows), and its
+    characteristic bit width."""
+
+    kind: str
+    items: int
+    bits: int
+
+    @classmethod
+    def of(cls, ir) -> "CtrlStats | None":
+        if ir is None or not is_controller_ir(ir):
+            return None
+        stats = ir.ir_stats()
+        return cls(
+            kind=str(stats["kind"]),
+            items=int(stats["items"]),
+            bits=int(stats["bits"]),
+        )
+
+    def to_json(self) -> dict:
+        """A plain-JSON form (see :meth:`from_json` for the inverse)."""
+        return {"kind": self.kind, "items": self.items, "bits": self.bits}
+
+    @classmethod
+    def from_json(cls, data: "dict | None") -> "CtrlStats | None":
+        """Rebuild from :meth:`to_json` output (``None`` passes
+        through, mirroring the optional slots of a record)."""
+        if data is None:
+            return None
+        return cls(
+            kind=str(data["kind"]),
+            items=int(data["items"]),
+            bits=int(data["bits"]),
+        )
 
 
 @dataclass(frozen=True)
@@ -93,6 +163,11 @@ class PassRecord:
     #: the pass emitted before dying, so error reports (and parallel
     #: job failures) keep their log context.
     failed: bool = False
+    #: Frontend statistics, recorded by ``ctrl``-stage passes only:
+    #: the controller-IR snapshots beside the AIG ones, so lowering
+    #: passes are instrumented the same way synthesis passes are.
+    ctrl_before: CtrlStats | None = None
+    ctrl_after: CtrlStats | None = None
 
     @property
     def delta_ands(self) -> int | None:
@@ -118,11 +193,19 @@ class PassRecord:
             "skipped": self.skipped,
             "rejected": self.rejected,
             "failed": self.failed,
+            "ctrl_before": (
+                None if self.ctrl_before is None else self.ctrl_before.to_json()
+            ),
+            "ctrl_after": (
+                None if self.ctrl_after is None else self.ctrl_after.to_json()
+            ),
         }
 
     @classmethod
     def from_json(cls, data: dict) -> "PassRecord":
-        """Rebuild a record from :meth:`to_json` output."""
+        """Rebuild a record from :meth:`to_json` output (records
+        written before the ``ctrl`` stage existed load with empty
+        frontend slots)."""
         return cls(
             name=data["name"],
             stage=data["stage"],
@@ -133,6 +216,8 @@ class PassRecord:
             skipped=bool(data["skipped"]),
             rejected=bool(data["rejected"]),
             failed=bool(data["failed"]),
+            ctrl_before=CtrlStats.from_json(data.get("ctrl_before")),
+            ctrl_after=CtrlStats.from_json(data.get("ctrl_after")),
         )
 
 
@@ -145,10 +230,10 @@ def render_log(records: list["PassRecord"]) -> list[str]:
 class FlowContext:
     """The design state threaded through a pipeline.
 
-    A context starts from RTL (``module``), an elaborated ``aig``, or
-    both; passes move the design forward and deposit their results
-    (netlist, reports, fold statistics) and instrumentation
-    (``records``) here.
+    A context starts from a controller IR (``ctrl``), RTL
+    (``module``), an elaborated ``aig``, or a combination; passes move
+    the design forward and deposit their results (netlist, reports,
+    fold statistics) and instrumentation (``records``) here.
     """
 
     module: "Module | None" = None
@@ -167,12 +252,24 @@ class FlowContext:
     #: Set by passes that made structural progress this round; reset
     #: and read by the fixed-point combinators.
     progress: bool = False
+    #: The controller IR (:class:`ControllerIR` protocol) a frontend
+    #: pipeline starts from; ``ctrl``-stage passes transform or lower
+    #: it.  Left in place after lowering for provenance.
+    ctrl: object | None = None
+    #: Configuration-memory contents for :class:`PeBindPass`
+    #: (``{memory name: row words}``) -- design state like
+    #: ``annotations``, seeded at compile time, fingerprinted by the
+    #: cache.
+    bindings: "dict[str, list[int]] | None" = None
 
     def mark_progress(self) -> None:
         self.progress = True
 
     def aig_stats(self) -> AigStats | None:
         return AigStats.of(self.aig)
+
+    def ctrl_stats(self) -> CtrlStats | None:
+        return CtrlStats.of(self.ctrl)
 
     def emit(
         self,
@@ -205,10 +302,11 @@ class Pass:
     """One named transform over a :class:`FlowContext`.
 
     Subclasses declare ``stage`` -- the representation they consume
-    (``"rtl"`` passes run before elaboration, ``"aig"`` passes need an
-    elaborated graph, ``"netlist"`` passes need a mapped netlist) --
-    and implement :meth:`run`.  Detail lines for the legacy log are
-    reported through :meth:`note`.
+    (``"ctrl"`` passes transform or lower a controller IR before any
+    RTL exists, ``"rtl"`` passes run before elaboration, ``"aig"``
+    passes need an elaborated graph, ``"netlist"`` passes need a
+    mapped netlist) -- and implement :meth:`run`.  Detail lines for
+    the legacy log are reported through :meth:`note`.
     """
 
     name: str = "pass"
@@ -228,6 +326,12 @@ class Pass:
     # -- applicability ------------------------------------------------
     def ready(self, ctx: FlowContext) -> bool:
         """Is the context in the representation this pass consumes?"""
+        if self.stage == "ctrl":
+            return (
+                ctx.ctrl is not None
+                and ctx.module is None
+                and ctx.aig is None
+            )
         if self.stage == "rtl":
             return ctx.module is not None and ctx.aig is None
         if self.stage == "aig":
@@ -241,6 +345,7 @@ class Pass:
 
     def requirement(self) -> str:
         return {
+            "ctrl": "needs a controller IR not yet lowered to RTL",
             "rtl": "needs an un-elaborated RTL module",
             "aig": "needs an elaborated AIG",
             "netlist": "needs a mapped netlist",
@@ -255,6 +360,9 @@ class Pass:
                 f"{self.requirement()}"
             )
         before = ctx.aig_stats()
+        # Frontend stats only on ctrl-stage passes: downstream records
+        # keep their exact legacy shape.
+        ctrl_before = ctx.ctrl_stats() if self.stage == "ctrl" else None
         self._notes = []
         start = time.perf_counter()
         try:
@@ -273,6 +381,10 @@ class Pass:
                     after=ctx.aig_stats(),
                     messages=tuple(self._notes),
                     failed=True,
+                    ctrl_before=ctrl_before,
+                    ctrl_after=(
+                        ctx.ctrl_stats() if self.stage == "ctrl" else None
+                    ),
                 )
             )
             raise
@@ -286,6 +398,8 @@ class Pass:
             before=before,
             after=ctx.aig_stats(),
             messages=notes,
+            ctrl_before=ctrl_before,
+            ctrl_after=ctx.ctrl_stats() if self.stage == "ctrl" else None,
         )
         ctx.records.append(record)
         return record
@@ -358,9 +472,11 @@ def registered_pass_names() -> list[str]:
     return sorted(PASS_REGISTRY)
 
 
-def make_pass(name: str, **params) -> Pass:
+def make_pass(name: str, /, **params) -> Pass:
     """Instantiate a registered pass, with optional constructor
-    parameters (from a spec's ``{key=value,...}`` options)."""
+    parameters (from a spec's ``{key=value,...}`` options).  The
+    registry name is positional-only so a pass may itself take a
+    ``name`` option (``table_rom{name=tbl_x}``)."""
     try:
         factory = PASS_REGISTRY[name]
     except KeyError:

@@ -1,0 +1,363 @@
+"""The registered frontend (``ctrl``-stage) passes.
+
+The paper's thesis is that chip generators should emit controller
+*intermediate representations* -- FSM tables, microcode programs,
+dispatch tables -- and let the tool chain transform them.  This module
+is that thesis applied to the flow itself: the lowerings from
+controller IR to RTL, which used to be ad-hoc calls inside the figure
+drivers, are registered passes, so a complete run is one spec string
+from IR to sized netlist.
+
+======================  =======  =============================================
+spec name               stage    lowering
+======================  =======  =============================================
+``fsm_encode``          ctrl     :class:`~repro.controllers.fsm.FsmSpec` ->
+                                 case or table RTL, optional state
+                                 re-encoding (``style=onehot|gray|binary``)
+``table_rom``           ctrl     :class:`~repro.tables.truthtable.TruthTable`
+                                 -> bound ROM read
+``table_minimize``      ctrl     TruthTable -> two-level SOP RTL
+                                 (``engine=isop|qm|espresso``)
+``microcode_pack``      ctrl     :class:`~repro.controllers.assembler.Program`
+                                 -> :class:`AssembledProgram` (IR -> IR)
+``dispatch_rom``        ctrl     AssembledProgram -> bound (or flexible)
+                                 sequencer RTL + generator uPC annotation
+``pe_bind``             rtl      bind context ``bindings`` into the module's
+                                 configuration memories (the Auto flow)
+======================  =======  =============================================
+
+A ``ctrl`` pass requires a context holding a controller IR and no
+lowered module yet; running one on an RTL or AIG context raises
+:class:`~repro.flow.core.FlowError` naming the pass.  Every lowering
+leaves ``ctx.ctrl`` in place for provenance and records frontend
+:class:`~repro.flow.core.CtrlStats` on its :class:`PassRecord`.
+"""
+
+from __future__ import annotations
+
+from repro.controllers.assembler import AssembledProgram, Program
+from repro.controllers.fsm import FsmSpec
+from repro.controllers.fsm_rtl import fsm_to_case_rtl, fsm_to_table_rtl
+from repro.controllers.sequencer import SequencerSpec, generate_sequencer
+from repro.flow.core import FlowContext, FlowError, Pass, register_pass
+from repro.synth.dc_options import ENCODING_STYLES, StateAnnotation
+from repro.synth.encode import reencode_register
+from repro.tables.rtl import SOP_ENGINES, table_to_rom_rtl, table_to_sop_rtl
+from repro.tables.truthtable import TruthTable
+
+#: RTL realisations ``fsm_encode`` can lower to.
+FSM_REALIZATIONS = ("table", "case")
+
+
+def _require_ir(pass_: Pass, ctx: FlowContext, ir_type: type):
+    """The context's controller IR, type-checked against the pass."""
+    if not isinstance(ctx.ctrl, ir_type):
+        raise FlowError(
+            f"pass {pass_.name!r} needs a {ir_type.__name__} controller "
+            f"IR, got {type(ctx.ctrl).__name__}"
+        )
+    return ctx.ctrl
+
+
+@register_pass("fsm_encode")
+class FsmEncodePass(Pass):
+    """Lower an :class:`FsmSpec` to RTL in the chosen realisation.
+
+    ``realize="case"`` emits the vendor-style case statement (the
+    paper's *direct* implementation); ``realize="table"`` emits the
+    Fig. 2 table memories, bound as ROMs (``flexible=true`` keeps them
+    programmable).  A ``style`` other than ``same`` additionally
+    re-encodes the state register at lowering time -- onehot vs gray
+    encoding ablations are one spec-string edit -- and asserts the
+    matching state annotation, exactly what a generator that knows its
+    own tables can do.
+    """
+
+    stage = "ctrl"
+
+    def __init__(
+        self,
+        style: str = "same",
+        realize: str = "table",
+        flexible: bool = False,
+    ) -> None:
+        super().__init__()
+        if style not in ENCODING_STYLES:
+            raise ValueError(f"unknown fsm encoding {style!r}")
+        if realize not in FSM_REALIZATIONS:
+            raise ValueError(
+                f"unknown realisation {realize!r}; known: "
+                f"{', '.join(FSM_REALIZATIONS)}"
+            )
+        if flexible and realize == "case":
+            raise ValueError("a case-statement FSM cannot be flexible")
+        self.style = style
+        self.realize = realize
+        self.flexible = flexible
+
+    def params(self) -> dict:
+        params = {}
+        if self.style != "same":
+            params["style"] = self.style
+        if self.realize != "table":
+            params["realize"] = self.realize
+        if self.flexible:
+            params["flexible"] = True
+        return params
+
+    def run(self, ctx: FlowContext) -> None:
+        spec = _require_ir(self, ctx, FsmSpec)
+        if self.realize == "case":
+            module = fsm_to_case_rtl(spec)
+        else:
+            module = fsm_to_table_rtl(spec, flexible=self.flexible)
+        self.note(
+            f"fsm_encode: {spec.name} -> {self.realize} rtl "
+            f"({spec.num_states} states)"
+        )
+        if self.style != "same":
+            values = tuple(range(spec.num_states))
+            module, annotation = reencode_register(
+                module, "state", values, self.style
+            )
+            ctx.annotations = [
+                a for a in ctx.annotations if a.reg_name != "state"
+            ] + [annotation]
+            self.note(
+                f"fsm_encode: state -> {self.style} "
+                f"({spec.num_states} states)"
+            )
+        ctx.module = module
+
+
+@register_pass("table_rom")
+class TableRomPass(Pass):
+    """Lower a :class:`TruthTable` to a bound ROM read (the flexible
+    style after binding -- elaboration partially evaluates it)."""
+
+    stage = "ctrl"
+
+    def __init__(self, name: str = "table") -> None:
+        super().__init__()
+        self.module_name = name
+
+    def params(self) -> dict:
+        return {} if self.module_name == "table" else {"name": self.module_name}
+
+    def run(self, ctx: FlowContext) -> None:
+        table = _require_ir(self, ctx, TruthTable)
+        ctx.module = table_to_rom_rtl(table, self.module_name)
+        self.note(
+            f"table_rom: {table.depth}x{table.num_outputs} table -> rom"
+        )
+
+
+@register_pass("table_minimize")
+class TableMinimizePass(Pass):
+    """Lower a :class:`TruthTable` to direct two-level SOP RTL,
+    minimized by the chosen engine (``isop``, exact ``qm``, or
+    ``espresso`` improvement) -- the paper's hand-written style, and
+    the table-engine ablation knob."""
+
+    stage = "ctrl"
+
+    def __init__(self, engine: str = "isop", name: str = "sop") -> None:
+        super().__init__()
+        if engine not in SOP_ENGINES:
+            raise ValueError(
+                f"unknown SOP engine {engine!r}; known: "
+                f"{', '.join(SOP_ENGINES)}"
+            )
+        self.engine = engine
+        self.module_name = name
+
+    def params(self) -> dict:
+        params = {}
+        if self.engine != "isop":
+            params["engine"] = self.engine
+        if self.module_name != "sop":
+            params["name"] = self.module_name
+        return params
+
+    def run(self, ctx: FlowContext) -> None:
+        table = _require_ir(self, ctx, TruthTable)
+        ctx.module = table_to_sop_rtl(table, self.module_name, self.engine)
+        self.note(
+            f"table_minimize: {table.depth}x{table.num_outputs} table -> "
+            f"sop ({self.engine})"
+        )
+
+
+@register_pass("microcode_pack")
+class MicrocodePackPass(Pass):
+    """Assemble a symbolic :class:`Program` into its bit-level
+    :class:`AssembledProgram` image (IR -> IR: labels resolve, fields
+    pack, the attached dispatch table rides along)."""
+
+    stage = "ctrl"
+
+    def __init__(
+        self, addr_bits: int | None = None, cond_bits: int = 2
+    ) -> None:
+        super().__init__()
+        if addr_bits is not None and addr_bits < 1:
+            raise ValueError(f"addr_bits must be >= 1, got {addr_bits}")
+        if cond_bits < 1:
+            raise ValueError(f"cond_bits must be >= 1, got {cond_bits}")
+        self.addr_bits = addr_bits
+        self.cond_bits = cond_bits
+
+    def params(self) -> dict:
+        params = {}
+        if self.addr_bits is not None:
+            params["addr_bits"] = self.addr_bits
+        if self.cond_bits != 2:
+            params["cond_bits"] = self.cond_bits
+        return params
+
+    def run(self, ctx: FlowContext) -> None:
+        program = _require_ir(self, ctx, Program)
+        ctx.ctrl = program.assemble(
+            addr_bits=self.addr_bits, cond_bits=self.cond_bits
+        )
+        self.note(
+            f"microcode_pack: {ctx.ctrl.length} instructions -> "
+            f"{ctx.ctrl.word_width}-bit words @ {ctx.ctrl.addr_bits} "
+            f"addr bits"
+        )
+
+
+@register_pass("dispatch_rom")
+class DispatchRomPass(Pass):
+    """Lower an :class:`AssembledProgram` to the Fig. 3 sequencer RTL.
+
+    The microcode and dispatch table become ROMs (``flexible=true``
+    keeps them programmable config memories instead), and -- for bound
+    programs -- the generator-side uPC reachability annotation is
+    asserted on the context, the paper's "straightforward for a
+    generator to produce these annotations" in pass form.
+    """
+
+    stage = "ctrl"
+
+    def __init__(
+        self,
+        name: str = "useq",
+        flexible: bool = False,
+        annotate: bool = True,
+        num_conditions: int | None = None,
+    ) -> None:
+        super().__init__()
+        self.module_name = name
+        self.flexible = flexible
+        self.annotate = annotate
+        if num_conditions is not None and num_conditions < 1:
+            raise ValueError(
+                f"num_conditions must be >= 1, got {num_conditions}"
+            )
+        self.num_conditions = num_conditions
+
+    def params(self) -> dict:
+        params = {}
+        if self.module_name != "useq":
+            params["name"] = self.module_name
+        if self.flexible:
+            params["flexible"] = True
+        if not self.annotate:
+            params["annotate"] = False
+        if self.num_conditions is not None:
+            params["num_conditions"] = self.num_conditions
+        return params
+
+    def run(self, ctx: FlowContext) -> None:
+        program = _require_ir(self, ctx, AssembledProgram)
+        num_conditions = self.num_conditions or max(
+            1, len(program.condition_names)
+        )
+        spec = SequencerSpec(
+            name=self.module_name,
+            format=program.format,
+            addr_bits=program.addr_bits,
+            cond_bits=program.cond_bits,
+            num_conditions=num_conditions,
+            opcode_bits=(
+                0 if program.dispatch is None else program.dispatch.opcode_bits
+            ),
+            flexible=self.flexible,
+        )
+        generated = generate_sequencer(
+            spec, program=None if self.flexible else program
+        )
+        ctx.module = generated.module
+        self.note(
+            f"dispatch_rom: {program.length} instructions -> "
+            f"{'flexible' if self.flexible else 'bound'} sequencer "
+            f"{spec.name!r}"
+        )
+        annotation = generated.upc_annotation
+        if self.annotate and annotation is not None:
+            if not any(
+                a.reg_name == annotation.reg_name for a in ctx.annotations
+            ):
+                ctx.annotations.append(annotation)
+                self.note(
+                    f"dispatch_rom: upc reaches "
+                    f"{len(annotation.values)} addresses"
+                )
+
+
+@register_pass("pe_bind")
+class PeBindPass(Pass):
+    """Bind the context's configuration contents into the module.
+
+    The bindings (``{memory name: row words}``) are design state, not
+    pipeline structure: seed them through ``compile(bindings=...)`` or
+    :class:`~repro.flow.parallel.CompileJob.bindings`, the same way
+    state annotations travel.  ``annotate=true`` additionally derives
+    reachability annotations from the bound design (``regs`` narrows
+    the derivation to a comma-separated register list) -- the Auto
+    flow of the Fig. 9 study as one pipeline item.
+    """
+
+    stage = "rtl"
+
+    def __init__(self, annotate: bool = False, regs: str | None = None) -> None:
+        super().__init__()
+        self.annotate = annotate
+        self.regs = regs
+
+    def params(self) -> dict:
+        params = {}
+        if self.annotate:
+            params["annotate"] = True
+        if self.regs is not None:
+            params["regs"] = self.regs
+        return params
+
+    def run(self, ctx: FlowContext) -> None:
+        # Imported here: repro.pe re-exports the specialize drivers,
+        # which import repro.flow -- a module-level import would cycle
+        # during package initialisation.
+        from repro.pe.annotations import derive_annotations
+        from repro.pe.bind import bind_tables
+
+        if ctx.bindings is None:
+            raise FlowError(
+                f"pass {self.name!r} needs configuration bindings on the "
+                f"context (compile(bindings=...) or CompileJob.bindings)"
+            )
+        ctx.module = bind_tables(ctx.module, ctx.bindings)
+        self.note(f"pe_bind: bound {len(ctx.bindings)} table(s)")
+        if self.annotate:
+            regs = None if self.regs is None else [
+                name for name in self.regs.split(",") if name
+            ]
+            for annotation in derive_annotations(ctx.module, regs):
+                if not any(
+                    a.reg_name == annotation.reg_name for a in ctx.annotations
+                ):
+                    ctx.annotations.append(annotation)
+                    self.note(
+                        f"pe_bind: {annotation.reg_name} reaches "
+                        f"{len(annotation.values)} states"
+                    )

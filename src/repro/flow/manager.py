@@ -88,9 +88,12 @@ def _split_items(spec: str) -> list[str]:
         item.strip()
         for item in _split_top_level(spec, spec, track_braces=True)
     ]
-    for item in stripped:
+    for position, item in enumerate(stripped, start=1):
         if not item:
-            raise FlowError(f"empty pass name in pipeline spec {spec!r}")
+            raise FlowError(
+                f"empty pass name at item {position} of pipeline spec "
+                f"{spec!r}"
+            )
     return stripped
 
 
@@ -190,18 +193,28 @@ class PassManager:
         optionally ``[count]`` (repeat the pass ``count`` >= 1 times),
         optionally a trailing ``?`` (run only if applicable).  Unknown
         names, unknown options, and malformed items raise
-        :class:`FlowError`.
+        :class:`FlowError` quoting the offending item and its
+        1-based position in the spec.
         """
         passes: list[Pass] = []
-        for item in _split_items(spec):
-            name, opts, times, cond = _parse_item(item)
-            instance = make_pass(name, **_parse_options(opts, item))
-            if times is not None:
-                if times < 1:
-                    raise FlowError(
-                        f"repeat count must be >= 1 in {item!r}"
-                    )
-                instance = Repeat(instance, times)
+        for position, item in enumerate(_split_items(spec), start=1):
+            try:
+                name, opts, times, cond = _parse_item(item)
+                instance = make_pass(name, **_parse_options(opts, item))
+                if times is not None:
+                    if times < 1:
+                        raise FlowError(
+                            f"repeat count must be >= 1 in {item!r}"
+                        )
+                    instance = Repeat(instance, times)
+            except FlowError as exc:
+                # Re-raise with the failing item pinpointed: a long
+                # generated spec is unreadable without knowing *which*
+                # entry the complaint is about.
+                raise FlowError(
+                    f"at item {position} ({item!r}) of pipeline spec "
+                    f"{spec!r}: {exc}"
+                ) from None
             if cond:
                 instance = Conditional(instance)
             passes.append(instance)
@@ -224,23 +237,29 @@ class PassManager:
         self,
         module=None,
         *,
+        ctrl=None,
         aig=None,
         annotations: Sequence = (),
+        bindings=None,
         library=None,
         seed: int = 2011,
         cache=None,
     ) -> FlowContext:
         """Convenience: build a fresh context and run the pipeline.
 
-        Start from RTL (``module``), an already-elaborated ``aig``, or
-        both; ``annotations`` seed the context's state annotations.
+        Start from a controller IR (``ctrl`` -- the frontend stage
+        lowers it), RTL (``module``), an already-elaborated ``aig``,
+        or a combination; ``annotations`` seed the context's state
+        annotations and ``bindings`` its configuration-memory contents
+        (consumed by the ``pe_bind`` pass).
 
         With a :class:`~repro.flow.cache.CompileCache` as ``cache``,
         the run is keyed on the fingerprint of (inputs, rendered
         pipeline spec, seed, library): a hit returns the cached
-        completed context without executing any pass, a miss runs the
-        pipeline and stores the result.  Treat cached contexts as
-        read-only -- in-memory hits share one object.
+        completed context without executing any pass -- for an IR
+        input that means zero lowerings *and* zero synthesis -- a miss
+        runs the pipeline and stores the result.  Treat cached
+        contexts as read-only -- in-memory hits share one object.
         """
         fingerprint = None
         if cache is not None:
@@ -248,9 +267,11 @@ class PassManager:
 
             fingerprint = flow_fingerprint(
                 self.spec(),
+                ctrl=ctrl,
                 module=module,
                 aig=aig,
                 annotations=annotations,
+                bindings=bindings,
                 library=library,
                 seed=seed,
             )
@@ -258,9 +279,11 @@ class PassManager:
             if hit is not None:
                 return hit
         ctx = FlowContext(
+            ctrl=ctrl,
             module=module,
             aig=aig,
             annotations=list(annotations),
+            bindings=bindings,
             library=library,
             seed=seed,
         )

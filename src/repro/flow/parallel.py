@@ -51,13 +51,22 @@ class CompileJob:
     in the worker); everything else mirrors the keyword surface of
     :meth:`PassManager.compile`.  ``key`` identifies the job in the
     result mapping and must be unique within one ``compile_many`` call.
+
+    A job can start from the frontend stage: ``ctrl`` carries a
+    controller IR (``ControllerIR`` protocol) that the pipeline's
+    ``ctrl``-stage passes lower, and ``bindings`` carries
+    configuration-memory contents for ``pe_bind`` -- the job ships the
+    *IR*, not a pre-built module, so the lowering itself is cached,
+    parallelized, and fingerprinted like every other stage.
     """
 
     key: Hashable
     pipeline: "PassManager | str"
     module: "Module | None" = None
+    ctrl: object | None = None
     aig: "AIG | None" = None
     annotations: tuple = ()
+    bindings: "dict[str, list[int]] | None" = None
     library: "Library | None" = None
     seed: int = 2011
 
@@ -94,9 +103,11 @@ def _resolve_pipeline(pipeline: "PassManager | str") -> PassManager:
 def _job_fingerprint(job: CompileJob, pipeline: PassManager) -> str:
     return flow_fingerprint(
         pipeline.spec(),
+        ctrl=job.ctrl,
         module=job.module,
         aig=job.aig,
         annotations=job.annotations,
+        bindings=job.bindings,
         library=job.library,
         seed=job.seed,
     )
@@ -117,9 +128,11 @@ def _execute_job(
         if hit is not None:
             return hit
     ctx = FlowContext(
+        ctrl=job.ctrl,
         module=job.module,
         aig=job.aig,
         annotations=list(job.annotations),
+        bindings=job.bindings,
         library=job.library,
         seed=job.seed,
     )

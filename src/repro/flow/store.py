@@ -276,7 +276,15 @@ def _pct_change(old: float, new: float) -> float:
 
 @dataclass(frozen=True)
 class PointDelta:
-    """One figure point's change between two stored runs."""
+    """One figure point's change between two stored runs.
+
+    Beyond the (x, y) areas, a delta carries the per-point sizing
+    outcome when the drivers persisted it (``critical_delay`` /
+    ``met`` in the point's ``meta``): ``delay_*`` is the achieved
+    critical delay, ``met_*`` whether the clock target was met.
+    Records written before timing persistence landed load with these
+    as ``None`` and are exempt from the delay gate.
+    """
 
     series: str
     label: str
@@ -284,6 +292,10 @@ class PointDelta:
     y_new: float
     x_old: float
     x_new: float
+    delay_old: float | None = None
+    delay_new: float | None = None
+    met_old: bool | None = None
+    met_new: bool | None = None
 
     @property
     def y_pct(self) -> float:
@@ -292,8 +304,34 @@ class PointDelta:
         return _pct_change(self.y_old, self.y_new)
 
     @property
+    def delay_pct(self) -> float | None:
+        """Percent change of the achieved critical delay, or ``None``
+        when either side carries no timing."""
+        if self.delay_old is None or self.delay_new is None:
+            return None
+        return _pct_change(self.delay_old, self.delay_new)
+
+    @property
+    def met_regressed(self) -> bool:
+        """Did this point go from meeting its clock target to missing
+        it?  (A regression at any delay threshold.)"""
+        return self.met_old is True and self.met_new is False
+
+    @property
     def changed(self) -> bool:
-        return self.y_old != self.y_new or self.x_old != self.x_new
+        delay_changed = (
+            self.delay_old is not None
+            and self.delay_new is not None
+            and (
+                self.delay_old != self.delay_new
+                or self.met_old != self.met_new
+            )
+        )
+        return (
+            self.y_old != self.y_new
+            or self.x_old != self.x_new
+            or delay_changed
+        )
 
 
 @dataclass(frozen=True)
@@ -354,6 +392,18 @@ class RunDiff:
             d for d in self.point_deltas if d.y_pct > threshold_pct
         ]
 
+    def delay_regressions(self, threshold_pct: float) -> list[PointDelta]:
+        """Points whose achieved critical delay grew more than
+        ``threshold_pct`` percent, or that stopped meeting their clock
+        target.  Points with no persisted timing (records from before
+        timing persistence) never qualify."""
+        out = []
+        for delta in self.point_deltas:
+            pct = delta.delay_pct
+            if delta.met_regressed or (pct is not None and pct > threshold_pct):
+                out.append(delta)
+        return out
+
     def time_regressions(
         self, threshold_pct: float, min_time_s: float = 0.05
     ) -> list[PassDelta]:
@@ -406,9 +456,12 @@ class RunDiff:
         area_threshold_pct: float,
         time_threshold_pct: float,
         min_time_s: float = 0.05,
+        delay_threshold_pct: float | None = None,
     ) -> str:
         """A human-readable report; regressions past the thresholds
-        are marked ``<<`` so they stand out in CI logs."""
+        are marked ``<<`` so they stand out in CI logs.
+        ``delay_threshold_pct=None`` leaves the timing gate off (delay
+        changes still render, unmarked)."""
         lines = [
             f"== {self.figure}: {self.baseline_commit[:12]} -> "
             f"{self.current_commit[:12]} =="
@@ -427,16 +480,35 @@ class RunDiff:
         area_bad = set(
             id(d) for d in self.area_regressions(area_threshold_pct)
         )
+        delay_bad = (
+            set()
+            if delay_threshold_pct is None
+            else set(
+                id(d) for d in self.delay_regressions(delay_threshold_pct)
+            )
+        )
         changed = self.changed_points()
         if changed:
             lines.append(f"-- {len(changed)} figure point(s) changed:")
             for delta in changed:
-                marker = " <<" if id(delta) in area_bad else ""
+                marker = (
+                    " <<" if id(delta) in area_bad or id(delta) in delay_bad
+                    else ""
+                )
+                timing = ""
+                if delta.delay_pct is not None:
+                    timing = (
+                        f", delay {delta.delay_old:.3f} -> "
+                        f"{delta.delay_new:.3f} ({delta.delay_pct:+.1f}%)"
+                    )
+                    if delta.met_regressed:
+                        timing += " [target now missed]"
                 lines.append(
                     f"   {delta.series}/{delta.label}: "
                     f"y {delta.y_old:.1f} -> {delta.y_new:.1f} "
                     f"({delta.y_pct:+.1f}%), "
-                    f"x {delta.x_old:.1f} -> {delta.x_new:.1f}{marker}"
+                    f"x {delta.x_old:.1f} -> {delta.x_new:.1f}"
+                    f"{timing}{marker}"
                 )
         time_bad = set(
             id(d)
@@ -511,6 +583,16 @@ def diff_runs(baseline: RunRecord, current: RunRecord) -> RunDiff:
         elif new is None:
             diff.only_in_baseline.append("/".join(key))
         else:
+            def timing(point):
+                delay = point.meta.get("critical_delay")
+                met = point.meta.get("met")
+                return (
+                    None if delay is None else float(delay),
+                    None if met is None else bool(met),
+                )
+
+            delay_old, met_old = timing(old)
+            delay_new, met_new = timing(new)
             diff.point_deltas.append(
                 PointDelta(
                     series=key[0],
@@ -519,6 +601,10 @@ def diff_runs(baseline: RunRecord, current: RunRecord) -> RunDiff:
                     y_new=new.y,
                     x_old=old.x,
                     x_new=new.x,
+                    delay_old=delay_old,
+                    delay_new=delay_new,
+                    met_old=met_old,
+                    met_new=met_new,
                 )
             )
     diff.point_deltas.sort(key=lambda d: (d.series, d.label))

@@ -9,6 +9,13 @@
   pinned configuration -- unreachable-state elimination through
   tightened annotations, the optimization the paper attributes to hand
   tuning.
+
+Since the frontend became passes there is also a pipeline route:
+:func:`bound_pipeline` prepends the registered ``pe_bind`` stage to
+the facade's default flow, so the binding runs *inside* the pass
+framework -- ``pipeline.compile(flexible, bindings=...)`` -- and is
+fingerprinted and cached with the rest of the flow.  The helpers here
+remain the pre-bound, one-call surface over the same machinery.
 """
 
 from __future__ import annotations
@@ -16,6 +23,8 @@ from __future__ import annotations
 from dataclasses import replace
 
 from repro.flow import PassManager
+from repro.flow.frontend import PeBindPass
+from repro.flow.pipeline import default_pipeline
 from repro.pe.annotations import derive_annotations
 from repro.pe.bind import bind_tables
 from repro.rtl.module import Module
@@ -25,6 +34,31 @@ from repro.synth.compiler import (
     result_from_context,
 )
 from repro.synth.dc_options import CompileOptions, StateAnnotation
+
+
+def bound_pipeline(
+    options: CompileOptions | None = None,
+    annotate: bool = False,
+    annotation_regs: list[str] | None = None,
+) -> PassManager:
+    """The Auto flow as one pass pipeline: ``pe_bind`` followed by the
+    facade's default flow.
+
+    The configuration itself is design state, not pipeline structure:
+    seed it through ``compile(bindings=...)`` (or
+    ``CompileJob.bindings``).  ``annotate``/``annotation_regs`` mirror
+    :func:`specialize`'s derivation knobs; the rendered spec stays
+    fingerprintable, so compiles through this pipeline cache and
+    parallelize like any other.
+    """
+    options = options or CompileOptions()
+    regs = None if annotation_regs is None else ",".join(annotation_regs)
+    return PassManager(
+        [
+            PeBindPass(annotate=annotate, regs=regs),
+            *default_pipeline(options),
+        ]
+    )
 
 
 def prepare_auto(

@@ -79,6 +79,44 @@ def manual_inputs(
     )
 
 
+# -- job-level definitions (the frontend-as-passes route) --------------
+#
+# Each *_job helper returns (module, bindings, annotations, options):
+# the *flexible* module plus the configuration data a ``pe_bind``-led
+# pipeline binds in-flow.  This is what the fig9 driver's
+# ``compile_many`` jobs are built on -- the binding itself is a pass,
+# so it is fingerprinted and cached with the rest of the flow.
+
+def full_job(
+    design: PCtrlDesign, options: CompileOptions | None = None
+) -> tuple[Module, None, tuple, CompileOptions]:
+    """Full: the flexible design as-is; nothing to bind."""
+    return design.flexible, None, (), options or fig9_options()
+
+
+def auto_job(
+    design: PCtrlDesign,
+    config: PCtrlConfig,
+    options: CompileOptions | None = None,
+) -> tuple[Module, dict, tuple, CompileOptions]:
+    """Auto: one configuration's bindings, no cross-flop knowledge."""
+    return design.flexible, design.bindings(config), (), options or fig9_options()
+
+
+def manual_job(
+    design: PCtrlDesign,
+    config: PCtrlConfig,
+    options: CompileOptions | None = None,
+) -> tuple[Module, dict, tuple, CompileOptions]:
+    """Manual: Auto plus generator-derived, opcode-pinned annotations."""
+    return (
+        design.flexible,
+        design.bindings(config),
+        tuple(design.annotations(config, pinned_opcodes=True)),
+        options or fig9_options(),
+    )
+
+
 # -- one-call synthesis wrappers ---------------------------------------
 
 def compile_full(

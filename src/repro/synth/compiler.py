@@ -19,6 +19,11 @@ Since the flow API redesign the facade is thin: it builds the default
 :class:`repro.flow.PassManager` pipeline from the options (see
 :func:`repro.flow.pipeline.default_pipeline`) and packages the final
 :class:`repro.flow.FlowContext` as a :class:`CompileResult`.  The
+facade's entry point stays RTL; pipelines that start one stage
+higher -- at a controller IR, via the ``ctrl``-stage lowerings of
+:mod:`repro.flow.frontend` -- compose the same passes directly
+(``PassManager.compile(ctrl=...)``) and package results through
+:func:`result_from_context` identically.  The
 result carries the area split (combinational vs sequential -- the axes
 of the paper's Fig. 9), achieved timing, and per-pass
 :class:`~repro.flow.PassRecord` instrumentation; the legacy

@@ -29,14 +29,18 @@ from repro.tables.cube import Cube
 from repro.tables.espresso import improve_cover
 from repro.tables.isop import isop
 from repro.tables.qm import minimize_exact
+from repro.tables.rtl import SOP_ENGINES, table_to_rom_rtl, table_to_sop_rtl
 from repro.tables.sop import SopCover
 from repro.tables.truthtable import TruthTable
 
 __all__ = [
     "Cube",
     "improve_cover",
+    "SOP_ENGINES",
     "SopCover",
     "TruthTable",
+    "table_to_rom_rtl",
+    "table_to_sop_rtl",
     "all_ones",
     "cofactor0",
     "cofactor1",

@@ -13,6 +13,7 @@ a chip generator should emit, so the same object doubles as:
 
 from __future__ import annotations
 
+import hashlib
 import random
 from dataclasses import dataclass
 
@@ -97,6 +98,23 @@ class TruthTable:
                     column |= 1 << address
             columns.append(column)
         return cls(num_inputs, tuple(columns))
+
+    # ------------------------------------------------------------------
+    # The ControllerIR protocol (repro.flow.core)
+    # ------------------------------------------------------------------
+    def ir_hash(self) -> str:
+        """Stable content hash (the table *is* its own content)."""
+        digest = hashlib.sha256()
+        digest.update(repr(("table", self.num_inputs, self.columns)).encode())
+        return digest.hexdigest()
+
+    def ir_stats(self) -> dict:
+        """Cheap stats for frontend instrumentation (``CtrlStats``)."""
+        return {
+            "kind": "table",
+            "items": self.depth,
+            "bits": self.num_outputs,
+        }
 
     # ------------------------------------------------------------------
     # Queries

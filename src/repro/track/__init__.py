@@ -176,18 +176,30 @@ def cmd_diff(args) -> int:
         diff = diff_runs(baseline, current)
         print(
             diff.render(
-                args.max_area_pct, args.max_time_pct, args.min_time_s
+                args.max_area_pct, args.max_time_pct, args.min_time_s,
+                delay_threshold_pct=args.max_delay_pct,
             )
         )
-        over = diff.area_regressions(args.max_area_pct) or (
-            diff.time_regressions(args.max_time_pct, args.min_time_s)
+        over = (
+            diff.area_regressions(args.max_area_pct)
+            or diff.time_regressions(args.max_time_pct, args.min_time_s)
+            or (
+                args.max_delay_pct is not None
+                and diff.delay_regressions(args.max_delay_pct)
+            )
         )
         if over:
             regressed = True
     if regressed and not args.warn_only:
+        delay_clause = (
+            ""
+            if args.max_delay_pct is None
+            else f", delay > {args.max_delay_pct}%"
+        )
         print(
             f"REGRESSION: thresholds exceeded "
-            f"(area > {args.max_area_pct}%, time > {args.max_time_pct}%)"
+            f"(area > {args.max_area_pct}%, time > {args.max_time_pct}%"
+            f"{delay_clause})"
         )
         return 1
     if missing and args.strict:
@@ -313,6 +325,13 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="PCT",
         help="flag passes whose total wall time grew more than this "
         "percentage (default: %(default)s)",
+    )
+    diff.add_argument(
+        "--max-delay-pct", type=float, default=None, metavar="PCT",
+        help="additionally flag figure points whose achieved critical "
+        "delay grew more than this percentage, or that stopped "
+        "meeting their clock target (default: timing gate off; "
+        "points recorded without timing are exempt)",
     )
     diff.add_argument(
         "--min-time-s", type=float, default=DEFAULT_MIN_TIME_S,

@@ -7,14 +7,17 @@ and the three pipelines that together execute the whole registry --
 so the same sweep can be *recorded* into the run store
 (``python -m repro.track record bench``) and diffed across commits.
 
-The three pipelines partition the registry deliberately:
+The pipelines partition the registry deliberately:
 
 * the AIG leaf passes run in isolation, so their timings are cleanly
   attributable;
 * the ``optimize`` composite runs in its own pipeline, so its body's
   records don't fold into the leaf timings;
 * an annotated FSM runs the full RTL-to-netlist flow, covering the
-  rtl/netlist-stage passes (and the stage drivers' inner records).
+  rtl/netlist-stage passes (and the stage drivers' inner records);
+* the frontend (``ctrl``-stage) lowerings each run on their own
+  controller IR -- an FSM spec, a truth table, a microprogram, and a
+  flexible design with bindings for ``pe_bind``.
 
 Bench records are always produced by *executing* the passes (no
 compile cache), because the point is the wall time of this commit's
@@ -77,12 +80,63 @@ def annotated_fsm_module():
 
 
 def bench_pipelines() -> dict[str, PassManager]:
-    """The three pipelines that together cover the pass registry."""
+    """The pipelines that together cover the pass registry."""
     return {
         "leaf": PassManager.parse(",".join(AIG_LEAF_PASSES)),
         "optimize": PassManager.parse("optimize"),
         "full": PassManager.parse(FULL_FLOW_SPEC),
+        "fsm_lower": PassManager.parse("fsm_encode{realize=case}"),
+        "table_lower": PassManager.parse("table_rom"),
+        "sop_lower": PassManager.parse("table_minimize"),
+        "useq_lower": PassManager.parse("microcode_pack,dispatch_rom"),
+        "bind": PassManager.parse("pe_bind"),
     }
+
+
+def frontend_inputs(seed: int = 0):
+    """The controller IRs (and the pe_bind module/bindings pair) the
+    frontend lowering passes are timed on."""
+    from repro.controllers import (
+        DispatchTable,
+        FsmSpec,
+        MicrocodeFormat,
+        Program,
+        SeqOp,
+    )
+    from repro.controllers.fsm_rtl import fsm_to_table_rtl, table_rows
+    from repro.tables.truthtable import TruthTable
+
+    fsm = FsmSpec(
+        "bench_ctrl",
+        num_inputs=2,
+        num_outputs=3,
+        num_states=5,
+        reset_state=0,
+        next_state=[
+            [0, 1, 2, 1], [2, 2, 3, 3], [3, 4, 3, 4],
+            [4, 0, 1, 0], [0, 0, 2, 2],
+        ],
+        output=[
+            [0, 1, 2, 3], [4, 5, 6, 7], [0, 1, 2, 3],
+            [4, 5, 6, 7], [1, 3, 5, 7],
+        ],
+    )
+    table = TruthTable.random(6, 8, random.Random(seed))
+    fmt = MicrocodeFormat.horizontal(("cmd", ["read", "write"]))
+    dispatch = DispatchTable("dsp", opcode_bits=1, default="idle")
+    dispatch.set(1, "work")
+    program = Program(fmt, conditions=["busy"], dispatch=dispatch)
+    program.label("idle")
+    program.inst(seq=SeqOp.DISPATCH)
+    program.label("work")
+    program.inst(cmd="read")
+    program.inst(cmd="write", seq=SeqOp.JUMP, target="idle")
+    flexible = fsm_to_table_rtl(fsm, flexible=True)
+    bindings = {
+        "next_mem": table_rows(fsm, "next"),
+        "out_mem": table_rows(fsm, "output"),
+    }
+    return fsm, table, program, flexible, bindings
 
 
 def bench_result(contexts, seed: int = 0) -> ExperimentResult:
@@ -96,7 +150,8 @@ def bench_result(contexts, seed: int = 0) -> ExperimentResult:
         "Per-pass microbenchmark",
         "Every registered pass executed once (leaf passes in "
         "isolation, the optimize composite alone, the full flow on an "
-        "annotated FSM); totals are per pass name.",
+        "annotated FSM, the frontend lowerings on their controller "
+        "IRs); totals are per pass name.",
     )
     result.absorb_flow(contexts)
     result.meta["pipelines"] = {
@@ -129,11 +184,17 @@ def run_pass_bench(seed: int = 0) -> ExperimentResult:
     table_aig = build_table_aig(seed=seed)
     module = annotated_fsm_module()
     annotations = [StateAnnotation("state", (0, 1, 2))]
+    fsm, table, program, flexible, bindings = frontend_inputs(seed)
 
     contexts = [
         pipelines["leaf"].compile(aig=table_aig),
         pipelines["optimize"].compile(aig=table_aig),
         pipelines["full"].compile(module, annotations=annotations),
+        pipelines["fsm_lower"].compile(ctrl=fsm),
+        pipelines["table_lower"].compile(ctrl=table),
+        pipelines["sop_lower"].compile(ctrl=table),
+        pipelines["useq_lower"].compile(ctrl=program),
+        pipelines["bind"].compile(flexible, bindings=bindings),
     ]
     return bench_result(contexts, seed)
 

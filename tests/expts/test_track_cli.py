@@ -152,3 +152,34 @@ def test_run_pass_bench_covers_the_registry():
     assert set(PASS_REGISTRY) <= set(result.pass_totals)
     assert all(t.calls >= 1 for t in result.pass_totals.values())
     assert "pipelines" in result.meta
+
+
+def test_injected_delay_regression_gates_only_when_asked(dirs, capsys):
+    from repro.flow.store import RunStore
+
+    assert _record_fig5(dirs, commit="base") == 0
+    store = RunStore(dirs["store"])
+    entry = store.record_file(resolve_ref("base"), "fig5")
+    data = json.loads(entry.read_text())
+    data["commit"] = "slower"
+    # +30% achieved delay and a missed target; areas untouched.
+    meta = data["result"]["points"][0]["meta"]
+    meta["critical_delay"] *= 1.3
+    meta["met"] = False
+    store.record_file("slower", "fig5").parent.mkdir(
+        parents=True, exist_ok=True
+    )
+    store.record_file("slower", "fig5").write_text(json.dumps(data))
+    capsys.readouterr()
+
+    base = resolve_ref("base")
+    args = [base, "slower", "--store-dir", dirs["store"]]
+    # Without the gate the delay change is reported but not blocking.
+    assert main(["diff", *args]) == 0
+    assert "delay" in capsys.readouterr().out
+    # The gate flags the grown delay (and the lost closure)...
+    assert main(["diff", *args, "--max-delay-pct", "10"]) == 1
+    out = capsys.readouterr().out
+    assert "REGRESSION" in out and "delay > 10.0%" in out
+    # ...and a met->missed point regresses at any percentage.
+    assert main(["diff", *args, "--max-delay-pct", "1000"]) == 1

@@ -127,6 +127,28 @@ def test_parse_rejects_malformed_items():
             PassManager.parse(bad)
 
 
+def test_parse_errors_quote_the_item_and_its_position():
+    """A failing entry is pinpointed: the 1-based item position and
+    the item text itself, not just the failure kind."""
+    with pytest.raises(
+        FlowError, match=r"item 2 \('frobnicate'\)"
+    ) as err:
+        PassManager.parse("balance,frobnicate,rewrite")
+    assert "unknown pass" in str(err.value)
+
+    with pytest.raises(FlowError, match=r"item 3 \('rewrite\[0\]'\)"):
+        PassManager.parse("balance,tt_sweep,rewrite[0]")
+
+    with pytest.raises(
+        FlowError, match=r"item 1 \('encode\{style\}'\)"
+    ) as err:
+        PassManager.parse("encode{style},balance")
+    assert "malformed option" in str(err.value)
+
+    with pytest.raises(FlowError, match="empty pass name at item 2"):
+        PassManager.parse("balance,,rewrite")
+
+
 def test_registry_lists_the_standard_passes():
     names = registered_pass_names()
     for expected in (

@@ -356,3 +356,56 @@ def test_swept_cache_still_works(tmp_path):
     fresh = CompileCache(tmp_path / "cache")  # cold memory layer
     ctx = pipeline.compile(module, cache=fresh)
     assert ctx.aig is not None and fresh.misses == 1
+
+
+# ---------------------------------------------------------------------
+# Timing-aware diffs (per-point critical_delay / met).
+# ---------------------------------------------------------------------
+
+def _timed_point(delay, met=True, y=100.0):
+    return ExperimentPoint(
+        "s", 10.0, y, "p0", {"critical_delay": delay, "met": met}
+    )
+
+
+def test_diff_carries_per_point_timing():
+    diff = diff_runs(
+        _record(points=[_timed_point(1.0)]),
+        _record(commit="c1", points=[_timed_point(1.2)]),
+    )
+    [delta] = diff.point_deltas
+    assert delta.delay_old == 1.0 and delta.delay_new == 1.2
+    assert delta.delay_pct == pytest.approx(20.0)
+    assert not delta.met_regressed
+    # A pure delay change counts as a changed point.
+    assert diff.changed_points() == [delta]
+    assert "delay 1.000 -> 1.200" in diff.render(1.0, 50.0)
+
+
+def test_delay_regressions_gate_on_threshold_and_met():
+    base = _record(points=[_timed_point(1.0)])
+    slower = _record(commit="c1", points=[_timed_point(1.2)])
+    diff = diff_runs(base, slower)
+    assert len(diff.delay_regressions(10.0)) == 1
+    assert diff.delay_regressions(25.0) == []
+    # Losing timing closure regresses at any threshold.
+    missed = _record(commit="c2", points=[_timed_point(1.01, met=False)])
+    diff = diff_runs(base, missed)
+    assert len(diff.delay_regressions(100.0)) == 1
+    assert "[target now missed]" in diff.render(1.0, 50.0, 0.05, 100.0)
+    assert "<<" in diff.render(1.0, 50.0, 0.05, 100.0)
+
+
+def test_points_without_timing_are_exempt_from_the_delay_gate():
+    old_style = _record(points=[ExperimentPoint("s", 10.0, 100.0, "p0")])
+    new_style = _record(commit="c1", points=[_timed_point(9.9)])
+    diff = diff_runs(old_style, new_style)
+    [delta] = diff.point_deltas
+    assert delta.delay_pct is None
+    assert diff.delay_regressions(0.0) == []
+    # And timing-free runs never become non-identical through timing.
+    same = diff_runs(
+        old_style,
+        _record(commit="c2", points=[ExperimentPoint("s", 10.0, 100.0, "p0")]),
+    )
+    assert same.identical
