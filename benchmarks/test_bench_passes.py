@@ -13,7 +13,7 @@ import random
 
 import pytest
 
-from repro.aig import balance, rewrite
+from repro.aig import balance, dc_rewrite, resub, rewrite
 from repro.aig.rewrite import tt_sweep
 from repro.flow import PASS_REGISTRY
 from repro.sat.equiv import check_combinational_equivalence
@@ -57,6 +57,16 @@ def test_bench_balance(benchmark, table_aig):
 def test_bench_rewrite(benchmark, table_aig):
     rewritten = benchmark(rewrite, table_aig)
     assert rewritten.num_ands <= table_aig.num_ands + 2
+
+
+def test_bench_resub(benchmark, table_aig):
+    substituted = benchmark(resub, table_aig)
+    assert substituted.num_ands <= table_aig.num_ands
+
+
+def test_bench_dc_rewrite(benchmark, table_aig):
+    optimized = benchmark(dc_rewrite, table_aig)
+    assert optimized.num_ands <= table_aig.num_ands
 
 
 def test_bench_mapping(benchmark, table_aig):

@@ -1,7 +1,7 @@
 #!/usr/bin/env python3
 """The flow API: compose, reorder, and instrument synthesis pipelines.
 
-Four demonstrations on one FSM:
+Five demonstrations on one FSM:
 
 1. parse a pipeline from a spec string and read the per-pass
    instrumentation (``PassRecord``: wall time, AND-count deltas);
@@ -11,7 +11,10 @@ Four demonstrations on one FSM:
 3. register a custom pass and use it from a spec string;
 4. start from the *controller IR*: the FSM spec itself enters the
    pipeline and a ``ctrl``-stage pass lowers it, so state-encoding
-   ablations (onehot vs gray vs binary) are one spec token.
+   ablations (onehot vs gray vs binary) are one spec token;
+5. ablate the *backend*: extend the recipe with resubstitution and
+   don't-care-aware rewriting, and map against every registered
+   library -- one spec string per (recipe, library) variant.
 
 Run:  python examples/flow_pipelines.py
 """
@@ -113,6 +116,22 @@ def main() -> None:
               f"{record.ctrl_before.kind} -> area {out.area.total:.1f} "
               f"um^2, state width "
               f"{out.module.regs['state'].width}")
+
+    # -- 5. backend ablations: resub + don't-cares, and libraries -----
+    # The optimization recipe and the cell library are spec tokens
+    # like everything else; the techsweep driver runs exactly this
+    # grid over whole benchmark sets (python -m repro.expts techsweep).
+    from repro.expts.techsweep import RECIPES
+    from repro.flow.passes import registered_library_names
+
+    for recipe_name, recipe in RECIPES.items():
+        for library in registered_library_names():
+            spec = f"fsm_encode,{recipe},map{{library={library}}},size"
+            out = PassManager.parse(spec).compile(ctrl=demo_spec())
+            print(f"{recipe_name:9s} x {library:12s} -> "
+                  f"{out.aig.num_ands:3d} ands, "
+                  f"area {out.area.total:7.1f} um^2, "
+                  f"delay {out.timing.critical_delay:.3f} ns")
 
 
 if __name__ == "__main__":

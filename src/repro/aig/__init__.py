@@ -15,12 +15,16 @@ Public API
 - :mod:`~repro.aig.ops` -- word-level helper operations.
 - :func:`~repro.aig.balance.balance` -- depth-reducing tree rebuild.
 - :func:`~repro.aig.rewrite.rewrite` -- cut-based local resynthesis.
+- :func:`~repro.aig.resub.resub` -- divisor-based resubstitution.
+- :func:`~repro.aig.dontcare.dc_rewrite` -- don't-care-aware rewriting.
 - :func:`~repro.aig.cuts.enumerate_cuts` -- k-feasible cut enumeration.
 """
 
 from repro.aig.balance import balance
 from repro.aig.cuts import CutSet, enumerate_cuts
+from repro.aig.dontcare import dc_rewrite
 from repro.aig.graph import AIG, CONST0, CONST1, Latch, lit_compl, lit_node, lit_sign
+from repro.aig.resub import resub
 from repro.aig.rewrite import rewrite, tt_sweep
 
 __all__ = [
@@ -30,10 +34,12 @@ __all__ = [
     "CutSet",
     "Latch",
     "balance",
+    "dc_rewrite",
     "enumerate_cuts",
     "lit_compl",
     "lit_node",
     "lit_sign",
+    "resub",
     "rewrite",
     "tt_sweep",
 ]

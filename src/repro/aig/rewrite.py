@@ -47,28 +47,27 @@ def tt_sweep(aig: AIG, support_limit: int | None = None) -> AIG:
     """
     if support_limit is None:
         support_limit = adaptive_support_limit(aig)
+    # OLD node id -> (sorted source tuple, table) or None when too
+    # wide; depends only on the input graph, so the shared propagation
+    # computes it up front.
+    tables = global_node_tables(aig, support_limit)
     new = AIG()
     lit_map: dict[int, int] = {0: 0}
-    # OLD node id -> (sorted source tuple, table) or None when too wide.
-    tables: dict[int, tuple[tuple[int, ...], int] | None] = {0: ((), 0)}
     canonical: dict[tuple[tuple[int, ...], int], int] = {}
 
     for node, name in zip(aig.pis, aig.pi_names):
         lit_map[node << 1] = new.add_pi(name)
-        tables[node] = ((node,), 0b10)
     for latch in aig.latches:
         lit_map[latch.node << 1] = new.add_latch(
             latch.name, latch.reset_kind, latch.reset_value
         )
-        tables[latch.node] = ((latch.node,), 0b10)
 
     def translate(lit: int) -> int:
         return lit_map[lit & ~1] ^ (lit & 1)
 
     for node in aig.topo_order():
         f0, f1 = aig.fanins(node)
-        key = _node_table(f0, f1, tables, support_limit)
-        tables[node] = key
+        key = tables[node]
         built = None
         if key is not None:
             leaves, table = key
@@ -135,7 +134,7 @@ def rewrite(aig: AIG, k: int = 4, max_cuts: int = 6) -> AIG:
     rejected candidates leave no residue.
     """
     cuts = CutSet(aig, k=k, max_cuts=max_cuts)
-    mffc = _mffc_sizes(aig)
+    mffc = mffc_sizes(aig)
     new = AIG()
     lit_map: dict[int, int] = {0: 0}
     for node, name in zip(aig.pis, aig.pi_names):
@@ -156,9 +155,9 @@ def rewrite(aig: AIG, k: int = 4, max_cuts: int = 6) -> AIG:
             if cut.size < 2 or cut.leaves == (node,):
                 continue
             leaf_lits = [translate(leaf << 1) for leaf in cut.leaves]
-            cost, plan = _plan_cover(new, cut.table, cut.size, leaf_lits)
+            cost, plan = plan_cover(new, cut.table, 0, cut.size, leaf_lits)
             if cost < budget:
-                candidate = _build_plan(new, plan, cut.table, cut.size, leaf_lits)
+                candidate = build_plan(new, plan, cut.table, 0, cut.size, leaf_lits)
                 best_lit = candidate
                 budget = cost
         lit_map[node << 1] = best_lit
@@ -171,7 +170,72 @@ def rewrite(aig: AIG, k: int = 4, max_cuts: int = 6) -> AIG:
     return compacted
 
 
-def _mffc_sizes(aig: AIG) -> list[int]:
+def global_node_tables(
+    aig: AIG, support_limit: int
+) -> dict[int, tuple[tuple[int, ...], int] | None]:
+    """Windowed global truth tables for every node.
+
+    Maps each node to ``(sources, table)`` -- its function over the
+    (sorted) primary inputs and latch outputs it transitively depends
+    on, normalised to the true support -- or ``None`` when that
+    support exceeds ``support_limit``.  This is the same propagation
+    :func:`tt_sweep` runs inline; :mod:`repro.aig.resub` and
+    :mod:`repro.aig.dontcare` share it as the substrate for
+    divisor/don't-care reasoning.  Because the variables are genuine
+    sources (every assignment of them is achievable), conclusions
+    drawn from these tables are exact, never approximate.
+    """
+    tables: dict[int, tuple[tuple[int, ...], int] | None] = {0: ((), 0)}
+    for node in aig.pis:
+        tables[node] = ((node,), 0b10)
+    for latch in aig.latches:
+        tables[latch.node] = ((latch.node,), 0b10)
+    for node in aig.topo_order():
+        f0, f1 = aig.fanins(node)
+        tables[node] = _node_table(f0, f1, tables, support_limit)
+    return tables
+
+
+def deref_cone(
+    aig: AIG, root: int, refs: list[int], members: set[int] | None = None
+) -> int:
+    """Dereference ``root``'s cone on the shared count array.
+
+    Returns the MFFC size; when ``members`` is given, the cone's node
+    set is collected into it as well (resubstitution needs the set to
+    disqualify divisors that would die with the node they replace).
+    Must be undone with :func:`reref_cone` before the next query.
+    """
+    if members is not None:
+        members.add(root)
+    count = 0
+    stack = [root]
+    while stack:
+        node = stack.pop()
+        count += 1
+        for lit in aig.fanins(node):
+            child = lit_node(lit)
+            refs[child] -= 1
+            if refs[child] == 0 and aig.is_and(child):
+                if members is not None:
+                    members.add(child)
+                stack.append(child)
+    return count
+
+
+def reref_cone(aig: AIG, root: int, refs: list[int]) -> None:
+    """Undo :func:`deref_cone` (the standard re-reference walk)."""
+    stack = [root]
+    while stack:
+        node = stack.pop()
+        for lit in aig.fanins(node):
+            child = lit_node(lit)
+            if refs[child] == 0 and aig.is_and(child):
+                stack.append(child)
+            refs[child] += 1
+
+
+def mffc_sizes(aig: AIG) -> list[int]:
     """Size of each node's maximum fanout-free cone.
 
     Uses the standard dereference/re-reference trick on one shared
@@ -180,42 +244,21 @@ def _mffc_sizes(aig: AIG) -> list[int]:
     """
     refs = aig.fanout_counts()
     sizes = [0] * aig.num_nodes
-
-    def deref(root: int) -> int:
-        count = 0
-        stack = [root]
-        while stack:
-            node = stack.pop()
-            count += 1
-            for lit in aig.fanins(node):
-                child = lit_node(lit)
-                refs[child] -= 1
-                if refs[child] == 0 and aig.is_and(child):
-                    stack.append(child)
-        return count
-
-    def reref(root: int) -> None:
-        stack = [root]
-        while stack:
-            node = stack.pop()
-            for lit in aig.fanins(node):
-                child = lit_node(lit)
-                if refs[child] == 0 and aig.is_and(child):
-                    stack.append(child)
-                refs[child] += 1
-
     for node in aig.topo_order():
-        sizes[node] = deref(node)
-        reref(node)
+        sizes[node] = deref_cone(aig, node, refs)
+        reref_cone(aig, node, refs)
     return sizes
 
 
-def _plan_cover(aig: AIG, table: int, num_vars: int, leaf_lits: list[int]):
-    """Dry-run ISOP construction; returns (new-node count, cube plan)."""
+def plan_cover(
+    aig: AIG, on: int, dc: int, num_vars: int, leaf_lits: list[int]
+):
+    """Dry-run ISOP construction of any function ``g`` with
+    ``on <= g <= on | dc``; returns (new-node count, cube plan)."""
     universe = all_ones(num_vars)
-    if table == 0 or table == universe:
+    if on == 0 or (on | dc) == universe:
         return 0, []
-    cubes = isop(table, 0, num_vars)
+    cubes = isop(on, dc, num_vars)
     overlay: dict[tuple[int, int], int] = {}
     next_fake = [aig.num_nodes]
 
@@ -242,10 +285,14 @@ def _plan_cover(aig: AIG, table: int, num_vars: int, leaf_lits: list[int]):
     return len(overlay), cubes
 
 
-def _build_plan(aig: AIG, cubes, table: int, num_vars: int, leaf_lits: list[int]) -> int:
-    if table == 0:
+def build_plan(
+    aig: AIG, cubes, on: int, dc: int, num_vars: int, leaf_lits: list[int]
+) -> int:
+    """Materialise a :func:`plan_cover` plan in ``aig``; the dry run
+    and this build share one shape, so the cost estimate is exact."""
+    if on == 0:
         return 0
-    if table == all_ones(num_vars):
+    if (on | dc) == all_ones(num_vars):
         return 1
     return _build_cover_shape(aig.and_, cubes, leaf_lits)
 

@@ -6,6 +6,7 @@ Usage::
     python -m repro.expts all --scale medium --out EXPERIMENTS_RUN.md
     python -m repro.expts fig6 --jobs 4            # process fan-out
     python -m repro.expts fig6 --pipeline "fsm_infer,honour_annotations,encode,elaborate,optimize,map,size{clock_period_ns=20.0}"
+    python -m repro.expts techsweep --jobs 2       # recipes x libraries
 
 Synthesis results are fingerprint-cached under ``--cache-dir``
 (default ``.repro-cache``), so a repeated run of the same figure at
@@ -24,12 +25,14 @@ from repro.expts.fig5_tables import run_fig5
 from repro.expts.fig6_fsm import run_fig6
 from repro.expts.fig8_stateprop import run_fig8
 from repro.expts.fig9_pctrl import run_fig9
+from repro.expts.techsweep import run_techsweep
 
 _RUNNERS = {
     "fig5": run_fig5,
     "fig6": run_fig6,
     "fig8": run_fig8,
     "fig9": run_fig9,
+    "techsweep": run_techsweep,
 }
 
 #: Figures whose (single) default pipeline --pipeline may replace;
@@ -81,6 +84,18 @@ def main(argv: list[str] | None = None) -> int:
         "--no-cache", action="store_true",
         help="disable the compile cache for this run",
     )
+    parser.add_argument(
+        "--store-dir", default=".repro-runs", metavar="DIR",
+        help="run store the techsweep driver records into "
+        "(default: %(default)s; other figures record via "
+        "python -m repro.track)",
+    )
+    parser.add_argument(
+        "--no-store", action="store_true",
+        help="skip the techsweep run-store record (e.g. when running "
+        "from a dirty worktree whose results should not be keyed to "
+        "the HEAD commit)",
+    )
     args = parser.parse_args(argv)
 
     names = sorted(_RUNNERS) if args.figure == "all" else [args.figure]
@@ -102,6 +117,11 @@ def main(argv: list[str] | None = None) -> int:
         kwargs = {"scale": args.scale, "workers": workers, "cache": cache}
         if name in _PIPELINE_FIGURES and args.pipeline is not None:
             kwargs["pipeline"] = args.pipeline
+        if name == "techsweep":
+            # The sweep's purpose is cross-library comparison, so it
+            # persists its record directly (the other figures record
+            # through python -m repro.track).
+            kwargs["store_dir"] = None if args.no_store else args.store_dir
         started = time.time()
         print(
             f"[{name}] running at scale={args.scale} "

@@ -1,0 +1,263 @@
+"""Technology exploration: optimization recipes x cell libraries.
+
+The paper's late-binding argument applied to the *backend*: the same
+controller IRs are pushed through several optimization pipelines and
+mapped against every registered cell library, in one ``compile_many``
+fan-out.  Each (pipeline, library) variant is an ordinary spec string
+-- the library rides on ``map{library=...}``, the recipe on the
+``resub``/``dc_rewrite`` ablation -- so every job is fingerprinted,
+cached, and parallelized like any other compile, and a warm re-run
+performs zero synthesis compiles.
+
+The report answers two questions per library: what does each design
+cost (area, um^2, in that library's own units) and how do the
+libraries compare on identical logic -- every point's ``x`` is the
+reference-library area of the same (design, recipe), so the per-series
+geomean is the library's area ratio against the reference.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.controllers.fsm_random import random_fsm
+from repro.expts.common import (
+    ExperimentPoint,
+    ExperimentResult,
+    format_table,
+    sizing_meta,
+)
+from repro.flow import CompileJob, PassManager, compile_many
+from repro.flow.passes import registered_library_names
+from repro.tables.truthtable import TruthTable
+
+#: The library every point's x-axis is measured in.
+REFERENCE_LIBRARY = "tsmc90ish"
+
+#: Optimization recipes ablated per library: the classic exact flow
+#: against the resubstitution + don't-care-aware extension.
+RECIPES = {
+    "classic": "elaborate,optimize",
+    "resub+dc": "elaborate,optimize,resub,dc_rewrite",
+}
+
+
+def _designs(scale: str) -> dict[str, tuple[str, object]]:
+    """Benchmark controllers: {label: (lowering spec prefix, IR)}.
+
+    FSMs enter through ``fsm_encode`` (case realisation + inference +
+    re-encoding, like the fig6 case treatment), truth tables through
+    ``table_rom`` -- both pure controller IRs, so the sweep exercises
+    the frontend stage too.
+    """
+    if scale == "small":
+        fsm_shapes = [(2, 4, 5), (2, 8, 8)]
+        table_shapes = [(4, 6)]
+    elif scale == "medium":
+        fsm_shapes = [(2, 4, 5), (2, 8, 8), (2, 8, 17)]
+        table_shapes = [(4, 6), (5, 8), (6, 8)]
+    elif scale == "paper":
+        fsm_shapes = [
+            (2, 4, 5), (2, 8, 8), (2, 8, 16), (2, 8, 17), (2, 16, 17),
+        ]
+        table_shapes = [(4, 6), (5, 8), (6, 8), (6, 16), (8, 16)]
+    else:
+        raise ValueError(f"unknown scale {scale!r}")
+
+    fsm_prefix = (
+        "fsm_encode{realize=case},fsm_infer,honour_annotations,encode"
+    )
+    designs: dict[str, tuple[str, object]] = {}
+    # Seeds derive from the shape labels, not built-in hash(): stored
+    # techsweep records must describe identical designs under every
+    # interpreter version, or cross-commit diffs compare random noise.
+    for inputs, outputs, states in fsm_shapes:
+        label = f"fsm_m{inputs}n{outputs}s{states}"
+        designs[label] = (
+            fsm_prefix,
+            random_fsm(
+                inputs, outputs, states, random.Random(label), name=label
+            ),
+        )
+    for inputs, width in table_shapes:
+        label = f"tbl_i{inputs}w{width}"
+        designs[label] = (
+            "table_rom",
+            TruthTable.random(inputs, width, random.Random(label)),
+        )
+    return designs
+
+
+def variant_spec(
+    prefix: str, recipe: str, library: str, clock_period_ns: float
+) -> str:
+    """The complete spec of one (design lowering, recipe, library)."""
+    spec = (
+        f"{prefix},{recipe},map{{library={library}}},"
+        f"size{{clock_period_ns={clock_period_ns!r}}}"
+    )
+    return PassManager.parse(spec).spec()
+
+
+def run_techsweep(
+    scale: str = "small",
+    clock_period_ns: float = 20.0,
+    workers: int = 1,
+    cache=None,
+    libraries: tuple[str, ...] | None = None,
+    store_dir=None,
+    commit: str = "HEAD",
+) -> ExperimentResult:
+    """Fan every design through recipes x libraries and report.
+
+    Args:
+        scale: sweep size (``small``/``medium``/``paper``).
+        clock_period_ns: common relaxed timing target.
+        workers: process fan-out for :func:`repro.flow.compile_many`.
+        cache: a :class:`~repro.flow.CompileCache`; warm re-runs
+            perform zero compiles.
+        libraries: library names to explore; defaults to every
+            registered library (``map{library=...}`` names).
+        store_dir: when given, the result is additionally persisted
+            into the run store at this directory under ``commit``
+            (resolved like ``python -m repro.track record``).
+        commit: commit ref or label for the stored record.
+
+    Returns:
+        An :class:`ExperimentResult` with one series per explored
+        library; each point's ``y`` is a (design, recipe) area in that
+        library and ``x`` the same variant's area in
+        :data:`REFERENCE_LIBRARY`, so series geomeans read as
+        area ratios against the reference kit.
+    """
+    libraries = tuple(libraries or registered_library_names())
+    if REFERENCE_LIBRARY not in libraries:
+        libraries = (REFERENCE_LIBRARY,) + libraries
+    designs = _designs(scale)
+
+    result = ExperimentResult(
+        "Technology exploration -- recipes x libraries",
+        f"{len(designs)} controller designs x {len(RECIPES)} "
+        f"optimization recipes x {len(libraries)} libraries at a "
+        f"{clock_period_ns} ns target; x = {REFERENCE_LIBRARY} area "
+        f"of the identical variant.",
+    )
+
+    jobs = []
+    for label, (prefix, ir) in designs.items():
+        for recipe_name, recipe in RECIPES.items():
+            for library in libraries:
+                spec = variant_spec(
+                    prefix, recipe, library, clock_period_ns
+                )
+                jobs.append(
+                    CompileJob((label, recipe_name, library), spec, ctrl=ir)
+                )
+    compiled = compile_many(jobs, workers=workers, cache=cache)
+    result.absorb_flow(compiled.values())
+
+    rows = []
+    for label in designs:
+        for recipe_name in RECIPES:
+            reference = compiled[(label, recipe_name, REFERENCE_LIBRARY)]
+            for library in libraries:
+                ctx = compiled[(label, recipe_name, library)]
+                rows.append(
+                    [
+                        label,
+                        recipe_name,
+                        library,
+                        f"{ctx.area.total:.1f}",
+                        f"{ctx.timing.critical_delay:.3f}",
+                        "yes" if ctx.sizing.met else "NO",
+                    ]
+                )
+                if reference.area.total <= 0:
+                    continue  # degenerate design: no meaningful ratio
+                result.points.append(
+                    ExperimentPoint(
+                        library,
+                        reference.area.total,
+                        ctx.area.total,
+                        f"{label}/{recipe_name}",
+                        {
+                            "design": label,
+                            "recipe": recipe_name,
+                            "library": library,
+                            **sizing_meta(ctx),
+                        },
+                    )
+                )
+    result.tables["Area/delay per (design, recipe, library)"] = format_table(
+        ["design", "recipe", "library", "area", "delay_ns", "met"], rows
+    )
+    result.meta["libraries"] = list(libraries)
+    result.meta["recipes"] = dict(RECIPES)
+    result.meta["reference_library"] = REFERENCE_LIBRARY
+    result.meta["clock_period_ns"] = clock_period_ns
+    for library in libraries:
+        stats = result.ratio_stats(library)
+        result.notes.append(
+            f"{library}: geomean area ratio vs {REFERENCE_LIBRARY} = "
+            f"{stats.geomean:.3f} over {stats.count} variants"
+        )
+    classic_ands = _recipe_and_total(compiled, "classic")
+    ablated_ands = _recipe_and_total(compiled, "resub+dc")
+    result.notes.append(
+        f"resub+dc recipe removes {classic_ands - ablated_ands} more "
+        f"AND nodes than the classic recipe across the sweep"
+    )
+
+    if store_dir is not None:
+        _store(result, store_dir, commit, scale, libraries)
+    return result
+
+
+def _recipe_and_total(compiled, recipe_name: str) -> int:
+    """Final AND-node total across one recipe's compiles (reference
+    library only, so each design counts once)."""
+    total = 0
+    for (label, recipe, library), ctx in compiled.items():
+        if recipe == recipe_name and library == REFERENCE_LIBRARY:
+            total += ctx.aig.num_ands
+    return total
+
+
+def swept_libraries_hash(libraries: tuple[str, ...]) -> str:
+    """One hash covering *every* library the sweep mapped against.
+
+    The record's ``library`` field is what ``diff_runs`` checks before
+    comparing two commits' areas; hashing only the default library
+    would leave the guard blind to edits of the non-default kits this
+    sweep explicitly explores."""
+    from repro.flow.passes import libraries_digest
+
+    return libraries_digest(libraries)
+
+
+def _store(
+    result: ExperimentResult,
+    store_dir,
+    commit: str,
+    scale: str,
+    libraries: tuple[str, ...],
+):
+    from repro.flow.store import RunRecord, RunStore, now
+    from repro.track import resolve_ref, worktree_dirty
+
+    result.meta.setdefault("scale", scale)
+    resolved = resolve_ref(commit)
+    if commit == "HEAD" and resolved != commit and worktree_dirty():
+        # Uncommitted edits must not masquerade as the clean commit:
+        # a later `track diff <base> HEAD` would compare against
+        # results HEAD's tree never produced.  Key them visibly.
+        resolved += "-dirty"
+    record = RunRecord(
+        figure="techsweep",
+        commit=resolved,
+        result=result,
+        scale=scale,
+        library=swept_libraries_hash(libraries),
+        created_at=now(),
+    )
+    return RunStore(store_dir).put(record)

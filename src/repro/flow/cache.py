@@ -42,6 +42,7 @@ from pathlib import Path
 from typing import TYPE_CHECKING, Sequence
 
 from repro.flow.core import FlowError, is_controller_ir
+from repro.tech.cells import default_library_hash
 
 if TYPE_CHECKING:
     from repro.aig.graph import AIG
@@ -54,7 +55,10 @@ if TYPE_CHECKING:
 #: context pickling layout) to invalidate every existing entry.
 #: Version 2: controller-IR inputs (``ctrl``) and configuration
 #: ``bindings`` joined the key when the frontend became passes.
-FINGERPRINT_VERSION = 2
+#: Version 3: a ``None`` library fingerprints as the *resolved*
+#: default library (``repro.tech.cells.default_library``), so a
+#: changed default can never serve stale hits.
+FINGERPRINT_VERSION = 3
 
 
 def flow_fingerprint(
@@ -93,7 +97,12 @@ def flow_fingerprint(
         bindings: configuration-memory contents consumed by the
             ``pe_bind`` pass; hashed name-sorted.
         library: the cell library (``canonical_hash()``); ``None``
-            means the flow's default library.
+            means the flow's default library, which is *resolved
+            before hashing* -- ``TechMapPass`` falls back to
+            :func:`repro.tech.cells.default_library` at run time, so
+            the fingerprint must cover that resolved library, not the
+            ``None`` placeholder, or a future change of the built-in
+            default would serve stale cache hits.
         seed: the context RNG seed.
 
     Returns:
@@ -146,13 +155,20 @@ def flow_fingerprint(
             )
         ).encode()
     )
+    library_hash = (
+        default_library_hash() if library is None else library.canonical_hash()
+    )
+    digest.update(repr(("library", library_hash)).encode())
+    # Specs carry pass-pinned libraries by *name* (map{library=...});
+    # the registry digest makes the names' definitions part of the
+    # key, so editing any registered kit invalidates instead of
+    # replaying results mapped against the old cells.  Imported
+    # lazily: this module loads before the pass registry during
+    # package import.
+    from repro.flow.passes import registered_libraries_digest
+
     digest.update(
-        repr(
-            (
-                "library",
-                None if library is None else library.canonical_hash(),
-            )
-        ).encode()
+        repr(("library-registry", registered_libraries_digest())).encode()
     )
     digest.update(repr(("seed", seed)).encode())
     return digest.hexdigest()
@@ -317,7 +333,13 @@ class CompileCache:
         Returns:
             A :class:`SweepStats` describing what was scanned, what
             was removed, and the bytes before/after.  A memory-only
-            cache returns all-zero stats.
+            cache, a missing or empty cache directory, and a ``path``
+            that is not a directory at all return all-zero stats --
+            GC of nothing is a no-op, never an error.  Foreign files
+            in the cache directory (anything that is not a regular
+            ``*.pkl`` entry file, including stray subdirectories named
+            like entries) and files that vanish or turn unreadable
+            mid-sweep are skipped, not crashed on.
 
         Raises:
             ValueError: a negative ``max_bytes`` or ``max_age_days``.
@@ -328,12 +350,19 @@ class CompileCache:
             raise ValueError(
                 f"max_age_days must be >= 0, got {max_age_days}"
             )
-        if self.path is None or not self.path.is_dir():
+        try:
+            if self.path is None or not self.path.is_dir():
+                return SweepStats()
+            listing = list(self.path.glob("*/*.pkl"))
+        except OSError:
+            # An unreadable cache directory sweeps as empty.
             return SweepStats()
 
         entries: list[tuple[float, int, Path]] = []  # (mtime, size, path)
-        for file in self.path.glob("*/*.pkl"):
+        for file in listing:
             try:
+                if not file.is_file():
+                    continue  # a directory named *.pkl is not ours
                 stat = file.stat()
             except OSError:
                 continue  # deleted (or unreadable) under us: skip

@@ -14,6 +14,8 @@ spec name               stage    engine
 ``tt_sweep``            aig      :func:`repro.aig.rewrite.tt_sweep`
 ``balance``             aig      :func:`repro.aig.balance.balance`
 ``rewrite``             aig      :func:`repro.aig.rewrite.rewrite`
+``resub``               aig      :func:`repro.aig.resub.resub`
+``dc_rewrite``          aig      :func:`repro.aig.dontcare.dc_rewrite`
 ``retime``              aig      :func:`repro.synth.retime.retime_backward`
 ``stateprop``           aig      :func:`repro.synth.stateprop.fold_states`
 ``optimize``            aig      fixed point of sweep/balance/rewrite
@@ -30,7 +32,9 @@ from __future__ import annotations
 import random
 
 from repro.aig.balance import balance
+from repro.aig.dontcare import dc_rewrite
 from repro.aig.graph import AIG
+from repro.aig.resub import MAX_RESUB_K, resub
 from repro.aig.rewrite import rewrite, tt_sweep
 from repro.flow.combinators import FixedPoint, WhileProgress
 from repro.flow.core import FlowContext, FlowError, Pass, register_pass
@@ -46,7 +50,7 @@ from repro.synth.retime import retime_backward
 from repro.synth.stateprop import fold_states
 from repro.synth.statesets import ValueSet
 from repro.synth.sweep import seq_sweep
-from repro.tech.cells import Library
+from repro.tech.cells import Library, default_library
 from repro.tech.mapper import map_aig
 from repro.tech.sizing import size_for_clock
 from repro.tech.sta import analyze_timing
@@ -204,6 +208,108 @@ class RewritePass(Pass):
 
     def run(self, ctx: FlowContext) -> None:
         ctx.aig = rewrite(ctx.aig, k=self.k, max_cuts=self.max_cuts)
+
+
+@register_pass("resub")
+class ResubPass(Pass):
+    """Resubstitution: re-express nodes through existing divisors
+    (:func:`repro.aig.resub.resub`); flags progress when the AND count
+    actually dropped, so convergence loops can gate on it."""
+
+    def __init__(
+        self,
+        k: int = 3,
+        max_divisors: int = 16,
+        support_limit: int = 8,
+    ) -> None:
+        super().__init__()
+        if k < 1 or k > MAX_RESUB_K:
+            raise ValueError(f"k must be in 1..{MAX_RESUB_K}, got {k}")
+        if max_divisors < 1:
+            raise ValueError(f"max_divisors must be >= 1, got {max_divisors}")
+        if support_limit < 1:
+            raise ValueError(
+                f"support_limit must be >= 1, got {support_limit}"
+            )
+        self.k = k
+        self.max_divisors = max_divisors
+        self.support_limit = support_limit
+
+    def params(self) -> dict:
+        params = {}
+        if self.k != 3:
+            params["k"] = self.k
+        if self.max_divisors != 16:
+            params["max_divisors"] = self.max_divisors
+        if self.support_limit != 8:
+            params["support_limit"] = self.support_limit
+        return params
+
+    def run(self, ctx: FlowContext) -> None:
+        before = ctx.aig.num_ands
+        ctx.aig = resub(
+            ctx.aig,
+            k=self.k,
+            max_divisors=self.max_divisors,
+            support_limit=self.support_limit,
+        )
+        saved = before - ctx.aig.num_ands
+        if saved:
+            self.note(f"resub: -{saved} ands via divisor substitution")
+            ctx.mark_progress()
+
+
+@register_pass("dc_rewrite")
+class DcRewritePass(Pass):
+    """Don't-care-aware rewriting (:func:`repro.aig.dontcare.dc_rewrite`):
+    windowed satisfiability/observability don't-cares relax each cut's
+    ON-set before ISOP resynthesis, accepting covers the exact
+    ``rewrite`` pass must reject."""
+
+    def __init__(
+        self,
+        k: int = 4,
+        max_cuts: int = 6,
+        tfo_depth: int = 2,
+        support_limit: int = 10,
+    ) -> None:
+        super().__init__()
+        if tfo_depth < 1:
+            raise ValueError(f"tfo_depth must be >= 1, got {tfo_depth}")
+        if support_limit < 1:
+            raise ValueError(
+                f"support_limit must be >= 1, got {support_limit}"
+            )
+        self.k = k
+        self.max_cuts = max_cuts
+        self.tfo_depth = tfo_depth
+        self.support_limit = support_limit
+
+    def params(self) -> dict:
+        params = {}
+        if self.k != 4:
+            params["k"] = self.k
+        if self.max_cuts != 6:
+            params["max_cuts"] = self.max_cuts
+        if self.tfo_depth != 2:
+            params["tfo_depth"] = self.tfo_depth
+        if self.support_limit != 10:
+            params["support_limit"] = self.support_limit
+        return params
+
+    def run(self, ctx: FlowContext) -> None:
+        before = ctx.aig.num_ands
+        ctx.aig = dc_rewrite(
+            ctx.aig,
+            k=self.k,
+            max_cuts=self.max_cuts,
+            tfo_depth=self.tfo_depth,
+            support_limit=self.support_limit,
+        )
+        saved = before - ctx.aig.num_ands
+        if saved:
+            self.note(f"dc_rewrite: -{saved} ands via don't-cares")
+            ctx.mark_progress()
 
 
 @register_pass("retime")
@@ -386,7 +492,68 @@ class StateFoldingStage(WhileProgress):
 
 
 #: Libraries reconstructible from a spec string (``map{library=...}``).
-LIBRARY_FACTORIES = {"tsmc90ish": Library.tsmc90ish}
+#: Every entry is a zero-argument factory; registering here is what
+#: makes a library addressable from pipeline specs, the ``techsweep``
+#: experiment driver, and cache fingerprints.
+LIBRARY_FACTORIES = {
+    "tsmc90ish": Library.tsmc90ish,
+    "generic45ish": Library.generic45ish,
+    "lowpowerish": Library.lowpowerish,
+}
+
+
+def registered_library_names() -> list[str]:
+    """The library names ``map{library=...}`` accepts, sorted."""
+    return sorted(LIBRARY_FACTORIES)
+
+
+def libraries_digest(names) -> str:
+    """Content digest over the named registered libraries (sorted):
+    the one definition of "what do these kits' cells hash to" shared
+    by the cache fingerprint and the techsweep run-store records."""
+    import hashlib
+
+    digest = hashlib.sha256()
+    for name in sorted(names):
+        digest.update(
+            repr((name, LIBRARY_FACTORIES[name]().canonical_hash())).encode()
+        )
+    return digest.hexdigest()
+
+
+#: (registry snapshot the digest was computed from, digest) -- the
+#: snapshot holds the factory objects themselves, so the identity
+#: check can never be fooled by object-id reuse.
+_LIBRARIES_DIGEST_CACHE: tuple[tuple, str] | None = None
+
+
+def registered_libraries_digest() -> str:
+    """One content digest over every registered library.
+
+    ``map{library=...}`` renders a library into specs (and hence cache
+    fingerprints) by *name*; the definitions behind the names live in
+    code, which fingerprints deliberately do not cover -- so an edit
+    to a registered library's cells would otherwise replay stale
+    cached results under the new definition's label.  Mixing this
+    digest into :func:`repro.flow.cache.flow_fingerprint` closes that
+    hole: any change to any registered kit (or registering a new one)
+    invalidates the cache.  Memoized per registry snapshot -- the
+    factories are module-level code objects, so recomputation only
+    happens when a test swaps one in.
+    """
+    global _LIBRARIES_DIGEST_CACHE
+    snapshot = tuple(
+        sorted(LIBRARY_FACTORIES.items(), key=lambda item: item[0])
+    )
+    if _LIBRARIES_DIGEST_CACHE is not None:
+        cached_snapshot, cached_digest = _LIBRARIES_DIGEST_CACHE
+        if len(cached_snapshot) == len(snapshot) and all(
+            old[0] == new[0] and old[1] is new[1]
+            for old, new in zip(cached_snapshot, snapshot)
+        ):
+            return cached_digest
+    _LIBRARIES_DIGEST_CACHE = (snapshot, libraries_digest(LIBRARY_FACTORIES))
+    return _LIBRARIES_DIGEST_CACHE[1]
 
 
 @register_pass("map")
@@ -427,7 +594,10 @@ class TechMapPass(Pass):
         return {"library": self.library.name}
 
     def run(self, ctx: FlowContext) -> None:
-        library = self.library or ctx.library or Library.tsmc90ish()
+        # The same default the cache fingerprint resolves
+        # (flow_fingerprint hashes default_library() for a None
+        # library), so a changed default can never serve stale hits.
+        library = self.library or ctx.library or default_library()
         ctx.netlist = map_aig(ctx.aig, library)
         self.note(f"map: {ctx.netlist.stats()}")
 

@@ -40,7 +40,7 @@ from repro.flow.pipeline import run_default_flow
 from repro.rtl.module import Module
 from repro.synth.dc_options import CompileOptions, StateAnnotation
 from repro.synth.stateprop import FoldStats
-from repro.tech.cells import Library
+from repro.tech.cells import Library, default_library
 from repro.tech.netlist import AreaReport, MappedNetlist
 from repro.tech.sizing import SizingResult
 from repro.tech.sta import TimingReport
@@ -113,7 +113,7 @@ class DesignCompiler:
     """
 
     def __init__(self, library: Library | None = None) -> None:
-        self.library = library or Library.tsmc90ish()
+        self.library = library or default_library()
 
     def compile(
         self,

@@ -21,7 +21,7 @@ implementations in the same library, so only consistency matters.
 from __future__ import annotations
 
 import hashlib
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
 
 DRIVES = (1, 2, 4)
 _DRIVE_AREA_FACTOR = {1: 1.0, 2: 1.6, 4: 2.5}
@@ -200,3 +200,102 @@ class Library:
             FlopCell("DFFR", "async", 18.8, 0.17, 0.05),
         ]
         return cls("tsmc90ish", cells, flops)
+
+    @classmethod
+    def generic45ish(cls) -> "Library":
+        """A coarser synthetic 45nm-class library.
+
+        Deliberately sparse -- inverting primitives, a buffer, and a
+        mux only -- so technology exploration has a qualitatively
+        different target: the mapper must spend inverters and
+        multi-cell structures where the 90nm kit has single complex
+        cells (AOI/OAI/XOR).  NAND2+NOR2+INV alone cover any AIG (the
+        NPN orbits absorb input phases), so mapping is always total.
+        """
+        cells = [
+            Cell("INV", 1, _tt(lambda a: not a, 1), 0.8, 0.012, 0.011),
+            Cell("BUF", 1, _tt(lambda a: a, 1), 1.0, 0.022, 0.008),
+            Cell("NAND2", 2, _tt(lambda a, b: not (a and b), 2), 1.2, 0.018, 0.014),
+            Cell("NOR2", 2, _tt(lambda a, b: not (a or b), 2), 1.2, 0.021, 0.016),
+            Cell(
+                "NAND3", 3, _tt(lambda a, b, c: not (a and b and c), 3),
+                1.6, 0.026, 0.017,
+            ),
+            Cell(
+                "NOR3", 3, _tt(lambda a, b, c: not (a or b or c), 3),
+                1.6, 0.032, 0.020,
+            ),
+            Cell(
+                "MUX2", 3, _tt(lambda a, b, s: b if s else a, 3),
+                2.2, 0.038, 0.017,
+            ),
+        ]
+        flops = [
+            FlopCell("DFF", "none", 6.2, 0.095, 0.025, 0.018),
+            FlopCell("DFFS", "sync", 7.4, 0.100, 0.030, 0.018),
+            FlopCell("DFFR", "async", 8.1, 0.100, 0.030, 0.018),
+        ]
+        return cls("generic45ish", cells, flops)
+
+    @classmethod
+    def lowpowerish(cls) -> "Library":
+        """A low-leakage variant of the 90nm kit: the same cell set,
+        slightly smaller, markedly slower -- the classic high-Vt
+        corner.  Exists so library exploration has a same-node
+        area/delay trade-off, not just a process shrink."""
+        base = cls.tsmc90ish()
+        cells = [
+            replace(
+                cell,
+                area=round(cell.area * 0.85, 4),
+                intrinsic=round(cell.intrinsic * 1.6, 4),
+                load_coeff=round(cell.load_coeff * 1.35, 4),
+            )
+            for cell in base.cells.values()
+        ]
+        flops = [
+            replace(
+                flop,
+                area=round(flop.area * 0.9, 4),
+                clk_to_q=round(flop.clk_to_q * 1.5, 4),
+                setup=round(flop.setup * 1.4, 4),
+                load_coeff=round(flop.load_coeff * 1.35, 4),
+            )
+            for flop in base.flops.values()
+        ]
+        return cls("lowpowerish", cells, flops)
+
+
+#: Factory for the library a flow falls back to when neither the
+#: ``map`` pass nor the context pins one.  Kept as a module-level
+#: callable (rather than hard-coded call sites) so the *resolved*
+#: default can be fingerprinted by the compile cache -- see
+#: :func:`repro.flow.cache.flow_fingerprint` -- and monkeypatched by
+#: tests.
+DEFAULT_LIBRARY_FACTORY = Library.tsmc90ish
+
+
+def default_library() -> Library:
+    """The library used when no explicit one is given anywhere."""
+    return DEFAULT_LIBRARY_FACTORY()
+
+
+#: (factory object, its library's canonical hash) -- holding the
+#: factory reference keeps the identity check sound (no id reuse).
+_DEFAULT_HASH_CACHE: tuple[object, str] | None = None
+
+
+def default_library_hash() -> str:
+    """Canonical hash of the current default library, memoized.
+
+    Fingerprinting resolves a ``None`` library through this on every
+    compile (see :func:`repro.flow.cache.flow_fingerprint`); building
+    and sha256-ing the full cell list each time would make hashing a
+    measurable cost on warm hundreds-of-jobs sweeps.  The memo is
+    keyed on the factory object itself, so swapping
+    :data:`DEFAULT_LIBRARY_FACTORY` recomputes."""
+    global _DEFAULT_HASH_CACHE
+    factory = DEFAULT_LIBRARY_FACTORY
+    if _DEFAULT_HASH_CACHE is None or _DEFAULT_HASH_CACHE[0] is not factory:
+        _DEFAULT_HASH_CACHE = (factory, factory().canonical_hash())
+    return _DEFAULT_HASH_CACHE[1]

@@ -20,7 +20,7 @@ from repro.aig.cuts import CutSet
 from repro.aig.graph import AIG, lit_node, lit_sign
 from repro.aig.tt_util import project_table
 from repro.tables.bits import all_ones, tt_support
-from repro.tech.cells import Cell, Library
+from repro.tech.cells import Cell, Library, default_library
 from repro.tech.netlist import CONST0_NET, CONST1_NET, MappedNetlist
 
 _K = 4
@@ -94,11 +94,16 @@ def _transform(table: int, perm: tuple[int, ...], phases: int, arity: int) -> in
     return result
 
 
-_match_table_cache: dict[int, _MatchTable] = {}
+_match_table_cache: dict[str, _MatchTable] = {}
 
 
 def _matches_for(library: Library) -> _MatchTable:
-    key = id(library)
+    # Keyed on the library's *content* hash, not id(): two Library
+    # objects with identical cells share one match table, and a
+    # recycled object id (GC + reallocation) can never serve another
+    # library's matches -- which matters now that flows routinely map
+    # against several libraries in one process.
+    key = library.canonical_hash()
     table = _match_table_cache.get(key)
     if table is None:
         table = _MatchTable(library)
@@ -108,7 +113,7 @@ def _matches_for(library: Library) -> _MatchTable:
 
 def map_aig(aig: AIG, library: Library | None = None) -> MappedNetlist:
     """Map a (cleaned-up) AIG onto the library; returns the netlist."""
-    library = library or Library.tsmc90ish()
+    library = library or default_library()
     matches = _matches_for(library)
     cuts = CutSet(aig, k=_K, max_cuts=_MAX_CUTS)
     fanout = aig.fanout_counts()

@@ -34,7 +34,7 @@ from repro.flow.store import DEFAULT_STORE_DIR, RunRecord, RunStore, StoreError
 from repro.track.bench import BENCH_FIGURE, run_pass_bench
 
 #: Figure drivers the ``record`` subcommand can run, in run order.
-FIGURE_NAMES = ("fig5", "fig6", "fig8", "fig9")
+FIGURE_NAMES = ("fig5", "fig6", "fig8", "fig9", "techsweep")
 
 #: Default regression thresholds: areas are deterministic, so any
 #: growth beyond rounding is suspect; wall clocks are noisy, so only
@@ -64,6 +64,28 @@ def resolve_ref(ref: str) -> str:
     return resolved if proc.returncode == 0 and resolved else ref
 
 
+def worktree_dirty() -> bool:
+    """Does the current checkout carry uncommitted *tracked* changes?
+
+    Untracked files are ignored deliberately: the run store and the
+    compile cache themselves appear as untracked directories on a
+    perfectly clean checkout, and untracked files cannot change what
+    committed code computes.  Best effort: outside a git checkout (or
+    when git itself fails) the answer is False -- callers use this to
+    *label* records, never to gate them.
+    """
+    try:
+        proc = subprocess.run(
+            ["git", "status", "--porcelain", "--untracked-files=no"],
+            capture_output=True,
+            text=True,
+            timeout=10,
+        )
+    except (OSError, subprocess.TimeoutExpired):
+        return False
+    return proc.returncode == 0 and bool(proc.stdout.strip())
+
+
 def _figures_for(names: list[str]) -> list[str]:
     expanded: list[str] = []
     for name in names:
@@ -78,11 +100,18 @@ def _figures_for(names: list[str]) -> list[str]:
 
 def _run_figure(name: str, scale: str, workers: int, cache) -> "object":
     # Imported here so ``track list``/``diff``/``gc`` stay fast.
-    from repro.expts import run_fig5, run_fig6, run_fig8, run_fig9
+    from repro.expts import (
+        run_fig5,
+        run_fig6,
+        run_fig8,
+        run_fig9,
+        run_techsweep,
+    )
 
     runners = {
         "fig5": run_fig5, "fig6": run_fig6,
         "fig8": run_fig8, "fig9": run_fig9,
+        "techsweep": run_techsweep,
     }
     return runners[name](scale=scale, workers=workers, cache=cache)
 
@@ -94,6 +123,16 @@ def cmd_record(args) -> int:
 
     store = RunStore(args.store_dir)
     commit = resolve_ref(args.commit)
+    if args.commit == "HEAD" and commit != args.commit and worktree_dirty():
+        # Not a hard stop -- docs tell users to record from clean
+        # checkouts, and tests record under explicit labels -- but a
+        # record silently keyed to a sha its tree does not match is
+        # exactly the misread `track diff` exists to prevent.
+        print(
+            f"warning: recording HEAD ({commit[:12]}) from a dirty "
+            f"worktree; uncommitted changes will be stored under the "
+            f"clean commit sha (use --commit LABEL to key them apart)"
+        )
     workers = args.jobs if args.jobs > 0 else default_workers()
     cache = None if args.no_cache else CompileCache(args.cache_dir)
     library_hash = DesignCompiler().library.canonical_hash()
@@ -108,12 +147,22 @@ def cmd_record(args) -> int:
             result = _run_figure(name, args.scale, workers, cache)
             scale = args.scale
         result.meta.setdefault("scale", scale)
+        if name == "techsweep":
+            # The sweep maps against every registered library; its
+            # record must guard on all of them, not just the default.
+            from repro.expts.techsweep import swept_libraries_hash
+
+            figure_library = swept_libraries_hash(
+                tuple(result.meta["libraries"])
+            )
+        else:
+            figure_library = library_hash
         record = RunRecord(
             figure=name,
             commit=commit,
             result=result,
             scale=scale,
-            library=library_hash,
+            library=figure_library,
             created_at=now(),
         )
         path = store.put(record)

@@ -33,7 +33,15 @@ from repro.flow import PassManager
 
 #: Registered AIG-stage leaf passes that run out of the box on a bare
 #: AIG context.
-AIG_LEAF_PASSES = ("seq_sweep", "tt_sweep", "balance", "rewrite", "retime")
+AIG_LEAF_PASSES = (
+    "seq_sweep",
+    "tt_sweep",
+    "balance",
+    "rewrite",
+    "resub",
+    "dc_rewrite",
+    "retime",
+)
 
 #: The full RTL-to-netlist flow covering the remaining registered
 #: passes (the stage drivers' retime/stateprop records land in the

@@ -86,13 +86,92 @@ def test_fingerprint_covers_every_input():
     assert fp != flow_fingerprint(
         "elaborate,optimize", **{**base, "module": build_rom_module(5)}
     )
-    assert fp != flow_fingerprint("elaborate,optimize", **{**base, "library": None})
+    # A None library resolves to the default (tsmc90ish today) before
+    # hashing: the fingerprint covers what TechMapPass will actually
+    # map with, so "no library" and "the default library" are the same
+    # compile -- and a *changed* default is a different one.
+    assert fp == flow_fingerprint(
+        "elaborate,optimize", **{**base, "library": None}
+    )
+    assert fp != flow_fingerprint(
+        "elaborate,optimize", **{**base, "library": Library.generic45ish()}
+    )
     annotated = flow_fingerprint(
         "elaborate,optimize",
         annotations=(StateAnnotation("state", (0, 1)),),
         **base,
     )
     assert fp != annotated
+
+
+def test_default_library_is_resolved_before_fingerprinting(monkeypatch):
+    """Regression: two jobs differing only in the *resolved* default
+    library must miss each other's cache entries.
+
+    ``TechMapPass.run`` falls back to ``default_library()`` when
+    neither the pass nor the context pins one; the fingerprint must
+    resolve the same default up front, otherwise changing the built-in
+    default would replay results mapped against the old library.
+    """
+    from repro.tech import cells
+
+    module = build_rom_module()
+    before = flow_fingerprint("elaborate,optimize,map,size", module=module)
+    monkeypatch.setattr(
+        cells, "DEFAULT_LIBRARY_FACTORY", Library.generic45ish
+    )
+    after = flow_fingerprint("elaborate,optimize,map,size", module=module)
+    assert before != after
+    # And the resolved default equals the explicitly-passed library.
+    assert after == flow_fingerprint(
+        "elaborate,optimize,map,size",
+        module=module,
+        library=Library.generic45ish(),
+    )
+
+
+def test_default_library_change_misses_the_cache(monkeypatch):
+    """End to end: a warm cache entry compiled under one default
+    library is not served once the default changes."""
+    from repro.tech import cells
+
+    cache = CompileCache()
+    pipeline = full_pipeline()
+    first = pipeline.compile(build_rom_module(), cache=cache)
+    assert cache.misses == 1
+    monkeypatch.setattr(
+        cells, "DEFAULT_LIBRARY_FACTORY", Library.generic45ish
+    )
+    second = pipeline.compile(build_rom_module(), cache=cache)
+    assert cache.misses == 2 and cache.hits == 0
+    assert second is not first
+    assert second.netlist.library.name == "generic45ish"
+
+
+def test_registered_library_edit_invalidates_fingerprints(monkeypatch):
+    """``map{library=...}`` pins libraries by *name* in the spec; the
+    fingerprint must cover the names' definitions (the registry
+    digest), or editing a registered kit would replay results mapped
+    against the old cells."""
+    from dataclasses import replace as dc_replace
+
+    from repro.flow import passes
+
+    module = build_rom_module()
+    spec = "elaborate,optimize,map{library=generic45ish},size"
+    before = flow_fingerprint(spec, module=module)
+    assert before == flow_fingerprint(spec, module=module)  # memo is stable
+
+    def tweaked_generic45ish():
+        lib = Library.generic45ish()
+        inv = lib.cells["INV"]
+        lib.cells["INV"] = dc_replace(inv, area=inv.area * 2)
+        return lib
+
+    monkeypatch.setitem(
+        passes.LIBRARY_FACTORIES, "generic45ish", tweaked_generic45ish
+    )
+    assert flow_fingerprint(spec, module=module) != before
 
 
 def test_differently_parameterized_pipelines_fingerprint_apart():

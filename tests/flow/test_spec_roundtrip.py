@@ -101,7 +101,12 @@ _PARAMETERIZED = [
     ("optimize", {"effort_rounds": 3, "support_limit": 6}),
     ("retime_stage", {"effort_rounds": 1, "max_rounds": 2}),
     ("state_folding", {"effort_rounds": 3, "support_limit": 4}),
+    ("resub", {"k": 2, "max_divisors": 8, "support_limit": 6}),
+    ("dc_rewrite", {"k": 3, "max_cuts": 4, "tfo_depth": 3,
+                    "support_limit": 8}),
     ("map", {"library": "tsmc90ish"}),
+    ("map", {"library": "generic45ish"}),
+    ("map", {"library": "lowpowerish"}),
     ("size", {"clock_period_ns": 2.5}),
 ]
 

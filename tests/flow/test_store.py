@@ -12,7 +12,7 @@ from repro.expts.common import (
     PassTotals,
     RatioStats,
 )
-from repro.flow import CompileCache
+from repro.flow import CompileCache, SweepStats
 from repro.flow.core import AigStats, FlowContext, PassRecord
 from repro.flow.store import (
     RUN_STORE_VERSION,
@@ -337,6 +337,51 @@ def test_sweep_noop_cases(tmp_path):
         cache.sweep(max_bytes=-1)
     with pytest.raises(ValueError):
         cache.sweep(max_age_days=-1)
+
+
+def test_sweep_missing_and_empty_dirs_return_zero_stats(tmp_path):
+    """GC of nothing is a no-op, never an error."""
+    missing = CompileCache(tmp_path / "does-not-exist")
+    stats = missing.sweep(max_bytes=0, max_age_days=0)
+    assert stats == SweepStats()
+    empty_dir = tmp_path / "empty"
+    empty_dir.mkdir()
+    stats = CompileCache(empty_dir).sweep(max_bytes=0, max_age_days=0)
+    assert stats == SweepStats()
+    # A path that is a *file* is as good as no cache.
+    file_path = tmp_path / "plain-file"
+    file_path.write_bytes(b"x")
+    stats = CompileCache(file_path).sweep(max_bytes=0)
+    assert stats == SweepStats()
+
+
+def test_sweep_skips_foreign_files(tmp_path):
+    """Files the cache did not write are never counted or deleted."""
+    cache, files = _fill_cache(tmp_path, [(100, 10)])
+    root = cache.path
+    (root / "README.txt").write_text("not an entry")
+    (root / "ab").mkdir(exist_ok=True)
+    (root / "ab" / "notes.json").write_text("{}")
+    impostor = root / "ab" / "dir-named-like-entry.pkl"
+    impostor.mkdir()
+    (impostor / "inner").write_bytes(b"x")
+    stats = cache.sweep(max_bytes=0, max_age_days=0)
+    # Only the genuine entry was scanned and removed.
+    assert stats.scanned == 1 and stats.removed == 1
+    assert not files[0].exists()
+    assert (root / "README.txt").exists()
+    assert (root / "ab" / "notes.json").exists()
+    assert impostor.is_dir() and (impostor / "inner").exists()
+
+
+def test_track_gc_on_missing_cache_dir_exits_zero(tmp_path, capsys):
+    from repro.track import main as track_main
+
+    code = track_main(
+        ["gc", "--cache-dir", str(tmp_path / "nope"), "--max-bytes", "1K"]
+    )
+    assert code == 0
+    assert "swept 0/0 entries" in capsys.readouterr().out
 
 
 def test_swept_cache_still_works(tmp_path):

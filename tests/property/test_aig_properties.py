@@ -5,7 +5,7 @@ import random
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
-from repro.aig import balance, rewrite
+from repro.aig import balance, dc_rewrite, resub, rewrite
 from repro.aig.graph import AIG, lit_compl
 from repro.aig.rewrite import tt_sweep
 from repro.aig.tt_util import expand_table, insert_var, project_table, remove_var
@@ -38,7 +38,7 @@ def build_random_aig(seed, num_inputs, num_nodes):
 @settings(max_examples=40, deadline=None)
 def test_passes_preserve_equivalence(spec):
     aig = build_random_aig(*spec)
-    for pass_fn in (balance, tt_sweep, rewrite):
+    for pass_fn in (balance, tt_sweep, rewrite, resub, dc_rewrite):
         optimized = pass_fn(aig)
         assert check_combinational_equivalence(aig, optimized)
 

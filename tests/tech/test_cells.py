@@ -48,6 +48,93 @@ def test_drive_scaling():
     assert nand2.delay(0, 1) == nand2.delay(1, 1)
 
 
+def test_registered_libraries_are_valid_and_distinct():
+    """Every spec-addressable library builds, carries the mandatory
+    cells/flops, and hashes apart from the others."""
+    from repro.flow.passes import LIBRARY_FACTORIES
+
+    hashes = {}
+    for name, factory in LIBRARY_FACTORIES.items():
+        lib = factory()
+        assert lib.name == name
+        assert "INV" in lib.cells
+        for kind in ("none", "sync", "async"):
+            assert lib.flop_for(kind) is not None
+        hashes[name] = lib.canonical_hash()
+        # Factories are deterministic: same content hash every build.
+        assert factory().canonical_hash() == hashes[name]
+    assert len(set(hashes.values())) == len(hashes)
+
+
+def test_every_registered_library_maps_an_arbitrary_aig():
+    """NAND2/NOR2/INV suffice to cover any AIG; every library must map
+    totally *and* correctly (simulation crosscheck per library)."""
+    import random
+
+    from repro.aig.graph import AIG
+    from repro.flow.passes import LIBRARY_FACTORIES
+    from repro.tech.mapper import map_aig
+
+    from tests.tech.test_mapper import crosscheck_netlist
+
+    rng = random.Random(9)
+    aig = AIG()
+    pool = [aig.add_pi(f"x{i}") for i in range(5)]
+    for _ in range(30):
+        a = rng.choice(pool) ^ rng.randint(0, 1)
+        b = rng.choice(pool) ^ rng.randint(0, 1)
+        pool.append(aig.and_(a, b))
+    aig.add_po("f", pool[-1])
+    aig.add_po("g", pool[-7] ^ 1)
+    cleaned, _ = aig.cleanup()
+    for name, factory in LIBRARY_FACTORIES.items():
+        netlist = map_aig(cleaned, factory())
+        assert netlist.area_report().num_cells > 0, name
+        crosscheck_netlist(cleaned, netlist)
+
+
+def test_lowpowerish_trades_delay_for_area():
+    fast = Library.tsmc90ish()
+    slow = Library.lowpowerish()
+    assert set(slow.cells) == set(fast.cells)
+    for name, cell in slow.cells.items():
+        assert cell.area <= fast.cells[name].area
+        assert cell.intrinsic > fast.cells[name].intrinsic
+
+
+def test_default_library_factory_is_resolvable():
+    from repro.tech import cells
+
+    assert cells.default_library().name == "tsmc90ish"
+    original = cells.DEFAULT_LIBRARY_FACTORY
+    try:
+        cells.DEFAULT_LIBRARY_FACTORY = Library.generic45ish
+        assert cells.default_library().name == "generic45ish"
+    finally:
+        cells.DEFAULT_LIBRARY_FACTORY = original
+
+
+def test_default_library_hash_memo_tracks_the_factory():
+    from repro.tech import cells
+
+    original = cells.DEFAULT_LIBRARY_FACTORY
+    try:
+        assert (
+            cells.default_library_hash()
+            == Library.tsmc90ish().canonical_hash()
+        )
+        cells.DEFAULT_LIBRARY_FACTORY = Library.generic45ish
+        assert (
+            cells.default_library_hash()
+            == Library.generic45ish().canonical_hash()
+        )
+    finally:
+        cells.DEFAULT_LIBRARY_FACTORY = original
+    assert (
+        cells.default_library_hash() == Library.tsmc90ish().canonical_hash()
+    )
+
+
 def test_library_validation():
     inv = Cell("INV", 1, 0b01, 1.0, 0.01, 0.01)
     flops = [
