@@ -34,7 +34,7 @@ def record(store, cache, commit):
     )
     store.put(record)
     print(f"recorded {len(result.points)} points at {commit!r}; "
-          f"{cache.stats()}")
+          f"{cache.stats_line()}")
     return record
 
 

@@ -7,11 +7,17 @@ Usage::
     python -m repro.expts fig6 --jobs 4            # process fan-out
     python -m repro.expts fig6 --pipeline "fsm_infer,honour_annotations,encode,elaborate,optimize,map,size{clock_period_ns=20.0}"
     python -m repro.expts techsweep --jobs 2       # recipes x libraries
+    python -m repro.expts replay --clients 4       # serve benchmark
+    python -m repro.expts fig6 --server http://127.0.0.1:8731
 
 Synthesis results are fingerprint-cached under ``--cache-dir``
 (default ``.repro-cache``), so a repeated run of the same figure at
 the same scale performs zero synthesis compiles; ``--no-cache``
-disables this.
+disables this.  ``--server`` routes cache misses through a running
+``python -m repro.serve`` compile server instead of compiling locally
+(the local cache still fronts it); ``replay`` is the traffic-replay
+benchmark against that service (self-hosting one when no ``--server``
+is given).
 """
 
 from __future__ import annotations
@@ -25,6 +31,7 @@ from repro.expts.fig5_tables import run_fig5
 from repro.expts.fig6_fsm import run_fig6
 from repro.expts.fig8_stateprop import run_fig8
 from repro.expts.fig9_pctrl import run_fig9
+from repro.expts.replay import run_replay
 from repro.expts.techsweep import run_techsweep
 
 _RUNNERS = {
@@ -33,7 +40,12 @@ _RUNNERS = {
     "fig8": run_fig8,
     "fig9": run_fig9,
     "techsweep": run_techsweep,
+    "replay": run_replay,
 }
+
+#: Figures that persist a run-store record directly (the others
+#: record through ``python -m repro.track``).
+_STORED_FIGURES = ("techsweep", "replay")
 
 #: Figures whose (single) default pipeline --pipeline may replace;
 #: fig8/fig9 compare several flows per design, so an override would
@@ -86,15 +98,31 @@ def main(argv: list[str] | None = None) -> int:
     )
     parser.add_argument(
         "--store-dir", default=".repro-runs", metavar="DIR",
-        help="run store the techsweep driver records into "
+        help="run store the techsweep/replay drivers record into "
         "(default: %(default)s; other figures record via "
         "python -m repro.track)",
     )
     parser.add_argument(
         "--no-store", action="store_true",
-        help="skip the techsweep run-store record (e.g. when running "
-        "from a dirty worktree whose results should not be keyed to "
-        "the HEAD commit)",
+        help="skip the techsweep/replay run-store record (e.g. when "
+        "running from a dirty worktree whose results should not be "
+        "keyed to the HEAD commit)",
+    )
+    parser.add_argument(
+        "--server", default=None, metavar="URL",
+        help="base URL of a running compile server (python -m "
+        "repro.serve); cache misses compile there instead of locally, "
+        "and replay benchmarks it instead of self-hosting",
+    )
+    parser.add_argument(
+        "--clients", type=int, default=3, metavar="N",
+        help="replay only: concurrent client threads (default: "
+        "%(default)s)",
+    )
+    parser.add_argument(
+        "--jobs-per-client", type=int, default=6, metavar="M",
+        help="replay only: jobs each replay client submits (default: "
+        "%(default)s)",
     )
     args = parser.parse_args(argv)
 
@@ -109,19 +137,33 @@ def main(argv: list[str] | None = None) -> int:
             )
     if args.jobs < 0:
         parser.error(f"--jobs must be >= 0, got {args.jobs}")
+    if args.clients < 1:
+        parser.error(f"--clients must be >= 1, got {args.clients}")
+    if args.jobs_per_client < 1:
+        parser.error(
+            f"--jobs-per-client must be >= 1, got {args.jobs_per_client}"
+        )
     workers = args.jobs if args.jobs > 0 else default_workers()
     cache = None if args.no_cache else CompileCache(args.cache_dir)
 
     chunks = []
     for name in names:
-        kwargs = {"scale": args.scale, "workers": workers, "cache": cache}
+        kwargs = {
+            "scale": args.scale,
+            "workers": workers,
+            "cache": cache,
+            "server": args.server,
+        }
         if name in _PIPELINE_FIGURES and args.pipeline is not None:
             kwargs["pipeline"] = args.pipeline
-        if name == "techsweep":
-            # The sweep's purpose is cross-library comparison, so it
-            # persists its record directly (the other figures record
+        if name in _STORED_FIGURES:
+            # These drivers' purpose is cross-run comparison, so they
+            # persist their records directly (the other figures record
             # through python -m repro.track).
             kwargs["store_dir"] = None if args.no_store else args.store_dir
+        if name == "replay":
+            kwargs["clients"] = args.clients
+            kwargs["jobs_per_client"] = args.jobs_per_client
         started = time.time()
         print(
             f"[{name}] running at scale={args.scale} "

@@ -81,6 +81,7 @@ def run_fig5(
     workers: int = 1,
     cache=None,
     pipeline: "PassManager | str | None" = None,
+    server: "str | None" = None,
 ) -> ExperimentResult:
     """Run the Fig. 5 sweep at the given scale.
 
@@ -144,7 +145,7 @@ def run_fig5(
                 ctrl=table, library=library,
             )
         )
-    compiled = compile_many(jobs, workers=workers, cache=cache)
+    compiled = compile_many(jobs, workers=workers, cache=cache, server=server)
     result.absorb_flow(compiled.values())
     result.meta["pipeline"] = body
     result.meta["clock_period_ns"] = clock_period_ns
@@ -181,7 +182,7 @@ def run_fig5(
                 )
             )
         tight_compiled = compile_many(
-            tight_jobs, workers=workers, cache=cache
+            tight_jobs, workers=workers, cache=cache, server=server
         )
         result.absorb_flow(tight_compiled.values())
 

@@ -78,6 +78,7 @@ def run_fig6(
     workers: int = 1,
     cache=None,
     pipeline: "PassManager | str | None" = None,
+    server: "str | None" = None,
 ) -> ExperimentResult:
     """Run the Fig. 6 sweep at the given scale.
 
@@ -157,7 +158,7 @@ def run_fig6(
                 library=library,
             )
         )
-    compiled = compile_many(jobs, workers=workers, cache=cache)
+    compiled = compile_many(jobs, workers=workers, cache=cache, server=server)
     result.absorb_flow(compiled.values())
     result.meta["pipeline"] = body
     result.meta["lowerings"] = dict(lowerings)

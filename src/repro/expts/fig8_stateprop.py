@@ -69,6 +69,7 @@ def run_fig8(
     clock_period_ns: float = 20.0,
     workers: int = 1,
     cache=None,
+    server: "str | None" = None,
 ) -> ExperimentResult:
     """Run the Fig. 8 sweep at the given scale.
 
@@ -149,7 +150,7 @@ def run_fig8(
         # inherit the filter under the fork start method; under spawn
         # they may still print it to stderr, which is harmless noise.
         warnings.simplefilter("ignore")
-        compiled = compile_many(jobs, workers=workers, cache=cache)
+        compiled = compile_many(jobs, workers=workers, cache=cache, server=server)
     result.absorb_flow(compiled.values())
     result.meta["pipelines"] = {
         "regular": regular,

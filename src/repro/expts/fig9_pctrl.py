@@ -62,6 +62,7 @@ def run_fig9(
     compiler: DesignCompiler | None = None,
     workers: int = 1,
     cache=None,
+    server: "str | None" = None,
 ) -> ExperimentResult:
     """Run the Full/Auto/Manual comparison.
 
@@ -99,7 +100,7 @@ def run_fig9(
                 library=compiler.library,
             )
         )
-    compiled = compile_many(jobs, workers=workers, cache=cache)
+    compiled = compile_many(jobs, workers=workers, cache=cache, server=server)
 
     runs: dict[tuple[str, str], CompileResult] = {}
 

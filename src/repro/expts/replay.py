@@ -1,0 +1,320 @@
+"""Traffic replay: the compile service under concurrent clients.
+
+The ROADMAP's north star is serving heavy compile traffic from one
+warm shared cache; this driver measures it.  A *trace* of N clients x
+M jobs is sampled (with replacement, so concurrent duplicates exercise
+single-flight dedup) from the techsweep job grid -- real figure-driver
+work, controller IRs through lowering, optimization, mapping and
+sizing -- and replayed against a compile server twice:
+
+* **cold**: the server's cache starts however the caller left it
+  (empty, for a fresh server), so this phase measures compile
+  throughput plus whatever single-flight saves on duplicates;
+* **warm**: the identical trace again -- every job must be a cache
+  hit, zero compiles, which is the service's whole value proposition.
+
+Each client is a thread submitting its jobs one request at a time
+(closed-loop traffic); per-job latency is client-observed wall time.
+The report carries p50/p99 latency and cache-hit rate per phase, and
+the result persists as a run-store record (figure ``replay``) that
+``python -m repro.track diff`` compares across commits like any other
+figure.
+
+With no ``--server`` URL the driver self-hosts: it starts an
+in-process :class:`~repro.serve.server.CompileServer` on an ephemeral
+port, replays against loopback HTTP (the full wire path, not a
+shortcut), and shuts it down -- which is what the CI smoke job and
+``python -m repro.track record replay`` use.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+import threading
+import time
+
+from repro.expts.common import ExperimentPoint, ExperimentResult
+from repro.expts.techsweep import build_jobs, resolve_libraries
+from repro.flow.cache import CompileCache
+from repro.flow.parallel import CompileJob
+
+#: The stored figure name (``repro.track record replay``).
+REPLAY_FIGURE = "replay"
+
+
+def percentile(values: list[float], q: float) -> float:
+    """Nearest-rank percentile (``q`` in 0..100) of ``values``; NaN
+    for an empty list."""
+    if not values:
+        return float("nan")
+    if not 0 <= q <= 100:
+        raise ValueError(f"percentile must be in 0..100, got {q}")
+    ordered = sorted(values)
+    rank = max(1, math.ceil(q / 100.0 * len(ordered)))
+    return ordered[min(rank, len(ordered)) - 1]
+
+
+def build_trace(
+    scale: str = "small",
+    clients: int = 3,
+    jobs_per_client: int = 6,
+    seed: int = 2011,
+) -> list[list[CompileJob]]:
+    """One batch of jobs per client, sampled from the techsweep grid.
+
+    Sampling is with replacement and seeded, so a trace is
+    reproducible and *overlaps*: distinct clients requesting the same
+    variant concurrently is the realistic case (every CI shard wants
+    the same figure), and exactly what single-flight and the shared
+    cache exist for.  Job keys are re-tagged ``(client, slot) +
+    variant key`` to stay unique within and across batches.
+    """
+    if clients < 1:
+        raise ValueError(f"clients must be >= 1, got {clients}")
+    if jobs_per_client < 1:
+        raise ValueError(
+            f"jobs_per_client must be >= 1, got {jobs_per_client}"
+        )
+    population = build_jobs(scale)
+    rng = random.Random(
+        f"replay-trace/{scale}/{clients}x{jobs_per_client}/{seed}"
+    )
+    trace = []
+    for client in range(clients):
+        batch = []
+        for slot in range(jobs_per_client):
+            template = population[rng.randrange(len(population))]
+            batch.append(
+                CompileJob(
+                    key=(client, slot) + template.key,
+                    pipeline=template.pipeline,
+                    ctrl=template.ctrl,
+                    module=template.module,
+                    aig=template.aig,
+                    annotations=template.annotations,
+                    bindings=template.bindings,
+                    library=template.library,
+                    seed=template.seed,
+                )
+            )
+        trace.append(batch)
+    return trace
+
+
+class PhaseReport:
+    """What one replay phase observed, aggregated over every client."""
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.latencies_ms: list[float] = []
+        self.hits = 0
+        self.deduped = 0
+        self.errors = 0
+        self.jobs = 0
+        self.compiles = 0  # server-side delta over the phase
+        self.wall_s = 0.0
+
+    @property
+    def hit_rate_pct(self) -> float:
+        return 100.0 * self.hits / self.jobs if self.jobs else float("nan")
+
+    def p(self, q: float) -> float:
+        return percentile(self.latencies_ms, q)
+
+    def line(self) -> str:
+        """The grep-friendly one-liner (the CI smoke job matches the
+        warm phase's ``hit rate 100.0% ... 0 compiles, 0 errors``)."""
+        return (
+            f"{self.name}: hit rate {self.hit_rate_pct:.1f}% "
+            f"({self.hits}/{self.jobs}), {self.compiles} compiles, "
+            f"{self.errors} errors, {self.deduped} deduped, "
+            f"p50={self.p(50):.1f} ms p99={self.p(99):.1f} ms, "
+            f"{self.wall_s:.2f} s wall"
+        )
+
+
+def _replay_phase(
+    name: str, url: str, trace: list[list[CompileJob]]
+) -> tuple[PhaseReport, dict]:
+    """Replay every client batch concurrently; per-job results keyed
+    by job key ride back for byte-identity checks and absorption."""
+    from repro.serve.client import ServeClient, ServeError
+
+    report = PhaseReport(name)
+    contexts: dict = {}
+    outputs: list = [None] * len(trace)
+
+    def client_worker(index: int, batch: list[CompileJob]) -> None:
+        client = ServeClient(url)
+        observed = []
+        try:
+            for job in batch:
+                started = time.perf_counter()
+                result = client.compile_detailed([job])[0]
+                latency_ms = (time.perf_counter() - started) * 1000.0
+                observed.append((job, result, latency_ms))
+        except ServeError as exc:
+            outputs[index] = exc
+            return
+        outputs[index] = observed
+
+    counters_before = ServeClient(url).stats()
+    started = time.perf_counter()
+    threads = [
+        threading.Thread(
+            target=client_worker, args=(i, batch), name=f"client-{i}"
+        )
+        for i, batch in enumerate(trace)
+    ]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+    report.wall_s = time.perf_counter() - started
+    counters_after = ServeClient(url).stats()
+    report.compiles = counters_after.get("compiles", 0) - counters_before.get(
+        "compiles", 0
+    )
+
+    for output in outputs:
+        if isinstance(output, Exception):
+            raise output  # a dead server fails the benchmark loudly
+        for job, result, latency_ms in output:
+            report.jobs += 1
+            report.latencies_ms.append(latency_ms)
+            if result.error is not None:
+                report.errors += 1
+                continue
+            if result.cache_hit:
+                report.hits += 1
+            if result.deduped:
+                report.deduped += 1
+            contexts[job.key] = result.ctx
+    return report, contexts
+
+
+def run_replay(
+    scale: str = "small",
+    workers: int = 2,
+    cache=None,
+    clients: int = 3,
+    jobs_per_client: int = 6,
+    server: "str | None" = None,
+    seed: int = 2011,
+    store_dir=None,
+    commit: str = "HEAD",
+) -> ExperimentResult:
+    """Replay a sampled trace cold then warm and report latencies.
+
+    Args:
+        scale: techsweep grid the trace samples from.
+        workers: compile-pool bound of the self-hosted server (ignored
+            with an external ``server``).
+        cache: the self-hosted server's
+            :class:`~repro.flow.CompileCache`; ``None`` serves from a
+            fresh memory-only cache, which makes the cold phase
+            genuinely cold.
+        clients: concurrent client threads.
+        jobs_per_client: jobs each client submits, one request at a
+            time.
+        server: base URL of an already-running compile server;
+            ``None`` self-hosts on an ephemeral loopback port.
+        seed: trace sampling seed.
+        store_dir: when given, persist the result as run-store figure
+            ``replay`` under ``commit``.
+        commit: commit ref or label for the stored record.
+
+    Returns:
+        An :class:`ExperimentResult` whose points carry per-phase
+        p50/p99 latency (``latency_cold_ms``/``latency_warm_ms``
+        series) and cache-hit rates (``hit_rate`` series), with
+        grep-friendly per-phase summary notes.
+    """
+    trace = build_trace(scale, clients, jobs_per_client, seed)
+    total_jobs = sum(len(batch) for batch in trace)
+    unique = len(
+        {job.key[2:] for batch in trace for job in batch}
+    )
+
+    own = None
+    if server is None:
+        from repro.serve.server import CompileServer
+
+        own = CompileServer(
+            cache=cache if cache is not None else CompileCache(),
+            workers=workers,
+        ).start()
+        url = own.url
+    else:
+        url = server
+
+    try:
+        cold, _ = _replay_phase("cold", url, trace)
+        warm, warm_contexts = _replay_phase("warm", url, trace)
+    finally:
+        if own is not None:
+            own.close()
+
+    result = ExperimentResult(
+        "Traffic replay -- compile service under concurrent clients",
+        f"{clients} clients x {jobs_per_client} jobs sampled from the "
+        f"techsweep grid at scale={scale} ({unique} unique variants in "
+        f"{total_jobs} requests), replayed cold then warm against "
+        + ("a self-hosted server." if own or server is None else f"{server}."),
+    )
+    for phase in (cold, warm):
+        series = f"latency_{phase.name}_ms"
+        for label, q in (("p50", 50.0), ("p99", 99.0)):
+            result.points.append(
+                ExperimentPoint(series, 1.0, phase.p(q), label)
+            )
+        result.points.append(
+            ExperimentPoint(
+                "hit_rate",
+                100.0,
+                phase.hit_rate_pct,
+                phase.name,
+                {
+                    "hits": phase.hits,
+                    "jobs": phase.jobs,
+                    "compiles": phase.compiles,
+                    "deduped": phase.deduped,
+                    "errors": phase.errors,
+                },
+            )
+        )
+        result.notes.append(phase.line())
+    # Warm contexts replay the cold run's records byte-identically, so
+    # the absorbed totals are deterministic given a warm server cache.
+    result.absorb_flow(warm_contexts.values())
+    result.meta["clients"] = clients
+    result.meta["jobs_per_client"] = jobs_per_client
+    result.meta["unique_variants"] = unique
+    result.meta["seed"] = seed
+    result.meta["server"] = "self-hosted" if server is None else server
+    result.meta["libraries"] = list(resolve_libraries(None))
+
+    if store_dir is not None:
+        _store(result, store_dir, commit, scale)
+    return result
+
+
+def _store(result: ExperimentResult, store_dir, commit: str, scale: str):
+    from repro.expts.techsweep import swept_libraries_hash
+    from repro.flow.store import RunRecord, RunStore, now
+    from repro.track import resolve_ref, worktree_dirty
+
+    result.meta.setdefault("scale", scale)
+    resolved = resolve_ref(commit)
+    if commit == "HEAD" and resolved != commit and worktree_dirty():
+        resolved += "-dirty"
+    record = RunRecord(
+        figure=REPLAY_FIGURE,
+        commit=resolved,
+        result=result,
+        scale=scale,
+        library=swept_libraries_hash(tuple(result.meta["libraries"])),
+        created_at=now(),
+    )
+    return RunStore(store_dir).put(record)

@@ -99,11 +99,51 @@ def variant_spec(
     return PassManager.parse(spec).spec()
 
 
+def resolve_libraries(
+    libraries: tuple[str, ...] | None,
+) -> tuple[str, ...]:
+    """The library list a sweep explores: the caller's, or every
+    registered kit -- always including :data:`REFERENCE_LIBRARY`,
+    which the x-axis is measured in."""
+    libraries = tuple(libraries or registered_library_names())
+    if REFERENCE_LIBRARY not in libraries:
+        libraries = (REFERENCE_LIBRARY,) + libraries
+    return libraries
+
+
+def build_jobs(
+    scale: str = "small",
+    clock_period_ns: float = 20.0,
+    libraries: tuple[str, ...] | None = None,
+) -> list[CompileJob]:
+    """The sweep's complete job grid (designs x recipes x libraries),
+    keyed ``(design, recipe, library)``.
+
+    Shared between :func:`run_techsweep` and the traffic-replay
+    benchmark (:mod:`repro.expts.replay`), which samples its client
+    traces from this grid -- the replay traffic is real figure-driver
+    work, not synthetic filler.
+    """
+    libraries = resolve_libraries(libraries)
+    jobs = []
+    for label, (prefix, ir) in _designs(scale).items():
+        for recipe_name, recipe in RECIPES.items():
+            for library in libraries:
+                spec = variant_spec(
+                    prefix, recipe, library, clock_period_ns
+                )
+                jobs.append(
+                    CompileJob((label, recipe_name, library), spec, ctrl=ir)
+                )
+    return jobs
+
+
 def run_techsweep(
     scale: str = "small",
     clock_period_ns: float = 20.0,
     workers: int = 1,
     cache=None,
+    server: "str | None" = None,
     libraries: tuple[str, ...] | None = None,
     store_dir=None,
     commit: str = "HEAD",
@@ -130,9 +170,7 @@ def run_techsweep(
         :data:`REFERENCE_LIBRARY`, so series geomeans read as
         area ratios against the reference kit.
     """
-    libraries = tuple(libraries or registered_library_names())
-    if REFERENCE_LIBRARY not in libraries:
-        libraries = (REFERENCE_LIBRARY,) + libraries
+    libraries = resolve_libraries(libraries)
     designs = _designs(scale)
 
     result = ExperimentResult(
@@ -143,17 +181,8 @@ def run_techsweep(
         f"of the identical variant.",
     )
 
-    jobs = []
-    for label, (prefix, ir) in designs.items():
-        for recipe_name, recipe in RECIPES.items():
-            for library in libraries:
-                spec = variant_spec(
-                    prefix, recipe, library, clock_period_ns
-                )
-                jobs.append(
-                    CompileJob((label, recipe_name, library), spec, ctrl=ir)
-                )
-    compiled = compile_many(jobs, workers=workers, cache=cache)
+    jobs = build_jobs(scale, clock_period_ns, libraries)
+    compiled = compile_many(jobs, workers=workers, cache=cache, server=server)
     result.absorb_flow(compiled.values())
 
     rows = []

@@ -58,7 +58,13 @@ Compiles are cacheable and parallelizable::
 (see :mod:`repro.flow.cache` and :mod:`repro.flow.parallel`).
 """
 
-from repro.flow.cache import CompileCache, SweepStats, flow_fingerprint
+from repro.flow.cache import (
+    CacheBackend,
+    CompileCache,
+    LocalDirBackend,
+    SweepStats,
+    flow_fingerprint,
+)
 from repro.flow.combinators import (
     Conditional,
     FixedPoint,
@@ -110,6 +116,7 @@ from repro.flow import frontend as frontend  # noqa: F401
 
 __all__ = [
     "AigStats",
+    "CacheBackend",
     "CompileCache",
     "CompileJob",
     "CompileJobError",
@@ -119,6 +126,7 @@ __all__ = [
     "FixedPoint",
     "FlowContext",
     "FlowError",
+    "LocalDirBackend",
     "PASS_REGISTRY",
     "Pass",
     "PassManager",

@@ -13,20 +13,32 @@ stable *fingerprint* of everything that determines the result:
 * the seeded annotations, the RNG seed, and the cell library.
 
 :class:`CompileCache` layers a bounded in-memory LRU over an optional
-on-disk store.  Disk entries are pickled contexts written atomically
-(temp file + :func:`os.replace`), so a directory can be shared by the
-worker processes of :func:`repro.flow.parallel.compile_many` and
-across interpreter runs (``python -m repro.expts`` reuses
-``.repro-cache/`` by default).  Corrupt or truncated entries read as
-misses, never as errors.
+*backend* -- any object implementing the small :class:`CacheBackend`
+protocol (load/store raw entry bytes by fingerprint).  The built-in
+:class:`LocalDirBackend` is the historical on-disk store: pickled
+contexts written atomically (temp file + :func:`os.replace`), so a
+directory can be shared by the worker processes of
+:func:`repro.flow.parallel.compile_many` and across interpreter runs
+(``python -m repro.expts`` reuses ``.repro-cache/`` by default).
+:mod:`repro.serve.backends` adds remote and tiered backends speaking
+the compile server's HTTP cache endpoints, which is how CI, developers
+and many concurrent clients share one warm cache.  Corrupt or
+truncated entries read as misses, never as errors.
+
+The cache is thread-safe: the memory LRU and every counter are guarded
+by one lock, so a compile server's request handlers and pool callbacks
+can share a single instance (backend I/O happens outside the lock --
+backends must be individually thread-safe, which atomic entry files
+already make the local-dir one).
 
 Cached contexts must be treated as read-only: an in-memory hit returns
 the stored object itself.
 
-Disk entries are **pickles**: loading one executes whatever its bytes
-describe, so only point ``path`` at directories you trust (your own
-working tree, your own CI workspace).  Do not share a cache directory
-with writers you would not let run code on your machine.
+Entries are **pickles**: loading one executes whatever its bytes
+describe, so only point ``path`` (or a remote backend) at stores you
+trust (your own working tree, your own CI workspace, your own compile
+server).  Do not share a cache with writers you would not let run code
+on your machine.
 """
 
 from __future__ import annotations
@@ -35,6 +47,7 @@ import hashlib
 import os
 import pickle
 import tempfile
+import threading
 import time
 from collections import OrderedDict
 from dataclasses import dataclass
@@ -59,6 +72,18 @@ if TYPE_CHECKING:
 #: default library (``repro.tech.cells.default_library``), so a
 #: changed default can never serve stale hits.
 FINGERPRINT_VERSION = 3
+
+#: The pickle-tolerance set: anything a truncated, stale, or
+#: wrong-version entry can raise while loading.  Shared by every
+#: consumer that must read damaged entries as misses.
+UNPICKLE_ERRORS = (
+    OSError,
+    pickle.UnpicklingError,
+    EOFError,
+    AttributeError,
+    ImportError,
+    IndexError,
+)
 
 
 def flow_fingerprint(
@@ -174,118 +199,58 @@ def flow_fingerprint(
     return digest.hexdigest()
 
 
-class CompileCache:
-    """A two-layer (memory LRU, optional disk) store of completed
-    flow contexts, keyed by :func:`flow_fingerprint`.
+class CacheBackend:
+    """The protocol of a :class:`CompileCache` persistence layer.
 
-    Args:
-        path: directory of the on-disk store; created on first write.
-            ``None`` keeps the cache memory-only.
-        max_memory_entries: LRU bound of the in-memory layer.
+    A backend is a key-value store of raw entry bytes keyed by
+    :func:`flow_fingerprint` digests.  It never sees the pickling --
+    serialization stays in :class:`CompileCache`, so every backend
+    (local directory, remote server, tiered combinations) moves opaque
+    blobs and the corrupt-entry tolerance lives in exactly one place.
+
+    Backends must be safe to call from multiple threads: the cache
+    invokes them outside its own lock so slow I/O never serializes
+    unrelated lookups.
     """
 
-    def __init__(
-        self,
-        path: str | os.PathLike | None = None,
-        max_memory_entries: int = 512,
-    ) -> None:
-        if max_memory_entries < 1:
-            raise ValueError(
-                f"max_memory_entries must be >= 1, got {max_memory_entries}"
-            )
-        self.path = None if path is None else Path(path)
-        self.max_memory_entries = max_memory_entries
-        self._memory: OrderedDict[str, "FlowContext"] = OrderedDict()
-        self.memory_hits = 0
-        self.disk_hits = 0
-        self.misses = 0
-        self.stores = 0
+    def load(self, key: str) -> bytes | None:
+        """The stored blob for ``key``, or ``None`` on a miss.  I/O
+        failures read as misses, never as errors."""
+        raise NotImplementedError
 
-    # -- lookup -------------------------------------------------------
-    @property
-    def hits(self) -> int:
-        return self.memory_hits + self.disk_hits
+    def store(self, key: str, blob: bytes) -> None:
+        """Persist ``blob`` under ``key``, replacing any previous
+        entry.  Concurrent writers of the same key must be safe."""
+        raise NotImplementedError
 
-    def get(self, key: str) -> "FlowContext | None":
-        """Look up a completed context by fingerprint.
+    def stats(self) -> dict:
+        """A JSON-safe description of the backend for ``/stats``."""
+        return {"kind": type(self).__name__}
 
-        A disk hit is promoted into the memory layer.  Corrupt or
-        truncated disk entries read as misses, never as errors.
 
-        Args:
-            key: a :func:`flow_fingerprint` digest.
+class LocalDirBackend(CacheBackend):
+    """The historical on-disk store: one atomically-written pickle
+    file per fingerprint under a two-level fanout directory.
 
-        Returns:
-            The cached context (treat as read-only -- memory hits
-            share one object), or ``None`` on a miss.
-        """
-        hit = self._memory.get(key)
-        if hit is not None:
-            self._memory.move_to_end(key)
-            self.memory_hits += 1
-            return hit
-        hit = self._disk_get(key)
-        if hit is not None:
-            self.disk_hits += 1
-            self.put_memory(key, hit)
-            return hit
-        self.misses += 1
-        return None
+    Args:
+        path: store directory; created on first write.
+    """
 
-    def put(self, key: str, ctx: "FlowContext") -> None:
-        """Store a completed context under ``key`` (memory and disk).
+    def __init__(self, path: str | os.PathLike) -> None:
+        self.path = Path(path)
 
-        Args:
-            key: a :func:`flow_fingerprint` digest.
-            ctx: the finished flow context; stored by reference in
-                memory and pickled to disk, so do not mutate it after
-                storing.
-
-        Raises:
-            OSError: the disk layer's directory is not writable.
-        """
-        self.put_memory(key, ctx)
-        self._disk_put(key, ctx)
-        self.stores += 1
-
-    def stats(self) -> str:
-        return (
-            f"cache: {self.memory_hits} memory hits, "
-            f"{self.disk_hits} disk hits, {self.misses} misses, "
-            f"{self.stores} stores"
-        )
-
-    # -- the memory layer ---------------------------------------------
-    def put_memory(self, key: str, ctx: "FlowContext") -> None:
-        """Store in the memory layer only (used when the disk layer
-        was already written by a worker process)."""
-        self._memory[key] = ctx
-        self._memory.move_to_end(key)
-        while len(self._memory) > self.max_memory_entries:
-            self._memory.popitem(last=False)
-
-    # -- the disk layer -----------------------------------------------
-    def _entry_file(self, key: str) -> Path:
+    def entry_file(self, key: str) -> Path:
         # Two-level fanout keeps directories small on big sweeps.
         return self.path / key[:2] / f"{key}.pkl"
 
-    def _disk_get(self, key: str) -> "FlowContext | None":
-        if self.path is None:
-            return None
+    def load(self, key: str) -> bytes | None:
         try:
-            with open(self._entry_file(key), "rb") as handle:
-                return pickle.load(handle)
-        except FileNotFoundError:
-            return None
-        except (OSError, pickle.UnpicklingError, EOFError, AttributeError,
-                ImportError, IndexError):
-            # A truncated or stale entry is a miss, not an error.
+            return self.entry_file(key).read_bytes()
+        except OSError:
             return None
 
-    def _disk_put(self, key: str, ctx: "FlowContext") -> None:
-        if self.path is None:
-            return
-        entry = self._entry_file(key)
+    def store(self, key: str, blob: bytes) -> None:
+        entry = self.entry_file(key)
         entry.parent.mkdir(parents=True, exist_ok=True)
         # Atomic publish: concurrent workers may race on the same key,
         # and a reader must never observe a half-written pickle.
@@ -295,7 +260,7 @@ class CompileCache:
         )
         try:
             with handle:
-                pickle.dump(ctx, handle, protocol=pickle.HIGHEST_PROTOCOL)
+                handle.write(blob)
             os.replace(handle.name, entry)
         except BaseException:
             try:
@@ -304,54 +269,25 @@ class CompileCache:
                 pass
             raise
 
+    def stats(self) -> dict:
+        try:
+            entries = sum(1 for _ in self.path.glob("*/*.pkl"))
+        except OSError:
+            entries = 0
+        return {
+            "kind": "local-dir", "path": str(self.path), "entries": entries,
+        }
+
     # -- garbage collection -------------------------------------------
     def sweep(
         self,
         max_bytes: int | None = None,
         max_age_days: float | None = None,
     ) -> "SweepStats":
-        """Evict disk entries by age, then by size budget.
-
-        ``.repro-cache/`` otherwise grows without bound: every distinct
-        (design, pipeline, seed, library) fingerprint adds a pickle
-        that nothing ever deletes.  The sweep first drops entries older
-        than ``max_age_days`` (by mtime -- ``os.replace`` preserves the
-        write time, so age means "time since this result was
-        computed"), then, if the survivors still exceed ``max_bytes``,
-        drops the oldest survivors first until the budget holds.
-        Concurrently-deleted files are skipped, so sweeping a live
-        shared cache is safe; the memory layer is left intact (it is
-        bounded by ``max_memory_entries`` already).
-
-        Args:
-            max_bytes: total size budget for the disk layer; ``None``
-                means no size bound.
-            max_age_days: entries older than this are evicted
-                regardless of the size budget; ``None`` means no age
-                bound.
-
-        Returns:
-            A :class:`SweepStats` describing what was scanned, what
-            was removed, and the bytes before/after.  A memory-only
-            cache, a missing or empty cache directory, and a ``path``
-            that is not a directory at all return all-zero stats --
-            GC of nothing is a no-op, never an error.  Foreign files
-            in the cache directory (anything that is not a regular
-            ``*.pkl`` entry file, including stray subdirectories named
-            like entries) and files that vanish or turn unreadable
-            mid-sweep are skipped, not crashed on.
-
-        Raises:
-            ValueError: a negative ``max_bytes`` or ``max_age_days``.
-        """
-        if max_bytes is not None and max_bytes < 0:
-            raise ValueError(f"max_bytes must be >= 0, got {max_bytes}")
-        if max_age_days is not None and max_age_days < 0:
-            raise ValueError(
-                f"max_age_days must be >= 0, got {max_age_days}"
-            )
+        """Evict entries by age, then by size budget (see
+        :meth:`CompileCache.sweep` for the contract)."""
         try:
-            if self.path is None or not self.path.is_dir():
+            if not self.path.is_dir():
                 return SweepStats()
             listing = list(self.path.glob("*/*.pkl"))
         except OSError:
@@ -399,9 +335,282 @@ class CompileCache:
             bytes_after=bytes_before - freed,
         )
 
+
+class CompileCache:
+    """A two-layer (memory LRU, optional backend) store of completed
+    flow contexts, keyed by :func:`flow_fingerprint`.
+
+    Args:
+        path: directory of an on-disk :class:`LocalDirBackend`;
+            created on first write.  ``None`` keeps the cache
+            memory-only (unless ``backend`` is given).
+        max_memory_entries: LRU bound of the in-memory layer.
+        backend: an explicit :class:`CacheBackend` (mutually exclusive
+            with ``path``) -- e.g. the remote or tiered backends of
+            :mod:`repro.serve.backends`.
+    """
+
+    def __init__(
+        self,
+        path: str | os.PathLike | None = None,
+        max_memory_entries: int = 512,
+        backend: CacheBackend | None = None,
+    ) -> None:
+        if max_memory_entries < 1:
+            raise ValueError(
+                f"max_memory_entries must be >= 1, got {max_memory_entries}"
+            )
+        if path is not None and backend is not None:
+            raise ValueError(
+                "give path (a LocalDirBackend) or backend, not both"
+            )
+        if backend is None and path is not None:
+            backend = LocalDirBackend(path)
+        self.backend = backend
+        self.max_memory_entries = max_memory_entries
+        self._memory: OrderedDict[str, "FlowContext"] = OrderedDict()
+        #: One lock guards the LRU dict and every counter: server
+        #: request handlers and pool callbacks share one instance, and
+        #: an unguarded OrderedDict corrupts under concurrent movers.
+        #: Backend I/O and (un)pickling happen outside the lock.
+        self._lock = threading.Lock()
+        self.memory_hits = 0
+        self.disk_hits = 0
+        self.misses = 0
+        self.stores = 0
+        self.inflight = 0
+
+    @property
+    def path(self) -> Path | None:
+        """The local store directory, when the backend is one
+        (:func:`repro.flow.parallel.compile_many` ships this to worker
+        processes); ``None`` for memory-only and remote backends."""
+        if isinstance(self.backend, LocalDirBackend):
+            return self.backend.path
+        return None
+
+    # -- lookup -------------------------------------------------------
+    @property
+    def hits(self) -> int:
+        return self.memory_hits + self.disk_hits
+
+    def get(self, key: str) -> "FlowContext | None":
+        """Look up a completed context by fingerprint.
+
+        A backend hit is promoted into the memory layer.  Corrupt or
+        truncated backend entries read as misses, never as errors.
+
+        Args:
+            key: a :func:`flow_fingerprint` digest.
+
+        Returns:
+            The cached context (treat as read-only -- memory hits
+            share one object), or ``None`` on a miss.
+        """
+        with self._lock:
+            hit = self._memory.get(key)
+            if hit is not None:
+                self._memory.move_to_end(key)
+                self.memory_hits += 1
+                return hit
+        hit = self._backend_get(key)
+        if hit is not None:
+            with self._lock:
+                self.disk_hits += 1
+            self.put_memory(key, hit)
+            return hit
+        with self._lock:
+            self.misses += 1
+        return None
+
+    def put(self, key: str, ctx: "FlowContext") -> None:
+        """Store a completed context under ``key`` (memory and
+        backend).
+
+        Args:
+            key: a :func:`flow_fingerprint` digest.
+            ctx: the finished flow context; stored by reference in
+                memory and pickled to the backend, so do not mutate it
+                after storing.
+
+        Raises:
+            OSError: a local backend's directory is not writable.
+        """
+        self.put_memory(key, ctx)
+        if self.backend is not None:
+            self.backend.store(key, _dumps(ctx))
+        with self._lock:
+            self.stores += 1
+
+    def stats(self) -> dict:
+        """A JSON-safe counter snapshot -- what the compile server
+        exposes at ``/stats``.  ``disk_hits`` counts backend hits of
+        any kind; ``inflight`` is the number of cache-missing compiles
+        currently executing (maintained by callers through
+        :meth:`inflight_begin`/:meth:`inflight_end`)."""
+        with self._lock:
+            return {
+                "memory_hits": self.memory_hits,
+                "disk_hits": self.disk_hits,
+                "hits": self.memory_hits + self.disk_hits,
+                "misses": self.misses,
+                "stores": self.stores,
+                "inflight": self.inflight,
+                "memory_entries": len(self._memory),
+                "backend": None
+                if self.backend is None
+                else self.backend.stats(),
+            }
+
+    def stats_line(self) -> str:
+        """The one-line human form of :meth:`stats`."""
+        stats = self.stats()
+        return (
+            f"cache: {stats['memory_hits']} memory hits, "
+            f"{stats['disk_hits']} disk hits, {stats['misses']} misses, "
+            f"{stats['stores']} stores"
+        )
+
+    # -- in-flight accounting -----------------------------------------
+    def inflight_begin(self) -> None:
+        """Mark one cache-missing compile as executing (server
+        handlers call this around the actual synthesis work)."""
+        with self._lock:
+            self.inflight += 1
+
+    def inflight_end(self) -> None:
+        with self._lock:
+            self.inflight -= 1
+
+    # -- the memory layer ---------------------------------------------
+    def put_memory(self, key: str, ctx: "FlowContext") -> None:
+        """Store in the memory layer only (used when the backend was
+        already written by a worker process)."""
+        with self._lock:
+            self._memory[key] = ctx
+            self._memory.move_to_end(key)
+            while len(self._memory) > self.max_memory_entries:
+                self._memory.popitem(last=False)
+
+    # -- the backend layer --------------------------------------------
+    def _backend_get(self, key: str) -> "FlowContext | None":
+        if self.backend is None:
+            return None
+        blob = self.backend.load(key)
+        if blob is None:
+            return None
+        return _loads(blob)
+
+    # -- raw entry bytes (the server's cache endpoints) ---------------
+    def export_blob(self, key: str) -> bytes | None:
+        """The raw entry bytes for ``key``, or ``None`` on a miss.
+
+        Serves ``GET /cache/<fingerprint>``: backend bytes are
+        returned verbatim when available; a memory-only hit is pickled
+        on the way out, so a remote client reading through this cache
+        sees exactly what a local cache would have stored.
+        """
+        if self.backend is not None:
+            blob = self.backend.load(key)
+            if blob is not None:
+                return blob
+        with self._lock:
+            ctx = self._memory.get(key)
+        return None if ctx is None else _dumps(ctx)
+
+    def import_blob(self, key: str, blob: bytes) -> bool:
+        """Store raw entry bytes under ``key`` (``PUT
+        /cache/<fingerprint>``).
+
+        With a backend, the bytes are persisted verbatim (no unpickle
+        on the write path -- a server absorbing write-through traffic
+        must not execute every uploaded entry).  Memory-only caches
+        must deserialize to keep the entry at all; a corrupt blob is
+        rejected.
+
+        Returns:
+            True when the entry was accepted.
+        """
+        if self.backend is not None:
+            self.backend.store(key, blob)
+            with self._lock:
+                self.stores += 1
+            return True
+        ctx = _loads(blob)
+        if ctx is None:
+            return False
+        self.put_memory(key, ctx)
+        with self._lock:
+            self.stores += 1
+        return True
+
+    # -- garbage collection -------------------------------------------
+    def sweep(
+        self,
+        max_bytes: int | None = None,
+        max_age_days: float | None = None,
+    ) -> "SweepStats":
+        """Evict local-backend entries by age, then by size budget.
+
+        ``.repro-cache/`` otherwise grows without bound: every distinct
+        (design, pipeline, seed, library) fingerprint adds a pickle
+        that nothing ever deletes.  The sweep first drops entries older
+        than ``max_age_days`` (by mtime -- ``os.replace`` preserves the
+        write time, so age means "time since this result was
+        computed"), then, if the survivors still exceed ``max_bytes``,
+        drops the oldest survivors first until the budget holds.
+        Concurrently-deleted files are skipped, so sweeping a live
+        shared cache is safe; the memory layer is left intact (it is
+        bounded by ``max_memory_entries`` already).
+
+        Args:
+            max_bytes: total size budget for the local store; ``None``
+                means no size bound.
+            max_age_days: entries older than this are evicted
+                regardless of the size budget; ``None`` means no age
+                bound.
+
+        Returns:
+            A :class:`SweepStats` describing what was scanned, what
+            was removed, and the bytes before/after.  A memory-only
+            cache, a backend that is not a sweepable local store, a
+            missing or empty cache directory, and a ``path`` that is
+            not a directory at all return all-zero stats -- GC of
+            nothing is a no-op, never an error.  Foreign files in the
+            cache directory (anything that is not a regular ``*.pkl``
+            entry file, including stray subdirectories named like
+            entries) and files that vanish or turn unreadable
+            mid-sweep are skipped, not crashed on.
+
+        Raises:
+            ValueError: a negative ``max_bytes`` or ``max_age_days``.
+        """
+        if max_bytes is not None and max_bytes < 0:
+            raise ValueError(f"max_bytes must be >= 0, got {max_bytes}")
+        if max_age_days is not None and max_age_days < 0:
+            raise ValueError(
+                f"max_age_days must be >= 0, got {max_age_days}"
+            )
+        sweeper = getattr(self.backend, "sweep", None)
+        if sweeper is None:
+            return SweepStats()
+        return sweeper(max_bytes=max_bytes, max_age_days=max_age_days)
+
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
-        where = "memory" if self.path is None else str(self.path)
-        return f"<CompileCache {where} {self.stats()!r}>"
+        where = "memory" if self.backend is None else repr(self.backend.stats())
+        return f"<CompileCache {where} {self.stats_line()!r}>"
+
+
+def _dumps(ctx: "FlowContext") -> bytes:
+    return pickle.dumps(ctx, protocol=pickle.HIGHEST_PROTOCOL)
+
+
+def _loads(blob: bytes) -> "FlowContext | None":
+    try:
+        return pickle.loads(blob)
+    except UNPICKLE_ERRORS:
+        # A truncated or stale entry is a miss, not an error.
+        return None
 
 
 @dataclass(frozen=True)

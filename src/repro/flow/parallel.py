@@ -181,8 +181,10 @@ def compile_many(
     *,
     workers: int = 1,
     cache: CompileCache | None = None,
+    server: "str | None" = None,
 ) -> "dict[Hashable, FlowContext]":
-    """Compile independent jobs, optionally across worker processes.
+    """Compile independent jobs, optionally across worker processes
+    or through a remote compile server.
 
     Results are bit-identical to running the same jobs serially --
     parallelism only changes wall time, never outputs (contexts cross
@@ -196,12 +198,26 @@ def compile_many(
     cache still dedups across one ``compile_many`` call, but workers
     cannot share it.
 
+    With ``server``, cache misses are submitted to a
+    :mod:`repro.serve` compile server as one batch instead of
+    executing locally; a local ``cache`` then *fronts* the shared
+    service (read-through for the up-front hit resolution,
+    write-through as returned contexts are stored back), so only the
+    first sighting of a fingerprint ever crosses the network.  Error
+    behaviour is identical to local execution -- the earliest failing
+    job in submission order raises its
+    :class:`CompileJobError` -- and ``workers`` is ignored (the
+    server's pool bounds concurrency).
+
     Args:
         jobs: the independent compiles; ``job.key`` must be unique
             within the call.
         workers: process count; ``<= 1`` runs serially in-process.
         cache: a shared :class:`~repro.flow.cache.CompileCache`, or
             ``None`` to always compile.
+        server: base URL of a running compile server
+            (``http://127.0.0.1:8731``), or ``None`` to execute
+            locally.
 
     Returns:
         ``{job.key: completed FlowContext}`` in submission order; each
@@ -209,7 +225,8 @@ def compile_many(
         how per-job instrumentation merges back.
 
     Raises:
-        FlowError: duplicate job keys.
+        FlowError: duplicate job keys; transport failures against
+            ``server`` (:class:`repro.serve.client.ServeError`).
         CompileJobError: a job failed; the earliest failing job in
             submission order raises (deterministic regardless of
             worker scheduling), carrying its key and the pass records
@@ -237,7 +254,20 @@ def compile_many(
         else:
             pending.append((index, job, None))
 
-    if workers <= 1 or len(pending) <= 1:
+    if server is not None:
+        # Imported lazily: repro.serve depends on this module.
+        from repro.serve.client import ServeClient
+
+        if pending:
+            remote = ServeClient(server).compile(
+                [job for _, job, _ in pending]
+            )
+            for _, job, fingerprint in pending:
+                ctx = remote[job.key]
+                results[job.key] = ctx
+                if cache is not None:
+                    cache.put(fingerprint, ctx)
+    elif workers <= 1 or len(pending) <= 1:
         for _, job, fingerprint in pending:
             results[job.key] = _execute_job(job, cache, fingerprint)
     else:

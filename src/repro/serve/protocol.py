@@ -1,0 +1,246 @@
+"""The compile server's wire format: jobs and results as JSON lines.
+
+A batch request is one JSON object ``{"jobs": [...]}``; each job is a
+JSON envelope whose readable fields (pipeline spec, seed, bindings,
+library name) mirror :class:`~repro.flow.parallel.CompileJob`, while
+the design inputs themselves (controller IR / RTL module / AIG /
+annotations / a non-registered library object) ride as one
+base64-encoded pickle blob -- the same serialization
+:func:`~repro.flow.parallel.compile_many` already trusts across its
+process pool, wrapped so the envelope stays a valid JSON document.
+
+Jobs are keyed *positionally* on the wire (``id`` = index in the
+batch): a client's real job keys can be arbitrary hashables (the
+figure drivers use tuples), which JSON cannot carry faithfully, so
+the client keeps the key mapping and the server echoes indices.
+
+The response is NDJSON: one JSON object per job, written in
+*completion* order as the pool finishes them, each carrying the
+fingerprint, a cache-hit flag, a single-flight dedup flag, the
+server-side wall time, and either the completed context (base64
+pickle -- byte-identical to what a local compile would produce) or
+the error.
+
+Trust model: pickles execute what their bytes describe.  The server
+deserializes job payloads and the client deserializes result
+contexts, so both ends must trust each other exactly as much as the
+on-disk cache trusts its writers (see :mod:`repro.flow.cache`); bind
+the server to loopback or a network you control.
+"""
+
+from __future__ import annotations
+
+import base64
+import pickle
+from dataclasses import dataclass
+from typing import TYPE_CHECKING
+
+from repro.flow.cache import UNPICKLE_ERRORS
+from repro.flow.core import FlowError
+from repro.flow.manager import PassManager
+from repro.flow.parallel import CompileJob, CompileJobError
+
+if TYPE_CHECKING:
+    from repro.flow.core import FlowContext
+
+#: Bump on incompatible wire changes; both ends send it and refuse
+#: mismatches loudly instead of mis-decoding each other.
+PROTOCOL_VERSION = 1
+
+
+class ProtocolError(FlowError):
+    """A malformed or version-incompatible wire message."""
+
+
+def _b64(obj) -> str:
+    return base64.b64encode(
+        pickle.dumps(obj, protocol=pickle.HIGHEST_PROTOCOL)
+    ).decode("ascii")
+
+
+def _unb64(text: str):
+    try:
+        return pickle.loads(base64.b64decode(text.encode("ascii")))
+    except (ValueError, *UNPICKLE_ERRORS) as exc:
+        raise ProtocolError(f"undecodable payload: {exc}") from exc
+
+
+def encode_job(job: CompileJob, index: int) -> dict:
+    """One job as a JSON-safe envelope (see the module docstring).
+
+    The pipeline travels as its *rendered spec string* -- the same
+    canonical form the fingerprint hashes -- so a pipeline whose
+    parameters cannot round-trip through spec syntax raises here
+    rather than compiling something subtly different server-side.
+
+    Args:
+        job: the compile job; ``job.key`` stays client-side.
+        index: the job's position in the batch (the wire ``id``).
+
+    Raises:
+        FlowError: an unparseable spec or spec-unrepresentable
+            pipeline.
+    """
+    if isinstance(job.pipeline, str):
+        spec = PassManager.parse(job.pipeline).spec()
+    else:
+        spec = job.pipeline.spec()
+    library_name = None if job.library is None else job.library.name
+    return {
+        "id": index,
+        "pipeline": spec,
+        "seed": job.seed,
+        "bindings": job.bindings,
+        "library": library_name,
+        "payload": _b64(
+            {
+                "ctrl": job.ctrl,
+                "module": job.module,
+                "aig": job.aig,
+                "annotations": tuple(job.annotations),
+                "library": job.library,
+            }
+        ),
+    }
+
+
+def decode_job(data: dict) -> tuple[int, CompileJob]:
+    """Rebuild a (wire id, job) pair from :func:`encode_job` output.
+
+    The rebuilt job's ``key`` is the wire id; the caller re-maps it to
+    the client's real key.
+
+    Raises:
+        ProtocolError: missing fields or an undecodable payload.
+    """
+    try:
+        index = int(data["id"])
+        payload = _unb64(data["payload"])
+        return index, CompileJob(
+            key=index,
+            pipeline=str(data["pipeline"]),
+            ctrl=payload.get("ctrl"),
+            module=payload.get("module"),
+            aig=payload.get("aig"),
+            annotations=tuple(payload.get("annotations", ())),
+            bindings=data.get("bindings"),
+            library=payload.get("library"),
+            seed=int(data.get("seed", 2011)),
+        )
+    except (KeyError, TypeError, ValueError) as exc:
+        raise ProtocolError(f"malformed job envelope: {exc}") from exc
+
+
+def encode_batch(jobs: list[CompileJob]) -> dict:
+    """The request body for one ``POST /compile``."""
+    return {
+        "version": PROTOCOL_VERSION,
+        "jobs": [encode_job(job, i) for i, job in enumerate(jobs)],
+    }
+
+
+def decode_batch(data: dict) -> list[CompileJob]:
+    """Rebuild the jobs of one request body, in wire-id order.
+
+    Raises:
+        ProtocolError: version mismatch, duplicate or non-contiguous
+            wire ids, or a malformed job.
+    """
+    if not isinstance(data, dict):
+        raise ProtocolError("request body must be a JSON object")
+    version = data.get("version")
+    if version != PROTOCOL_VERSION:
+        raise ProtocolError(
+            f"protocol version {version!r} != {PROTOCOL_VERSION} "
+            f"(client and server checkouts disagree)"
+        )
+    raw = data.get("jobs")
+    if not isinstance(raw, list):
+        raise ProtocolError("request body carries no job list")
+    decoded = dict(decode_job(item) for item in raw)
+    if sorted(decoded) != list(range(len(raw))):
+        raise ProtocolError("job ids must be the batch indices 0..N-1")
+    return [decoded[i] for i in range(len(raw))]
+
+
+@dataclass(frozen=True)
+class JobResult:
+    """One job's outcome as both ends see it.
+
+    Exactly one of ``ctx``/``error`` is set.  ``cache_hit`` means the
+    server answered from its cache (memory or backend); ``deduped``
+    means this job rode another in-flight identical compile
+    (single-flight) instead of executing; ``wall_time_s`` is the
+    server-side handling time of this job.
+    """
+
+    index: int
+    fingerprint: str
+    ctx: "FlowContext | None" = None
+    error: CompileJobError | None = None
+    cache_hit: bool = False
+    deduped: bool = False
+    wall_time_s: float = 0.0
+
+
+def encode_result(result: JobResult) -> dict:
+    """One NDJSON response line."""
+    line = {
+        "id": result.index,
+        "fingerprint": result.fingerprint,
+        "cache_hit": result.cache_hit,
+        "deduped": result.deduped,
+        "wall_time_s": result.wall_time_s,
+    }
+    if result.error is not None:
+        line["error"] = {
+            "message": str(result.error),
+            "payload": _b64(result.error),
+        }
+    else:
+        line["ctx"] = _b64(result.ctx)
+    return line
+
+
+def decode_result(line: dict) -> JobResult:
+    """Rebuild a :class:`JobResult` from one response line.
+
+    A result whose error payload does not unpickle client-side (e.g.
+    the server saw an exception type this checkout lacks) degrades to
+    a generic :class:`CompileJobError` carrying the server's rendered
+    message instead of failing the decode.
+
+    Raises:
+        ProtocolError: missing fields or an undecodable context.
+    """
+    try:
+        index = int(line["id"])
+        fingerprint = str(line["fingerprint"])
+        error_data = line.get("error")
+        if error_data is not None:
+            try:
+                error = _unb64(error_data["payload"])
+            except ProtocolError:
+                error = None
+            if not isinstance(error, CompileJobError):
+                error = CompileJobError(
+                    index, str(error_data.get("message", "remote failure"))
+                )
+            return JobResult(
+                index=index,
+                fingerprint=fingerprint,
+                error=error,
+                cache_hit=bool(line.get("cache_hit", False)),
+                deduped=bool(line.get("deduped", False)),
+                wall_time_s=float(line.get("wall_time_s", 0.0)),
+            )
+        return JobResult(
+            index=index,
+            fingerprint=fingerprint,
+            ctx=_unb64(line["ctx"]),
+            cache_hit=bool(line.get("cache_hit", False)),
+            deduped=bool(line.get("deduped", False)),
+            wall_time_s=float(line.get("wall_time_s", 0.0)),
+        )
+    except (KeyError, TypeError, ValueError) as exc:
+        raise ProtocolError(f"malformed result line: {exc}") from exc

@@ -34,7 +34,7 @@ from repro.flow.store import DEFAULT_STORE_DIR, RunRecord, RunStore, StoreError
 from repro.track.bench import BENCH_FIGURE, run_pass_bench
 
 #: Figure drivers the ``record`` subcommand can run, in run order.
-FIGURE_NAMES = ("fig5", "fig6", "fig8", "fig9", "techsweep")
+FIGURE_NAMES = ("fig5", "fig6", "fig8", "fig9", "techsweep", "replay")
 
 #: Default regression thresholds: areas are deterministic, so any
 #: growth beyond rounding is suspect; wall clocks are noisy, so only
@@ -105,13 +105,14 @@ def _run_figure(name: str, scale: str, workers: int, cache) -> "object":
         run_fig6,
         run_fig8,
         run_fig9,
+        run_replay,
         run_techsweep,
     )
 
     runners = {
         "fig5": run_fig5, "fig6": run_fig6,
         "fig8": run_fig8, "fig9": run_fig9,
-        "techsweep": run_techsweep,
+        "techsweep": run_techsweep, "replay": run_replay,
     }
     return runners[name](scale=scale, workers=workers, cache=cache)
 
@@ -147,9 +148,9 @@ def cmd_record(args) -> int:
             result = _run_figure(name, args.scale, workers, cache)
             scale = args.scale
         result.meta.setdefault("scale", scale)
-        if name == "techsweep":
-            # The sweep maps against every registered library; its
-            # record must guard on all of them, not just the default.
+        if name in ("techsweep", "replay"):
+            # These sweeps map against every registered library; their
+            # records must guard on all of them, not just the default.
             from repro.expts.techsweep import swept_libraries_hash
 
             figure_library = swept_libraries_hash(
@@ -172,7 +173,7 @@ def cmd_record(args) -> int:
             f"{commit[:12]} in {time.time() - started:.1f}s -> {path}"
         )
         if cache is not None and name != BENCH_FIGURE:
-            print(f"[{name}] {cache.stats()}")
+            print(f"[{name}] {cache.stats_line()}")
     return 0
 
 

@@ -1,0 +1,115 @@
+"""The traffic-replay benchmark: traces, phases, and the run store."""
+
+import pytest
+
+from repro.expts.replay import (
+    REPLAY_FIGURE,
+    build_trace,
+    percentile,
+    run_replay,
+)
+from repro.flow import CompileCache, diff_runs
+from repro.flow.store import RunStore
+
+
+@pytest.fixture(scope="module")
+def replayed(tmp_path_factory):
+    """One shared self-hosted replay (cold server, stored record)."""
+    root = tmp_path_factory.mktemp("replay")
+    result = run_replay(
+        scale="small",
+        workers=2,
+        cache=CompileCache(),
+        clients=2,
+        jobs_per_client=3,
+        store_dir=root / "runs",
+        commit="replay-label",
+    )
+    return result, root
+
+
+def test_percentile_is_nearest_rank():
+    values = [10.0, 20.0, 30.0, 40.0]
+    assert percentile(values, 50) == 20.0
+    assert percentile(values, 99) == 40.0
+    assert percentile(values, 0) == 10.0
+    assert percentile([], 50) != percentile([], 50)  # NaN
+    with pytest.raises(ValueError):
+        percentile(values, 101)
+
+
+def test_trace_is_reproducible_and_keyed_uniquely():
+    one = build_trace("small", clients=3, jobs_per_client=4, seed=5)
+    two = build_trace("small", clients=3, jobs_per_client=4, seed=5)
+    assert len(one) == 3 and all(len(batch) == 4 for batch in one)
+    keys = [job.key for batch in one for job in batch]
+    assert keys == [job.key for batch in two for job in batch]
+    assert len(set(keys)) == 12  # unique across clients and slots
+    # The sampled variants are real techsweep grid entries.
+    assert all(len(job.key) == 5 for batch in one for job in batch)
+    other = build_trace("small", clients=3, jobs_per_client=4, seed=6)
+    assert keys != [job.key for batch in other for job in batch]
+
+
+def test_trace_validates_shape():
+    with pytest.raises(ValueError, match="clients"):
+        build_trace(clients=0)
+    with pytest.raises(ValueError, match="jobs_per_client"):
+        build_trace(jobs_per_client=0)
+
+
+def test_warm_phase_serves_everything_from_cache(replayed):
+    result, _ = replayed
+    [warm] = [p for p in result.series("hit_rate") if p.label == "warm"]
+    assert warm.y == 100.0
+    assert warm.meta["compiles"] == 0 and warm.meta["errors"] == 0
+    [cold] = [p for p in result.series("hit_rate") if p.label == "cold"]
+    assert cold.meta["compiles"] >= 1  # the cold phase really compiled
+    assert cold.meta["jobs"] == 6
+    assert any("warm: hit rate 100.0%" in note for note in result.notes)
+
+
+def test_latency_points_and_meta_are_complete(replayed):
+    result, _ = replayed
+    for phase in ("cold", "warm"):
+        labels = {p.label for p in result.series(f"latency_{phase}_ms")}
+        assert labels == {"p50", "p99"}
+        assert all(
+            p.y >= 0 for p in result.series(f"latency_{phase}_ms")
+        )
+    assert result.meta["clients"] == 2
+    assert result.meta["jobs_per_client"] == 3
+    assert result.meta["server"] == "self-hosted"
+    assert result.meta["libraries"]
+    assert result.pass_totals  # warm contexts carried their records
+
+
+def test_record_lands_in_the_run_store_and_diffs(replayed):
+    result, root = replayed
+    store = RunStore(root / "runs")
+    record = store.get("replay-label", REPLAY_FIGURE)
+    assert record is not None
+    assert record.library  # guarded on the swept libraries' digest
+    restored = {(p.series, p.label) for p in record.result.points}
+    assert restored == {(p.series, p.label) for p in result.points}
+
+    # `track diff` accepts replay records like any other figure: a
+    # self-diff is clean, and the latency series participate.
+    diff = diff_runs(record, record)
+    assert diff.identical
+    assert not diff.area_regressions(1.0)
+
+
+def test_track_cli_diffs_replay_records(replayed, capsys):
+    _, root = replayed
+    from repro.track import main
+
+    code = main(
+        [
+            "diff", "replay-label", "replay-label",
+            "--store-dir", str(root / "runs"),
+        ]
+    )
+    out = capsys.readouterr().out
+    assert code == 0
+    assert "replay" in out

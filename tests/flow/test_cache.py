@@ -323,6 +323,120 @@ def test_custom_metric_fixed_point_has_no_spec_form():
     assert "rewrite" in until_converged(RewritePass()).spec()
 
 
+# ---------------------------------------------------------------------
+# Backend plumbing and concurrency.
+# ---------------------------------------------------------------------
+
+def test_stats_dict_shape_and_counters(tmp_path):
+    cache = CompileCache(tmp_path / "cache")
+    pipeline = full_pipeline()
+    pipeline.compile(build_rom_module(), cache=cache)
+    pipeline.compile(build_rom_module(), cache=cache)
+    stats = cache.stats()
+    assert stats["memory_hits"] == 1 and stats["misses"] == 1
+    assert stats["hits"] == 1 and stats["stores"] == 1
+    assert stats["inflight"] == 0 and stats["memory_entries"] == 1
+    assert stats["backend"]["kind"] == "local-dir"
+    assert stats["backend"]["entries"] == 1
+    import json
+
+    json.dumps(stats)  # the /stats endpoint serves this verbatim
+    assert "1 memory hits" in cache.stats_line()
+
+
+def test_path_and_backend_are_mutually_exclusive(tmp_path):
+    from repro.flow import LocalDirBackend
+
+    with pytest.raises(ValueError, match="both"):
+        CompileCache(
+            tmp_path / "cache", backend=LocalDirBackend(tmp_path / "other")
+        )
+    # A backend-built cache still exposes .path for worker sharing.
+    cache = CompileCache(backend=LocalDirBackend(tmp_path / "b"))
+    assert cache.path == tmp_path / "b"
+    assert CompileCache().path is None
+
+
+def test_local_dir_backend_round_trip(tmp_path):
+    from repro.flow import LocalDirBackend
+
+    backend = LocalDirBackend(tmp_path / "b")
+    key = "ab" + "0" * 62
+    assert backend.load(key) is None
+    backend.store(key, b"payload")
+    assert backend.load(key) == b"payload"
+    assert backend.entry_file(key).parent.name == "ab"  # prefix-sharded
+
+
+def test_export_import_blob_round_trip(tmp_path):
+    pipeline = full_pipeline()
+    source = CompileCache(tmp_path / "source")
+    ctx = pipeline.compile(build_rom_module(), cache=source)
+    [key] = [p.stem for p in (tmp_path / "source").rglob("*.pkl")]
+    blob = source.export_blob(key)
+    assert blob is not None
+
+    target = CompileCache(tmp_path / "target")
+    target.import_blob(key, blob)
+    assert target.export_blob(key) == blob  # byte-identical hand-off
+    restored = pipeline.compile(build_rom_module(), cache=target)
+    assert target.disk_hits == 1 and target.misses == 0
+    assert restored.area.total == ctx.area.total
+
+    # A memory-only cache must unpickle to keep the entry at all, so a
+    # corrupt upload is rejected (False), never stored or raised.
+    memory_only = CompileCache()
+    assert memory_only.import_blob(key, b"garbage") is False
+    assert memory_only.import_blob(key, blob) is True
+
+
+def test_cache_is_thread_safe_under_concurrent_traffic(tmp_path):
+    """Satellite regression: the memory LRU and counters are shared by
+    server handler threads; hammering one cache from many threads must
+    neither corrupt the LRU nor lose counter updates."""
+    import threading
+
+    cache = CompileCache(tmp_path / "cache", max_memory_entries=4)
+    pipeline = full_pipeline()
+    contexts = {
+        scale: pipeline.compile(build_rom_module(scale))
+        for scale in (3, 5, 7, 11, 13)
+    }
+    errors = []
+
+    def worker(offset):
+        try:
+            for round_ in range(20):
+                scale = (3, 5, 7, 11, 13)[(offset + round_) % 5]
+                key = flow_fingerprint(
+                    full_pipeline().spec(), module=build_rom_module(scale)
+                )
+                hit = cache.get(key)
+                if hit is None:
+                    cache.inflight_begin()
+                    try:
+                        cache.put(key, contexts[scale])
+                    finally:
+                        cache.inflight_end()
+                else:
+                    assert hit.area.total == contexts[scale].area.total
+        except Exception as exc:  # surfaced below; threads swallow
+            errors.append(exc)
+
+    threads = [
+        threading.Thread(target=worker, args=(i,)) for i in range(8)
+    ]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join()
+    assert not errors
+    stats = cache.stats()
+    assert stats["inflight"] == 0
+    assert stats["hits"] + stats["misses"] == 8 * 20
+    assert len(cache._memory) <= 4
+
+
 def test_anonymous_pass_has_no_spec_form():
     class Anonymous(Pass):
         def run(self, ctx):

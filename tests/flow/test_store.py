@@ -288,7 +288,7 @@ def _fill_cache(tmp_path, sizes_and_ages):
     files = []
     for index, (size, age_days) in enumerate(sizes_and_ages):
         key = f"{index:02d}" + "ab" * 31  # 64 hex-ish chars
-        entry = cache._entry_file(key)
+        entry = cache.backend.entry_file(key)
         entry.parent.mkdir(parents=True, exist_ok=True)
         entry.write_bytes(b"x" * size)
         stamp = time_mod.time() - age_days * 86400.0

@@ -1,0 +1,251 @@
+"""The compile server end to end: identity with local execution,
+caching, single-flight dedup, error paths, and the cache endpoints."""
+
+import json
+import pickle
+import threading
+import urllib.error
+import urllib.request
+
+import pytest
+
+from repro.flow import CompileCache, CompileJob, CompileJobError, compile_many
+from repro.serve import CompileServer, RemoteBackend, ServeClient
+from repro.rtl.builder import ModuleBuilder
+
+
+def build_rom_module(scale=3, name="m"):
+    b = ModuleBuilder(name)
+    addr = b.input("addr", 4)
+    rom = b.rom("t", 8, 16, [(scale * i + 1) % 256 for i in range(16)])
+    b.output("data", rom.read(addr))
+    return b.build()
+
+
+def sample_jobs(seed=7):
+    return [
+        CompileJob(
+            ("rom", scale), "elaborate,optimize,map,size",
+            module=build_rom_module(scale), seed=seed,
+        )
+        for scale in (3, 5, 7, 11)
+    ]
+
+
+def record_signature(ctx):
+    """Everything deterministic about a record stream (wall times are
+    the one legitimately run-dependent field)."""
+    return [
+        (r.name, r.stage, r.before, r.after, r.messages, r.skipped,
+         r.rejected, r.failed)
+        for r in ctx.records
+    ]
+
+
+@pytest.fixture(scope="module")
+def server(tmp_path_factory):
+    """One shared disk-backed server for the whole module."""
+    cache = CompileCache(tmp_path_factory.mktemp("serve") / "cache")
+    with CompileServer(cache=cache, workers=2) as srv:
+        yield srv
+
+
+@pytest.fixture(scope="module")
+def client(server):
+    return ServeClient(server.url)
+
+
+def test_health_and_stats_endpoints(server, client):
+    assert client.healthy()
+    stats = client.stats()
+    assert stats["protocol_version"] == 1
+    assert stats["workers"] == 2
+    assert {"requests", "jobs", "compiles", "job_errors"} <= set(stats)
+    assert stats["cache"]["backend"]["kind"] == "local-dir"
+    assert "started" in stats["singleflight"]
+
+
+def test_served_results_match_local_execution(server, client):
+    local = compile_many(sample_jobs(), workers=1)
+    served = client.compile(sample_jobs())
+    assert list(served) == list(local)  # key order = submission order
+    for key in local:
+        assert served[key].area.total == local[key].area.total
+        assert (
+            served[key].timing.critical_delay
+            == local[key].timing.critical_delay
+        )
+        assert record_signature(served[key]) == record_signature(local[key])
+
+
+def test_warm_batch_is_served_without_compiling(server, client):
+    before = client.stats()["compiles"]
+    detailed = client.compile_detailed(sample_jobs())
+    assert client.stats()["compiles"] == before  # zero new compiles
+    assert all(r.cache_hit and not r.deduped for r in detailed)
+    assert all(r.error is None for r in detailed)
+    # Repeated fetches of one warm entry are byte-identical: the wire
+    # context pickles exactly like the server's stored entry.
+    fingerprint = detailed[0].fingerprint
+    blob = server.cache.export_blob(fingerprint)
+    assert blob is not None
+    assert pickle.loads(blob).area.total == detailed[0].ctx.area.total
+
+
+def test_concurrent_identical_jobs_compile_exactly_once(server):
+    """The dedup satellite: N clients, same fingerprint, concurrently
+    -- exactly one compile happens and everyone gets identical bytes."""
+    job = CompileJob(
+        "dedup", "elaborate,optimize,map,size",
+        module=build_rom_module(13, name="dedup"), seed=99,
+    )
+    clients = 6
+    barrier = threading.Barrier(clients)
+    results = [None] * clients
+
+    def submit(i):
+        barrier.wait(timeout=30.0)
+        results[i] = ServeClient(server.url).compile_detailed([job])[0]
+
+    before = ServeClient(server.url).stats()["compiles"]
+    threads = [
+        threading.Thread(target=submit, args=(i,)) for i in range(clients)
+    ]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join(timeout=120.0)
+
+    assert all(r is not None and r.error is None for r in results)
+    after = ServeClient(server.url).stats()["compiles"]
+    assert after - before == 1  # exactly one compile across 6 clients
+    fingerprints = {r.fingerprint for r in results}
+    assert len(fingerprints) == 1
+    blobs = {pickle.dumps(r.ctx) for r in results}
+    assert len(blobs) == 1  # identical bytes for every caller
+    # At most one caller was the cold leader; everyone else was either
+    # deduped onto the flight or answered from the just-warmed cache.
+    cold = [r for r in results if not r.cache_hit and not r.deduped]
+    assert len(cold) <= 1
+
+
+def test_job_failures_come_back_as_results_with_context(server, client):
+    # ``elaborate`` with no input design fails server-side; the error
+    # crosses back with its pass records instead of poisoning the batch.
+    good = sample_jobs()[0]
+    bad = CompileJob("bad", "elaborate,optimize,map,size")
+    detailed = client.compile_detailed([bad, good])
+    assert detailed[0].error is not None and detailed[0].ctx is None
+    assert detailed[1].error is None and detailed[1].ctx is not None
+    # compile() raises the earliest failure re-keyed to the real key.
+    with pytest.raises(CompileJobError) as err:
+        client.compile([bad, good])
+    assert err.value.key == "bad"
+
+
+def test_compile_many_server_path_matches_local(server):
+    local = compile_many(sample_jobs(seed=23), workers=1)
+    via_server = compile_many(sample_jobs(seed=23), server=server.url)
+    for key in local:
+        assert via_server[key].area.total == local[key].area.total
+        assert record_signature(via_server[key]) == record_signature(
+            local[key]
+        )
+
+
+def test_compile_many_local_cache_fronts_the_server(server):
+    cache = CompileCache()
+    jobs_before = ServeClient(server.url).stats()["jobs"]
+    first = compile_many(sample_jobs(seed=31), server=server.url, cache=cache)
+    assert ServeClient(server.url).stats()["jobs"] == jobs_before + 4
+    # Warm local cache: the second run never touches the network.
+    second = compile_many(sample_jobs(seed=31), server=server.url, cache=cache)
+    assert ServeClient(server.url).stats()["jobs"] == jobs_before + 4
+    assert cache.memory_hits == 4
+    for key in first:
+        assert second[key] is first[key]
+
+
+def test_cache_endpoints_round_trip(server, client):
+    key = "ab" * 32
+    url = f"{server.url}/cache/{key}"
+    with pytest.raises(urllib.error.HTTPError) as err:
+        urllib.request.urlopen(url)
+    assert err.value.code == 404
+
+    request = urllib.request.Request(url, data=b"blob-bytes", method="PUT")
+    with urllib.request.urlopen(request) as response:
+        assert json.loads(response.read())["stored"] == key
+    with urllib.request.urlopen(url) as response:
+        assert response.read() == b"blob-bytes"  # verbatim bytes
+
+    # Keys that are not fingerprints never touch the cache.
+    bad = urllib.request.Request(
+        f"{server.url}/cache/../escape", data=b"x", method="PUT"
+    )
+    with pytest.raises(urllib.error.HTTPError):
+        urllib.request.urlopen(bad)
+
+
+def test_remote_backend_reads_and_writes_through_the_server(server):
+    backend = RemoteBackend(server.url)
+    key = "cd" * 32
+    assert backend.load(key) is None
+    backend.store(key, b"entry")
+    assert backend.load(key) == b"entry"
+    stats = backend.stats()
+    assert stats["loads"] == 2 and stats["load_hits"] == 1
+    assert stats["store_calls"] == 1 and stats["store_errors"] == 0
+
+
+def test_remote_backend_degrades_to_misses_when_unreachable():
+    backend = RemoteBackend("http://127.0.0.1:9", timeout=0.2)
+    assert backend.load("ef" * 32) is None
+    backend.store("ef" * 32, b"entry")  # must not raise
+    stats = backend.stats()
+    assert stats["load_errors"] == 1 and stats["store_errors"] == 1
+
+
+def test_bad_requests_are_rejected_cleanly(server, client):
+    request = urllib.request.Request(
+        f"{server.url}/compile", data=b"not json", method="POST"
+    )
+    with pytest.raises(urllib.error.HTTPError) as err:
+        urllib.request.urlopen(request)
+    assert err.value.code == 400
+    # A version-mismatched batch is a 400 with a JSON error detail.
+    body = json.dumps({"version": 999, "jobs": []}).encode()
+    request = urllib.request.Request(
+        f"{server.url}/compile",
+        data=body,
+        headers={"Content-Type": "application/json"},
+        method="POST",
+    )
+    with pytest.raises(urllib.error.HTTPError) as err:
+        urllib.request.urlopen(request)
+    assert err.value.code == 400
+    assert "version" in json.loads(err.value.read())["error"]
+    assert client.stats()["bad_requests"] >= 2
+
+
+def test_tiered_backend_promotes_far_hits(tmp_path):
+    from repro.flow import LocalDirBackend
+    from repro.serve import TieredBackend
+
+    near = LocalDirBackend(tmp_path / "near")
+    far = LocalDirBackend(tmp_path / "far")
+    tiered = TieredBackend(near, far)
+    key = "12" * 32
+
+    assert tiered.load(key) is None
+    far.store(key, b"shared-entry")
+    assert tiered.load(key) == b"shared-entry"  # far hit...
+    assert near.load(key) == b"shared-entry"  # ...promoted near
+    assert tiered.load(key) == b"shared-entry"  # now a near hit
+    stats = tiered.stats()
+    assert stats["near_hits"] == 1 and stats["far_hits"] == 1
+    assert stats["promotions"] == 1
+
+    tiered.store("34" * 32, b"write-through")
+    assert near.load("34" * 32) == b"write-through"
+    assert far.load("34" * 32) == b"write-through"
