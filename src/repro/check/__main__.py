@@ -1,0 +1,287 @@
+"""``python -m repro.check`` -- the static verification CLI.
+
+Subcommands::
+
+    spec SPEC        typecheck one pipeline spec (optionally against a
+                     declared input stage / IR kind / bindings)
+    specs            lint every shipped spec: the figure drivers, the
+                     techsweep/replay job grid, and the default flow
+    ir               lint the techsweep IR corpus (FSMs, truth tables)
+    registry         the pass registry with per-pass option schemas
+    self             lock-discipline lint over the serve stack and the
+                     compile cache (``--self`` works as an alias)
+
+Exit status: 0 clean, 1 findings (warnings count only under
+``--strict``), 2 usage errors.  ``--format json`` emits one JSON array
+of findings for tooling; the default is one human line per finding,
+errors first.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+
+from repro.check.diagnostics import Diagnostic, exit_code
+from repro.check.irlint import lint_ir
+from repro.check.locks import check_lock_discipline, default_lock_paths
+from repro.check.spec import check_job, check_spec
+
+#: (label, spec, check_spec kwargs) for every spec the repo ships.
+#: ``specs`` lints these plus the techsweep job grid; the acceptance
+#: bar is zero diagnostics, so a pass rename or schema change that
+#: breaks a figure driver fails CI before anyone runs the figure.
+
+
+def shipped_specs() -> "list[tuple[str, str, dict]]":
+    from repro.expts.fig5_tables import _comb_spec
+    from repro.expts.fig6_fsm import LOWERINGS, default_body
+    from repro.expts.fig8_stateprop import treatment_specs
+    from repro.flow.pipeline import default_pipeline
+    from repro.synth.dc_options import CompileOptions
+
+    entries: list[tuple[str, str, dict]] = []
+    comb = _comb_spec(20.0)
+    entries.append(
+        (
+            "fig5/table",
+            f"table_rom,{comb}",
+            {"input_stage": "ctrl", "ir_kind": "table"},
+        )
+    )
+    entries.append(
+        (
+            "fig5/sop",
+            f"table_minimize,{comb}",
+            {"input_stage": "ctrl", "ir_kind": "table"},
+        )
+    )
+    body = default_body(20.0)
+    for name, prefix in sorted(LOWERINGS.items()):
+        entries.append(
+            (
+                f"fig6/{name}",
+                f"{prefix},{body}",
+                {"input_stage": "ctrl", "ir_kind": "fsm"},
+            )
+        )
+    for name, spec in sorted(treatment_specs(20.0).items()):
+        entries.append((f"fig8/{name}", spec, {"input_stage": "rtl"}))
+    fig9 = default_pipeline(CompileOptions()).spec()
+    entries.append(("fig9/auto", fig9, {"input_stage": "rtl"}))
+    entries.append(
+        (
+            "fig9/manual",
+            f"pe_bind,{fig9}",
+            {"input_stage": "rtl", "has_bindings": True},
+        )
+    )
+    for label, options in (
+        ("default", CompileOptions()),
+        ("retimed", CompileOptions(retime=True, fold_sync_reset=True)),
+        ("no-state-folding", CompileOptions(use_state_folding=False)),
+    ):
+        entries.append(
+            (
+                f"flow/{label}",
+                default_pipeline(options).spec(),
+                {"input_stage": "rtl"},
+            )
+        )
+    return entries
+
+
+def _findings_specs() -> "list[tuple[str, Diagnostic]]":
+    findings = []
+    for label, spec, kwargs in shipped_specs():
+        for diagnostic in check_spec(spec, **kwargs):
+            findings.append((label, diagnostic))
+    from repro.expts.techsweep import build_jobs
+
+    for job in build_jobs("small"):
+        for diagnostic in check_job(job):
+            findings.append((f"techsweep/{'/'.join(map(str, job.key))}",
+                             diagnostic))
+    return findings
+
+
+def _findings_ir() -> "list[tuple[str, Diagnostic]]":
+    from repro.expts.techsweep import _designs
+
+    findings = []
+    for label, (_, ir) in sorted(_designs("small").items()):
+        for diagnostic in lint_ir(ir):
+            findings.append((f"ir/{label}", diagnostic))
+    return findings
+
+
+def _findings_self() -> "list[tuple[str, Diagnostic]]":
+    return [("locks", d) for d in check_lock_discipline()]
+
+
+def _report(findings, strict: bool, output_format: str) -> int:
+    diagnostics = [diagnostic for _, diagnostic in findings]
+    status = exit_code(diagnostics, strict=strict)
+    if output_format == "json":
+        print(
+            json.dumps(
+                [
+                    {"target": label, **diagnostic.to_json()}
+                    for label, diagnostic in findings
+                ],
+                indent=2,
+            )
+        )
+        return status
+    ordered = sorted(
+        findings,
+        key=lambda pair: (0 if pair[1].severity == "error" else 1, pair[0]),
+    )
+    for label, diagnostic in ordered:
+        print(f"{label}: {diagnostic}")
+    if not findings:
+        print("clean: no diagnostics")
+    else:
+        errors = sum(1 for d in diagnostics if d.severity == "error")
+        print(
+            f"{len(findings)} finding(s): {errors} error(s), "
+            f"{len(findings) - errors} warning(s)"
+        )
+    return status
+
+
+def _render_registry(output_format: str) -> int:
+    from repro.flow.passes import describe
+
+    registry = describe()
+    if output_format == "json":
+        print(json.dumps(registry, indent=2, sort_keys=True))
+        return 0
+    for name in sorted(registry):
+        entry = registry[name]
+        stage = entry["stage"]
+        arrow = (
+            f"{stage}->{entry['produces']}"
+            if entry.get("produces")
+            else stage
+        )
+        print(f"{name} ({arrow}): {entry.get('summary', '')}")
+        if entry.get("ir_kinds"):
+            print(f"    accepts IR kinds: {', '.join(entry['ir_kinds'])}")
+        if entry.get("needs_bindings"):
+            print("    needs configuration bindings")
+        for option_name, option in sorted(entry.get("options", {}).items()):
+            bits = [option["type"]]
+            if "default" in option:
+                bits.append(f"default={option['default']!r}")
+            if option.get("nullable"):
+                bits.append("nullable")
+            if option.get("choices"):
+                bits.append(
+                    "choices=" + "|".join(map(str, option["choices"]))
+                )
+            for bound in ("min", "max", "exclusive_min"):
+                if option.get(bound) is not None:
+                    bits.append(f"{bound}={option[bound]}")
+            print(f"    {option_name}: {', '.join(bits)}")
+    return 0
+
+
+def main(argv=None) -> int:
+    argv = list(sys.argv[1:] if argv is None else argv)
+    # `python -m repro.check --self` is the documented CI shorthand.
+    argv = ["self" if item == "--self" else item for item in argv]
+
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.check",
+        description="Static verification: spec typechecking, IR "
+        "linting, lock-discipline analysis.",
+    )
+    common = argparse.ArgumentParser(add_help=False)
+    common.add_argument(
+        "--strict",
+        action="store_true",
+        help="exit 1 on warnings too, not just errors",
+    )
+    common.add_argument(
+        "--format",
+        dest="output_format",
+        choices=("text", "json"),
+        default="text",
+        help="findings as human lines (default) or one JSON array",
+    )
+    commands = parser.add_subparsers(dest="command")
+
+    spec_cmd = commands.add_parser(
+        "spec", parents=[common], help="typecheck one pipeline spec"
+    )
+    spec_cmd.add_argument("spec", help="the pipeline spec string")
+    spec_cmd.add_argument(
+        "--stage",
+        choices=("ctrl", "rtl", "aig", "netlist"),
+        default=None,
+        help="the input's stage (defaults to whatever the first pass "
+        "needs)",
+    )
+    spec_cmd.add_argument(
+        "--ir",
+        dest="ir_kind",
+        default=None,
+        help="the controller IR kind of a ctrl-stage input "
+        "(fsm, table, program, microcode, dispatch, sequencer)",
+    )
+    spec_cmd.add_argument(
+        "--bindings",
+        action="store_true",
+        help="the compile context will carry configuration bindings",
+    )
+
+    commands.add_parser(
+        "specs",
+        parents=[common],
+        help="lint every shipped figure/techsweep spec and the "
+        "default flow",
+    )
+    commands.add_parser(
+        "ir", parents=[common], help="lint the techsweep IR corpus"
+    )
+    commands.add_parser(
+        "registry",
+        parents=[common],
+        help="print the pass registry with option schemas",
+    )
+    commands.add_parser(
+        "self",
+        parents=[common],
+        help="lock-discipline lint over repro.serve and the compile "
+        "cache",
+    )
+
+    args = parser.parse_args(argv)
+    if args.command is None:
+        parser.print_help()
+        return 2
+    if args.command == "registry":
+        return _render_registry(args.output_format)
+    if args.command == "spec":
+        findings = [
+            ("spec", diagnostic)
+            for diagnostic in check_spec(
+                args.spec,
+                input_stage=args.stage,
+                ir_kind=args.ir_kind,
+                has_bindings=True if args.bindings else None,
+            )
+        ]
+    elif args.command == "specs":
+        findings = _findings_specs()
+    elif args.command == "ir":
+        findings = _findings_ir()
+    else:
+        findings = _findings_self()
+    return _report(findings, args.strict, args.output_format)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

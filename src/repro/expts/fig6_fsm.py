@@ -52,6 +52,32 @@ PAPER_INPUTS = (2, 8)
 PAPER_OUTPUTS = (2, 8, 16)
 PAPER_STATES = (2, 3, 8, 16, 17)
 
+#: The lowering prefix per treatment; ``run_fig6`` prepends one of
+#: these to the shared RTL-onward body.
+LOWERINGS = {
+    "case": "fsm_encode{realize=case}",
+    "table": "fsm_encode",
+}
+
+
+def default_body(clock_period_ns: float = 20.0) -> str:
+    """The shared RTL-onward pipeline body of every Fig. 6 treatment,
+    as a spec string (``repro.check specs`` lints this without running
+    the experiment, so it must stay the exact pipeline
+    :func:`run_fig6` builds)."""
+    return PassManager(
+        [
+            FsmInferPass(),
+            HonourAnnotationsPass(),
+            EncodePass("binary"),
+            ElaboratePass(),
+            optimize_loop(),
+            state_folding(),
+            TechMapPass(),
+            SizePass(clock_period_ns),
+        ]
+    ).spec()
+
 
 @dataclass(frozen=True)
 class Fig6Scale:
@@ -105,26 +131,12 @@ def run_fig6(
     # treatment, none for the regular treatment).  The treatments
     # differ only in the lowering prefix and the seeded annotations.
     if pipeline is None:
-        body = PassManager(
-            [
-                FsmInferPass(),
-                HonourAnnotationsPass(),
-                EncodePass("binary"),
-                ElaboratePass(),
-                optimize_loop(),
-                state_folding(),
-                TechMapPass(),
-                SizePass(clock_period_ns),
-            ]
-        ).spec()
+        body = default_body(clock_period_ns)
     elif isinstance(pipeline, str):
         body = PassManager.parse(pipeline).spec()
     else:
         body = pipeline.spec()
-    lowerings = {
-        "case": "fsm_encode{realize=case}",
-        "table": "fsm_encode",
-    }
+    lowerings = LOWERINGS
 
     grid = [
         (m, n, s, seed)

@@ -48,6 +48,41 @@ from repro.synth.dc_options import StateAnnotation
 PAPER_WIDTHS = (2, 4, 8, 16, 32, 64, 128)
 
 
+def treatment_specs(clock_period_ns: float = 20.0) -> "dict[str, str]":
+    """The three treatment pipelines as spec strings (no FSM
+    inference, no re-encoding -- the annotated treatment asserts value
+    sets on the existing one-hot codes).  The object pipelines only
+    exist to render the specs, which keeps every non-default parameter
+    faithful; ``repro.check specs`` lints these without running the
+    experiment, so :func:`run_fig8` must build its jobs from here."""
+
+    def back_end():
+        return [TechMapPass(), SizePass(clock_period_ns)]
+
+    return {
+        "regular": PassManager(
+            [ElaboratePass(), optimize_loop(), *back_end()]
+        ).spec(),
+        "retimed": PassManager(
+            [
+                ElaboratePass(fold_sync_reset=True),
+                optimize_loop(),
+                retime_stage(),
+                *back_end(),
+            ]
+        ).spec(),
+        "annotated": PassManager(
+            [
+                HonourAnnotationsPass(),
+                ElaboratePass(),
+                optimize_loop(),
+                state_folding(),
+                *back_end(),
+            ]
+        ).spec(),
+    }
+
+
 @dataclass(frozen=True)
 class Fig8Scale:
     widths: tuple[int, ...]
@@ -87,34 +122,12 @@ def run_fig8(
         f"{clock_period_ns} ns target.",
     )
 
-    # Each treatment is its own explicit pipeline, expressed as a spec
-    # string over the registry (no FSM inference, no re-encoding --
-    # the annotated treatment asserts value sets on the existing
-    # one-hot codes).  The object pipelines below only exist to render
-    # the specs, which keeps every non-default parameter faithful.
-    def back_end():
-        return [TechMapPass(), SizePass(clock_period_ns)]
-
-    regular = PassManager(
-        [ElaboratePass(), optimize_loop(), *back_end()]
-    ).spec()
-    retimed = PassManager(
-        [
-            ElaboratePass(fold_sync_reset=True),
-            optimize_loop(),
-            retime_stage(),
-            *back_end(),
-        ]
-    ).spec()
-    annotated = PassManager(
-        [
-            HonourAnnotationsPass(),
-            ElaboratePass(),
-            optimize_loop(),
-            state_folding(),
-            *back_end(),
-        ]
-    ).spec()
+    # Each treatment is its own explicit pipeline over the registry
+    # (see treatment_specs).
+    specs = treatment_specs(clock_period_ns)
+    regular = specs["regular"]
+    retimed = specs["retimed"]
+    annotated = specs["annotated"]
 
     def treatments_for(n, style):
         treatments = {"regular": (regular, ())}

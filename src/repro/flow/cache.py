@@ -368,17 +368,17 @@ class CompileCache:
             backend = LocalDirBackend(path)
         self.backend = backend
         self.max_memory_entries = max_memory_entries
-        self._memory: OrderedDict[str, "FlowContext"] = OrderedDict()
         #: One lock guards the LRU dict and every counter: server
         #: request handlers and pool callbacks share one instance, and
         #: an unguarded OrderedDict corrupts under concurrent movers.
         #: Backend I/O and (un)pickling happen outside the lock.
         self._lock = threading.Lock()
-        self.memory_hits = 0
-        self.disk_hits = 0
-        self.misses = 0
-        self.stores = 0
-        self.inflight = 0
+        self._memory: OrderedDict[str, "FlowContext"] = OrderedDict()  # guarded-by: _lock
+        self.memory_hits = 0  # guarded-by: _lock
+        self.disk_hits = 0  # guarded-by: _lock
+        self.misses = 0  # guarded-by: _lock
+        self.stores = 0  # guarded-by: _lock
+        self.inflight = 0  # guarded-by: _lock
 
     @property
     def path(self) -> Path | None:
@@ -392,7 +392,8 @@ class CompileCache:
     # -- lookup -------------------------------------------------------
     @property
     def hits(self) -> int:
-        return self.memory_hits + self.disk_hits
+        with self._lock:
+            return self.memory_hits + self.disk_hits
 
     def get(self, key: str) -> "FlowContext | None":
         """Look up a completed context by fingerprint.

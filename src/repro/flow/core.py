@@ -16,11 +16,14 @@ Passes register themselves under a short name with
 
 from __future__ import annotations
 
+import difflib
 import math
 import sys
 import time
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Callable
+
+from repro.flow.schema import PassSchema
 
 if TYPE_CHECKING:
     from repro.aig.graph import AIG
@@ -445,14 +448,26 @@ class Pass:
 #: Global registry: spec name -> zero-argument pass factory.
 PASS_REGISTRY: dict[str, Callable[[], Pass]] = {}
 
+#: Spec name -> :class:`PassSchema`, populated alongside the registry.
+#: The static contract :mod:`repro.check.spec` checks pipelines
+#: against; passes registered without an explicit schema get a
+#: stage-only default (any option is then a constructor question).
+PASS_SCHEMAS: dict[str, PassSchema] = {}
 
-def register_pass(name: str):
+
+def register_pass(name: str, schema: "PassSchema | None" = None):
     """Class decorator adding a pass to the global registry.
 
     The registered class must be constructible with no arguments (its
     defaults are what a string pipeline spec gets); richer
     parameterizations are built in Python.  Re-registering a name is a
     hard error -- silent shadowing would make specs ambiguous.
+
+    Args:
+        name: the spec name the pass registers under.
+        schema: the pass's static contract (stages, IR kinds,
+            options).  Defaults to a bare stage-only schema derived
+            from the class's ``stage`` attribute.
     """
 
     def decorate(cls):
@@ -461,8 +476,15 @@ def register_pass(name: str):
                 f"pass name {name!r} already registered by "
                 f"{PASS_REGISTRY[name].__qualname__}"
             )
+        resolved = schema if schema is not None else PassSchema(stage=cls.stage)
+        if resolved.stage != cls.stage:
+            raise FlowError(
+                f"pass {name!r}: schema stage {resolved.stage!r} "
+                f"contradicts class stage {cls.stage!r}"
+            )
         cls.name = name
         PASS_REGISTRY[name] = cls
+        PASS_SCHEMAS[name] = resolved
         return cls
 
     return decorate
@@ -472,23 +494,71 @@ def registered_pass_names() -> list[str]:
     return sorted(PASS_REGISTRY)
 
 
+def pass_schema(name: str) -> "PassSchema | None":
+    """The registered schema for ``name`` (``None`` when unknown)."""
+    if name not in PASS_REGISTRY:
+        return None
+    return PASS_SCHEMAS.get(name)
+
+
+def suggest_name(name: str, candidates) -> "str | None":
+    """The closest near-miss to ``name`` among ``candidates``, for
+    did-you-mean diagnostics (``None`` when nothing is close)."""
+    matches = difflib.get_close_matches(name, list(candidates), n=1)
+    return matches[0] if matches else None
+
+
+def describe_registry() -> "dict[str, dict]":
+    """Every registered pass with its stage and option schema, as
+    JSON-safe dicts -- the single source ``repro.check registry`` and
+    the docs render from, so neither drifts from the code."""
+    out: dict[str, dict] = {}
+    for name in registered_pass_names():
+        schema = PASS_SCHEMAS.get(name) or PassSchema(
+            stage=PASS_REGISTRY[name].stage
+        )
+        doc = (PASS_REGISTRY[name].__doc__ or "").strip()
+        summary = doc.splitlines()[0] if doc else ""
+        out[name] = {"summary": summary, **schema.describe()}
+    return out
+
+
 def make_pass(name: str, /, **params) -> Pass:
     """Instantiate a registered pass, with optional constructor
     parameters (from a spec's ``{key=value,...}`` options).  The
     registry name is positional-only so a pass may itself take a
-    ``name`` option (``table_rom{name=tbl_x}``)."""
+    ``name`` option (``table_rom{name=tbl_x}``).
+
+    Errors carry ``repro.check`` diagnostic codes: ``CHK101`` unknown
+    pass, ``CHK102`` unknown option name, ``CHK104`` a value the
+    constructor rejected.
+    """
     try:
         factory = PASS_REGISTRY[name]
     except KeyError:
+        hint = suggest_name(name, PASS_REGISTRY)
+        did_you_mean = "" if hint is None else f"did you mean {hint!r}? "
         raise FlowError(
-            f"unknown pass {name!r}; registered passes: "
-            f"{', '.join(registered_pass_names())}"
+            f"[CHK101] unknown pass {name!r}; {did_you_mean}"
+            f"registered passes: {', '.join(registered_pass_names())}"
         ) from None
+    schema = PASS_SCHEMAS.get(name)
+    if schema is not None and schema.options:
+        unknown = sorted(set(params) - set(schema.options))
+        if unknown:
+            hint = suggest_name(unknown[0], schema.options)
+            did_you_mean = "" if hint is None else f" (did you mean {hint!r}?)"
+            raise FlowError(
+                f"[CHK102] pass {name!r} rejected options {unknown}: "
+                f"unknown option{'s' if len(unknown) > 1 else ''}"
+                f"{did_you_mean}; accepted: "
+                f"{', '.join(sorted(schema.options))}"
+            )
     try:
         return factory(**params)
     except (TypeError, ValueError) as exc:
         raise FlowError(
-            f"pass {name!r} rejected options {sorted(params)}: {exc}"
+            f"[CHK104] pass {name!r} rejected options {sorted(params)}: {exc}"
         ) from None
 
 

@@ -40,6 +40,7 @@ from repro.controllers.fsm import FsmSpec
 from repro.controllers.fsm_rtl import fsm_to_case_rtl, fsm_to_table_rtl
 from repro.controllers.sequencer import SequencerSpec, generate_sequencer
 from repro.flow.core import FlowContext, FlowError, Pass, register_pass
+from repro.flow.schema import Option, PassSchema
 from repro.synth.dc_options import ENCODING_STYLES, StateAnnotation
 from repro.synth.encode import reencode_register
 from repro.tables.rtl import SOP_ENGINES, table_to_rom_rtl, table_to_sop_rtl
@@ -59,7 +60,32 @@ def _require_ir(pass_: Pass, ctx: FlowContext, ir_type: type):
     return ctx.ctrl
 
 
-@register_pass("fsm_encode")
+@register_pass(
+    "fsm_encode",
+    PassSchema(
+        stage="ctrl",
+        produces="rtl",
+        ir_kinds=("fsm",),
+        options={
+            "style": Option(
+                "str",
+                default="same",
+                choices=tuple(ENCODING_STYLES),
+                help="re-encode the state register while lowering",
+            ),
+            "realize": Option(
+                "str",
+                default="table",
+                choices=FSM_REALIZATIONS,
+                help="case statement vs table-memory RTL",
+            ),
+            "flexible": Option(
+                "bool", default=False,
+                help="keep the table memories programmable",
+            ),
+        },
+    ),
+)
 class FsmEncodePass(Pass):
     """Lower an :class:`FsmSpec` to RTL in the chosen realisation.
 
@@ -130,7 +156,19 @@ class FsmEncodePass(Pass):
         ctx.module = module
 
 
-@register_pass("table_rom")
+@register_pass(
+    "table_rom",
+    PassSchema(
+        stage="ctrl",
+        produces="rtl",
+        ir_kinds=("table",),
+        options={
+            "name": Option(
+                "str", default="table", help="generated module name"
+            ),
+        },
+    ),
+)
 class TableRomPass(Pass):
     """Lower a :class:`TruthTable` to a bound ROM read (the flexible
     style after binding -- elaboration partially evaluates it)."""
@@ -152,7 +190,23 @@ class TableRomPass(Pass):
         )
 
 
-@register_pass("table_minimize")
+@register_pass(
+    "table_minimize",
+    PassSchema(
+        stage="ctrl",
+        produces="rtl",
+        ir_kinds=("table",),
+        options={
+            "engine": Option(
+                "str",
+                default="isop",
+                choices=tuple(SOP_ENGINES),
+                help="two-level minimization engine",
+            ),
+            "name": Option("str", default="sop", help="generated module name"),
+        },
+    ),
+)
 class TableMinimizePass(Pass):
     """Lower a :class:`TruthTable` to direct two-level SOP RTL,
     minimized by the chosen engine (``isop``, exact ``qm``, or
@@ -188,7 +242,23 @@ class TableMinimizePass(Pass):
         )
 
 
-@register_pass("microcode_pack")
+@register_pass(
+    "microcode_pack",
+    PassSchema(
+        stage="ctrl",
+        ir_kinds=("program",),
+        produces_kind="microcode",
+        options={
+            "addr_bits": Option(
+                "int", default=None, nullable=True, min=1,
+                help="microcode address width (default: fit the program)",
+            ),
+            "cond_bits": Option(
+                "int", default=2, min=1, help="condition-select field width"
+            ),
+        },
+    ),
+)
 class MicrocodePackPass(Pass):
     """Assemble a symbolic :class:`Program` into its bit-level
     :class:`AssembledProgram` image (IR -> IR: labels resolve, fields
@@ -227,7 +297,31 @@ class MicrocodePackPass(Pass):
         )
 
 
-@register_pass("dispatch_rom")
+@register_pass(
+    "dispatch_rom",
+    PassSchema(
+        stage="ctrl",
+        produces="rtl",
+        ir_kinds=("microcode",),
+        options={
+            "name": Option(
+                "str", default="useq", help="generated module name"
+            ),
+            "flexible": Option(
+                "bool", default=False,
+                help="programmable config memories instead of ROMs",
+            ),
+            "annotate": Option(
+                "bool", default=True,
+                help="assert the generator-side uPC reachability annotation",
+            ),
+            "num_conditions": Option(
+                "int", default=None, nullable=True, min=1,
+                help="condition inputs (default: the program's)",
+            ),
+        },
+    ),
+)
 class DispatchRomPass(Pass):
     """Lower an :class:`AssembledProgram` to the Fig. 3 sequencer RTL.
 
@@ -306,7 +400,23 @@ class DispatchRomPass(Pass):
                 )
 
 
-@register_pass("pe_bind")
+@register_pass(
+    "pe_bind",
+    PassSchema(
+        stage="rtl",
+        needs_bindings=True,
+        options={
+            "annotate": Option(
+                "bool", default=False,
+                help="derive reachability annotations from the bound design",
+            ),
+            "regs": Option(
+                "str", default=None, nullable=True,
+                help="comma-separated registers to annotate (default: all)",
+            ),
+        },
+    ),
+)
 class PeBindPass(Pass):
     """Bind the context's configuration contents into the module.
 

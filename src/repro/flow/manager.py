@@ -260,7 +260,33 @@ class PassManager:
         input that means zero lowerings *and* zero synthesis -- a miss
         runs the pipeline and stores the result.  Treat cached
         contexts as read-only -- in-memory hits share one object.
+
+        The spec typechecker (:mod:`repro.check.spec`) runs first:
+        a pipeline that is statically wrong for these inputs (stage
+        ordering, IR kind, missing bindings) raises :class:`FlowError`
+        carrying the diagnostics before any pass executes.
         """
+        # Imported here: repro.check.spec imports this module.
+        from repro.check.spec import check_manager, input_stage_of
+
+        input_stage, ir_kind = input_stage_of(
+            ctrl=ctrl, module=module, aig=aig
+        )
+        problems = [
+            diagnostic
+            for diagnostic in check_manager(
+                self,
+                input_stage=input_stage,
+                ir_kind=ir_kind,
+                has_bindings=bindings is not None,
+            )
+            if diagnostic.severity == "error"
+        ]
+        if problems:
+            raise FlowError(
+                "pipeline spec check failed: "
+                + "; ".join(str(problem) for problem in problems)
+            )
         fingerprint = None
         if cache is not None:
             from repro.flow.cache import flow_fingerprint

@@ -37,7 +37,14 @@ from repro.aig.graph import AIG
 from repro.aig.resub import MAX_RESUB_K, resub
 from repro.aig.rewrite import rewrite, tt_sweep
 from repro.flow.combinators import FixedPoint, WhileProgress
-from repro.flow.core import FlowContext, FlowError, Pass, register_pass
+from repro.flow.core import (
+    FlowContext,
+    FlowError,
+    Pass,
+    describe_registry,
+    register_pass,
+)
+from repro.flow.schema import Option, PassSchema
 from repro.synth.dc_options import (
     ENCODING_STYLES,
     StateAnnotation,
@@ -56,7 +63,7 @@ from repro.tech.sizing import size_for_clock
 from repro.tech.sta import analyze_timing
 
 
-@register_pass("fsm_infer")
+@register_pass("fsm_infer", PassSchema(stage="rtl"))
 class FsmInferPass(Pass):
     """Recognise case-style FSMs and add their state sets as
     annotations (user annotations on the same register win)."""
@@ -76,7 +83,7 @@ class FsmInferPass(Pass):
             )
 
 
-@register_pass("honour_annotations")
+@register_pass("honour_annotations", PassSchema(stage="rtl"))
 class HonourAnnotationsPass(Pass):
     """Drop annotations the tool cannot honour (unknown registers,
     state vectors wider than the 32-bit cap) with a warning."""
@@ -90,7 +97,20 @@ class HonourAnnotationsPass(Pass):
         ctx.annotations = effective_annotations(ctx.annotations, reg_widths)
 
 
-@register_pass("encode")
+@register_pass(
+    "encode",
+    PassSchema(
+        stage="rtl",
+        options={
+            "style": Option(
+                "str",
+                default="binary",
+                choices=tuple(ENCODING_STYLES),
+                help="target state encoding for annotated registers",
+            ),
+        },
+    ),
+)
 class EncodePass(Pass):
     """Re-encode every annotated state register (``set_fsm_encoding``)."""
 
@@ -127,7 +147,20 @@ class EncodePass(Pass):
         ctx.annotations = reencoded
 
 
-@register_pass("elaborate")
+@register_pass(
+    "elaborate",
+    PassSchema(
+        stage="rtl",
+        produces="aig",
+        options={
+            "fold_sync_reset": Option(
+                "bool",
+                default=False,
+                help="constant-propagate the synchronous reset state",
+            ),
+        },
+    ),
+)
 class ElaboratePass(Pass):
     """Elaborate RTL to a sequential AIG (bound tables partially
     evaluate here by construction)."""
@@ -149,7 +182,7 @@ class ElaboratePass(Pass):
         self.note(f"elaborate: {ctx.aig.stats()}")
 
 
-@register_pass("seq_sweep")
+@register_pass("seq_sweep", PassSchema(stage="aig"))
 class SeqSweepPass(Pass):
     """Remove stuck/duplicate registers; flags progress when it does."""
 
@@ -160,7 +193,21 @@ class SeqSweepPass(Pass):
             ctx.mark_progress()
 
 
-@register_pass("tt_sweep")
+@register_pass(
+    "tt_sweep",
+    PassSchema(
+        stage="aig",
+        options={
+            "support_limit": Option(
+                "int",
+                default=None,
+                nullable=True,
+                min=1,
+                help="skip nodes whose cone support exceeds this",
+            ),
+        },
+    ),
+)
 class TtSweepPass(Pass):
     """Functional sweep: merge nodes with identical truth tables."""
 
@@ -181,7 +228,7 @@ class TtSweepPass(Pass):
         ctx.aig = tt_sweep(ctx.aig, support_limit=self.support_limit)
 
 
-@register_pass("balance")
+@register_pass("balance", PassSchema(stage="aig"))
 class BalancePass(Pass):
     """Tree-balance AND cones to reduce depth."""
 
@@ -189,7 +236,18 @@ class BalancePass(Pass):
         ctx.aig = balance(ctx.aig)
 
 
-@register_pass("rewrite")
+@register_pass(
+    "rewrite",
+    PassSchema(
+        stage="aig",
+        options={
+            "k": Option("int", default=4, help="cut input size"),
+            "max_cuts": Option(
+                "int", default=6, help="cuts enumerated per node"
+            ),
+        },
+    ),
+)
 class RewritePass(Pass):
     """Cut-based rewriting against precomputed NPN structures."""
 
@@ -210,7 +268,28 @@ class RewritePass(Pass):
         ctx.aig = rewrite(ctx.aig, k=self.k, max_cuts=self.max_cuts)
 
 
-@register_pass("resub")
+@register_pass(
+    "resub",
+    PassSchema(
+        stage="aig",
+        options={
+            "k": Option(
+                "int",
+                default=3,
+                min=1,
+                max=MAX_RESUB_K,
+                help="divisors substituted per node",
+            ),
+            "max_divisors": Option(
+                "int", default=16, min=1, help="candidate divisors per node"
+            ),
+            "support_limit": Option(
+                "int", default=8, min=1,
+                help="skip nodes whose cone support exceeds this",
+            ),
+        },
+    ),
+)
 class ResubPass(Pass):
     """Resubstitution: re-express nodes through existing divisors
     (:func:`repro.aig.resub.resub`); flags progress when the AND count
@@ -259,7 +338,26 @@ class ResubPass(Pass):
             ctx.mark_progress()
 
 
-@register_pass("dc_rewrite")
+@register_pass(
+    "dc_rewrite",
+    PassSchema(
+        stage="aig",
+        options={
+            "k": Option("int", default=4, help="cut input size"),
+            "max_cuts": Option(
+                "int", default=6, help="cuts enumerated per node"
+            ),
+            "tfo_depth": Option(
+                "int", default=2, min=1,
+                help="fanout-window depth for observability don't-cares",
+            ),
+            "support_limit": Option(
+                "int", default=10, min=1,
+                help="skip windows whose support exceeds this",
+            ),
+        },
+    ),
+)
 class DcRewritePass(Pass):
     """Don't-care-aware rewriting (:func:`repro.aig.dontcare.dc_rewrite`):
     windowed satisfiability/observability don't-cares relax each cut's
@@ -312,7 +410,7 @@ class DcRewritePass(Pass):
             ctx.mark_progress()
 
 
-@register_pass("retime")
+@register_pass("retime", PassSchema(stage="aig"))
 class RetimePass(Pass):
     """One backward-retime step; flags progress when flops moved."""
 
@@ -326,7 +424,18 @@ class RetimePass(Pass):
             ctx.mark_progress()
 
 
-@register_pass("stateprop")
+@register_pass(
+    "stateprop",
+    PassSchema(
+        stage="aig",
+        options={
+            "rounds": Option(
+                "int", default=2, min=1,
+                help="value-set propagation rounds",
+            ),
+        },
+    ),
+)
 class FoldStatesPass(Pass):
     """Fold unreachable states under the honoured annotations.
 
@@ -389,7 +498,22 @@ class FoldStatesPass(Pass):
         ctx.mark_progress()
 
 
-@register_pass("optimize")
+@register_pass(
+    "optimize",
+    PassSchema(
+        stage="aig",
+        options={
+            "effort_rounds": Option(
+                "int", default=2, min=1,
+                help="maximum sweep/balance/rewrite rounds",
+            ),
+            "support_limit": Option(
+                "int", default=None, nullable=True, min=1,
+                help="tt_sweep support cap inside the loop",
+            ),
+        },
+    ),
+)
 class OptimizeLoop(FixedPoint):
     """The classic sweep/balance/rewrite rounds, as a fixed point."""
 
@@ -422,7 +546,25 @@ class OptimizeLoop(FixedPoint):
         return Pass.spec(self)
 
 
-@register_pass("retime_stage")
+@register_pass(
+    "retime_stage",
+    PassSchema(
+        stage="aig",
+        options={
+            "effort_rounds": Option(
+                "int", default=2, min=1,
+                help="optimize rounds after each retime step",
+            ),
+            "support_limit": Option(
+                "int", default=None, nullable=True, min=1,
+                help="tt_sweep support cap inside the loop",
+            ),
+            "max_rounds": Option(
+                "int", default=4, min=1, help="maximum retime steps"
+            ),
+        },
+    ),
+)
 class RetimeStage(WhileProgress):
     """The classic retiming stage: backward retiming with
     re-optimization after each move, while flops keep moving.
@@ -461,7 +603,22 @@ class RetimeStage(WhileProgress):
         return Pass.spec(self)
 
 
-@register_pass("state_folding")
+@register_pass(
+    "state_folding",
+    PassSchema(
+        stage="aig",
+        options={
+            "effort_rounds": Option(
+                "int", default=2, min=1,
+                help="stateprop rounds and follow-up optimize rounds",
+            ),
+            "support_limit": Option(
+                "int", default=None, nullable=True, min=1,
+                help="tt_sweep support cap inside the loop",
+            ),
+        },
+    ),
+)
 class StateFoldingStage(WhileProgress):
     """Annotation-driven state folding, re-optimizing if it fired --
     the classic flow's folding stage as a registered, spec-placeable
@@ -556,7 +713,24 @@ def registered_libraries_digest() -> str:
     return _LIBRARIES_DIGEST_CACHE[1]
 
 
-@register_pass("map")
+@register_pass(
+    "map",
+    PassSchema(
+        stage="aig",
+        produces="netlist",
+        options={
+            # choices is the registry accessor itself, so the schema
+            # can never drift from LIBRARY_FACTORIES.
+            "library": Option(
+                "str",
+                default=None,
+                nullable=True,
+                choices=registered_library_names,
+                help="registered cell library (default: context's)",
+            ),
+        },
+    ),
+)
 class TechMapPass(Pass):
     """Technology-map the AIG onto the context's cell library.
 
@@ -602,7 +776,18 @@ class TechMapPass(Pass):
         self.note(f"map: {ctx.netlist.stats()}")
 
 
-@register_pass("size")
+@register_pass(
+    "size",
+    PassSchema(
+        stage="netlist",
+        options={
+            "clock_period_ns": Option(
+                "float", default=5.0, exclusive_min=0,
+                help="target clock period for sizing and STA",
+            ),
+        },
+    ),
+)
 class SizePass(Pass):
     """Gate sizing against the clock target, then STA + area report."""
 
@@ -628,6 +813,16 @@ class SizePass(Pass):
             f"achieved={ctx.sizing.achieved_delay:.3f} ns "
             f"({ctx.sizing.upsized} upsizes)"
         )
+
+
+def describe() -> "dict[str, dict]":
+    """Every registered pass with its stage and option schema
+    (:func:`repro.flow.core.describe_registry`), after making sure the
+    frontend lowerings have registered too -- importing this module
+    alone must still describe the whole registry."""
+    import repro.flow.frontend  # noqa: F401  (registration side effect)
+
+    return describe_registry()
 
 
 def latch_bus_width(aig: AIG, reg_name: str) -> int | None:

@@ -34,7 +34,12 @@ and cache-hit rate land in the run store for ``repro.track diff``).
 
 from repro.serve.backends import RemoteBackend, TieredBackend
 from repro.serve.client import ServeClient, ServeError
-from repro.serve.protocol import PROTOCOL_VERSION, JobResult, ProtocolError
+from repro.serve.protocol import (
+    PROTOCOL_VERSION,
+    JobResult,
+    ProtocolError,
+    SpecCheckError,
+)
 from repro.serve.server import CompileServer
 from repro.serve.singleflight import FlightOutcome, SingleFlight
 
@@ -48,5 +53,6 @@ __all__ = [
     "ServeClient",
     "ServeError",
     "SingleFlight",
+    "SpecCheckError",
     "TieredBackend",
 ]

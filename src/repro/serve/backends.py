@@ -60,11 +60,11 @@ class RemoteBackend(CacheBackend):
             raise ValueError("RemoteBackend needs at least one server URL")
         self.timeout = timeout
         self._lock = threading.Lock()
-        self.loads = 0
-        self.load_hits = 0
-        self.load_errors = 0
-        self.store_calls = 0
-        self.store_errors = 0
+        self.loads = 0  # guarded-by: _lock
+        self.load_hits = 0  # guarded-by: _lock
+        self.load_errors = 0  # guarded-by: _lock
+        self.store_calls = 0  # guarded-by: _lock
+        self.store_errors = 0  # guarded-by: _lock
 
     def shard(self, key: str) -> str:
         """The server URL entry ``key`` shards to."""
@@ -142,9 +142,9 @@ class TieredBackend(CacheBackend):
         self.near = near
         self.far = far
         self._lock = threading.Lock()
-        self.near_hits = 0
-        self.far_hits = 0
-        self.promotions = 0
+        self.near_hits = 0  # guarded-by: _lock
+        self.far_hits = 0  # guarded-by: _lock
+        self.promotions = 0  # guarded-by: _lock
 
     def load(self, key: str) -> bytes | None:
         blob = self.near.load(key)

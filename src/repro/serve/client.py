@@ -29,6 +29,7 @@ from repro.flow.parallel import CompileJob, CompileJobError
 from repro.serve.protocol import (
     JobResult,
     ProtocolError,
+    SpecCheckError,
     decode_result,
     encode_batch,
 )
@@ -160,6 +161,9 @@ class ServeClient:
 
         Raises:
             ServeError: transport/protocol failure.
+            SpecCheckError: the server's static spec check rejected a
+                job before compiling anything; ``.diagnostics`` carries
+                the findings.
             CompileJobError: a job failed; the earliest in submission
                 order raises, re-keyed from the wire index back to the
                 job's real key.
@@ -167,10 +171,15 @@ class ServeClient:
         jobs = list(jobs)
         detailed = self.compile_detailed(jobs)
         for job, result in zip(jobs, detailed):
-            if result.error is not None:
-                raise CompileJobError(
-                    job.key, result.error.error, result.error.records
+            if result.error is None:
+                continue
+            if isinstance(result.error, SpecCheckError):
+                raise SpecCheckError(
+                    job.key, result.error.diagnostics, result.error.records
                 )
+            raise CompileJobError(
+                job.key, result.error.error, result.error.records
+            )
         return {
             job.key: result.ctx for job, result in zip(jobs, detailed)
         }

@@ -35,6 +35,7 @@ import pickle
 from dataclasses import dataclass
 from typing import TYPE_CHECKING
 
+from repro.check.diagnostics import Diagnostic
 from repro.flow.cache import UNPICKLE_ERRORS
 from repro.flow.core import FlowError
 from repro.flow.manager import PassManager
@@ -50,6 +51,27 @@ PROTOCOL_VERSION = 1
 
 class ProtocolError(FlowError):
     """A malformed or version-incompatible wire message."""
+
+
+class SpecCheckError(CompileJobError):
+    """A job the static spec check rejected before any compile ran.
+
+    Distinct from a runtime :class:`CompileJobError`: the server never
+    resolved the pipeline, never touched the cache, and never consumed
+    a compile -- the job was *statically* wrong for its inputs.
+    Carries the full :class:`~repro.check.diagnostics.Diagnostic` list
+    so the client can render codes and suggestions, not just a string.
+    """
+
+    def __init__(self, key, diagnostics, records=()) -> None:
+        self.diagnostics = list(diagnostics)
+        shown = "; ".join(str(d) for d in self.diagnostics[:3])
+        if len(self.diagnostics) > 3:
+            shown += f" (+{len(self.diagnostics) - 3} more)"
+        super().__init__(key, f"rejected by spec check: {shown}", records)
+
+    def __reduce__(self):
+        return (SpecCheckError, (self.key, self.diagnostics, self.records))
 
 
 def _b64(obj) -> str:
@@ -193,10 +215,19 @@ def encode_result(result: JobResult) -> dict:
         "wall_time_s": result.wall_time_s,
     }
     if result.error is not None:
-        line["error"] = {
+        error_line = {
             "message": str(result.error),
             "payload": _b64(result.error),
         }
+        if isinstance(result.error, SpecCheckError):
+            # Diagnostics also travel as plain JSON so a client can
+            # render codes and suggestions without unpickling anything.
+            error_line["kind"] = "spec_check"
+            error_line["diagnostics"] = [
+                diagnostic.to_json()
+                for diagnostic in result.error.diagnostics
+            ]
+        line["error"] = error_line
     else:
         line["ctx"] = _b64(result.ctx)
     return line
@@ -223,9 +254,19 @@ def decode_result(line: dict) -> JobResult:
             except ProtocolError:
                 error = None
             if not isinstance(error, CompileJobError):
-                error = CompileJobError(
-                    index, str(error_data.get("message", "remote failure"))
-                )
+                if error_data.get("kind") == "spec_check":
+                    error = SpecCheckError(
+                        index,
+                        [
+                            Diagnostic.from_json(item)
+                            for item in error_data.get("diagnostics", [])
+                        ],
+                    )
+                else:
+                    error = CompileJobError(
+                        index,
+                        str(error_data.get("message", "remote failure")),
+                    )
             return JobResult(
                 index=index,
                 fingerprint=fingerprint,

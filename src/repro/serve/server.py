@@ -48,10 +48,12 @@ from repro.flow.parallel import (
     _job_fingerprint,
     _resolve_pipeline,
 )
+from repro.check.spec import check_job
 from repro.serve.protocol import (
     PROTOCOL_VERSION,
     JobResult,
     ProtocolError,
+    SpecCheckError,
     decode_batch,
     encode_result,
 )
@@ -98,11 +100,12 @@ class CompileServer:
         self.flights = SingleFlight()
         self.started_at = time.time()
         self._lock = threading.Lock()
-        self._counters = {
+        self._counters = {  # guarded-by: _lock
             "requests": 0,
             "jobs": 0,
             "compiles": 0,
             "job_errors": 0,
+            "spec_rejects": 0,
             "bad_requests": 0,
         }
         self.httpd = ThreadingHTTPServer((host, port), _Handler)
@@ -183,6 +186,20 @@ class CompileServer:
                 index=index,
                 wall_time_s=time.perf_counter() - started,
                 **kwargs,
+            )
+
+        # Statically wrong jobs are rejected before the pipeline is
+        # even resolved: no cache probe, no pool slot, no compile --
+        # they count under ``spec_rejects``, not ``compiles``.
+        problems = [
+            diagnostic
+            for diagnostic in check_job(job)
+            if diagnostic.severity == "error"
+        ]
+        if problems:
+            self._count("spec_rejects")
+            return done(
+                fingerprint="", error=SpecCheckError(index, problems)
             )
 
         try:

@@ -63,9 +63,9 @@ class FlightOutcome:
 class FlightStats:
     """Thread-safe counters over one :class:`SingleFlight` table."""
 
-    started: int = 0
-    deduped: int = 0
-    errors: int = 0
+    started: int = 0  # guarded-by: _lock
+    deduped: int = 0  # guarded-by: _lock
+    errors: int = 0  # guarded-by: _lock
     _lock: threading.Lock = field(default_factory=threading.Lock)
 
     def to_json(self) -> dict:
@@ -93,7 +93,7 @@ class SingleFlight:
 
     def __init__(self) -> None:
         self._lock = threading.Lock()
-        self._flights: dict[str, _Flight] = {}
+        self._flights: dict[str, _Flight] = {}  # guarded-by: _lock
         self.stats = FlightStats()
 
     def inflight(self) -> int:

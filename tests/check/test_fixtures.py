@@ -1,0 +1,29 @@
+"""The seeded-defect corpus: every diagnostic code must fire on its
+fixture, and fire with valid metadata."""
+
+import pytest
+
+from repro.check.diagnostics import CODES, SEVERITIES
+
+from tests.check.fixtures import FIXTURES
+
+#: CHK6xx defects are source files, exercised in test_locks.py.
+LOCK_CODES = {"CHK601", "CHK602"}
+
+
+def test_corpus_covers_every_code():
+    assert set(FIXTURES) | LOCK_CODES == set(CODES)
+
+
+@pytest.mark.parametrize("code", sorted(FIXTURES))
+def test_fixture_corpus(code):
+    diagnostics = FIXTURES[code]()
+    fired = {d.code for d in diagnostics}
+    assert code in fired, (
+        f"fixture for {code} produced {sorted(fired) or 'nothing'}"
+    )
+    for diagnostic in diagnostics:
+        assert diagnostic.code in CODES
+        assert diagnostic.severity in SEVERITIES
+        assert diagnostic.location
+        assert diagnostic.message

@@ -1,0 +1,61 @@
+"""IR/netlist linter details beyond the fixture corpus: clean bills
+for real flow artifacts, dispatch behaviour, and input validation."""
+
+import pytest
+
+from repro.check import (
+    lint_aig,
+    lint_fsm,
+    lint_ir,
+    lint_netlist,
+    lint_transitions,
+)
+from repro.controllers.fsm import FsmSpec
+from repro.flow.manager import PassManager
+
+from tests.check.fixtures import _bad_fsm, _loop_program
+
+
+def small_fsm():
+    return FsmSpec("t", 1, 1, 2, 0, [[0, 1], [1, 0]], [[0, 0], [1, 1]])
+
+
+def test_real_flow_artifacts_lint_clean():
+    ctx = PassManager.parse(
+        "fsm_encode,elaborate,optimize,map,size"
+    ).compile(ctrl=small_fsm())
+    assert lint_aig(ctx.aig) == []
+    assert lint_netlist(ctx.netlist) == []
+
+
+def test_fsm_warnings_are_warnings():
+    diags = lint_fsm(_bad_fsm())
+    assert {d.code for d in diags} == {"CHK201", "CHK202"}
+    assert all(d.severity == "warning" for d in diags)
+    assert lint_fsm(small_fsm()) == []
+
+
+def test_lint_ir_dispatches_on_kind():
+    assert lint_ir(small_fsm()) == []
+    assert lint_ir(_loop_program()) == []
+    assert lint_ir(_loop_program().assemble()) == []
+    bad = {d.code for d in lint_ir(_bad_fsm())}
+    assert "CHK201" in bad
+
+
+def test_overlap_without_conflict_is_fine():
+    # Two overlapping rows agreeing on the target: no CHK203.
+    assert (
+        lint_transitions(2, 2, [(0, "1-", 1), (0, "11", 1), (0, "0-", 0),
+                                (1, "--", 0)])
+        == []
+    )
+
+
+def test_transitions_validate_their_rows():
+    with pytest.raises(ValueError):
+        lint_transitions(2, 2, [(5, "--", 0)])
+    with pytest.raises(ValueError):
+        lint_transitions(2, 2, [(0, "2-", 0)])
+    with pytest.raises(ValueError):
+        lint_transitions(2, 2, [(0, "---", 0)])
