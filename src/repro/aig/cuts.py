@@ -12,6 +12,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from repro.aig.graph import AIG, lit_node, lit_sign
+from repro.aig.kernel import resolve_backend
 from repro.tables.bits import all_ones, var_mask
 
 
@@ -34,12 +35,15 @@ class Cut:
 class CutSet:
     """Cuts for every node of an AIG."""
 
-    def __init__(self, aig: AIG, k: int = 4, max_cuts: int = 8) -> None:
+    def __init__(
+        self, aig: AIG, k: int = 4, max_cuts: int = 8, kernel=None
+    ) -> None:
         if k < 2 or k > 6:
             raise ValueError("cut size must be between 2 and 6")
         self.aig = aig
         self.k = k
         self.max_cuts = max_cuts
+        self._kernel = resolve_backend(kernel)
         self.cuts: dict[int, list[Cut]] = {}
         self._compute()
 
@@ -64,8 +68,8 @@ class CutSet:
                     continue
                 if leaves in merged:
                     continue
-                table0 = _expand(cut0.table, cut0.leaves, leaves)
-                table1 = _expand(cut1.table, cut1.leaves, leaves)
+                table0 = self._kernel.expand_cut(cut0.table, cut0.leaves, leaves)
+                table1 = self._kernel.expand_cut(cut1.table, cut1.leaves, leaves)
                 universe = all_ones(len(leaves))
                 if lit_sign(f0):
                     table0 ^= universe
@@ -81,29 +85,11 @@ class CutSet:
         return self.cuts[node]
 
 
-def enumerate_cuts(aig: AIG, k: int = 4, max_cuts: int = 8) -> CutSet:
+def enumerate_cuts(
+    aig: AIG, k: int = 4, max_cuts: int = 8, kernel=None
+) -> CutSet:
     """Convenience constructor for :class:`CutSet`."""
-    return CutSet(aig, k=k, max_cuts=max_cuts)
-
-
-def _expand(table: int, from_leaves: tuple[int, ...], to_leaves: tuple[int, ...]) -> int:
-    """Re-express ``table`` over a superset of leaves."""
-    if from_leaves == to_leaves:
-        return table
-    num_to = len(to_leaves)
-    if not from_leaves:
-        # Constant table (0 in practice): replicate over the new universe.
-        return all_ones(num_to) if table & 1 else 0
-    positions = [to_leaves.index(leaf) for leaf in from_leaves]
-    result = 0
-    for minterm in range(1 << num_to):
-        source = 0
-        for from_var, to_var in enumerate(positions):
-            if minterm >> to_var & 1:
-                source |= 1 << from_var
-        if table >> source & 1:
-            result |= 1 << minterm
-    return result
+    return CutSet(aig, k=k, max_cuts=max_cuts, kernel=kernel)
 
 
 def _drop_dominated(cuts: list[Cut]) -> list[Cut]:

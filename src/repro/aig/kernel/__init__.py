@@ -1,0 +1,232 @@
+"""Pluggable bit-parallel kernels for the truth-table hot paths.
+
+The window-replay machinery shared by ``rewrite``/``resub``/
+``dc_rewrite`` -- global truth tables over windowed source supports,
+leaf-vector images, NU-replay observability, divisor selection -- is
+pure bit-parallel work.  This package puts those primitives behind one
+interface (:class:`KernelBackend`) with two interchangeable
+realizations:
+
+* :class:`~repro.aig.kernel.pure.PureBackend` -- the original
+  big-int code, moved here verbatim, so behaviour stays pinned;
+* :class:`~repro.aig.kernel.numpy_backend.NumpyBackend` -- NumPy
+  bitset arrays (one value lane per minterm, packed at the
+  boundaries), which vectorizes whole windows at once.
+
+Both backends compute *identical* tables, so every downstream
+decision -- which rewrite is accepted, which divisor set is chosen --
+is identical, and the optimized AIGs are byte-for-byte the same.
+Because of that, the backend is deliberately **not** part of any flow
+fingerprint: a compile cached under one backend is valid under the
+other, and ``flow_fingerprint`` never sees the kernel choice.
+
+Selection, in order of precedence:
+
+1. an explicit ``kernel=`` argument to a pass (``"pure"``,
+   ``"numpy"``, ``"auto"``, or a backend instance);
+2. the ``REPRO_KERNEL`` environment variable;
+3. the default, ``"auto"``: NumPy when importable, else pure.
+
+``"auto"`` degrades to the pure backend silently when NumPy is
+absent; asking for ``"numpy"`` explicitly without NumPy installed is
+an error (:class:`KernelError`), never a silent slowdown.
+"""
+
+from __future__ import annotations
+
+import os
+
+#: Environment variable consulted when no explicit kernel is given.
+KERNEL_ENV_VAR = "REPRO_KERNEL"
+
+#: The names ``resolve_backend`` (and the ``kernel=`` pass option)
+#: accept.
+KERNEL_CHOICES = ("pure", "numpy", "auto")
+
+#: Sentinel variable standing for "the node under analysis" while its
+#: value is replayed through a fanout window; sorts before every real
+#: node id, so it is always variable 0 of a window table.
+NU = -1
+
+
+class KernelError(ValueError):
+    """An unknown kernel name, or a backend that is not available."""
+
+
+class KernelBackend:
+    """The kernel interface: truth-table batch ops for the AIG passes.
+
+    Tables cross this interface as the canonical big-int encoding
+    (bit ``i`` = function value on minterm ``i``); how a backend
+    represents them *internally* -- big ints, NumPy bitset arrays --
+    is its own business.  Node-level batch entry points
+    (:meth:`global_node_tables`, :meth:`observability`) take the AIG
+    directly so a backend can lay the whole window out as
+    structure-of-arrays buffers and simulate it in one sweep.
+
+    Subclasses must set :attr:`name` and implement every method; the
+    contract for each is "exactly what the pure backend computes" --
+    the differential test harness holds every backend to that
+    bit-for-bit.
+    """
+
+    name: str = "abstract"
+
+    # -- table algebra ------------------------------------------------
+    def insert_var(self, table: int, position: int, num_vars: int) -> int:
+        """Add a don't-care variable at ``position``."""
+        raise NotImplementedError
+
+    def remove_var(self, table: int, position: int, num_vars: int) -> int:
+        """Drop a non-support variable (keeps even blocks)."""
+        raise NotImplementedError
+
+    def expand_table(self, table: int, from_leaves, to_leaves) -> int:
+        """Re-express a table over a sorted superset of its leaves."""
+        raise NotImplementedError
+
+    def project_table(self, table: int, keep_positions, num_vars: int) -> int:
+        """Restrict a table to the given (in-range) variable positions."""
+        raise NotImplementedError
+
+    def expand_cut(self, table: int, from_leaves, to_leaves) -> int:
+        """Re-express a cut-local table over a leaf superset (the
+        cut-enumeration merge primitive)."""
+        raise NotImplementedError
+
+    # -- support / popcount queries -----------------------------------
+    def popcount(self, table: int) -> int:
+        """Number of set bits."""
+        raise NotImplementedError
+
+    def support(self, table: int, num_vars: int) -> tuple:
+        """Indices of the variables the function depends on."""
+        raise NotImplementedError
+
+    def isop_cover(self, on: int, dc: int, num_vars: int):
+        """An irredundant SOP cover of any ``g`` with
+        ``on <= g <= on | dc`` (the cube list the cover replay
+        materialises)."""
+        raise NotImplementedError
+
+    # -- batched window simulation ------------------------------------
+    def node_table(self, f0: int, f1: int, tables, support_limit: int):
+        """Truth table of one AND node over the union of fanin
+        sources, normalised to true support; ``None`` over-budget."""
+        raise NotImplementedError
+
+    def global_node_tables(self, aig, support_limit: int) -> dict:
+        """Windowed global truth tables for every node (see
+        :func:`repro.aig.rewrite.global_node_tables`)."""
+        raise NotImplementedError
+
+    def observability(
+        self, aig, node, tfo, roots, tables, topo_position, support_limit
+    ):
+        """NU-replay observability of ``node`` at its window roots
+        (see :mod:`repro.aig.dontcare`)."""
+        raise NotImplementedError
+
+    def cut_dontcares(
+        self, leaves, tables, obs_sources, obs_table, support_limit
+    ) -> int:
+        """Combined SDC+ODC table over a cut's leaf variables."""
+        raise NotImplementedError
+
+    # -- resubstitution support ---------------------------------------
+    def dependency_function(
+        self, table: int, divisor_tables, num_sources: int
+    ):
+        """``(on, dc)`` of ``h`` with ``h(d_1(x),..) = f(x)``."""
+        raise NotImplementedError
+
+    def pick_divisors(self, table: int, divisor_tables, num_sources: int, k: int):
+        """Greedy <=k divisor selection; returns chosen *indices* into
+        ``divisor_tables`` (in pick order) or ``None``."""
+        raise NotImplementedError
+
+    def __repr__(self) -> str:  # pragma: no cover - diagnostic only
+        return f"<{type(self).__name__} {self.name}>"
+
+
+def numpy_available() -> bool:
+    """Is the NumPy backend usable in this interpreter?"""
+    try:
+        import numpy  # noqa: F401
+    except ImportError:
+        return False
+    return True
+
+
+def available_backends() -> tuple:
+    """Names of the backends that can actually run here, pure first."""
+    names = ["pure"]
+    if numpy_available():
+        names.append("numpy")
+    return tuple(names)
+
+
+_INSTANCES: dict = {}
+
+
+def _instance(name: str) -> KernelBackend:
+    backend = _INSTANCES.get(name)
+    if backend is None:
+        if name == "pure":
+            from repro.aig.kernel.pure import PureBackend
+
+            backend = PureBackend()
+        else:
+            from repro.aig.kernel.numpy_backend import NumpyBackend
+
+            backend = NumpyBackend()
+        _INSTANCES[name] = backend
+    return backend
+
+
+def resolve_backend(kernel=None) -> KernelBackend:
+    """Resolve a kernel choice to a backend instance.
+
+    Args:
+        kernel: ``None`` (consult :data:`KERNEL_ENV_VAR`, default
+            ``auto``), one of :data:`KERNEL_CHOICES`, or an existing
+            :class:`KernelBackend` (returned as-is).
+
+    Returns:
+        A (shared, stateless) backend instance.
+
+    Raises:
+        KernelError: an unknown name, or ``numpy`` requested while
+            NumPy is not importable.  ``auto`` never raises -- it
+            falls back to the pure backend.
+    """
+    if isinstance(kernel, KernelBackend):
+        return kernel
+    if kernel is None:
+        kernel = os.environ.get(KERNEL_ENV_VAR, "").strip() or "auto"
+    if kernel not in KERNEL_CHOICES:
+        raise KernelError(
+            f"unknown kernel {kernel!r} (want one of "
+            f"{', '.join(KERNEL_CHOICES)})"
+        )
+    if kernel == "auto":
+        return _instance("numpy" if numpy_available() else "pure")
+    if kernel == "numpy" and not numpy_available():
+        raise KernelError(
+            "kernel 'numpy' requested but NumPy is not importable; "
+            "install numpy or use kernel 'auto' (which falls back to "
+            "'pure')"
+        )
+    return _instance(kernel)
+
+
+__all__ = [
+    "KERNEL_CHOICES",
+    "KERNEL_ENV_VAR",
+    "NU",
+    "KernelBackend",
+    "KernelError",
+    "available_backends",
+    "numpy_available",
+    "resolve_backend",
+]

@@ -1,0 +1,448 @@
+"""The NumPy kernel backend: vectorized truth-table bitsets.
+
+Tables still cross the :class:`~repro.aig.kernel.KernelBackend`
+interface as big ints, but internally each window lives as a NumPy
+array with one lane per minterm, so table algebra is whole-window
+vector ops and the per-minterm Python loops of the pure backend
+collapse to gathers and ``bincount`` histograms:
+
+* ``expand``/``project`` are single fancy-index gathers through
+  per-shape index arrays (cached, since windows reuse the same leaf
+  geometries over and over);
+* the leaf-vector image of :meth:`cut_dontcares` and the
+  divisor-vector image of :meth:`dependency_function` are one
+  ``bincount`` over a packed value-vector array -- O(2^S + 2^L)
+  instead of the pure backend's O(2^S * 2^L) loop nest;
+* :meth:`pick_divisors` scores *all* candidate divisors of a round in
+  one flat ``bincount`` (group id x divisor polarity, offset per
+  candidate) instead of re-partitioning per candidate in Python.
+
+Every result is bit-for-bit identical to the pure backend -- same
+tables, same ``None``/over-budget outcomes, same tie-breaks -- which
+the differential harness enforces.  This module must only be imported
+when NumPy is importable; :func:`repro.aig.kernel.resolve_backend`
+guards that.
+"""
+
+from __future__ import annotations
+
+from functools import lru_cache
+
+import numpy as np
+
+from repro.aig.graph import lit_node, lit_sign
+from repro.aig.kernel import NU
+from repro.aig.kernel.pure import PureBackend
+from repro.tables.bits import all_ones, tt_support
+
+_VAR = np.array([0, 1], dtype=np.uint8)  # the table of a single input
+
+
+def _bits(table, num_vars):
+    """Big-int table -> uint8 array of 2**num_vars minterm values."""
+    count = 1 << num_vars
+    raw = table.to_bytes((count + 7) >> 3, "little")
+    return np.unpackbits(
+        np.frombuffer(raw, dtype=np.uint8), count=count, bitorder="little"
+    )
+
+
+def _pack(bits):
+    """uint8/bool minterm array -> big-int table."""
+    packed = np.packbits(np.ascontiguousarray(bits), bitorder="little")
+    return int.from_bytes(packed.tobytes(), "little")
+
+
+@lru_cache(maxsize=8192)
+def _gather_index(positions, num_to):
+    """Index array for expansion: entry ``m`` is the source minterm
+    whose variable ``i`` reads bit ``positions[i]`` of ``m``."""
+    minterms = np.arange(1 << num_to, dtype=np.intp)
+    source = np.zeros(1 << num_to, dtype=np.intp)
+    for var, position in enumerate(positions):
+        source |= ((minterms >> position) & 1) << var
+    return source
+
+
+@lru_cache(maxsize=8192)
+def _scatter_index(keep_positions):
+    """Index array for projection: entry ``m`` is the source minterm
+    with bit ``j`` of ``m`` placed at ``keep_positions[j]`` and every
+    dropped variable fixed to 0 (exactly what repeated ``remove_var``
+    computes)."""
+    minterms = np.arange(1 << len(keep_positions), dtype=np.intp)
+    source = np.zeros(1 << len(keep_positions), dtype=np.intp)
+    for var, position in enumerate(keep_positions):
+        source |= ((minterms >> var) & 1) << position
+    return source
+
+
+def _expand_bits(bits, from_leaves, to_leaves):
+    """Array counterpart of ``tt_util.expand_table`` (sorted-subset
+    contract)."""
+    if from_leaves == to_leaves:
+        return bits
+    positions = tuple(to_leaves.index(leaf) for leaf in from_leaves)
+    return bits[_gather_index(positions, len(to_leaves))]
+
+
+class NumpyBackend(PureBackend):
+    """Packed NumPy bitset arrays; byte-identical to the pure backend."""
+
+    name = "numpy"
+
+    #: Tables at or below this many variables go through the inherited
+    #: pure code instead: Python big-int bitwise ops are C loops too,
+    #: and below ~2**10 lanes the numpy dispatch overhead costs more
+    #: than the vectorization saves.  Either path returns identical
+    #: bytes, so the cutoff is pure performance tuning.
+    _SMALL_VARS = 9
+
+    # -- table algebra ------------------------------------------------
+    def insert_var(self, table, position, num_vars):
+        if num_vars <= self._SMALL_VARS:
+            return super().insert_var(table, position, num_vars)
+        block = 1 << position
+        doubled = np.repeat(
+            _bits(table, num_vars).reshape(-1, 1, block), 2, axis=1
+        )
+        return _pack(doubled.reshape(-1))
+
+    def remove_var(self, table, position, num_vars):
+        if num_vars <= self._SMALL_VARS:
+            return super().remove_var(table, position, num_vars)
+        block = 1 << position
+        halves = _bits(table, num_vars).reshape(-1, 2, block)
+        return _pack(np.ascontiguousarray(halves[:, 0, :]).reshape(-1))
+
+    def expand_table(self, table, from_leaves, to_leaves):
+        if from_leaves == to_leaves:
+            return table
+        if len(to_leaves) <= self._SMALL_VARS:
+            return super().expand_table(table, from_leaves, to_leaves)
+        return _pack(
+            _expand_bits(
+                _bits(table, len(from_leaves)), tuple(from_leaves),
+                tuple(to_leaves),
+            )
+        )
+
+    def project_table(self, table, keep_positions, num_vars):
+        if num_vars <= self._SMALL_VARS:
+            return super().project_table(table, keep_positions, num_vars)
+        keep = tuple(keep_positions)
+        for position in keep:
+            if not 0 <= position < num_vars:
+                raise ValueError(
+                    f"keep position {position} out of range for "
+                    f"{num_vars}-variable table"
+                )
+        if keep == tuple(range(num_vars)):
+            return table
+        return _pack(_bits(table, num_vars)[_scatter_index(keep)])
+
+    def expand_cut(self, table, from_leaves, to_leaves):
+        if from_leaves == to_leaves:
+            return table
+        if len(to_leaves) <= self._SMALL_VARS:
+            return super().expand_cut(table, from_leaves, to_leaves)
+        num_to = len(to_leaves)
+        if not from_leaves:
+            return all_ones(num_to) if table & 1 else 0
+        positions = tuple(to_leaves.index(leaf) for leaf in from_leaves)
+        gathered = _bits(table, len(from_leaves))[
+            _gather_index(positions, num_to)
+        ]
+        return _pack(gathered)
+
+    # -- batched window simulation ------------------------------------
+    def _node_table_arrays(self, f0, f1, arrays, support_limit):
+        """Array-valued twin of ``node_table`` over an array cache;
+        returns ``(leaves, bits, packed_table)`` with ``bits`` lazily
+        ``None`` for small windows (the pure int path computed them,
+        and no wide consumer may ever need the array form).  The
+        support check runs on the packed int (big-int cofactor
+        compares beat a per-variable array reshape sweep)."""
+        node0 = lit_node(f0)
+        node1 = lit_node(f1)
+        key0 = arrays[node0]
+        key1 = arrays[node1]
+        if key0 is None or key1 is None:
+            return None
+        leaves0, bits0, packed0 = key0
+        leaves1, bits1, packed1 = key1
+        leaves = tuple(sorted(set(leaves0) | set(leaves1)))
+        if len(leaves) > support_limit:
+            return None
+        if len(leaves) <= self._SMALL_VARS:
+            merged = super().node_table(
+                f0,
+                f1,
+                {node0: (leaves0, packed0), node1: (leaves1, packed1)},
+                support_limit,
+            )
+            return merged[0], None, merged[1]
+        if bits0 is None:
+            bits0 = _bits(packed0, len(leaves0))
+            arrays[node0] = (leaves0, bits0, packed0)
+        if bits1 is None:
+            bits1 = _bits(packed1, len(leaves1))
+            arrays[node1] = (leaves1, bits1, packed1)
+        expanded0 = _expand_bits(bits0, leaves0, leaves)
+        expanded1 = _expand_bits(bits1, leaves1, leaves)
+        if lit_sign(f0):
+            expanded0 = expanded0 ^ 1
+        if lit_sign(f1):
+            expanded1 = expanded1 ^ 1
+        bits = expanded0 & expanded1
+        packed = _pack(bits)
+        support = tt_support(packed, len(leaves))
+        if len(support) != len(leaves):
+            bits = bits[_scatter_index(support)]
+            packed = _pack(bits)
+            leaves = tuple(leaves[i] for i in support)
+        return leaves, bits, packed
+
+    def node_table(self, f0, f1, tables, support_limit):
+        arrays = {}
+        for lit in (f0, f1):
+            node = lit_node(lit)
+            key = tables[node]
+            arrays[node] = (
+                None if key is None else (key[0], None, key[1])
+            )
+        merged = self._node_table_arrays(f0, f1, arrays, support_limit)
+        if merged is None:
+            return None
+        leaves, _, packed = merged
+        return leaves, packed
+
+    def global_node_tables(self, aig, support_limit):
+        arrays = {0: ((), None, 0)}
+        tables = {0: ((), 0)}
+        for node in aig.pis:
+            arrays[node] = ((node,), _VAR, 0b10)
+            tables[node] = ((node,), 0b10)
+        for latch in aig.latches:
+            arrays[latch.node] = ((latch.node,), _VAR, 0b10)
+            tables[latch.node] = ((latch.node,), 0b10)
+        for node in aig.topo_order():
+            f0, f1 = aig.fanins(node)
+            merged = self._node_table_arrays(f0, f1, arrays, support_limit)
+            arrays[node] = merged
+            tables[node] = (
+                None if merged is None else (merged[0], merged[2])
+            )
+        return tables
+
+    def observability(
+        self, aig, node, tfo, roots, tables, topo_position, support_limit
+    ):
+        if node in roots:
+            return (), 1
+        # Window-source tables arrive as ints; unpack lazily, once per
+        # source node actually referenced by the window.
+        source_arrays = {}
+
+        def source_key(fanin):
+            if fanin not in source_arrays:
+                key = tables[fanin]
+                source_arrays[fanin] = (
+                    None
+                    if key is None
+                    else (key[0], _bits(key[1], len(key[0])))
+                )
+            return source_arrays[fanin]
+
+        nu_arrays = {node: ((NU,), _VAR)}
+        for member in sorted(tfo - {node}, key=topo_position.__getitem__):
+            f0, f1 = aig.fanins(member)
+            keys = []
+            for lit in (f0, f1):
+                fanin = lit_node(lit)
+                key = nu_arrays.get(fanin) or source_key(fanin)
+                if key is None:
+                    return None
+                keys.append(key)
+            (leaves0, bits0), (leaves1, bits1) = keys
+            leaves = tuple(sorted(set(leaves0) | set(leaves1)))
+            # One extra slot for NU on top of the source budget.
+            if len(leaves) > support_limit + 1:
+                return None
+            expanded0 = _expand_bits(bits0, leaves0, leaves)
+            expanded1 = _expand_bits(bits1, leaves1, leaves)
+            if f0 & 1:
+                expanded0 = expanded0 ^ 1
+            if f1 & 1:
+                expanded1 = expanded1 ^ 1
+            nu_arrays[member] = (leaves, expanded0 & expanded1)
+
+        union_sources = set()
+        diffs = []
+        for root in roots:
+            leaves, bits = nu_arrays[root]
+            if NU not in leaves:
+                continue  # the window paths cancelled: root ignores the node
+            position = leaves.index(NU)
+            block = 1 << position
+            halves = bits.reshape(-1, 2, block)
+            # cof0 ^ cof1, restricted to the NU=0 blocks, is exactly
+            # remove_var(cof0 ^ cof1) of the pure backend.
+            flip = np.ascontiguousarray(
+                halves[:, 0, :] ^ halves[:, 1, :]
+            ).reshape(-1)
+            rest = tuple(leaf for leaf in leaves if leaf != NU)
+            if flip.any():
+                diffs.append((rest, flip))
+                union_sources.update(rest)
+        if not diffs:
+            return (), 0
+        sources = tuple(sorted(union_sources))
+        if len(sources) > support_limit:
+            return None
+        obs = np.zeros(1 << len(sources), dtype=np.uint8)
+        for rest, flip in diffs:
+            obs |= _expand_bits(flip, rest, sources)
+        return sources, _pack(obs)
+
+    def cut_dontcares(
+        self, leaves, tables, obs_sources, obs_table, support_limit
+    ):
+        leaf_keys = []
+        for leaf in leaves:
+            key = tables[leaf]
+            if key is None:
+                return 0
+            leaf_keys.append(key)
+        universe_sources = set(obs_sources)
+        for leaf_sources, _ in leaf_keys:
+            universe_sources.update(leaf_sources)
+        if len(universe_sources) > support_limit:
+            return 0
+        if len(universe_sources) <= self._SMALL_VARS:
+            return super().cut_dontcares(
+                leaves, tables, obs_sources, obs_table, support_limit
+            )
+        sources = tuple(sorted(universe_sources))
+        count = 1 << len(sources)
+        if obs_sources == ():
+            care = (
+                np.ones(count, dtype=bool)
+                if obs_table
+                else np.zeros(count, dtype=bool)
+            )
+        else:
+            care = _expand_bits(
+                _bits(obs_table, len(obs_sources)), obs_sources, sources
+            ).astype(bool)
+        # Pack each source assignment's leaf values into one vector,
+        # then histogram: a leaf vector is a don't-care exactly when no
+        # care-space assignment produces it.
+        vectors = np.zeros(count, dtype=np.int64)
+        for index, (leaf_sources, table) in enumerate(leaf_keys):
+            expanded = _expand_bits(
+                _bits(table, len(leaf_sources)), leaf_sources, sources
+            )
+            vectors |= expanded.astype(np.int64) << index
+        produced = np.bincount(
+            vectors[care], minlength=1 << len(leaves)
+        )
+        return _pack(produced == 0)
+
+    # -- resubstitution support ---------------------------------------
+    def dependency_function(self, table, divisor_tables, num_sources):
+        if num_sources <= self._SMALL_VARS:
+            return super().dependency_function(
+                table, divisor_tables, num_sources
+            )
+        num_vars = len(divisor_tables)
+        count = 1 << num_sources
+        vectors = np.zeros(count, dtype=np.int64)
+        for index, d_table in enumerate(divisor_tables):
+            vectors |= _bits(d_table, num_sources).astype(np.int64) << index
+        seen = np.bincount(vectors, minlength=1 << num_vars) > 0
+        on_mask = _bits(table, num_sources).astype(bool)
+        on = np.bincount(vectors[on_mask], minlength=1 << num_vars) > 0
+        return _pack(on), all_ones(num_vars) & ~_pack(seen)
+
+    def pick_divisors(self, table, divisor_tables, num_sources, k):
+        if num_sources <= self._SMALL_VARS:
+            return super().pick_divisors(
+                table, divisor_tables, num_sources, k
+            )
+        count = 1 << num_sources
+        num_divisors = len(divisor_tables)
+        on = _bits(table, num_sources)
+        on_total = int(on.sum())
+        current = min(on_total, count - on_total)
+        chosen = []
+        if current == 0:
+            return chosen
+        if num_divisors == 0:
+            return None  # no divisor can make progress
+        # All candidate divisors as one float32 matrix (unpacked from
+        # one concatenated byte buffer): the per-round scoring below is
+        # two small GEMMs against the one-hot group matrix.  Counts
+        # stay < 2**24, so float32 arithmetic is exact.
+        num_bytes = max(1, (count + 7) >> 3)
+        buffer = b"".join(
+            d_table.to_bytes(num_bytes, "little")
+            for d_table in divisor_tables
+        )
+        divisors = (
+            np.unpackbits(
+                np.frombuffer(buffer, dtype=np.uint8), bitorder="little"
+            )
+            .reshape(num_divisors, -1)[:, :count]
+            .astype(np.float32)
+        )
+        on_f = on.astype(np.float32)
+        divisors_on = divisors * on_f
+        lanes = np.arange(count)
+        # Partition refinement on group *labels* instead of group
+        # bitmasks: every source assignment carries the id of its
+        # current partition class (at most 2**len(chosen) classes).
+        group = np.zeros(count, dtype=np.intp)
+        num_groups = 1
+        while current > 0 and len(chosen) < k:
+            # Score every divisor at once.  Splitting group g by
+            # divisor i makes parts (g & d_i) and (g & ~d_i); their
+            # ON/total counts come from two matrix products with the
+            # one-hot group-membership matrix.
+            onehot = np.zeros((count, num_groups), dtype=np.float32)
+            onehot[lanes, group] = 1.0
+            tot_g = onehot.sum(axis=0)  # lanes per group
+            on_g = on_f @ onehot  # ON lanes per group
+            tot_hi = divisors @ onehot  # lanes of g & d_i
+            on_hi = divisors_on @ onehot  # ON lanes of g & d_i
+            off_hi = tot_hi - on_hi
+            on_lo = on_g[None, :] - on_hi
+            off_lo = (tot_g - on_g)[None, :] - off_hi
+            masses = (
+                np.minimum(on_hi, off_hi) + np.minimum(on_lo, off_lo)
+            ).sum(axis=1)
+            # Same selection rule as the pure greedy: the strictly
+            # improving divisor of minimum mass, earliest index first.
+            best = None
+            best_mass = current
+            for index in range(num_divisors):
+                if index in chosen:
+                    continue
+                mass = int(masses[index])
+                if mass < best_mass:
+                    best = index
+                    best_mass = mass
+            if best is None:
+                return None  # no divisor makes progress
+            chosen.append(best)
+            # Refine and relabel densely (empty classes dropped), in
+            # ascending refined-label order.
+            refined = group * 2 + divisors[best].astype(np.intp)
+            occupied = np.bincount(refined, minlength=2 * num_groups) > 0
+            remap = np.cumsum(occupied) - 1
+            group = remap[refined]
+            num_groups = int(remap[-1]) + 1
+            current = best_mass
+        if current > 0:
+            return None
+        return chosen

@@ -18,10 +18,9 @@ SAT-based equivalence on randomized graphs.
 from __future__ import annotations
 
 from repro.aig.cuts import CutSet
-from repro.aig.graph import AIG, lit_compl, lit_node, lit_sign
-from repro.aig.tt_util import expand_table, project_table
-from repro.tables.bits import all_ones, tt_support
-from repro.tables.isop import isop
+from repro.aig.graph import AIG, lit_compl, lit_node
+from repro.aig.kernel import resolve_backend
+from repro.tables.bits import all_ones
 
 _SWEEP_SUPPORT_LIMIT = 12
 
@@ -36,7 +35,9 @@ def adaptive_support_limit(aig: AIG) -> int:
     return 8
 
 
-def tt_sweep(aig: AIG, support_limit: int | None = None) -> AIG:
+def tt_sweep(
+    aig: AIG, support_limit: int | None = None, kernel=None
+) -> AIG:
     """Merge functionally equivalent nodes (exact, windowed).
 
     Every AND node whose structural support has at most
@@ -50,7 +51,7 @@ def tt_sweep(aig: AIG, support_limit: int | None = None) -> AIG:
     # OLD node id -> (sorted source tuple, table) or None when too
     # wide; depends only on the input graph, so the shared propagation
     # computes it up front.
-    tables = global_node_tables(aig, support_limit)
+    tables = global_node_tables(aig, support_limit, kernel=kernel)
     new = AIG()
     lit_map: dict[int, int] = {0: 0}
     canonical: dict[tuple[tuple[int, ...], int], int] = {}
@@ -98,33 +99,7 @@ def tt_sweep(aig: AIG, support_limit: int | None = None) -> AIG:
     return compacted
 
 
-def _node_table(f0: int, f1: int, tables, support_limit: int):
-    """Truth table of an AND node over the union of fanin sources."""
-    key0 = tables[lit_node(f0)]
-    key1 = tables[lit_node(f1)]
-    if key0 is None or key1 is None:
-        return None
-    leaves0, table0 = key0
-    leaves1, table1 = key1
-    leaves = tuple(sorted(set(leaves0) | set(leaves1)))
-    if len(leaves) > support_limit:
-        return None
-    expanded0 = expand_table(table0, leaves0, leaves)
-    expanded1 = expand_table(table1, leaves1, leaves)
-    universe = all_ones(len(leaves))
-    if lit_sign(f0):
-        expanded0 ^= universe
-    if lit_sign(f1):
-        expanded1 ^= universe
-    table = expanded0 & expanded1
-    support = tt_support(table, len(leaves))
-    if len(support) != len(leaves):
-        table = project_table(table, support, len(leaves))
-        leaves = tuple(leaves[i] for i in support)
-    return leaves, table
-
-
-def rewrite(aig: AIG, k: int = 4, max_cuts: int = 6) -> AIG:
+def rewrite(aig: AIG, k: int = 4, max_cuts: int = 6, kernel=None) -> AIG:
     """One pass of cut-based local resynthesis.
 
     For every AND node, try to re-express its best ``k``-cut function
@@ -133,7 +108,8 @@ def rewrite(aig: AIG, k: int = 4, max_cuts: int = 6) -> AIG:
     with a dry run against the new graph's structural hash table, so
     rejected candidates leave no residue.
     """
-    cuts = CutSet(aig, k=k, max_cuts=max_cuts)
+    backend = resolve_backend(kernel)
+    cuts = CutSet(aig, k=k, max_cuts=max_cuts, kernel=backend)
     mffc = mffc_sizes(aig)
     new = AIG()
     lit_map: dict[int, int] = {0: 0}
@@ -155,7 +131,9 @@ def rewrite(aig: AIG, k: int = 4, max_cuts: int = 6) -> AIG:
             if cut.size < 2 or cut.leaves == (node,):
                 continue
             leaf_lits = [translate(leaf << 1) for leaf in cut.leaves]
-            cost, plan = plan_cover(new, cut.table, 0, cut.size, leaf_lits)
+            cost, plan = plan_cover(
+                new, cut.table, 0, cut.size, leaf_lits, kernel=backend
+            )
             if cost < budget:
                 candidate = build_plan(new, plan, cut.table, 0, cut.size, leaf_lits)
                 best_lit = candidate
@@ -171,7 +149,7 @@ def rewrite(aig: AIG, k: int = 4, max_cuts: int = 6) -> AIG:
 
 
 def global_node_tables(
-    aig: AIG, support_limit: int
+    aig: AIG, support_limit: int, kernel=None
 ) -> dict[int, tuple[tuple[int, ...], int] | None]:
     """Windowed global truth tables for every node.
 
@@ -184,16 +162,12 @@ def global_node_tables(
     divisor/don't-care reasoning.  Because the variables are genuine
     sources (every assignment of them is achievable), conclusions
     drawn from these tables are exact, never approximate.
+
+    The propagation itself is a :class:`repro.aig.kernel.KernelBackend`
+    batch op (``kernel`` follows the usual resolution order); every
+    backend returns identical tables.
     """
-    tables: dict[int, tuple[tuple[int, ...], int] | None] = {0: ((), 0)}
-    for node in aig.pis:
-        tables[node] = ((node,), 0b10)
-    for latch in aig.latches:
-        tables[latch.node] = ((latch.node,), 0b10)
-    for node in aig.topo_order():
-        f0, f1 = aig.fanins(node)
-        tables[node] = _node_table(f0, f1, tables, support_limit)
-    return tables
+    return resolve_backend(kernel).global_node_tables(aig, support_limit)
 
 
 def deref_cone(
@@ -251,14 +225,15 @@ def mffc_sizes(aig: AIG) -> list[int]:
 
 
 def plan_cover(
-    aig: AIG, on: int, dc: int, num_vars: int, leaf_lits: list[int]
+    aig: AIG, on: int, dc: int, num_vars: int, leaf_lits: list[int],
+    kernel=None,
 ):
     """Dry-run ISOP construction of any function ``g`` with
     ``on <= g <= on | dc``; returns (new-node count, cube plan)."""
     universe = all_ones(num_vars)
     if on == 0 or (on | dc) == universe:
         return 0, []
-    cubes = isop(on, dc, num_vars)
+    cubes = resolve_backend(kernel).isop_cover(on, dc, num_vars)
     overlay: dict[tuple[int, int], int] = {}
     next_fake = [aig.num_nodes]
 

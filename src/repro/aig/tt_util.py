@@ -58,8 +58,18 @@ def project_table(table: int, keep_positions: tuple[int, ...], num_vars: int) ->
 
     Every removed variable must be a non-support variable; positions
     are indices into the current variable order.
+
+    Raises:
+        ValueError: a keep position is outside ``range(num_vars)``
+            (it would silently refer to no variable at all).
     """
     keep = set(keep_positions)
+    for position in keep:
+        if not 0 <= position < num_vars:
+            raise ValueError(
+                f"keep position {position} out of range for "
+                f"{num_vars}-variable table"
+            )
     for position in range(num_vars - 1, -1, -1):
         if position in keep:
             continue

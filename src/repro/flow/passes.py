@@ -34,6 +34,7 @@ import random
 from repro.aig.balance import balance
 from repro.aig.dontcare import dc_rewrite
 from repro.aig.graph import AIG
+from repro.aig.kernel import KERNEL_CHOICES
 from repro.aig.resub import MAX_RESUB_K, resub
 from repro.aig.rewrite import rewrite, tt_sweep
 from repro.flow.combinators import FixedPoint, WhileProgress
@@ -236,6 +237,32 @@ class BalancePass(Pass):
         ctx.aig = balance(ctx.aig)
 
 
+def _kernel_option() -> Option:
+    """The ``kernel=`` option of the truth-table passes.
+
+    Registered in the schema so ``repro.check`` typechecks it, but
+    deliberately EXCLUDED from every ``params()``: backends produce
+    byte-identical results, so the choice must stay invisible to
+    ``flow_fingerprint`` -- a compile cached under one backend is valid
+    under the other.
+    """
+    return Option(
+        "str",
+        default=None,
+        nullable=True,
+        choices=KERNEL_CHOICES,
+        help="truth-table kernel backend (fingerprint-invisible)",
+    )
+
+
+def _check_kernel(kernel) -> None:
+    if kernel is not None and kernel not in KERNEL_CHOICES:
+        raise ValueError(
+            f"kernel must be one of {', '.join(KERNEL_CHOICES)}, "
+            f"got {kernel!r}"
+        )
+
+
 @register_pass(
     "rewrite",
     PassSchema(
@@ -245,18 +272,24 @@ class BalancePass(Pass):
             "max_cuts": Option(
                 "int", default=6, help="cuts enumerated per node"
             ),
+            "kernel": _kernel_option(),
         },
     ),
 )
 class RewritePass(Pass):
     """Cut-based rewriting against precomputed NPN structures."""
 
-    def __init__(self, k: int = 4, max_cuts: int = 6) -> None:
+    def __init__(
+        self, k: int = 4, max_cuts: int = 6, kernel: str | None = None
+    ) -> None:
         super().__init__()
+        _check_kernel(kernel)
         self.k = k
         self.max_cuts = max_cuts
+        self.kernel = kernel
 
     def params(self) -> dict:
+        # `kernel` is intentionally absent: fingerprint-invisible.
         params = {}
         if self.k != 4:
             params["k"] = self.k
@@ -265,7 +298,9 @@ class RewritePass(Pass):
         return params
 
     def run(self, ctx: FlowContext) -> None:
-        ctx.aig = rewrite(ctx.aig, k=self.k, max_cuts=self.max_cuts)
+        ctx.aig = rewrite(
+            ctx.aig, k=self.k, max_cuts=self.max_cuts, kernel=self.kernel
+        )
 
 
 @register_pass(
@@ -287,6 +322,7 @@ class RewritePass(Pass):
                 "int", default=8, min=1,
                 help="skip nodes whose cone support exceeds this",
             ),
+            "kernel": _kernel_option(),
         },
     ),
 )
@@ -300,6 +336,7 @@ class ResubPass(Pass):
         k: int = 3,
         max_divisors: int = 16,
         support_limit: int = 8,
+        kernel: str | None = None,
     ) -> None:
         super().__init__()
         if k < 1 or k > MAX_RESUB_K:
@@ -310,11 +347,14 @@ class ResubPass(Pass):
             raise ValueError(
                 f"support_limit must be >= 1, got {support_limit}"
             )
+        _check_kernel(kernel)
         self.k = k
         self.max_divisors = max_divisors
         self.support_limit = support_limit
+        self.kernel = kernel
 
     def params(self) -> dict:
+        # `kernel` is intentionally absent: fingerprint-invisible.
         params = {}
         if self.k != 3:
             params["k"] = self.k
@@ -331,6 +371,7 @@ class ResubPass(Pass):
             k=self.k,
             max_divisors=self.max_divisors,
             support_limit=self.support_limit,
+            kernel=self.kernel,
         )
         saved = before - ctx.aig.num_ands
         if saved:
@@ -355,6 +396,7 @@ class ResubPass(Pass):
                 "int", default=10, min=1,
                 help="skip windows whose support exceeds this",
             ),
+            "kernel": _kernel_option(),
         },
     ),
 )
@@ -370,6 +412,7 @@ class DcRewritePass(Pass):
         max_cuts: int = 6,
         tfo_depth: int = 2,
         support_limit: int = 10,
+        kernel: str | None = None,
     ) -> None:
         super().__init__()
         if tfo_depth < 1:
@@ -378,12 +421,15 @@ class DcRewritePass(Pass):
             raise ValueError(
                 f"support_limit must be >= 1, got {support_limit}"
             )
+        _check_kernel(kernel)
         self.k = k
         self.max_cuts = max_cuts
         self.tfo_depth = tfo_depth
         self.support_limit = support_limit
+        self.kernel = kernel
 
     def params(self) -> dict:
+        # `kernel` is intentionally absent: fingerprint-invisible.
         params = {}
         if self.k != 4:
             params["k"] = self.k
@@ -403,6 +449,7 @@ class DcRewritePass(Pass):
             max_cuts=self.max_cuts,
             tfo_depth=self.tfo_depth,
             support_limit=self.support_limit,
+            kernel=self.kernel,
         )
         saved = before - ctx.aig.num_ands
         if saved:

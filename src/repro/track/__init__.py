@@ -142,7 +142,7 @@ def cmd_record(args) -> int:
         started = time.time()
         if name == BENCH_FIGURE:
             # Always executed, never cached: the timings are the point.
-            result = run_pass_bench()
+            result = run_pass_bench(kernel=args.kernel)
             scale = ""
         else:
             result = _run_figure(name, args.scale, workers, cache)
@@ -238,6 +238,22 @@ def cmd_diff(args) -> int:
                 and diff.delay_regressions(args.max_delay_pct)
             )
         )
+        if args.same_structure:
+            # Byte-identity gate: the two runs must have done the
+            # same *work* -- same figure points, same call/AND-delta
+            # counters -- with only wall clocks free to move.  This is
+            # how CI checks that kernel backends are result-invisible.
+            drift = (
+                diff.changed_points()
+                or diff.structural_changes()
+                or diff.incomplete
+            )
+            if drift:
+                print(
+                    f"!! --same-structure: {figure} did different work "
+                    f"between {args.ref_a} and {args.ref_b}"
+                )
+                regressed = True
         if over:
             regressed = True
     if regressed and not args.warn_only:
@@ -347,6 +363,14 @@ def build_parser() -> argparse.ArgumentParser:
         "--no-cache", action="store_true",
         help="disable the compile cache for this record",
     )
+    record.add_argument(
+        "--kernel", default=None, choices=["pure", "numpy", "auto"],
+        help="pin the truth-table kernel backend for the bench "
+        "figure's kernel-aware passes (default: REPRO_KERNEL/auto "
+        "resolution); results are byte-identical across backends, so "
+        "two records differing only here diff with zero structural "
+        "deltas",
+    )
     add_store_dir(record)
     record.set_defaults(func=cmd_record)
 
@@ -388,6 +412,13 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="SEC",
         help="ignore wall-time changes of passes faster than this on "
         "both sides (default: %(default)s)",
+    )
+    diff.add_argument(
+        "--same-structure", action="store_true",
+        help="additionally require the two runs to have done "
+        "identical work (no figure-point changes, no pass call/AND "
+        "count drift; wall times remain free) -- the byte-identity "
+        "gate for kernel-backend records",
     )
     diff.add_argument(
         "--warn-only", action="store_true",

@@ -6,6 +6,7 @@ import pytest
 
 from repro.aig.dontcare import dc_rewrite
 from repro.aig.graph import AIG, lit_compl
+from repro.aig.kernel import available_backends
 from repro.aig.rewrite import rewrite
 from repro.flow import PassManager
 from repro.sat.equiv import check_combinational_equivalence
@@ -13,15 +14,17 @@ from repro.sat.equiv import check_combinational_equivalence
 from tests.aig.test_passes import random_aig
 
 
-def test_dc_rewrite_preserves_observable_function_sat():
+@pytest.mark.parametrize("kernel", available_backends())
+def test_dc_rewrite_preserves_observable_function_sat(kernel):
     """The randomized harness of the tt_sweep/rewrite tests; the
     don't-care pass may restructure dead and masked logic freely, but
-    every output and latch next-state function must stay SAT-equal."""
+    every output and latch next-state function must stay SAT-equal --
+    under every available kernel backend."""
     for seed in range(12):
         rng = random.Random(seed + 500)
         aig, _ = random_aig(rng)
         cleaned, _ = aig.cleanup()
-        optimized = dc_rewrite(cleaned)
+        optimized = dc_rewrite(cleaned, kernel=kernel)
         assert check_combinational_equivalence(cleaned, optimized), seed
         assert optimized.num_ands <= cleaned.num_ands, seed
 

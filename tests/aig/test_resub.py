@@ -5,6 +5,7 @@ import random
 import pytest
 
 from repro.aig.graph import AIG, lit_compl
+from repro.aig.kernel import available_backends
 from repro.aig.resub import resub
 from repro.flow import PassManager
 from repro.sat.equiv import check_combinational_equivalence
@@ -12,14 +13,16 @@ from repro.sat.equiv import check_combinational_equivalence
 from tests.aig.test_passes import random_aig
 
 
-def test_resub_preserves_function_sat():
+@pytest.mark.parametrize("kernel", available_backends())
+def test_resub_preserves_function_sat(kernel):
     """The randomized harness of the tt_sweep/rewrite tests, with the
-    check upgraded to SAT equivalence (latches and all outputs)."""
+    check upgraded to SAT equivalence (latches and all outputs), run
+    under every available kernel backend."""
     for seed in range(12):
         rng = random.Random(seed)
         aig, _ = random_aig(rng)
         cleaned, _ = aig.cleanup()
-        substituted = resub(cleaned)
+        substituted = resub(cleaned, kernel=kernel)
         assert check_combinational_equivalence(cleaned, substituted), seed
         assert substituted.num_ands <= cleaned.num_ands, seed
 
