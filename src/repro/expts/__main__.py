@@ -23,6 +23,7 @@ is given).
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 import time
 
@@ -31,6 +32,7 @@ from repro.expts.fig5_tables import run_fig5
 from repro.expts.fig6_fsm import run_fig6
 from repro.expts.fig8_stateprop import run_fig8
 from repro.expts.fig9_pctrl import run_fig9
+from repro.expts.prefixgrid import run_prefixgrid
 from repro.expts.replay import run_replay
 from repro.expts.techsweep import run_techsweep
 
@@ -41,11 +43,12 @@ _RUNNERS = {
     "fig9": run_fig9,
     "techsweep": run_techsweep,
     "replay": run_replay,
+    "prefixgrid": run_prefixgrid,
 }
 
 #: Figures that persist a run-store record directly (the others
 #: record through ``python -m repro.track``).
-_STORED_FIGURES = ("techsweep", "replay")
+_STORED_FIGURES = ("techsweep", "replay", "prefixgrid")
 
 #: Figures whose (single) default pipeline --pipeline may replace;
 #: fig8/fig9 compare several flows per design, so an override would
@@ -97,6 +100,12 @@ def main(argv: list[str] | None = None) -> int:
         help="disable the compile cache for this run",
     )
     parser.add_argument(
+        "--no-snapshots", action="store_true",
+        help="disable stage snapshots and prefix-resume for this run "
+        "(sets REPRO_SNAPSHOTS=0 for the figure drivers and their "
+        "workers; prefixgrid's pinned comparison is unaffected)",
+    )
+    parser.add_argument(
         "--store-dir", default=".repro-runs", metavar="DIR",
         help="run store the techsweep/replay drivers record into "
         "(default: %(default)s; other figures record via "
@@ -145,6 +154,11 @@ def main(argv: list[str] | None = None) -> int:
         )
     workers = args.jobs if args.jobs > 0 else default_workers()
     cache = None if args.no_cache else CompileCache(args.cache_dir)
+    if args.no_snapshots:
+        # Environment, not a kwarg: worker processes and the snapshot
+        # policy default both read REPRO_SNAPSHOTS, so one knob covers
+        # serial, pooled, and server-side compiles alike.
+        os.environ["REPRO_SNAPSHOTS"] = "0"
 
     chunks = []
     for name in names:

@@ -165,9 +165,22 @@ class ExperimentResult:
         Cached compiles replay the records of the run that produced
         them, so a warm sweep aggregates the *same* totals as the cold
         run it hit on -- which is exactly what makes a re-recorded
-        commit diff clean against itself.
+        commit diff clean against itself.  The same holds for compiles
+        resumed from a stage snapshot (their restored records replay
+        the prefix's provenance); those are additionally tallied into
+        ``meta["prefix_hits"]``/``meta["prefix_passes_skipped"]`` so a
+        stored run reports how much the prefix cache saved it.
         """
         for ctx in contexts:
+            meta = getattr(ctx, "meta", None) or {}
+            skipped = int(meta.get("passes_skipped", 0) or 0)
+            if skipped:
+                self.meta["prefix_hits"] = (
+                    self.meta.get("prefix_hits", 0) + 1
+                )
+                self.meta["prefix_passes_skipped"] = (
+                    self.meta.get("prefix_passes_skipped", 0) + skipped
+                )
             for record in ctx.records:
                 totals = self.pass_totals.get(record.name)
                 if totals is None:

@@ -62,8 +62,13 @@ from repro.flow.cache import (
     CacheBackend,
     CompileCache,
     LocalDirBackend,
+    SnapshotPolicy,
+    StageSnapshot,
     SweepStats,
+    fingerprint_prefixes,
     flow_fingerprint,
+    resolve_snapshot_policy,
+    snapshot_key,
 )
 from repro.flow.combinators import (
     Conditional,
@@ -135,6 +140,8 @@ __all__ = [
     "RunDiff",
     "RunRecord",
     "RunStore",
+    "SnapshotPolicy",
+    "StageSnapshot",
     "StoreError",
     "SweepStats",
     "WhileProgress",
@@ -142,6 +149,7 @@ __all__ = [
     "default_pipeline",
     "default_workers",
     "diff_runs",
+    "fingerprint_prefixes",
     "flow_fingerprint",
     "frontend",
     "is_controller_ir",
@@ -151,7 +159,9 @@ __all__ = [
     "register_pass",
     "registered_pass_names",
     "render_log",
+    "resolve_snapshot_policy",
     "retime_stage",
+    "snapshot_key",
     "run_default_flow",
     "state_folding",
     "until_converged",

@@ -44,6 +44,7 @@ on your machine.
 from __future__ import annotations
 
 import hashlib
+import inspect
 import os
 import pickle
 import tempfile
@@ -54,12 +55,11 @@ from dataclasses import dataclass
 from pathlib import Path
 from typing import TYPE_CHECKING, Sequence
 
-from repro.flow.core import FlowError, is_controller_ir
+from repro.flow.core import FlowContext, FlowError, is_controller_ir
 from repro.tech.cells import default_library_hash
 
 if TYPE_CHECKING:
     from repro.aig.graph import AIG
-    from repro.flow.core import FlowContext
     from repro.rtl.module import Module
     from repro.synth.dc_options import StateAnnotation
     from repro.tech.cells import Library
@@ -71,7 +71,23 @@ if TYPE_CHECKING:
 #: Version 3: a ``None`` library fingerprints as the *resolved*
 #: default library (``repro.tech.cells.default_library``), so a
 #: changed default can never serve stale hits.
-FINGERPRINT_VERSION = 3
+#: Version 4: :class:`FlowContext` grew a ``meta`` slot (resume
+#: provenance), changing the context pickling layout.
+FINGERPRINT_VERSION = 4
+
+#: Bump whenever the stage-snapshot envelope or the meaning of a
+#: restored mid-pipeline context changes: snapshot keys are derived
+#: from this version, so a bump orphans (never mis-reads) old
+#: snapshots, and the envelope's own version field rejects skewed
+#: blobs that still arrive through a shared backend.
+SNAPSHOT_VERSION = 1
+
+#: The two entry kinds a cache backend may be asked to move: completed
+#: compile results (the historical namespace) and mid-pipeline stage
+#: snapshots.  Backends that predate kinds simply never receive the
+#: keyword (see :func:`backend_load`/:func:`backend_store`).
+ENTRY_KIND = "entry"
+SNAPSHOT_KIND = "snapshot"
 
 #: The pickle-tolerance set: anything a truncated, stale, or
 #: wrong-version entry can raise while loading.  Shared by every
@@ -140,23 +156,42 @@ def flow_fingerprint(
             when ``ctrl`` does not implement the ControllerIR
             protocol (an unhashable IR input must not be cached).
     """
-    digest = hashlib.sha256()
-    digest.update(repr(("flow-fingerprint", FINGERPRINT_VERSION)).encode())
-    digest.update(repr(("spec", spec)).encode())
+    chunks = _input_chunks(
+        ctrl=ctrl,
+        module=module,
+        aig=aig,
+        annotations=annotations,
+        bindings=bindings,
+        library=library,
+        seed=seed,
+    )
+    return _spec_digest(spec, chunks)
+
+
+def _input_chunks(
+    *,
+    ctrl=None,
+    module: "Module | None" = None,
+    aig: "AIG | None" = None,
+    annotations: Sequence["StateAnnotation"] = (),
+    bindings: "dict[str, list[int]] | None" = None,
+    library: "Library | None" = None,
+    seed: int = 2011,
+) -> "list[bytes]":
+    """The input-dependent digest chunks of :func:`flow_fingerprint`,
+    in hashing order -- everything except the version header and the
+    spec chunk, so a prefix fold (:func:`fingerprint_prefixes`) hashes
+    the inputs once instead of once per prefix."""
     if ctrl is not None and not is_controller_ir(ctrl):
         raise FlowError(
             f"{type(ctrl).__name__} input has no ir_hash(): only "
             f"ControllerIR inputs can be fingerprinted"
         )
-    digest.update(
-        repr(("ctrl", None if ctrl is None else ctrl.ir_hash())).encode()
-    )
-    digest.update(
+    chunks = [
+        repr(("ctrl", None if ctrl is None else ctrl.ir_hash())).encode(),
         repr(
             ("module", None if module is None else module.canonical_hash())
-        ).encode()
-    )
-    digest.update(
+        ).encode(),
         repr(
             (
                 "bindings",
@@ -167,23 +202,21 @@ def flow_fingerprint(
                     for name, words in sorted(bindings.items())
                 ),
             )
-        ).encode()
-    )
-    digest.update(
-        repr(("aig", None if aig is None else aig.canonical_hash())).encode()
-    )
-    digest.update(
+        ).encode(),
+        repr(
+            ("aig", None if aig is None else aig.canonical_hash())
+        ).encode(),
         repr(
             (
                 "annotations",
                 tuple((a.reg_name, tuple(a.values)) for a in annotations),
             )
-        ).encode()
-    )
+        ).encode(),
+    ]
     library_hash = (
         default_library_hash() if library is None else library.canonical_hash()
     )
-    digest.update(repr(("library", library_hash)).encode())
+    chunks.append(repr(("library", library_hash)).encode())
     # Specs carry pass-pinned libraries by *name* (map{library=...});
     # the registry digest makes the names' definitions part of the
     # key, so editing any registered kit invalidates instead of
@@ -192,11 +225,160 @@ def flow_fingerprint(
     # package import.
     from repro.flow.passes import registered_libraries_digest
 
-    digest.update(
+    chunks.append(
         repr(("library-registry", registered_libraries_digest())).encode()
     )
-    digest.update(repr(("seed", seed)).encode())
+    chunks.append(repr(("seed", seed)).encode())
+    return chunks
+
+
+def _spec_digest(spec: str, chunks: "list[bytes]") -> str:
+    digest = hashlib.sha256()
+    digest.update(repr(("flow-fingerprint", FINGERPRINT_VERSION)).encode())
+    digest.update(repr(("spec", spec)).encode())
+    for chunk in chunks:
+        digest.update(chunk)
     return digest.hexdigest()
+
+
+def fingerprint_prefixes(
+    prefix_specs: Sequence[str],
+    *,
+    ctrl=None,
+    module: "Module | None" = None,
+    aig: "AIG | None" = None,
+    annotations: Sequence["StateAnnotation"] = (),
+    bindings: "dict[str, list[int]] | None" = None,
+    library: "Library | None" = None,
+    seed: int = 2011,
+) -> "list[str]":
+    """:func:`flow_fingerprint` folded over every pipeline prefix.
+
+    ``prefix_specs`` is the cumulative rendered spec of each prefix
+    (:meth:`PassManager.prefix_specs` -- element ``k`` covers the
+    first ``k + 1`` passes, so the last element is the full spec).
+    The input hashes are computed once and each prefix fingerprint is
+    *digest-identical* to calling :func:`flow_fingerprint` on that
+    prefix's spec with the same inputs: the fingerprint of a pipeline
+    that genuinely ends at pass ``k`` and of the length-``k`` prefix
+    of a longer pipeline are the same key, which is what makes stage
+    snapshots shareable across recipes that diverge after a common
+    prefix.
+
+    Returns:
+        One hex digest per prefix, in prefix order (the last is the
+        full-pipeline fingerprint).
+    """
+    chunks = _input_chunks(
+        ctrl=ctrl,
+        module=module,
+        aig=aig,
+        annotations=annotations,
+        bindings=bindings,
+        library=library,
+        seed=seed,
+    )
+    return [_spec_digest(spec, chunks) for spec in prefix_specs]
+
+
+def snapshot_key(prefix_fingerprint: str) -> str:
+    """The backend key a stage snapshot is stored under.
+
+    Derived (not equal): hashing the prefix fingerprint with a
+    kind/version tag keeps snapshots out of the completed-entry
+    namespace even on backends that predate entry kinds, keeps the
+    key a 64-hex digest the server's wire validation accepts, and
+    makes a :data:`SNAPSHOT_VERSION` bump orphan old snapshots
+    instead of mis-reading them.
+    """
+    tag = f"stage-snapshot:{SNAPSHOT_VERSION}:{prefix_fingerprint}"
+    return hashlib.sha256(tag.encode()).hexdigest()
+
+
+@dataclass(frozen=True)
+class StageSnapshot:
+    """The versioned envelope a stage snapshot pickles as.
+
+    ``ctx`` is the mid-pipeline :class:`FlowContext` exactly as it
+    stood after ``passes_done`` top-level passes of ``prefix_spec``.
+    Readers validate ``version`` (and the envelope type itself) before
+    trusting the payload; anything else -- including an old reader
+    that has never heard of this class -- reads as a cache miss
+    through the :data:`UNPICKLE_ERRORS` tolerance.
+    """
+
+    version: int
+    prefix_spec: str
+    passes_done: int
+    ctx: FlowContext
+
+
+@dataclass(frozen=True)
+class SnapshotPolicy:
+    """When a resumable compile persists a mid-pipeline snapshot.
+
+    Snapshots cost a pickle and backend write each, so the policy
+    bounds them to the boundaries worth resuming from: every *stage*
+    boundary (the representation changed -- elaboration, mapping),
+    every pass slower than ``min_pass_seconds`` (the work worth not
+    redoing), and every boundary a scheduler forces (the prefix-trie
+    planner marks prefixes shared by several jobs).  The pipeline's
+    final pass never snapshots -- the completed entry already covers
+    it.
+
+    Environment knobs (read by :meth:`from_env`, which every executor
+    defaults to): ``REPRO_SNAPSHOTS=0`` disables snapshotting and
+    resuming entirely; ``REPRO_SNAPSHOT_MIN_S`` overrides the
+    wall-time threshold (seconds).
+    """
+
+    enabled: bool = True
+    min_pass_seconds: float = 0.05
+    stage_boundaries: bool = True
+
+    @classmethod
+    def from_env(cls) -> "SnapshotPolicy":
+        if os.environ.get("REPRO_SNAPSHOTS", "").strip().lower() in (
+            "0", "off", "no", "false",
+        ):
+            return cls(enabled=False)
+        raw = os.environ.get("REPRO_SNAPSHOT_MIN_S", "").strip()
+        if raw:
+            try:
+                return cls(min_pass_seconds=float(raw))
+            except ValueError:
+                pass  # a malformed override keeps the default
+        return cls()
+
+    def should_snapshot(
+        self,
+        *,
+        wall_time_s: float,
+        stage_changed: bool,
+        forced: bool = False,
+    ) -> bool:
+        if not self.enabled:
+            return False
+        if forced:
+            return True
+        if self.stage_boundaries and stage_changed:
+            return True
+        return wall_time_s >= self.min_pass_seconds
+
+
+def resolve_snapshot_policy(
+    snapshots: "SnapshotPolicy | bool | None",
+) -> SnapshotPolicy:
+    """The policy an executor's ``snapshots=`` argument means:
+    ``None`` defers to the environment, booleans toggle the default
+    policy, and an explicit :class:`SnapshotPolicy` wins as given."""
+    if snapshots is None:
+        return SnapshotPolicy.from_env()
+    if snapshots is True:
+        return SnapshotPolicy()
+    if snapshots is False:
+        return SnapshotPolicy(enabled=False)
+    return snapshots
 
 
 class CacheBackend:
@@ -228,6 +410,44 @@ class CacheBackend:
         return {"kind": type(self).__name__}
 
 
+def _kind_aware(method) -> bool:
+    """Whether a backend load/store method accepts the ``kind=``
+    keyword.  Inspected (not duck-called): a kind-unaware custom
+    backend must keep working unchanged, and catching ``TypeError``
+    around the call would swallow genuine bugs inside the backend."""
+    try:
+        parameters = inspect.signature(method).parameters
+    except (TypeError, ValueError):  # builtins, mocks without signatures
+        return False
+    return "kind" in parameters or any(
+        p.kind is inspect.Parameter.VAR_KEYWORD for p in parameters.values()
+    )
+
+
+def backend_load(
+    backend: CacheBackend, key: str, kind: str = ENTRY_KIND
+) -> bytes | None:
+    """Load ``key`` from ``backend``, passing ``kind`` only to
+    backends that understand it.  Kind-unaware backends share one
+    namespace for both kinds -- safe, because snapshot keys are
+    derived digests (:func:`snapshot_key`) that cannot collide with
+    entry fingerprints."""
+    if _kind_aware(backend.load):
+        return backend.load(key, kind=kind)
+    return backend.load(key)
+
+
+def backend_store(
+    backend: CacheBackend, key: str, blob: bytes, kind: str = ENTRY_KIND
+) -> None:
+    """Store ``blob`` under ``key``, passing ``kind`` only to backends
+    that understand it (see :func:`backend_load`)."""
+    if _kind_aware(backend.store):
+        backend.store(key, blob, kind=kind)
+    else:
+        backend.store(key, blob)
+
+
 class LocalDirBackend(CacheBackend):
     """The historical on-disk store: one atomically-written pickle
     file per fingerprint under a two-level fanout directory.
@@ -239,18 +459,23 @@ class LocalDirBackend(CacheBackend):
     def __init__(self, path: str | os.PathLike) -> None:
         self.path = Path(path)
 
-    def entry_file(self, key: str) -> Path:
+    def entry_file(self, key: str, kind: str = ENTRY_KIND) -> Path:
         # Two-level fanout keeps directories small on big sweeps.
+        # Stage snapshots live under a third path level (``snap/``):
+        # pre-snapshot readers glob exactly ``*/*.pkl``, so the extra
+        # component keeps the new kind invisible to them.
+        if kind == SNAPSHOT_KIND:
+            return self.path / "snap" / key[:2] / f"{key}.pkl"
         return self.path / key[:2] / f"{key}.pkl"
 
-    def load(self, key: str) -> bytes | None:
+    def load(self, key: str, kind: str = ENTRY_KIND) -> bytes | None:
         try:
-            return self.entry_file(key).read_bytes()
+            return self.entry_file(key, kind).read_bytes()
         except OSError:
             return None
 
-    def store(self, key: str, blob: bytes) -> None:
-        entry = self.entry_file(key)
+    def store(self, key: str, blob: bytes, kind: str = ENTRY_KIND) -> None:
+        entry = self.entry_file(key, kind)
         entry.parent.mkdir(parents=True, exist_ok=True)
         # Atomic publish: concurrent workers may race on the same key,
         # and a reader must never observe a half-written pickle.
@@ -269,13 +494,36 @@ class LocalDirBackend(CacheBackend):
                 pass
             raise
 
-    def stats(self) -> dict:
+    def _listing(self, kind: str) -> "list[Path]":
+        # ``*/*.pkl`` matches exactly two path components, so entries
+        # and snapshots (three components, under ``snap/``) never
+        # appear in each other's listing.
+        pattern = "snap/*/*.pkl" if kind == SNAPSHOT_KIND else "*/*.pkl"
         try:
-            entries = sum(1 for _ in self.path.glob("*/*.pkl"))
+            if not self.path.is_dir():
+                return []
+            return list(self.path.glob(pattern))
         except OSError:
-            entries = 0
+            return []  # an unreadable cache directory reads as empty
+
+    def stats(self) -> dict:
+        counts = {ENTRY_KIND: 0, SNAPSHOT_KIND: 0}
+        sizes = {ENTRY_KIND: 0, SNAPSHOT_KIND: 0}
+        for kind in (ENTRY_KIND, SNAPSHOT_KIND):
+            for file in self._listing(kind):
+                try:
+                    size = file.stat().st_size
+                except OSError:
+                    continue
+                counts[kind] += 1
+                sizes[kind] += size
         return {
-            "kind": "local-dir", "path": str(self.path), "entries": entries,
+            "kind": "local-dir",
+            "path": str(self.path),
+            "entries": counts[ENTRY_KIND],
+            "snapshots": counts[SNAPSHOT_KIND],
+            "entry_bytes": sizes[ENTRY_KIND],
+            "snapshot_bytes": sizes[SNAPSHOT_KIND],
         }
 
     # -- garbage collection -------------------------------------------
@@ -285,54 +533,62 @@ class LocalDirBackend(CacheBackend):
         max_age_days: float | None = None,
     ) -> "SweepStats":
         """Evict entries by age, then by size budget (see
-        :meth:`CompileCache.sweep` for the contract)."""
-        try:
-            if not self.path.is_dir():
-                return SweepStats()
-            listing = list(self.path.glob("*/*.pkl"))
-        except OSError:
-            # An unreadable cache directory sweeps as empty.
-            return SweepStats()
+        :meth:`CompileCache.sweep` for the contract).
 
-        entries: list[tuple[float, int, Path]] = []  # (mtime, size, path)
-        for file in listing:
-            try:
-                if not file.is_file():
-                    continue  # a directory named *.pkl is not ours
-                stat = file.stat()
-            except OSError:
-                continue  # deleted (or unreadable) under us: skip
-            entries.append((stat.st_mtime, stat.st_size, file))
-        bytes_before = sum(size for _, size, _ in entries)
+        Completed entries and stage snapshots are swept jointly: one
+        age horizon, one size budget, oldest-first across both kinds
+        (a snapshot is exactly as re-computable as an entry, so
+        neither deserves protection from the other).  ``scanned`` /
+        ``removed`` / byte totals cover both kinds; the snapshot share
+        is broken out in ``scanned_snapshots``/``removed_snapshots``.
+        """
+        entries: list[tuple[float, int, Path, str]] = []
+        for kind in (ENTRY_KIND, SNAPSHOT_KIND):
+            for file in self._listing(kind):
+                try:
+                    if not file.is_file():
+                        continue  # a directory named *.pkl is not ours
+                    stat = file.stat()
+                except OSError:
+                    continue  # deleted (or unreadable) under us: skip
+                entries.append((stat.st_mtime, stat.st_size, file, kind))
+        bytes_before = sum(size for _, size, _, _ in entries)
         scanned = len(entries)
+        scanned_snapshots = sum(
+            1 for e in entries if e[3] == SNAPSHOT_KIND
+        )
 
-        doomed: list[tuple[float, int, Path]] = []
+        doomed: list[tuple[float, int, Path, str]] = []
         if max_age_days is not None:
             horizon = time.time() - max_age_days * 86400.0
             doomed = [e for e in entries if e[0] < horizon]
             entries = [e for e in entries if e[0] >= horizon]
         if max_bytes is not None:
-            entries.sort()  # oldest first
-            kept_bytes = sum(size for _, size, _ in entries)
+            entries.sort(key=lambda e: e[:2])  # oldest first
+            kept_bytes = sum(size for _, size, _, _ in entries)
             while entries and kept_bytes > max_bytes:
                 victim = entries.pop(0)
                 kept_bytes -= victim[1]
                 doomed.append(victim)
 
         removed = 0
+        removed_snapshots = 0
         freed = 0
-        for _, size, file in doomed:
+        for _, size, file, kind in doomed:
             try:
                 os.unlink(file)
             except OSError:
                 continue  # already gone: someone else swept it
             removed += 1
+            removed_snapshots += int(kind == SNAPSHOT_KIND)
             freed += size
         return SweepStats(
             scanned=scanned,
             removed=removed,
             bytes_before=bytes_before,
             bytes_after=bytes_before - freed,
+            scanned_snapshots=scanned_snapshots,
+            removed_snapshots=removed_snapshots,
         )
 
 
@@ -348,6 +604,10 @@ class CompileCache:
         backend: an explicit :class:`CacheBackend` (mutually exclusive
             with ``path``) -- e.g. the remote or tiered backends of
             :mod:`repro.serve.backends`.
+        max_snapshot_entries: LRU bound of the in-memory *snapshot*
+            layer.  Snapshots are mid-pipeline contexts -- bigger and
+            shorter-lived than completed entries -- so they get their
+            own, smaller bound.
     """
 
     def __init__(
@@ -355,10 +615,16 @@ class CompileCache:
         path: str | os.PathLike | None = None,
         max_memory_entries: int = 512,
         backend: CacheBackend | None = None,
+        max_snapshot_entries: int = 32,
     ) -> None:
         if max_memory_entries < 1:
             raise ValueError(
                 f"max_memory_entries must be >= 1, got {max_memory_entries}"
+            )
+        if max_snapshot_entries < 1:
+            raise ValueError(
+                f"max_snapshot_entries must be >= 1, got "
+                f"{max_snapshot_entries}"
             )
         if path is not None and backend is not None:
             raise ValueError(
@@ -368,17 +634,26 @@ class CompileCache:
             backend = LocalDirBackend(path)
         self.backend = backend
         self.max_memory_entries = max_memory_entries
-        #: One lock guards the LRU dict and every counter: server
+        self.max_snapshot_entries = max_snapshot_entries
+        #: One lock guards the LRU dicts and every counter: server
         #: request handlers and pool callbacks share one instance, and
         #: an unguarded OrderedDict corrupts under concurrent movers.
         #: Backend I/O and (un)pickling happen outside the lock.
         self._lock = threading.Lock()
         self._memory: OrderedDict[str, "FlowContext"] = OrderedDict()  # guarded-by: _lock
+        #: The snapshot LRU stores pickled envelope *bytes*, never the
+        #: unpickled context: resuming mutates the restored context in
+        #: place, so handing two resumes one shared object would let
+        #: the first corrupt the second.  Every hit unpickles fresh.
+        self._snapshots: OrderedDict[str, bytes] = OrderedDict()  # guarded-by: _lock
         self.memory_hits = 0  # guarded-by: _lock
         self.disk_hits = 0  # guarded-by: _lock
         self.misses = 0  # guarded-by: _lock
         self.stores = 0  # guarded-by: _lock
         self.inflight = 0  # guarded-by: _lock
+        self.snapshot_hits = 0  # guarded-by: _lock
+        self.snapshot_misses = 0  # guarded-by: _lock
+        self.snapshot_stores = 0  # guarded-by: _lock
 
     @property
     def path(self) -> Path | None:
@@ -439,9 +714,93 @@ class CompileCache:
         """
         self.put_memory(key, ctx)
         if self.backend is not None:
-            self.backend.store(key, _dumps(ctx))
+            backend_store(self.backend, key, _dumps(ctx), kind=ENTRY_KIND)
         with self._lock:
             self.stores += 1
+
+    # -- stage snapshots ----------------------------------------------
+    def get_snapshot(self, prefix_fingerprint: str) -> "FlowContext | None":
+        """Restore the mid-pipeline context snapshotted under a prefix
+        fingerprint (:func:`fingerprint_prefixes`), or ``None``.
+
+        Every hit unpickles a *fresh* context -- the caller will
+        mutate it by running the remaining passes, so snapshot hits
+        never share objects (unlike :meth:`get`).  Wrong-version or
+        non-snapshot blobs read as misses.
+        """
+        key = snapshot_key(prefix_fingerprint)
+        with self._lock:
+            blob = self._snapshots.get(key)
+            if blob is not None:
+                self._snapshots.move_to_end(key)
+        if blob is None and self.backend is not None:
+            blob = backend_load(self.backend, key, kind=SNAPSHOT_KIND)
+        snapshot = None if blob is None else _loads_snapshot(blob)
+        if snapshot is None:
+            with self._lock:
+                self.snapshot_misses += 1
+            return None
+        self._put_snapshot_memory(key, blob)
+        with self._lock:
+            self.snapshot_hits += 1
+        return snapshot.ctx
+
+    def put_snapshot(
+        self,
+        prefix_fingerprint: str,
+        ctx: "FlowContext",
+        *,
+        prefix_spec: str = "",
+        passes_done: int = 0,
+    ) -> None:
+        """Snapshot a mid-pipeline context under a prefix fingerprint.
+
+        The context is pickled once, here -- the stored bytes are the
+        snapshot's identity from then on, immune to the caller
+        continuing to mutate ``ctx``.
+        """
+        blob = _dumps(
+            StageSnapshot(
+                version=SNAPSHOT_VERSION,
+                prefix_spec=prefix_spec,
+                passes_done=passes_done,
+                ctx=ctx,
+            )
+        )
+        key = snapshot_key(prefix_fingerprint)
+        self._put_snapshot_memory(key, blob)
+        if self.backend is not None:
+            backend_store(self.backend, key, blob, kind=SNAPSHOT_KIND)
+        with self._lock:
+            self.snapshot_stores += 1
+
+    def get_prefix_entry(self, key: str) -> "FlowContext | None":
+        """A completed entry restored *for mutation* -- the resume
+        probe's view of a full compile whose pipeline is a prefix of a
+        longer one (prefix fingerprints are digest-identical to the
+        short pipeline's full fingerprint, so its entry is a valid
+        resume point).
+
+        Unlike :meth:`get`, the result is always a fresh copy (memory
+        hits are pickle-roundtripped), never the shared read-only
+        object, and no hit/miss counters move -- cold compiles probe
+        every prefix depth, which would otherwise drown the miss rate.
+        """
+        with self._lock:
+            ctx = self._memory.get(key)
+        if ctx is not None:
+            return _loads(_dumps(ctx))
+        if self.backend is None:
+            return None
+        blob = backend_load(self.backend, key, kind=ENTRY_KIND)
+        return None if blob is None else _loads(blob)
+
+    def _put_snapshot_memory(self, key: str, blob: bytes) -> None:
+        with self._lock:
+            self._snapshots[key] = blob
+            self._snapshots.move_to_end(key)
+            while len(self._snapshots) > self.max_snapshot_entries:
+                self._snapshots.popitem(last=False)
 
     def stats(self) -> dict:
         """A JSON-safe counter snapshot -- what the compile server
@@ -458,6 +817,10 @@ class CompileCache:
                 "stores": self.stores,
                 "inflight": self.inflight,
                 "memory_entries": len(self._memory),
+                "snapshot_hits": self.snapshot_hits,
+                "snapshot_misses": self.snapshot_misses,
+                "snapshot_stores": self.snapshot_stores,
+                "snapshot_entries": len(self._snapshots),
                 "backend": None
                 if self.backend is None
                 else self.backend.stats(),
@@ -497,45 +860,62 @@ class CompileCache:
     def _backend_get(self, key: str) -> "FlowContext | None":
         if self.backend is None:
             return None
-        blob = self.backend.load(key)
+        blob = backend_load(self.backend, key, kind=ENTRY_KIND)
         if blob is None:
             return None
         return _loads(blob)
 
     # -- raw entry bytes (the server's cache endpoints) ---------------
-    def export_blob(self, key: str) -> bytes | None:
+    def export_blob(self, key: str, kind: str = ENTRY_KIND) -> bytes | None:
         """The raw entry bytes for ``key``, or ``None`` on a miss.
 
-        Serves ``GET /cache/<fingerprint>``: backend bytes are
-        returned verbatim when available; a memory-only hit is pickled
-        on the way out, so a remote client reading through this cache
-        sees exactly what a local cache would have stored.
+        Serves ``GET /cache/<fingerprint>`` (and, with
+        ``kind=SNAPSHOT_KIND``, ``GET /cache/snap/<key>``): backend
+        bytes are returned verbatim when available; a memory-only hit
+        is pickled on the way out, so a remote client reading through
+        this cache sees exactly what a local cache would have stored.
         """
         if self.backend is not None:
-            blob = self.backend.load(key)
+            blob = backend_load(self.backend, key, kind=kind)
             if blob is not None:
                 return blob
+        if kind == SNAPSHOT_KIND:
+            with self._lock:
+                return self._snapshots.get(key)
         with self._lock:
             ctx = self._memory.get(key)
         return None if ctx is None else _dumps(ctx)
 
-    def import_blob(self, key: str, blob: bytes) -> bool:
+    def import_blob(
+        self, key: str, blob: bytes, kind: str = ENTRY_KIND
+    ) -> bool:
         """Store raw entry bytes under ``key`` (``PUT
-        /cache/<fingerprint>``).
+        /cache/<fingerprint>``, or ``PUT /cache/snap/<key>`` with
+        ``kind=SNAPSHOT_KIND``).
 
         With a backend, the bytes are persisted verbatim (no unpickle
         on the write path -- a server absorbing write-through traffic
         must not execute every uploaded entry).  Memory-only caches
-        must deserialize to keep the entry at all; a corrupt blob is
-        rejected.
+        must deserialize to keep the entry at all; a corrupt or
+        wrong-shaped blob is rejected.
 
         Returns:
             True when the entry was accepted.
         """
         if self.backend is not None:
-            self.backend.store(key, blob)
+            backend_store(self.backend, key, blob, kind=kind)
             with self._lock:
-                self.stores += 1
+                if kind == SNAPSHOT_KIND:
+                    self.snapshot_stores += 1
+                else:
+                    self.stores += 1
+            return True
+        if kind == SNAPSHOT_KIND:
+            if _loads_snapshot(blob) is None:
+                return False
+            self._put_snapshot_memory(key, blob)
+            with self._lock:
+                self.snapshot_stores += 1
             return True
         ctx = _loads(blob)
         if ctx is None:
@@ -608,23 +988,52 @@ def _dumps(ctx: "FlowContext") -> bytes:
 
 def _loads(blob: bytes) -> "FlowContext | None":
     try:
-        return pickle.loads(blob)
+        loaded = pickle.loads(blob)
     except UNPICKLE_ERRORS:
         # A truncated or stale entry is a miss, not an error.
         return None
+    if not isinstance(loaded, FlowContext):
+        # A foreign blob under an entry key (e.g. a snapshot envelope
+        # uploaded to the wrong endpoint) is a miss, never a context.
+        return None
+    return loaded
+
+
+def _loads_snapshot(blob: bytes) -> "StageSnapshot | None":
+    try:
+        loaded = pickle.loads(blob)
+    except UNPICKLE_ERRORS:
+        return None
+    if (
+        not isinstance(loaded, StageSnapshot)
+        or loaded.version != SNAPSHOT_VERSION
+        or not isinstance(loaded.ctx, FlowContext)
+    ):
+        # Wrong envelope, skewed version, bogus payload: all misses.
+        return None
+    return loaded
 
 
 @dataclass(frozen=True)
 class SweepStats:
-    """What one :meth:`CompileCache.sweep` did."""
+    """What one :meth:`CompileCache.sweep` did.  ``scanned``,
+    ``removed``, and the byte totals cover completed entries *and*
+    stage snapshots; the ``*_snapshots`` fields break out the snapshot
+    share of the first two."""
 
     scanned: int = 0
     removed: int = 0
     bytes_before: int = 0
     bytes_after: int = 0
+    scanned_snapshots: int = 0
+    removed_snapshots: int = 0
 
     def __str__(self) -> str:
         return (
-            f"swept {self.removed}/{self.scanned} entries, "
+            f"swept "
+            f"{self.removed - self.removed_snapshots}"
+            f"/{self.scanned - self.scanned_snapshots} entries "
+            f"({self.removed_snapshots}/{self.scanned_snapshots} "
+            f"snapshots), "
             f"{self.bytes_before} -> {self.bytes_after} bytes"
         )

@@ -264,6 +264,11 @@ class FlowContext:
     #: ``annotations``, seeded at compile time, fingerprinted by the
     #: cache.
     bindings: "dict[str, list[int]] | None" = None
+    #: Free-form JSON-safe provenance recorded by the executors (where
+    #: a resumed compile restarted, how many passes it skipped).  Never
+    #: part of the fingerprint and never compared by ``diff_runs``:
+    #: two byte-identical results may legitimately differ here.
+    meta: dict = field(default_factory=dict)
 
     def mark_progress(self) -> None:
         self.progress = True
@@ -299,6 +304,19 @@ class FlowContext:
     def log(self) -> list[str]:
         """The legacy free-form log, rendered from the records."""
         return render_log(self.records)
+
+
+def context_stage(ctx: FlowContext) -> str:
+    """The deepest representation ``ctx`` currently holds -- how the
+    snapshot policy detects stage boundaries (a pass whose execution
+    moved the context to a new representation)."""
+    if ctx.netlist is not None:
+        return "netlist"
+    if ctx.aig is not None:
+        return "aig"
+    if ctx.module is not None:
+        return "rtl"
+    return "ctrl"
 
 
 class Pass:

@@ -27,6 +27,7 @@ from repro.flow.core import (
     FlowContext,
     FlowError,
     Pass,
+    context_stage,
     ensure_recursion_headroom,
     make_pass,
     parse_spec_value,
@@ -225,6 +226,46 @@ class PassManager:
         pipelines made of registered passes, a round-trip)."""
         return ",".join(item.spec() for item in self.passes)
 
+    def prefix_specs(self) -> list[str]:
+        """The rendered spec of every pipeline prefix, shortest first
+        (element ``k`` covers passes ``0..k``; the last element equals
+        :meth:`spec`).  Because :meth:`spec` is a comma-join, a prefix
+        spec is exactly what a pipeline genuinely ending there would
+        render -- which is what makes prefix fingerprints shareable."""
+        parts: list[str] = []
+        specs: list[str] = []
+        for item in self.passes:
+            parts.append(item.spec())
+            specs.append(",".join(parts))
+        return specs
+
+    def prefix_fingerprints(
+        self,
+        *,
+        ctrl=None,
+        module=None,
+        aig=None,
+        annotations: Sequence = (),
+        bindings=None,
+        library=None,
+        seed: int = 2011,
+    ) -> list[str]:
+        """:func:`~repro.flow.cache.fingerprint_prefixes` over this
+        pipeline's prefixes with these inputs.  The last element is
+        the full compile fingerprint."""
+        from repro.flow.cache import fingerprint_prefixes
+
+        return fingerprint_prefixes(
+            self.prefix_specs(),
+            ctrl=ctrl,
+            module=module,
+            aig=aig,
+            annotations=annotations,
+            bindings=bindings,
+            library=library,
+            seed=seed,
+        )
+
     # -- execution ----------------------------------------------------
     def run(self, ctx: FlowContext) -> FlowContext:
         """Execute every pass in order on ``ctx`` and return it."""
@@ -244,6 +285,7 @@ class PassManager:
         library=None,
         seed: int = 2011,
         cache=None,
+        snapshots=None,
     ) -> FlowContext:
         """Convenience: build a fresh context and run the pipeline.
 
@@ -260,6 +302,18 @@ class PassManager:
         input that means zero lowerings *and* zero synthesis -- a miss
         runs the pipeline and stores the result.  Treat cached
         contexts as read-only -- in-memory hits share one object.
+
+        On a full-key miss the compile is *incrementally resumable*:
+        the longest cached stage snapshot of a pipeline prefix (see
+        :func:`~repro.flow.cache.fingerprint_prefixes`) is restored
+        and only the remaining passes execute, with the resume point
+        recorded in ``ctx.meta`` (``resumed_at``/``passes_skipped``).
+        ``snapshots`` tunes the
+        :class:`~repro.flow.cache.SnapshotPolicy`: ``None`` reads the
+        environment (``REPRO_SNAPSHOTS=0`` disables), ``True``/
+        ``False`` toggle the default policy, or pass a policy.  A
+        resumed result is byte-identical to a from-scratch run
+        (canonical hashes and pass records modulo wall times).
 
         The spec typechecker (:mod:`repro.check.spec`) runs first:
         a pipeline that is statically wrong for these inputs (stage
@@ -287,33 +341,63 @@ class PassManager:
                 "pipeline spec check failed: "
                 + "; ".join(str(problem) for problem in problems)
             )
+        policy = None
         fingerprint = None
+        prefix_fps: list[str] = []
         if cache is not None:
-            from repro.flow.cache import flow_fingerprint
+            from repro.flow.cache import (
+                flow_fingerprint,
+                resolve_snapshot_policy,
+            )
 
-            fingerprint = flow_fingerprint(
-                self.spec(),
-                ctrl=ctrl,
-                module=module,
-                aig=aig,
-                annotations=annotations,
-                bindings=bindings,
-                library=library,
-                seed=seed,
+            policy = resolve_snapshot_policy(snapshots)
+            if policy.enabled and len(self.passes) > 1:
+                prefix_fps = self.prefix_fingerprints(
+                    ctrl=ctrl,
+                    module=module,
+                    aig=aig,
+                    annotations=annotations,
+                    bindings=bindings,
+                    library=library,
+                    seed=seed,
+                )
+            fingerprint = (
+                prefix_fps[-1]
+                if prefix_fps
+                else flow_fingerprint(
+                    self.spec(),
+                    ctrl=ctrl,
+                    module=module,
+                    aig=aig,
+                    annotations=annotations,
+                    bindings=bindings,
+                    library=library,
+                    seed=seed,
+                )
             )
             hit = cache.get(fingerprint)
             if hit is not None:
                 return hit
-        ctx = FlowContext(
+        ctx, start = prepare_resume(
+            self,
             ctrl=ctrl,
             module=module,
             aig=aig,
-            annotations=list(annotations),
+            annotations=annotations,
             bindings=bindings,
             library=library,
             seed=seed,
+            cache=cache,
+            prefix_fingerprints=prefix_fps,
         )
-        self.run(ctx)
+        run_resumable(
+            self,
+            ctx,
+            start=start,
+            cache=cache,
+            prefix_fingerprints=prefix_fps,
+            policy=policy,
+        )
         if cache is not None:
             cache.put(fingerprint, ctx)
         return ctx
@@ -329,3 +413,118 @@ class PassManager:
             return f"PassManager({self.spec()!r})"
         except FlowError:
             return f"PassManager(<{len(self.passes)} passes, no spec form>)"
+
+
+def prepare_resume(
+    pipeline: PassManager,
+    *,
+    ctrl=None,
+    module=None,
+    aig=None,
+    annotations: Sequence = (),
+    bindings=None,
+    library=None,
+    seed: int = 2011,
+    cache=None,
+    prefix_fingerprints: Sequence[str] = (),
+) -> tuple[FlowContext, int]:
+    """The context a miss starts from: the deepest restorable stage
+    snapshot, or a fresh context.
+
+    Probes ``cache`` for resume points of the pipeline's prefixes,
+    deepest first.  Two kinds qualify at each depth: a stage snapshot
+    of the prefix, and -- because prefix fingerprints are
+    digest-identical to a shorter pipeline's full fingerprint -- the
+    *completed entry* of a compile whose whole pipeline was this
+    prefix (restored as a fresh copy via
+    :meth:`~repro.flow.cache.CompileCache.get_prefix_entry`; the
+    shared read-only hit object must never be mutated by a resume).
+    A restored context gets the resume provenance written into
+    ``ctx.meta``: ``resumed_at`` (the name of the last skipped pass),
+    ``passes_skipped`` (top-level count), and ``resumed_records``
+    (how many pass records came from the resume point rather than
+    this run -- what lets pass-execution accounting subtract them).
+
+    Returns:
+        ``(ctx, start)`` -- run the pipeline from top-level pass index
+        ``start`` (0 means from scratch).
+    """
+    fps = list(prefix_fingerprints)
+    if cache is not None and len(fps) == len(pipeline.passes) > 1:
+        for done in range(len(pipeline.passes), 0, -1):
+            restored = cache.get_snapshot(fps[done - 1])
+            if restored is None and done < len(pipeline.passes):
+                # The caller already ruled out a full-key entry hit,
+                # so only proper prefixes are probed as entries.
+                restored = cache.get_prefix_entry(fps[done - 1])
+            if restored is None:
+                continue
+            restored.meta.update(
+                resumed_at=pipeline.passes[done - 1].name,
+                passes_skipped=done,
+                resumed_records=len(restored.records),
+            )
+            return restored, done
+    return (
+        FlowContext(
+            ctrl=ctrl,
+            module=module,
+            aig=aig,
+            annotations=list(annotations),
+            bindings=bindings,
+            library=library,
+            seed=seed,
+        ),
+        0,
+    )
+
+
+def run_resumable(
+    pipeline: PassManager,
+    ctx: FlowContext,
+    *,
+    start: int = 0,
+    cache=None,
+    prefix_fingerprints: Sequence[str] = (),
+    policy=None,
+    force_snapshot_after: frozenset[int] | set[int] = frozenset(),
+) -> FlowContext:
+    """Execute ``pipeline`` on ``ctx`` from pass ``start``, persisting
+    stage snapshots where the policy says a boundary is worth keeping.
+
+    The final pass never snapshots -- the completed cache entry covers
+    the full pipeline.  ``force_snapshot_after`` holds top-level pass
+    indices whose boundary must snapshot regardless of wall time or
+    stage (the prefix-trie planner marks prefixes other jobs in the
+    batch share).
+
+    Failures propagate exactly as :meth:`PassManager.run`'s would --
+    no snapshot is taken at or after a failing pass.
+    """
+    ensure_recursion_headroom()
+    snapshotting = (
+        cache is not None
+        and policy is not None
+        and policy.enabled
+        and len(prefix_fingerprints) == len(pipeline.passes)
+    )
+    specs = pipeline.prefix_specs() if snapshotting else []
+    last = len(pipeline.passes) - 1
+    stage = context_stage(ctx)
+    for index in range(start, len(pipeline.passes)):
+        record = pipeline.passes[index].execute(ctx)
+        if not snapshotting or index >= last:
+            continue
+        previous, stage = stage, context_stage(ctx)
+        if policy.should_snapshot(
+            wall_time_s=record.wall_time_s,
+            stage_changed=stage != previous,
+            forced=index in force_snapshot_after,
+        ):
+            cache.put_snapshot(
+                prefix_fingerprints[index],
+                ctx,
+                prefix_spec=specs[index],
+                passes_done=index + 1,
+            )
+    return ctx

@@ -23,11 +23,17 @@ from __future__ import annotations
 import multiprocessing
 import os
 import sys
+from collections import Counter
 from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass
 from typing import TYPE_CHECKING, Hashable, Iterable, Sequence
 
-from repro.flow.cache import CompileCache, flow_fingerprint
+from repro.flow.cache import (
+    CompileCache,
+    SnapshotPolicy,
+    flow_fingerprint,
+    resolve_snapshot_policy,
+)
 from repro.flow.core import (
     FlowContext,
     FlowError,
@@ -35,7 +41,7 @@ from repro.flow.core import (
     ensure_recursion_headroom,
     render_log,
 )
-from repro.flow.manager import PassManager
+from repro.flow.manager import PassManager, prepare_resume, run_resumable
 
 if TYPE_CHECKING:
     from repro.aig.graph import AIG
@@ -113,31 +119,72 @@ def _job_fingerprint(job: CompileJob, pipeline: PassManager) -> str:
     )
 
 
-def _execute_job(
-    job: CompileJob,
-    cache: CompileCache | None,
-    fingerprint: str | None = None,
-) -> FlowContext:
-    """Run one job (cache-aware), wrapping failures with their log
-    context.  A caller that already missed on ``fingerprint`` passes
-    it in to skip the redundant second lookup."""
-    pipeline = _resolve_pipeline(job.pipeline)
-    if cache is not None and fingerprint is None:
-        fingerprint = _job_fingerprint(job, pipeline)
-        hit = cache.get(fingerprint)
-        if hit is not None:
-            return hit
-    ctx = FlowContext(
+def _job_prefix_fingerprints(
+    job: CompileJob, pipeline: PassManager
+) -> list[str]:
+    return pipeline.prefix_fingerprints(
         ctrl=job.ctrl,
         module=job.module,
         aig=job.aig,
-        annotations=list(job.annotations),
+        annotations=job.annotations,
         bindings=job.bindings,
         library=job.library,
         seed=job.seed,
     )
+
+
+def _execute_job(
+    job: CompileJob,
+    cache: CompileCache | None,
+    fingerprint: str | None = None,
+    *,
+    snapshots: "SnapshotPolicy | bool | None" = None,
+    force_snapshot_after: frozenset = frozenset(),
+) -> FlowContext:
+    """Run one job (cache-aware and resumable), wrapping failures with
+    their log context.  A caller that already missed on
+    ``fingerprint`` passes it in to skip the redundant second lookup
+    (prefix resume points are still probed).  ``force_snapshot_after``
+    holds top-level pass indices the prefix-trie planner marked as
+    shared boundaries -- they snapshot regardless of policy
+    thresholds."""
+    pipeline = _resolve_pipeline(job.pipeline)
+    policy = resolve_snapshot_policy(snapshots)
+    prefix_fps: list[str] = []
+    if cache is not None:
+        if policy.enabled and len(pipeline.passes) > 1:
+            prefix_fps = _job_prefix_fingerprints(job, pipeline)
+        if fingerprint is None:
+            fingerprint = (
+                prefix_fps[-1]
+                if prefix_fps
+                else _job_fingerprint(job, pipeline)
+            )
+            hit = cache.get(fingerprint)
+            if hit is not None:
+                return hit
+    ctx, start = prepare_resume(
+        pipeline,
+        ctrl=job.ctrl,
+        module=job.module,
+        aig=job.aig,
+        annotations=job.annotations,
+        bindings=job.bindings,
+        library=job.library,
+        seed=job.seed,
+        cache=cache,
+        prefix_fingerprints=prefix_fps,
+    )
     try:
-        pipeline.run(ctx)
+        run_resumable(
+            pipeline,
+            ctx,
+            start=start,
+            cache=cache,
+            prefix_fingerprints=prefix_fps,
+            policy=policy,
+            force_snapshot_after=force_snapshot_after,
+        )
     except CompileJobError:
         raise
     except Exception as exc:
@@ -149,11 +196,21 @@ def _execute_job(
     return ctx
 
 
-def _worker_run(job: CompileJob, cache_path: str | None) -> FlowContext:
+def _worker_run(
+    job: CompileJob,
+    cache_path: str | None,
+    snapshots: "SnapshotPolicy | None" = None,
+    force_snapshot_after: frozenset = frozenset(),
+) -> FlowContext:
     """Entry point executed inside a pool worker."""
     ensure_recursion_headroom()
     cache = None if cache_path is None else CompileCache(path=cache_path)
-    return _execute_job(job, cache)
+    return _execute_job(
+        job,
+        cache,
+        snapshots=snapshots,
+        force_snapshot_after=force_snapshot_after,
+    )
 
 
 def _pool_context():
@@ -163,6 +220,62 @@ def _pool_context():
     methods = multiprocessing.get_all_start_methods()
     use_fork = sys.platform == "linux" and "fork" in methods
     return multiprocessing.get_context("fork" if use_fork else "spawn")
+
+
+def _plan_waves(
+    prefix_lists: Sequence[Sequence[str]],
+) -> "tuple[list[list[int]], dict[int, frozenset]]":
+    """The prefix-trie schedule of one job batch.
+
+    ``prefix_lists[i]`` is job ``i``'s prefix fingerprints (full
+    fingerprint last); a fingerprint appearing in two or more jobs is
+    *shared* -- work that must execute exactly once.  The plan is a
+    list of waves (job indices) plus, per job, the top-level pass
+    indices whose boundary must snapshot (``forced``): within a wave
+    no two jobs carry the same not-yet-covered shared fingerprint, so
+    each shared prefix has exactly one *leader*; after the wave the
+    leader's snapshots (and completed entry) are published, and the
+    followers -- deferred to later waves -- resume from them instead
+    of re-executing the prefix.
+
+    Full fingerprints count as shared too: two content-identical jobs
+    (distinct keys) serialize, and the second hits the cache outright.
+
+    Returns:
+        ``(waves, forced)`` -- waves partition ``range(len(...))`` in
+        submission order; ``forced[i]`` holds the snapshot boundaries
+        job ``i`` must persist (its own final pass never snapshots;
+        the completed entry covers it).
+    """
+    counts = Counter(fp for fps in prefix_lists for fp in fps)
+    forced = {
+        i: frozenset(
+            k for k, fp in enumerate(fps[:-1]) if counts[fp] >= 2
+        )
+        for i, fps in enumerate(prefix_lists)
+    }
+    covered: set[str] = set()
+    waves: list[list[int]] = []
+    remaining = list(range(len(prefix_lists)))
+    while remaining:
+        wave: list[int] = []
+        claimed: set[str] = set()
+        deferred: list[int] = []
+        for i in remaining:
+            wants = {
+                fp
+                for fp in prefix_lists[i]
+                if counts[fp] >= 2 and fp not in covered
+            }
+            if wants & claimed:
+                deferred.append(i)
+            else:
+                wave.append(i)
+                claimed |= wants
+        waves.append(wave)
+        covered |= claimed
+        remaining = deferred
+    return waves, forced
 
 
 def default_workers() -> int:
@@ -182,6 +295,7 @@ def compile_many(
     workers: int = 1,
     cache: CompileCache | None = None,
     server: "str | None" = None,
+    snapshots: "SnapshotPolicy | bool | None" = None,
 ) -> "dict[Hashable, FlowContext]":
     """Compile independent jobs, optionally across worker processes
     or through a remote compile server.
@@ -197,6 +311,19 @@ def compile_many(
     (atomic entry files make concurrent writers safe).  A memory-only
     cache still dedups across one ``compile_many`` call, but workers
     cannot share it.
+
+    Misses are scheduled by a *prefix-trie planner* (when the
+    snapshot policy is enabled): jobs whose pipelines share a prefix
+    on identical inputs are grouped so that exactly one leader
+    executes each shared prefix, persisting a stage snapshot at the
+    shared boundary, before the followers fan out and resume from it
+    (serially, submission order achieves this; across workers, jobs
+    are batched into waves that never race on an uncovered shared
+    prefix -- requires a path-backed cache, since followers read the
+    leader's snapshots through the shared disk layer).  ``snapshots``
+    tunes the :class:`~repro.flow.cache.SnapshotPolicy` exactly as in
+    :meth:`PassManager.compile`; disabling it restores the flat
+    all-at-once schedule.
 
     With ``server``, cache misses are submitted to a
     :mod:`repro.serve` compile server as one batch instead of
@@ -240,62 +367,106 @@ def compile_many(
         seen_keys.add(job.key)
 
     ensure_recursion_headroom()
+    policy = resolve_snapshot_policy(snapshots)
     results: dict[Hashable, FlowContext] = {}
-    pending: list[tuple[int, CompileJob, str | None]] = []
+    pending: list[tuple[int, CompileJob, str | None, list[str]]] = []
     for index, job in enumerate(jobs):
         if cache is not None:
             pipeline = _resolve_pipeline(job.pipeline)
-            fingerprint = _job_fingerprint(job, pipeline)
+            prefix_fps = (
+                _job_prefix_fingerprints(job, pipeline)
+                if policy.enabled and len(pipeline.passes) > 1
+                else []
+            )
+            fingerprint = (
+                prefix_fps[-1]
+                if prefix_fps
+                else _job_fingerprint(job, pipeline)
+            )
             hit = cache.get(fingerprint)
             if hit is not None:
                 results[job.key] = hit
                 continue
-            pending.append((index, job, fingerprint))
+            pending.append((index, job, fingerprint, prefix_fps))
         else:
-            pending.append((index, job, None))
+            pending.append((index, job, None, []))
+
+    # The prefix-trie plan of the misses: which boundaries must
+    # snapshot, and (for the pool path) which jobs may run
+    # concurrently without racing on a shared prefix.
+    if cache is not None and policy.enabled:
+        waves, forced = _plan_waves([fps for _, _, _, fps in pending])
+    else:
+        waves = [list(range(len(pending)))]
+        forced = {}
 
     if server is not None:
         # Imported lazily: repro.serve depends on this module.
         from repro.serve.client import ServeClient
 
         if pending:
+            # The server runs its own prefix-flight dedup; the batch
+            # goes up unplanned.
             remote = ServeClient(server).compile(
-                [job for _, job, _ in pending]
+                [job for _, job, _, _ in pending]
             )
-            for _, job, fingerprint in pending:
+            for _, job, fingerprint, _ in pending:
                 ctx = remote[job.key]
                 results[job.key] = ctx
                 if cache is not None:
                     cache.put(fingerprint, ctx)
     elif workers <= 1 or len(pending) <= 1:
-        for _, job, fingerprint in pending:
-            results[job.key] = _execute_job(job, cache, fingerprint)
+        # Submission order already executes each shared prefix exactly
+        # once: the first job carrying it leads (snapshotting the
+        # forced boundary), every later job resumes from the snapshot.
+        for position, (_, job, fingerprint, _) in enumerate(pending):
+            results[job.key] = _execute_job(
+                job,
+                cache,
+                fingerprint,
+                snapshots=policy,
+                force_snapshot_after=forced.get(position, frozenset()),
+            )
     else:
         cache_path = None if cache is None or cache.path is None else str(
             cache.path
         )
+        if cache_path is None:
+            # Workers cannot see each other's snapshots without a
+            # shared disk layer, so wave barriers buy nothing.
+            waves = [list(range(len(pending)))]
+            forced = {}
         failures: list[tuple[int, CompileJobError]] = []
         with ProcessPoolExecutor(
             max_workers=min(workers, len(pending)),
             mp_context=_pool_context(),
             initializer=ensure_recursion_headroom,
         ) as pool:
-            futures = [
-                (index, job, fingerprint,
-                 pool.submit(_worker_run, job, cache_path))
-                for index, job, fingerprint in pending
-            ]
-            for index, job, fingerprint, future in futures:
-                try:
-                    ctx = future.result()
-                except CompileJobError as exc:
-                    failures.append((index, exc))
-                    continue
-                results[job.key] = ctx
-                if cache is not None:
-                    # The worker already published to the shared disk
-                    # layer; fold into the parent's memory layer too.
-                    cache.put_memory(fingerprint, ctx)
+            for wave in waves:
+                futures = [
+                    (position,
+                     pool.submit(
+                         _worker_run,
+                         pending[position][1],
+                         cache_path,
+                         policy,
+                         forced.get(position, frozenset()),
+                     ))
+                    for position in wave
+                ]
+                for position, future in futures:
+                    index, job, fingerprint, _ = pending[position]
+                    try:
+                        ctx = future.result()
+                    except CompileJobError as exc:
+                        failures.append((index, exc))
+                        continue
+                    results[job.key] = ctx
+                    if cache is not None:
+                        # The worker already published to the shared
+                        # disk layer; fold into the parent's memory
+                        # layer too.
+                        cache.put_memory(fingerprint, ctx)
         if failures:
             # Deterministic: the earliest job in submission order
             # raises, exactly as the serial path would.

@@ -29,7 +29,13 @@ import threading
 import urllib.error
 import urllib.request
 
-from repro.flow.cache import CacheBackend
+from repro.flow.cache import (
+    ENTRY_KIND,
+    SNAPSHOT_KIND,
+    CacheBackend,
+    backend_load,
+    backend_store,
+)
 
 #: Cache entries are a few hundred KB of pickle; a hung shared cache
 #: must not stall a compile longer than the compile itself would take.
@@ -70,15 +76,19 @@ class RemoteBackend(CacheBackend):
         """The server URL entry ``key`` shards to."""
         return self.urls[int(key[:8], 16) % len(self.urls)]
 
-    def _entry_url(self, key: str) -> str:
+    def _entry_url(self, key: str, kind: str = ENTRY_KIND) -> str:
+        # Stage snapshots live under /cache/snap/; a pre-snapshot
+        # server 404s the path, which reads as a best-effort miss.
+        if kind == SNAPSHOT_KIND:
+            return f"{self.shard(key)}/cache/snap/{key}"
         return f"{self.shard(key)}/cache/{key}"
 
-    def load(self, key: str) -> bytes | None:
+    def load(self, key: str, kind: str = ENTRY_KIND) -> bytes | None:
         with self._lock:
             self.loads += 1
         try:
             with urllib.request.urlopen(
-                self._entry_url(key), timeout=self.timeout
+                self._entry_url(key, kind), timeout=self.timeout
             ) as response:
                 blob = response.read()
         except urllib.error.HTTPError as exc:
@@ -95,11 +105,11 @@ class RemoteBackend(CacheBackend):
             self.load_hits += 1
         return blob
 
-    def store(self, key: str, blob: bytes) -> None:
+    def store(self, key: str, blob: bytes, kind: str = ENTRY_KIND) -> None:
         with self._lock:
             self.store_calls += 1
         request = urllib.request.Request(
-            self._entry_url(key),
+            self._entry_url(key, kind),
             data=blob,
             headers={"Content-Type": "application/octet-stream"},
             method="PUT",
@@ -146,28 +156,31 @@ class TieredBackend(CacheBackend):
         self.far_hits = 0  # guarded-by: _lock
         self.promotions = 0  # guarded-by: _lock
 
-    def load(self, key: str) -> bytes | None:
-        blob = self.near.load(key)
+    def load(self, key: str, kind: str = ENTRY_KIND) -> bytes | None:
+        # backend_load/backend_store pass ``kind`` through only to
+        # layers that take it, so a tier composed over a kind-unaware
+        # custom backend keeps working.
+        blob = backend_load(self.near, key, kind=kind)
         if blob is not None:
             with self._lock:
                 self.near_hits += 1
             return blob
-        blob = self.far.load(key)
+        blob = backend_load(self.far, key, kind=kind)
         if blob is None:
             return None
         with self._lock:
             self.far_hits += 1
         try:
-            self.near.store(key, blob)
+            backend_store(self.near, key, blob, kind=kind)
             with self._lock:
                 self.promotions += 1
         except OSError:
             pass  # an unwritable near layer only costs repeat far reads
         return blob
 
-    def store(self, key: str, blob: bytes) -> None:
-        self.near.store(key, blob)
-        self.far.store(key, blob)
+    def store(self, key: str, blob: bytes, kind: str = ENTRY_KIND) -> None:
+        backend_store(self.near, key, blob, kind=kind)
+        backend_store(self.far, key, blob, kind=kind)
 
     def stats(self) -> dict:
         with self._lock:

@@ -18,6 +18,8 @@ compiles bounded by the pool)::
     POST /compile            JSON batch in, NDJSON results out
     GET  /cache/<fp>         raw cache entry bytes (remote backends)
     PUT  /cache/<fp>         write-through store of one entry
+    GET  /cache/snap/<key>   raw stage-snapshot bytes (prefix resume)
+    PUT  /cache/snap/<key>   write-through store of one snapshot
     GET  /stats              JSON counters (cache, single-flight, pool)
     GET  /healthz            liveness probe
 
@@ -40,12 +42,18 @@ import time
 from concurrent.futures import ThreadPoolExecutor, as_completed
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 
-from repro.flow.cache import CompileCache
+from repro.flow.cache import (
+    ENTRY_KIND,
+    SNAPSHOT_KIND,
+    CompileCache,
+    resolve_snapshot_policy,
+)
 from repro.flow.parallel import (
     CompileJob,
     CompileJobError,
     _execute_job,
     _job_fingerprint,
+    _job_prefix_fingerprints,
     _resolve_pipeline,
 )
 from repro.check.spec import check_job
@@ -79,6 +87,13 @@ class CompileServer:
         port: bind port; ``0`` picks an ephemeral free port, read the
             result back from :attr:`url`.
         verbose: log one line per request to stdout.
+        snapshots: the stage-snapshot policy
+            (:func:`~repro.flow.cache.resolve_snapshot_policy` --
+            ``None`` reads the environment, ``False`` disables).  With
+            snapshots on, concurrent jobs sharing a pipeline prefix
+            dedup through prefix flight keys: one leader compiles the
+            prefix, the others resume from its snapshots
+            (``prefix_resumes`` in ``/stats``).
     """
 
     def __init__(
@@ -88,12 +103,14 @@ class CompileServer:
         host: str = "127.0.0.1",
         port: int = 0,
         verbose: bool = False,
+        snapshots=None,
     ) -> None:
         if workers < 1:
             raise ValueError(f"workers must be >= 1, got {workers}")
         self.cache = cache if cache is not None else CompileCache()
         self.workers = workers
         self.verbose = verbose
+        self.snapshot_policy = resolve_snapshot_policy(snapshots)
         self.pool = ThreadPoolExecutor(
             max_workers=workers, thread_name_prefix="compile"
         )
@@ -104,6 +121,7 @@ class CompileServer:
             "requests": 0,
             "jobs": 0,
             "compiles": 0,
+            "prefix_resumes": 0,
             "job_errors": 0,
             "spec_rejects": 0,
             "bad_requests": 0,
@@ -204,7 +222,13 @@ class CompileServer:
 
         try:
             pipeline = _resolve_pipeline(job.pipeline)
-            fingerprint = _job_fingerprint(job, pipeline)
+            policy = self.snapshot_policy
+            if policy.enabled and len(pipeline.passes) > 1:
+                prefix_fps = _job_prefix_fingerprints(job, pipeline)
+                fingerprint = prefix_fps[-1]
+            else:
+                prefix_fps = []
+                fingerprint = _job_fingerprint(job, pipeline)
         except Exception as exc:
             self._count("job_errors")
             return done(
@@ -223,18 +247,29 @@ class CompileServer:
             # published between our miss and winning the election.
             hit = self.cache.get(fingerprint)
             if hit is not None:
-                return hit, True
+                return hit, True, False
             self.cache.inflight_begin()
             try:
-                fresh = _execute_job(job, cache=None)
+                # Sharing the server cache makes the run resumable:
+                # the deepest stage snapshot (a prefix leader's, or a
+                # previous run's) is restored, and this run's own
+                # snapshots and completed entry publish through it.
+                fresh = _execute_job(
+                    job, cache=self.cache, fingerprint=fingerprint,
+                    snapshots=policy,
+                )
             finally:
                 self.cache.inflight_end()
             self._count("compiles")
-            self.cache.put(fingerprint, fresh)
-            return fresh, False
+            resumed = bool(fresh.meta.get("passes_skipped"))
+            if resumed:
+                self._count("prefix_resumes")
+            return fresh, False, resumed
 
         try:
-            outcome = self.flights.do(fingerprint, compute)
+            outcome = self.flights.do(
+                fingerprint, compute, prefix_keys=tuple(prefix_fps[:-1])
+            )
         except CompileJobError as exc:
             self._count("job_errors")
             return done(fingerprint=fingerprint, error=exc)
@@ -246,7 +281,7 @@ class CompileServer:
                     index, f"{type(exc).__name__}: {exc}"
                 ),
             )
-        ctx, was_cached = outcome.value
+        ctx, was_cached, _ = outcome.value
         if outcome.deduped:
             return done(fingerprint=fingerprint, ctx=ctx, deduped=True)
         return done(fingerprint=fingerprint, ctx=ctx, cache_hit=was_cached)
@@ -295,10 +330,14 @@ class _Handler(BaseHTTPRequestHandler):
         elif self.path == "/stats":
             self._send_json(self.app.stats())
         elif self.path.startswith("/cache/"):
-            key = self._cache_key("/cache/")
+            # The snapshot namespace nests under /cache/, so it must
+            # route first; old servers 404 it, which remote backends
+            # read as a best-effort miss.
+            prefix, kind = self._cache_route()
+            key = self._cache_key(prefix)
             if key is None:
                 return
-            blob = self.app.cache.export_blob(key)
+            blob = self.app.cache.export_blob(key, kind=kind)
             if blob is None:
                 self._send_json({"error": "miss"}, status=404)
                 return
@@ -310,16 +349,22 @@ class _Handler(BaseHTTPRequestHandler):
         else:
             self._bad_request(f"no such endpoint: {self.path}", status=404)
 
+    def _cache_route(self) -> "tuple[str, str]":
+        if self.path.startswith("/cache/snap/"):
+            return "/cache/snap/", SNAPSHOT_KIND
+        return "/cache/", ENTRY_KIND
+
     def do_PUT(self) -> None:  # noqa: N802 - stdlib casing
         self.app._count("requests")
         if not self.path.startswith("/cache/"):
             self._bad_request(f"no such endpoint: {self.path}", status=404)
             return
-        key = self._cache_key("/cache/")
+        prefix, kind = self._cache_route()
+        key = self._cache_key(prefix)
         if key is None:
             return
         blob = self._read_body()
-        if not blob or not self.app.cache.import_blob(key, blob):
+        if not blob or not self.app.cache.import_blob(key, blob, kind=kind):
             self._bad_request("rejected cache entry")
             return
         self._send_json({"stored": key})

@@ -66,6 +66,7 @@ class FlightStats:
     started: int = 0  # guarded-by: _lock
     deduped: int = 0  # guarded-by: _lock
     errors: int = 0  # guarded-by: _lock
+    prefix_waits: int = 0  # guarded-by: _lock
     _lock: threading.Lock = field(default_factory=threading.Lock)
 
     def to_json(self) -> dict:
@@ -74,6 +75,7 @@ class FlightStats:
                 "started": self.started,
                 "deduped": self.deduped,
                 "errors": self.errors,
+                "prefix_waits": self.prefix_waits,
             }
 
 
@@ -94,6 +96,7 @@ class SingleFlight:
     def __init__(self) -> None:
         self._lock = threading.Lock()
         self._flights: dict[str, _Flight] = {}  # guarded-by: _lock
+        self._prefixes: dict[str, _Flight] = {}  # guarded-by: _lock
         self.stats = FlightStats()
 
     def inflight(self) -> int:
@@ -101,7 +104,12 @@ class SingleFlight:
         with self._lock:
             return len(self._flights)
 
-    def do(self, key: str, fn: Callable[[], T]) -> FlightOutcome:
+    def do(
+        self,
+        key: str,
+        fn: Callable[[], T],
+        prefix_keys: "tuple[str, ...]" = (),
+    ) -> FlightOutcome:
         """Run ``fn`` once per concurrent burst of ``key``.
 
         The first caller of a key becomes the leader and executes
@@ -109,9 +117,20 @@ class SingleFlight:
         receive the leader's result (or re-raise its exception) without
         executing anything.
 
+        ``prefix_keys`` extends the dedup to *shared pipeline
+        prefixes* (shallowest first -- the server passes prefix
+        fingerprints): a leader registers them alongside its own key,
+        and a caller whose key misses but whose prefix matches an
+        executing leader waits for that leader to finish **once**
+        before leading itself -- by then the leader's stage snapshots
+        are in the cache, so the resumed compile skips the shared
+        prefix instead of racing the leader through it.  Waiters never
+        hold a flight while waiting, so prefix waits cannot deadlock.
+
         Args:
             key: the dedup key (a flow fingerprint, for the server).
             fn: the computation; executed by leaders only.
+            prefix_keys: keys of the pipeline's proper prefixes.
 
         Returns:
             A :class:`FlightOutcome` carrying the value and whether
@@ -121,19 +140,43 @@ class SingleFlight:
             BaseException: whatever ``fn`` raised, in the leader *and*
                 in every follower of that flight.
         """
-        leading = False
-        with self._lock:
-            flight = self._flights.get(key)
-            if flight is not None:
-                flight.followers += 1
+        waited = False
+        while True:
+            leading = False
+            owner: _Flight | None = None
+            with self._lock:
+                flight = self._flights.get(key)
+                if flight is not None:
+                    flight.followers += 1
+                    with self.stats._lock:
+                        self.stats.deduped += 1
+                elif not waited:
+                    # Deepest shared prefix first: the further along
+                    # the owner is, the more of our pipeline its
+                    # snapshots cover.
+                    for prefix in reversed(prefix_keys):
+                        owner = self._prefixes.get(prefix)
+                        if owner is not None:
+                            break
+                if flight is None and owner is None:
+                    flight = _Flight()
+                    self._flights[key] = flight
+                    for prefix in prefix_keys:
+                        self._prefixes.setdefault(prefix, flight)
+                    leading = True
+                    with self.stats._lock:
+                        self.stats.started += 1
+            if owner is not None:
+                # Wait at most once (an executing leader never waits,
+                # so there is no cycle to deadlock on), then re-enter:
+                # the owner may have published exactly our key, in
+                # which case the cache re-check inside ``fn`` wins.
                 with self.stats._lock:
-                    self.stats.deduped += 1
-            else:
-                flight = _Flight()
-                self._flights[key] = flight
-                leading = True
-                with self.stats._lock:
-                    self.stats.started += 1
+                    self.stats.prefix_waits += 1
+                owner.done.wait()
+                waited = True
+                continue
+            break
         if leading:
             try:
                 flight.result = fn()
@@ -143,11 +186,14 @@ class SingleFlight:
                     self.stats.errors += 1
                 raise
             finally:
-                # Drop the table entry *before* waking followers: a
+                # Drop the table entries *before* waking followers: a
                 # caller arriving after completion must start a fresh
                 # flight (and normally hits the result cache instead).
                 with self._lock:
                     del self._flights[key]
+                    for prefix in prefix_keys:
+                        if self._prefixes.get(prefix) is flight:
+                            del self._prefixes[prefix]
                 flight.done.set()
             return FlightOutcome(flight.result, leader=True)
 

@@ -6,6 +6,7 @@ This package is the command-line face of the run store
     python -m repro.track record fig5 --scale small   # run + persist
     python -m repro.track list                        # what is stored
     python -m repro.track diff HEAD~1 HEAD            # compare commits
+    python -m repro.track report --last 5             # sparkline trends
     python -m repro.track gc --max-bytes 500M         # compile-cache GC
 
 ``record`` runs a figure driver (or the per-pass benchmark) and
@@ -32,9 +33,12 @@ import time
 from repro.flow import CompileCache, default_workers, diff_runs
 from repro.flow.store import DEFAULT_STORE_DIR, RunRecord, RunStore, StoreError
 from repro.track.bench import BENCH_FIGURE, run_pass_bench
+from repro.track.report import build_report, cmd_report
 
 #: Figure drivers the ``record`` subcommand can run, in run order.
-FIGURE_NAMES = ("fig5", "fig6", "fig8", "fig9", "techsweep", "replay")
+FIGURE_NAMES = (
+    "fig5", "fig6", "fig8", "fig9", "techsweep", "replay", "prefixgrid",
+)
 
 #: Default regression thresholds: areas are deterministic, so any
 #: growth beyond rounding is suspect; wall clocks are noisy, so only
@@ -105,6 +109,7 @@ def _run_figure(name: str, scale: str, workers: int, cache) -> "object":
         run_fig6,
         run_fig8,
         run_fig9,
+        run_prefixgrid,
         run_replay,
         run_techsweep,
     )
@@ -113,6 +118,7 @@ def _run_figure(name: str, scale: str, workers: int, cache) -> "object":
         "fig5": run_fig5, "fig6": run_fig6,
         "fig8": run_fig8, "fig9": run_fig9,
         "techsweep": run_techsweep, "replay": run_replay,
+        "prefixgrid": run_prefixgrid,
     }
     return runners[name](scale=scale, workers=workers, cache=cache)
 
@@ -148,7 +154,7 @@ def cmd_record(args) -> int:
             result = _run_figure(name, args.scale, workers, cache)
             scale = args.scale
         result.meta.setdefault("scale", scale)
-        if name in ("techsweep", "replay"):
+        if name in ("techsweep", "replay", "prefixgrid"):
             # These sweeps map against every registered library; their
             # records must guard on all of them, not just the default.
             from repro.expts.techsweep import swept_libraries_hash
@@ -432,6 +438,33 @@ def build_parser() -> argparse.ArgumentParser:
     add_store_dir(diff)
     diff.set_defaults(func=cmd_diff)
 
+    report = sub.add_parser(
+        "report",
+        help="sparkline trends of stored runs across recent commits",
+    )
+    report.add_argument(
+        "--last", type=int, default=5, metavar="N",
+        help="cover the N most recent recorded commits "
+        "(default: %(default)s)",
+    )
+    report.add_argument(
+        "--figure", action="append", metavar="NAME",
+        help="restrict to this figure (repeatable; default: every "
+        "figure the covered commits recorded)",
+    )
+    report.add_argument(
+        "--top", type=int, default=6, metavar="K",
+        help="show the K heaviest passes per figure "
+        "(default: %(default)s)",
+    )
+    report.add_argument(
+        "--out", default=None, metavar="FILE",
+        help="append the markdown report to this file instead of "
+        "printing it",
+    )
+    add_store_dir(report)
+    report.set_defaults(func=cmd_report)
+
     gc = sub.add_parser(
         "gc", help="evict old/oversized compile-cache entries"
     )
@@ -474,6 +507,7 @@ __all__ = [
     "BENCH_FIGURE",
     "FIGURE_NAMES",
     "build_parser",
+    "build_report",
     "main",
     "resolve_ref",
     "run_pass_bench",

@@ -1,0 +1,210 @@
+"""Sparkline trend report over the run store.
+
+``python -m repro.track report`` renders, as markdown, how the
+stored runs moved across the last N recorded commits:
+
+* per figure, each series' geomean y/x ratio (area ratios for the
+  scatter figures, executed fraction for ``prefixgrid``);
+* per figure, the total wall time of the heaviest passes;
+* per figure, the prefix-resume counters a run recorded
+  (``meta["prefix_hits"]``/``meta["prefix_passes_skipped"]``).
+
+Each row is one eight-level Unicode sparkline, min-max normalised
+*within the row* -- the shape of a trend, not an absolute scale; the
+latest value is printed beside it in full precision.  Commits a
+figure never recorded under render as ``·`` so gaps stay visible.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.flow.store import RunStore
+
+#: Eight-level bars, lowest to highest.
+SPARK = "▁▂▃▄▅▆▇█"
+
+#: Placeholder for commits with no value for a row.
+GAP = "·"
+
+
+def sparkline(values: "list[float | None]") -> str:
+    """Render one row of values as a sparkline string.
+
+    Values are min-max normalised across the row's *present* entries;
+    a constant row renders as mid-level bars (no trend to show), and
+    ``None`` entries (missing records) render as :data:`GAP`.
+    """
+    present = [v for v in values if v is not None and math.isfinite(v)]
+    lo = min(present) if present else 0.0
+    hi = max(present) if present else 0.0
+    span = hi - lo
+    cells = []
+    for value in values:
+        if value is None or not math.isfinite(value):
+            cells.append(GAP)
+        elif span <= 0:
+            cells.append(SPARK[len(SPARK) // 2])
+        else:
+            level = int((value - lo) / span * (len(SPARK) - 1))
+            cells.append(SPARK[level])
+    return "".join(cells)
+
+
+def _latest(values: "list[float | None]") -> "float | None":
+    for value in reversed(values):
+        if value is not None and math.isfinite(value):
+            return value
+    return None
+
+
+def _geomean_rows(records: list) -> "dict[str, list[float | None]]":
+    """Per-series geomean trend rows, series in first-seen order."""
+    names: list[str] = []
+    for record in records:
+        if record is None:
+            continue
+        for name in record.result.series_names():
+            if name not in names:
+                names.append(name)
+    rows = {}
+    for name in names:
+        row: "list[float | None]" = []
+        for record in records:
+            if record is None or name not in record.result.series_names():
+                row.append(None)
+            else:
+                row.append(record.result.ratio_stats(name).geomean)
+        rows[name] = row
+    return rows
+
+
+def _pass_rows(
+    records: list, top: int
+) -> "dict[str, list[float | None]]":
+    """Wall-time trend rows for the ``top`` heaviest passes (ranked by
+    their most recent recorded total)."""
+    latest_by_pass: dict[str, float] = {}
+    for record in records:  # later records win the ranking value
+        if record is None:
+            continue
+        for name, totals in record.result.pass_totals.items():
+            latest_by_pass[name] = totals.wall_time_s
+    ranked = sorted(
+        latest_by_pass, key=lambda name: -latest_by_pass[name]
+    )[:top]
+    rows = {}
+    for name in ranked:
+        rows[name] = [
+            None
+            if record is None or name not in record.result.pass_totals
+            else record.result.pass_totals[name].wall_time_s
+            for record in records
+        ]
+    return rows
+
+
+def build_report(
+    store: RunStore,
+    last: int = 5,
+    figures: "list[str] | None" = None,
+    top: int = 6,
+) -> str:
+    """The full markdown report over ``store``'s most recent commits.
+
+    Args:
+        store: the run store to read.
+        last: how many of the most recent commits to cover.
+        figures: restrict to these figure names (default: every
+            figure any covered commit recorded).
+        top: how many passes to show per figure (heaviest first).
+    """
+    commits = store.commits()[-last:]
+    if not commits:
+        return f"run store {store.root} is empty -- nothing to report\n"
+    available = sorted(
+        {figure for commit in commits for figure in store.figures(commit)}
+    )
+    selected = [f for f in (figures or available) if f in available]
+
+    lines = [
+        f"# Run trends -- last {len(commits)} recorded commit(s)",
+        "",
+        "Commits, oldest to newest: "
+        + ", ".join(f"`{commit[:12]}`" for commit in commits),
+        "",
+    ]
+    if not selected:
+        wanted = ", ".join(figures or [])
+        lines += [f"no records for figure(s) {wanted} in these commits", ""]
+        return "\n".join(lines)
+
+    for figure in selected:
+        records = [store.get(commit, figure) for commit in commits]
+        lines += [f"## {figure}", ""]
+
+        geomeans = _geomean_rows(records)
+        if geomeans:
+            lines += [
+                "| series geomean (y/x) | trend | latest |",
+                "|---|---|---|",
+            ]
+            for name, row in geomeans.items():
+                latest = _latest(row)
+                shown = "-" if latest is None else f"{latest:.3f}"
+                lines.append(f"| {name} | {sparkline(row)} | {shown} |")
+            lines.append("")
+
+        passes = _pass_rows(records, top)
+        if passes:
+            lines += [
+                "| pass wall time (s) | trend | latest |",
+                "|---|---|---|",
+            ]
+            for name, row in passes.items():
+                latest = _latest(row)
+                shown = "-" if latest is None else f"{latest:.3f}"
+                lines.append(f"| {name} | {sparkline(row)} | {shown} |")
+            lines.append("")
+
+        hits = [
+            None
+            if record is None
+            else float(record.result.meta.get("prefix_hits", 0))
+            for record in records
+        ]
+        if any(hit for hit in hits if hit):
+            skipped = [
+                None
+                if record is None
+                else float(
+                    record.result.meta.get("prefix_passes_skipped", 0)
+                )
+                for record in records
+            ]
+            lines.append(
+                f"prefix resumes: {sparkline(hits)} "
+                f"(latest {int(_latest(hits) or 0)} compile(s) resumed, "
+                f"{int(_latest(skipped) or 0)} pass(es) skipped)"
+            )
+            lines.append("")
+    return "\n".join(lines)
+
+
+def cmd_report(args) -> int:
+    """Render the trend report; ``--out`` appends it to a file."""
+    text = build_report(
+        RunStore(args.store_dir),
+        last=args.last,
+        figures=args.figure,
+        top=args.top,
+    )
+    if args.out:
+        with open(args.out, "a", encoding="utf-8") as handle:
+            handle.write(text)
+            if not text.endswith("\n"):
+                handle.write("\n")
+        print(f"appended report to {args.out}")
+    else:
+        print(text)
+    return 0

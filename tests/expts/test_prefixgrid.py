@@ -1,0 +1,141 @@
+"""The prefixgrid cold-grid benchmark and the track report CLI."""
+
+import pytest
+
+from repro.expts.prefixgrid import executed_records, run_prefixgrid
+from repro.flow.store import RunStore
+from repro.track import main
+from repro.track.report import GAP, SPARK, build_report, sparkline
+
+
+# ---------------------------------------------------------------------
+# The driver.
+# ---------------------------------------------------------------------
+
+@pytest.fixture(scope="module")
+def grid_result():
+    # One library keeps the module fast; cross-recipe prefix sharing
+    # alone must already carry the win.
+    return run_prefixgrid(scale="small", libraries=("tsmc90ish",))
+
+
+def test_prefix_phase_executes_meaningfully_less(grid_result):
+    meta = grid_result.meta
+    assert meta["prefix_executed"] < meta["baseline_executed"]
+    # Full grids measure ~3.7x; a single library shares only the
+    # per-design frontend + elaborate,optimize prefix, so the bar is
+    # lower -- but the win must still be structural, not noise.
+    assert meta["execution_ratio"] > 1.2
+
+
+def test_result_shape_and_meta(grid_result):
+    assert set(grid_result.series_names()) == {"baseline", "prefix"}
+    baseline = grid_result.series("baseline")
+    prefix = grid_result.series("prefix")
+    assert len(baseline) == len(prefix) > 0
+    # Baseline executed everything: every ratio is exactly 1.
+    assert all(p.ratio == 1.0 for p in baseline)
+    assert all(p.ratio <= 1.0 for p in prefix)
+    for key in (
+        "baseline_executed", "prefix_executed", "execution_ratio",
+        "libraries", "recipes", "clock_period_ns",
+    ):
+        assert key in grid_result.meta
+    # The absorb_flow accounting saw the resumed compiles.
+    assert grid_result.meta["prefix_hits"] > 0
+    assert grid_result.meta["prefix_passes_skipped"] > 0
+    assert any("byte-identical" in note for note in grid_result.notes)
+
+
+def test_executed_records_reads_resume_provenance():
+    class Ctx:
+        records = list(range(10))
+        meta = {"resumed_records": 4}
+
+    assert executed_records(Ctx()) == 6
+    Ctx.meta = {}
+    assert executed_records(Ctx()) == 10
+
+
+def test_store_record_roundtrip(tmp_path):
+    result = run_prefixgrid(
+        scale="small",
+        libraries=("tsmc90ish",),
+        store_dir=tmp_path,
+        commit="prefix-test",
+    )
+    record = RunStore(tmp_path).get("prefix-test", "prefixgrid")
+    assert record is not None
+    assert record.result.meta["execution_ratio"] == pytest.approx(
+        result.meta["execution_ratio"]
+    )
+    assert record.scale == "small"
+
+
+# ---------------------------------------------------------------------
+# Sparklines + the report CLI.
+# ---------------------------------------------------------------------
+
+def test_sparkline_normalises_within_the_row():
+    line = sparkline([0.0, 1.0, 2.0, 3.0])
+    assert line[0] == SPARK[0] and line[-1] == SPARK[-1]
+    assert len(line) == 4
+
+
+def test_sparkline_constant_and_missing_values():
+    assert sparkline([5.0, 5.0, 5.0]) == SPARK[len(SPARK) // 2] * 3
+    line = sparkline([1.0, None, 3.0])
+    assert line[1] == GAP
+    assert sparkline([None, None]) == GAP * 2
+    assert sparkline([]) == ""
+
+
+def test_report_renders_trends_and_prefix_counters(tmp_path, capsys):
+    store_dir = str(tmp_path / "runs")
+    run_prefixgrid(
+        scale="small",
+        libraries=("tsmc90ish",),
+        store_dir=store_dir,
+        commit="trend-a",
+    )
+    run_prefixgrid(
+        scale="small",
+        libraries=("tsmc90ish",),
+        store_dir=store_dir,
+        commit="trend-b",
+    )
+    assert main(["report", "--store-dir", store_dir]) == 0
+    out = capsys.readouterr().out
+    assert "last 2 recorded commit(s)" in out
+    assert "`trend-a`" in out and "`trend-b`" in out
+    assert "## prefixgrid" in out
+    assert "| baseline |" in out and "| prefix |" in out
+    assert "pass wall time (s)" in out
+    assert "prefix resumes:" in out
+
+
+def test_report_figure_filter_and_out_file(tmp_path, capsys):
+    store_dir = str(tmp_path / "runs")
+    run_prefixgrid(
+        scale="small",
+        libraries=("tsmc90ish",),
+        store_dir=store_dir,
+        commit="only",
+    )
+    out_file = tmp_path / "trends.md"
+    assert main([
+        "report", "--store-dir", store_dir,
+        "--figure", "prefixgrid", "--out", str(out_file),
+    ]) == 0
+    text = out_file.read_text()
+    assert "## prefixgrid" in text
+    # An unknown figure filter reports the gap instead of crashing.
+    report = build_report(
+        RunStore(store_dir), figures=["no-such-figure"]
+    )
+    assert "no records for figure(s) no-such-figure" in report
+
+
+def test_report_on_empty_store(tmp_path, capsys):
+    assert main(["report", "--store-dir", str(tmp_path / "empty")]) == 0
+    assert "empty" in capsys.readouterr().out

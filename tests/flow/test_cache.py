@@ -245,7 +245,9 @@ def test_corrupt_disk_entry_reads_as_miss(tmp_path):
     cache = CompileCache(tmp_path / "cache")
     pipeline = full_pipeline()
     pipeline.compile(build_rom_module(), cache=cache)
-    [entry] = list((tmp_path / "cache").rglob("*.pkl"))
+    # Exactly the completed-entry namespace: stage snapshots live
+    # under snap/ (three path levels) and are not this test's target.
+    [entry] = list((tmp_path / "cache").glob("*/*.pkl"))
     entry.write_bytes(b"not a pickle")
     fresh = CompileCache(tmp_path / "cache")
     ctx = pipeline.compile(build_rom_module(), cache=fresh)
@@ -372,7 +374,7 @@ def test_export_import_blob_round_trip(tmp_path):
     pipeline = full_pipeline()
     source = CompileCache(tmp_path / "source")
     ctx = pipeline.compile(build_rom_module(), cache=source)
-    [key] = [p.stem for p in (tmp_path / "source").rglob("*.pkl")]
+    [key] = [p.stem for p in (tmp_path / "source").glob("*/*.pkl")]
     blob = source.export_blob(key)
     assert blob is not None
 

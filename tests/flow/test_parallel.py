@@ -118,7 +118,7 @@ def test_disk_cache_shared_across_workers(tmp_path):
     first = compile_many(sample_jobs(), workers=2, cache=cache)
     assert cache.misses == len(first) and cache.stores == 0
     # Worker processes published to the shared disk store...
-    assert len(list((tmp_path / "cache").rglob("*.pkl"))) == len(first)
+    assert len(list((tmp_path / "cache").glob("*/*.pkl"))) == len(first)
     # ...and the parent absorbed the results into its memory layer.
     warm = compile_many(sample_jobs(), workers=2, cache=cache)
     assert cache.memory_hits == len(first)

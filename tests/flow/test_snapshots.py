@@ -1,0 +1,332 @@
+"""Stage snapshots: prefix fingerprints, resume, version skew, GC."""
+
+import pickle
+
+import pytest
+
+from repro.flow import (
+    CompileCache,
+    PassManager,
+    SnapshotPolicy,
+    StageSnapshot,
+    fingerprint_prefixes,
+    flow_fingerprint,
+    resolve_snapshot_policy,
+    snapshot_key,
+)
+from repro.flow.cache import SNAPSHOT_VERSION, _dumps
+from repro.flow.core import FlowContext
+from repro.rtl.builder import ModuleBuilder
+
+
+def build_rom_module(scale=3, name="m"):
+    b = ModuleBuilder(name)
+    addr = b.input("addr", 4)
+    rom = b.rom("t", 8, 16, [(scale * i + 1) % 256 for i in range(16)])
+    b.output("data", rom.read(addr))
+    return b.build()
+
+
+FULL_SPEC = "elaborate,optimize,resub,dc_rewrite,map,size"
+
+
+def record_signature(ctx):
+    return [
+        (r.name, r.stage, r.before, r.after, r.messages, r.skipped,
+         r.rejected, r.failed)
+        for r in ctx.records
+    ]
+
+
+# ---------------------------------------------------------------------
+# Prefix fingerprints.
+# ---------------------------------------------------------------------
+
+def test_prefix_fingerprints_equal_standalone_fingerprints():
+    """Element k of the fold is byte-identical to flow_fingerprint of
+    the k-pass pipeline -- the identity cross-recipe sharing rests on."""
+    pipeline = PassManager.parse(FULL_SPEC)
+    module = build_rom_module()
+    fps = pipeline.prefix_fingerprints(module=module, seed=7)
+    assert len(fps) == len(pipeline.passes)
+    for spec, fp in zip(pipeline.prefix_specs(), fps):
+        assert fp == flow_fingerprint(spec, module=module, seed=7)
+
+
+def test_prefix_fingerprints_diverge_only_from_the_edit_point():
+    module = build_rom_module()
+    longer = PassManager.parse(FULL_SPEC).prefix_fingerprints(module=module)
+    shorter = PassManager.parse("elaborate,optimize,map,size").\
+        prefix_fingerprints(module=module)
+    assert longer[:2] == shorter[:2]  # shared elaborate,optimize prefix
+    assert longer[2] != shorter[2]
+
+
+def test_short_pipeline_full_fingerprint_is_longer_ones_prefix():
+    module = build_rom_module()
+    short = PassManager.parse("elaborate,optimize")
+    longer = PassManager.parse("elaborate,optimize,resub")
+    assert (
+        short.prefix_fingerprints(module=module)[-1]
+        == longer.prefix_fingerprints(module=module)[1]
+    )
+
+
+def test_snapshot_key_is_derived_and_distinct():
+    fp = flow_fingerprint("elaborate", module=build_rom_module())
+    key = snapshot_key(fp)
+    assert key != fp
+    assert len(key) == 64 and int(key, 16) >= 0  # a well-formed digest
+    assert snapshot_key(fp) == key  # deterministic
+
+
+# ---------------------------------------------------------------------
+# Snapshot policy resolution.
+# ---------------------------------------------------------------------
+
+def test_policy_resolution_and_env(monkeypatch):
+    assert resolve_snapshot_policy(None).enabled
+    assert resolve_snapshot_policy(True).enabled
+    assert not resolve_snapshot_policy(False).enabled
+    pinned = SnapshotPolicy(min_pass_seconds=1.5)
+    assert resolve_snapshot_policy(pinned) is pinned
+
+    monkeypatch.setenv("REPRO_SNAPSHOTS", "0")
+    assert not resolve_snapshot_policy(None).enabled
+    monkeypatch.setenv("REPRO_SNAPSHOTS", "off")
+    assert not resolve_snapshot_policy(None).enabled
+    # An explicit policy beats the environment.
+    assert resolve_snapshot_policy(True).enabled
+
+    monkeypatch.delenv("REPRO_SNAPSHOTS")
+    monkeypatch.setenv("REPRO_SNAPSHOT_MIN_S", "2.5")
+    assert resolve_snapshot_policy(None).min_pass_seconds == 2.5
+    monkeypatch.setenv("REPRO_SNAPSHOT_MIN_S", "not-a-float")
+    assert (
+        resolve_snapshot_policy(None).min_pass_seconds
+        == SnapshotPolicy().min_pass_seconds
+    )
+
+
+def test_should_snapshot_rules():
+    policy = SnapshotPolicy(min_pass_seconds=0.5)
+    assert policy.should_snapshot(wall_time_s=0.0, stage_changed=True)
+    assert policy.should_snapshot(wall_time_s=0.9, stage_changed=False)
+    assert not policy.should_snapshot(wall_time_s=0.1, stage_changed=False)
+    assert policy.should_snapshot(
+        wall_time_s=0.0, stage_changed=False, forced=True
+    )
+    off = SnapshotPolicy(enabled=False)
+    assert not off.should_snapshot(
+        wall_time_s=9.0, stage_changed=True, forced=True
+    )
+
+
+# ---------------------------------------------------------------------
+# Snapshot storage round trips.
+# ---------------------------------------------------------------------
+
+def test_snapshot_roundtrip_returns_fresh_objects(tmp_path):
+    """Every get_snapshot must hand out an independent context --
+    resume mutates the restored object, so sharing would corrupt the
+    stored snapshot for the next consumer."""
+    cache = CompileCache(tmp_path)
+    pipeline = PassManager.parse("elaborate,optimize")
+    module = build_rom_module()
+    fp = pipeline.prefix_fingerprints(module=module)[0]
+
+    ctx = FlowContext(module=module)
+    pipeline.passes[0].execute(ctx)
+    cache.put_snapshot(fp, ctx, prefix_spec="elaborate", passes_done=1)
+
+    first = cache.get_snapshot(fp)
+    second = cache.get_snapshot(fp)
+    assert first is not None and second is not None
+    assert first is not second and first is not ctx
+    assert first.aig.canonical_hash() == ctx.aig.canonical_hash()
+    # Mutating one restored copy must not leak into the next.
+    first.meta["poisoned"] = True
+    assert "poisoned" not in cache.get_snapshot(fp).meta
+    assert cache.snapshot_hits == 3 and cache.snapshot_stores == 1
+
+
+def test_snapshot_survives_process_boundary(tmp_path):
+    """Disk-only restore: a second cache instance over the same
+    directory (a fresh worker, in production) sees the snapshot."""
+    pipeline = PassManager.parse("elaborate,optimize")
+    module = build_rom_module()
+    fp = pipeline.prefix_fingerprints(module=module)[0]
+    ctx = FlowContext(module=module)
+    pipeline.passes[0].execute(ctx)
+    CompileCache(tmp_path).put_snapshot(fp, ctx, passes_done=1)
+
+    restored = CompileCache(tmp_path).get_snapshot(fp)
+    assert restored is not None
+    assert restored.aig.canonical_hash() == ctx.aig.canonical_hash()
+
+
+def test_resumed_compile_matches_from_scratch(tmp_path):
+    """The correctness bar: seed the cache with a shorter pipeline's
+    snapshots, compile the longer pipeline, get byte-identical
+    results (hashes + records modulo wall time)."""
+    module = build_rom_module()
+    scratch = PassManager.parse(FULL_SPEC).compile(module=module)
+
+    cache = CompileCache(tmp_path)
+    # A prior compile of the shared prefix leaves its snapshots (and
+    # its completed entry) behind...
+    PassManager.parse("elaborate,optimize,resub").compile(
+        module=module, cache=cache, snapshots=SnapshotPolicy(
+            min_pass_seconds=0.0
+        ),
+    )
+    # ...which the longer pipeline resumes past.
+    resumed = PassManager.parse(FULL_SPEC).compile(
+        module=module, cache=cache
+    )
+    assert resumed.meta.get("passes_skipped", 0) >= 1
+    assert resumed.meta["resumed_at"] in ("optimize", "resub")
+    assert resumed.aig.canonical_hash() == scratch.aig.canonical_hash()
+    assert resumed.area.total == scratch.area.total
+    assert record_signature(resumed) == record_signature(scratch)
+
+
+def test_completed_entry_of_shorter_pipeline_serves_as_resume_point(
+    tmp_path,
+):
+    """Cross-recipe sharing without snapshots: the short pipeline's
+    *entry* (its full fingerprint == the longer one's prefix digest)
+    is a valid resume point even when no snapshot was ever taken."""
+    module = build_rom_module()
+    cache = CompileCache(tmp_path)
+    PassManager.parse("elaborate,optimize").compile(
+        module=module, cache=cache, snapshots=False
+    )
+    resumed = PassManager.parse("elaborate,optimize,resub").compile(
+        module=module, cache=cache
+    )
+    assert resumed.meta["passes_skipped"] == 2
+    assert resumed.meta["resumed_at"] == "optimize"
+    scratch = PassManager.parse("elaborate,optimize,resub").compile(
+        module=module
+    )
+    assert record_signature(resumed) == record_signature(scratch)
+
+
+def test_snapshots_disabled_writes_and_reads_nothing(tmp_path):
+    cache = CompileCache(tmp_path)
+    PassManager.parse(FULL_SPEC).compile(
+        module=build_rom_module(), cache=cache, snapshots=False
+    )
+    assert cache.snapshot_stores == 0
+    assert cache.stats()["backend"]["snapshots"] == 0
+
+
+# ---------------------------------------------------------------------
+# Version skew: old readers, new readers, foreign blobs.
+# ---------------------------------------------------------------------
+
+def _seeded(tmp_path):
+    """A cache holding one completed entry and one snapshot."""
+    cache = CompileCache(tmp_path)
+    pipeline = PassManager.parse("elaborate,optimize")
+    module = build_rom_module()
+    fps = pipeline.prefix_fingerprints(module=module)
+    ctx = FlowContext(module=module)
+    pipeline.passes[0].execute(ctx)
+    cache.put_snapshot(fps[0], ctx, prefix_spec="elaborate", passes_done=1)
+    done = pipeline.compile(module=module, cache=cache, snapshots=False)
+    return cache, fps, done
+
+
+def test_future_snapshot_version_reads_as_miss(tmp_path):
+    cache, fps, _ = _seeded(tmp_path)
+    ctx = CompileCache(tmp_path).get_snapshot(fps[0])
+    bad = StageSnapshot(
+        version=SNAPSHOT_VERSION + 1,
+        prefix_spec="elaborate",
+        passes_done=1,
+        ctx=ctx,
+    )
+    key = snapshot_key(fps[0])
+    (tmp_path / "snap" / key[:2] / f"{key}.pkl").write_bytes(_dumps(bad))
+    fresh = CompileCache(tmp_path)  # no memory copy: the disk blob rules
+    assert fresh.get_snapshot(fps[0]) is None
+    assert fresh.snapshot_misses == 1
+
+
+def test_corrupt_snapshot_blob_reads_as_miss(tmp_path):
+    cache, fps, _ = _seeded(tmp_path)
+    key = snapshot_key(fps[0])
+    path = tmp_path / "snap" / key[:2] / f"{key}.pkl"
+    path.write_bytes(b"not a pickle")
+    assert CompileCache(tmp_path).get_snapshot(fps[0]) is None
+
+
+def test_snapshot_blob_under_entry_key_reads_as_entry_miss(tmp_path):
+    """A snapshot envelope planted where an entry should be must not
+    leak a StageSnapshot out of CompileCache.get."""
+    cache, fps, done = _seeded(tmp_path)
+    key = fps[-1]
+    snapshot_blob = _dumps(
+        StageSnapshot(
+            version=SNAPSHOT_VERSION,
+            prefix_spec="elaborate,optimize",
+            passes_done=2,
+            ctx=done,
+        )
+    )
+    (tmp_path / key[:2] / f"{key}.pkl").write_bytes(snapshot_blob)
+    assert CompileCache(tmp_path).get(key) is None
+
+
+def test_snapshots_invisible_to_pre_snapshot_entry_listing(tmp_path):
+    """Old readers listed entries with a two-level glob; snapshots
+    live one directory deeper (snap/<aa>/<key>.pkl), so a pre-snapshot
+    cache walking the same directory never sees them."""
+    cache, fps, _ = _seeded(tmp_path)
+    entry_files = list(tmp_path.glob("*/*.pkl"))  # the historical listing
+    assert len(entry_files) == 1
+    assert all("snap" not in f.parts for f in entry_files)
+    snapshot_files = list((tmp_path / "snap").glob("*/*.pkl"))
+    assert len(snapshot_files) == 1
+    # Every stored snapshot blob is a StageSnapshot envelope, never a
+    # bare context -- what an old unpickler would at least fail loudly
+    # on rather than silently misuse.
+    envelope = pickle.loads(snapshot_files[0].read_bytes())
+    assert isinstance(envelope, StageSnapshot)
+    assert envelope.version == SNAPSHOT_VERSION
+    assert envelope.passes_done == 1
+
+
+# ---------------------------------------------------------------------
+# GC + stats account both kinds.
+# ---------------------------------------------------------------------
+
+def test_stats_report_entries_and_snapshots_by_kind(tmp_path):
+    cache, fps, _ = _seeded(tmp_path)
+    stats = cache.stats()
+    assert stats["backend"]["entries"] == 1
+    assert stats["backend"]["snapshots"] == 1
+    assert stats["backend"]["snapshot_bytes"] > 0
+    assert stats["snapshot_stores"] == 1
+
+
+def test_sweep_covers_snapshots(tmp_path):
+    cache, fps, _ = _seeded(tmp_path)
+    swept = cache.sweep(max_bytes=0)
+    assert swept.scanned_snapshots == 1
+    assert swept.removed_snapshots == 1
+    assert swept.removed == swept.scanned  # everything went
+    stats = CompileCache(tmp_path).stats()
+    assert stats["backend"]["entries"] == 0
+    assert stats["backend"]["snapshots"] == 0
+    # A swept snapshot is a miss, never an error.
+    assert CompileCache(tmp_path).get_snapshot(fps[0]) is None
+
+
+def test_age_sweep_keeps_fresh_snapshots(tmp_path):
+    cache, fps, _ = _seeded(tmp_path)
+    swept = cache.sweep(max_age_days=30)
+    assert swept.removed == 0 and swept.removed_snapshots == 0
+    assert CompileCache(tmp_path).get_snapshot(fps[0]) is not None

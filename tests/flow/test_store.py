@@ -397,7 +397,11 @@ def test_swept_cache_still_works(tmp_path):
     cache = CompileCache(tmp_path / "cache")
     pipeline = PassManager.parse("elaborate,optimize")
     pipeline.compile(module, cache=cache)
-    assert cache.sweep(max_bytes=0).removed == 1
+    swept = cache.sweep(max_bytes=0)
+    # One completed entry, plus the stage-boundary snapshot the
+    # default policy wrote after elaborate -- both evicted.
+    assert swept.removed - swept.removed_snapshots == 1
+    assert swept.removed_snapshots == 1
     fresh = CompileCache(tmp_path / "cache")  # cold memory layer
     ctx = pipeline.compile(module, cache=fresh)
     assert ctx.aig is not None and fresh.misses == 1

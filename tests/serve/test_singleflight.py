@@ -15,7 +15,9 @@ def test_lone_caller_leads():
     assert outcome.leader and not outcome.deduped
     assert flights.inflight() == 0
     stats = flights.stats.to_json()
-    assert stats == {"started": 1, "deduped": 0, "errors": 0}
+    assert stats == {
+        "started": 1, "deduped": 0, "errors": 0, "prefix_waits": 0,
+    }
 
 
 def test_concurrent_callers_share_exactly_one_execution():
