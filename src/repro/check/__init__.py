@@ -11,13 +11,30 @@ Three analyzer families report through one
   netlists for structural defects (unreachable states, bad jump
   targets, combinational loops, multiple drivers);
 * :mod:`repro.check.locks` enforces ``# guarded-by:`` lock
-  annotations over the serve stack and the compile cache.
+  annotations over the serve stack and the compile cache;
+* :mod:`repro.check.dataflow` runs abstract-interpretation analyses
+  (worklist fixpoints over pluggable lattices) proving reachability,
+  constants, and dead logic -- the CHK7xx family -- and
+  :mod:`repro.check.facts` packages the proofs as
+  :class:`~repro.check.facts.FactSheet` advice the optimizing passes
+  consume after SAT re-discharge.
 
 ``python -m repro.check`` is the CLI; ``PassManager.compile`` and the
 compile server's ``POST /compile`` run the spec typechecker up front,
 so a statically wrong pipeline fails before any pass executes.
 """
 
+from repro.check.dataflow import (
+    analyze_aig,
+    analyze_fsm,
+    analyze_guards,
+    analyze_ir,
+    analyze_microcode,
+    analyze_netlist,
+    fsm_reachable_states,
+    microcode_reachable,
+    solve,
+)
 from repro.check.diagnostics import (
     CODES,
     Diagnostic,
@@ -25,6 +42,14 @@ from repro.check.diagnostics import (
     exit_code,
     has_errors,
     render,
+)
+from repro.check.facts import (
+    Fact,
+    FactSheet,
+    derive_facts,
+    discharge_register_invariant,
+    register_values_fact,
+    table_dontcare_fact,
 )
 from repro.check.irlint import (
     lint_aig,
@@ -41,13 +66,24 @@ from repro.check.spec import check_job, check_manager, check_spec
 __all__ = [
     "CODES",
     "Diagnostic",
+    "Fact",
+    "FactSheet",
+    "analyze_aig",
+    "analyze_fsm",
+    "analyze_guards",
+    "analyze_ir",
+    "analyze_microcode",
+    "analyze_netlist",
     "check_job",
     "check_lock_discipline",
     "check_manager",
     "check_spec",
     "default_lock_paths",
+    "derive_facts",
+    "discharge_register_invariant",
     "errors",
     "exit_code",
+    "fsm_reachable_states",
     "has_errors",
     "lint_aig",
     "lint_fsm",
@@ -56,5 +92,9 @@ __all__ = [
     "lint_netlist",
     "lint_program",
     "lint_transitions",
+    "microcode_reachable",
+    "register_values_fact",
     "render",
+    "solve",
+    "table_dontcare_fact",
 ]

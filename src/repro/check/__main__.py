@@ -7,14 +7,23 @@ Subcommands::
     specs            lint every shipped spec: the figure drivers, the
                      techsweep/replay job grid, and the default flow
     ir               lint the techsweep IR corpus (FSMs, truth tables)
+    dataflow         abstract-interpretation analyses over the IR
+                     corpus (reachability, constants, dead logic --
+                     the CHK7xx family)
     registry         the pass registry with per-pass option schemas
     self             lock-discipline lint over the serve stack and the
                      compile cache (``--self`` works as an alias)
 
 Exit status: 0 clean, 1 findings (warnings count only under
 ``--strict``), 2 usage errors.  ``--format json`` emits one JSON array
-of findings for tooling; the default is one human line per finding,
-errors first.
+of findings for tooling; ``--format sarif`` a SARIF 2.1.0 log (what CI
+uploads); the default is one human line per finding, errors first.
+
+``specs``, ``ir``, and ``dataflow`` accept ``--baseline FILE`` to
+filter previously recorded warnings (write one with
+``--write-baseline``); ``ir`` and ``dataflow`` additionally honour
+``# repro-check: disable=CHKxxx`` comments in the corpus-defining
+module.  Errors are never suppressible by either mechanism.
 """
 
 from __future__ import annotations
@@ -23,10 +32,18 @@ import argparse
 import json
 import sys
 
+from repro.check.dataflow import analyze_ir
 from repro.check.diagnostics import Diagnostic, exit_code
 from repro.check.irlint import lint_ir
 from repro.check.locks import check_lock_discipline, default_lock_paths
+from repro.check.sarif import to_sarif
 from repro.check.spec import check_job, check_spec
+from repro.check.suppress import (
+    apply_suppressions,
+    file_disables,
+    load_baseline,
+    write_baseline,
+)
 
 #: (label, spec, check_spec kwargs) for every spec the repo ships.
 #: ``specs`` lints these plus the techsweep job grid; the acceptance
@@ -116,13 +133,34 @@ def _findings_ir() -> "list[tuple[str, Diagnostic]]":
     return findings
 
 
+def _findings_dataflow() -> "list[tuple[str, Diagnostic]]":
+    from repro.expts.techsweep import _designs
+
+    findings = []
+    for label, (_, ir) in sorted(_designs("small").items()):
+        for diagnostic in analyze_ir(ir):
+            findings.append((f"dataflow/{label}", diagnostic))
+    return findings
+
+
 def _findings_self() -> "list[tuple[str, Diagnostic]]":
     return [("locks", d) for d in check_lock_discipline()]
 
 
-def _report(findings, strict: bool, output_format: str) -> int:
+def _corpus_sources() -> "list[str]":
+    """The modules whose inline ``repro-check: disable`` comments the
+    corpus lints honour: where the shipped IRs are defined."""
+    import repro.expts.techsweep as corpus
+
+    return [corpus.__file__]
+
+
+def _report(findings, strict: bool, output_format: str, suppressed: int = 0) -> int:
     diagnostics = [diagnostic for _, diagnostic in findings]
     status = exit_code(diagnostics, strict=strict)
+    if output_format == "sarif":
+        print(json.dumps(to_sarif(findings), indent=2))
+        return status
     if output_format == "json":
         print(
             json.dumps(
@@ -140,13 +178,14 @@ def _report(findings, strict: bool, output_format: str) -> int:
     )
     for label, diagnostic in ordered:
         print(f"{label}: {diagnostic}")
+    suffix = f" ({suppressed} suppressed)" if suppressed else ""
     if not findings:
-        print("clean: no diagnostics")
+        print(f"clean: no diagnostics{suffix}")
     else:
         errors = sum(1 for d in diagnostics if d.severity == "error")
         print(
             f"{len(findings)} finding(s): {errors} error(s), "
-            f"{len(findings) - errors} warning(s)"
+            f"{len(findings) - errors} warning(s){suffix}"
         )
     return status
 
@@ -207,9 +246,23 @@ def main(argv=None) -> int:
     common.add_argument(
         "--format",
         dest="output_format",
-        choices=("text", "json"),
+        choices=("text", "json", "sarif"),
         default="text",
-        help="findings as human lines (default) or one JSON array",
+        help="findings as human lines (default), one JSON array, or "
+        "a SARIF 2.1.0 log",
+    )
+    baseline_opts = argparse.ArgumentParser(add_help=False)
+    baseline_opts.add_argument(
+        "--baseline",
+        default=None,
+        help="baseline JSON file; recorded (target, code) warnings "
+        "are suppressed (errors never are)",
+    )
+    baseline_opts.add_argument(
+        "--write-baseline",
+        default=None,
+        metavar="FILE",
+        help="record the current warnings to FILE and exit 0",
     )
     commands = parser.add_subparsers(dest="command")
 
@@ -239,12 +292,19 @@ def main(argv=None) -> int:
 
     commands.add_parser(
         "specs",
-        parents=[common],
+        parents=[common, baseline_opts],
         help="lint every shipped figure/techsweep spec and the "
         "default flow",
     )
     commands.add_parser(
-        "ir", parents=[common], help="lint the techsweep IR corpus"
+        "ir",
+        parents=[common, baseline_opts],
+        help="lint the techsweep IR corpus",
+    )
+    commands.add_parser(
+        "dataflow",
+        parents=[common, baseline_opts],
+        help="dataflow analyses (CHK7xx) over the techsweep IR corpus",
     )
     commands.add_parser(
         "registry",
@@ -278,9 +338,32 @@ def main(argv=None) -> int:
         findings = _findings_specs()
     elif args.command == "ir":
         findings = _findings_ir()
+    elif args.command == "dataflow":
+        findings = _findings_dataflow()
     else:
         findings = _findings_self()
-    return _report(findings, args.strict, args.output_format)
+    suppressed = 0
+    if args.command in ("specs", "ir", "dataflow"):
+        if args.write_baseline:
+            write_baseline(args.write_baseline, findings)
+            print(
+                f"baseline: recorded "
+                f"{sum(1 for _, d in findings if d.severity == 'warning')} "
+                f"warning(s) to {args.write_baseline}"
+            )
+            return 0
+        disabled = (
+            file_disables(_corpus_sources())
+            if args.command in ("ir", "dataflow")
+            else set()
+        )
+        baseline = (
+            load_baseline(args.baseline) if args.baseline else set()
+        )
+        findings, suppressed = apply_suppressions(
+            findings, disabled, baseline
+        )
+    return _report(findings, args.strict, args.output_format, suppressed)
 
 
 if __name__ == "__main__":

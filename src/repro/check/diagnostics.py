@@ -10,6 +10,7 @@ analyzer family:
 * ``CHK4xx`` -- AIG structural linter
 * ``CHK5xx`` -- mapped-netlist linter
 * ``CHK6xx`` -- lock-discipline analyzer (:mod:`repro.check.locks`)
+* ``CHK7xx`` -- dataflow engine (:mod:`repro.check.dataflow`)
 
 The model is deliberately wire-friendly (``to_json``/``from_json``):
 the compile server attaches diagnostics to rejected jobs' NDJSON
@@ -58,6 +59,14 @@ CODES = {
     # -- lock-discipline analyzer -------------------------------------
     "CHK601": "guarded field accessed without its lock",
     "CHK602": "conflicting guarded-by annotations",
+    # -- dataflow engine ----------------------------------------------
+    "CHK701": "semantically unreachable FSM state",
+    "CHK702": "transition guard unsatisfiable",
+    "CHK703": "dead microcode branch",
+    "CHK704": "register provably constant",
+    "CHK705": "dispatch target never taken",
+    "CHK706": "output-independent logic cone",
+    "CHK710": "pass-effect contract violation",
 }
 
 

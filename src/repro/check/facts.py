@@ -1,0 +1,366 @@
+"""The facts bridge: proven analysis results the optimizer may spend.
+
+:mod:`repro.check.dataflow` proves properties -- "only these states
+are reachable", "these table rows are never addressed".  This module
+packages those proofs as :class:`Fact` records in a content-hashed
+:class:`FactSheet` that rides on
+:class:`~repro.flow.core.FlowContext` (and joins the flow
+fingerprint, so a fact-assisted compile never collides with a plain
+one in the cache).
+
+Trust discipline: a fact is *advice*, never an axiom.  Every consumer
+re-discharges the fact against the artifact it is about to optimize
+-- :func:`discharge_register_invariant` proves a claimed value set is
+an inductive invariant of the actual AIG via :mod:`repro.sat`, and
+the table/SOP consumers prove equivalence-under-care -- so a stale or
+simply wrong sheet degrades to the unassisted result instead of
+miscompiling.
+
+Fact kinds:
+
+* ``reachable-states`` -- ``target`` is the FSM's ``ir_hash()``,
+  ``values`` the proven-reachable state numbers.
+* ``reachable-addresses`` -- ``target`` is the microcode image's
+  ``ir_hash()``, ``values`` the reachable addresses.
+* ``register-values`` -- ``target`` is a register (latch bus) name,
+  ``values`` the value set it stays inside, ``width`` its bit width.
+* ``table-dontcare`` -- ``target`` is the truth table's
+  ``ir_hash()``, ``values`` the never-addressed row indices,
+  ``width`` the table's input count.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass, field
+
+#: Bumped when the sheet hash preimage changes shape.
+FACTS_VERSION = 1
+
+KINDS = (
+    "reachable-states",
+    "reachable-addresses",
+    "register-values",
+    "table-dontcare",
+)
+
+
+@dataclass(frozen=True)
+class Fact:
+    """One proven property.
+
+    Args:
+        kind: a member of :data:`KINDS`.
+        target: what the fact is about -- an IR content hash or a
+            register name (see the kind's contract above).
+        values: the proven value set, sorted ascending.
+        width: bit width of the value domain (0 when the kind carries
+            its own domain, e.g. state numbers).
+        detail: a human-readable note (``fsm 'counter'``).
+    """
+
+    kind: str
+    target: str
+    values: "tuple[int, ...]"
+    width: int = 0
+    detail: str = ""
+
+    def __post_init__(self) -> None:
+        if self.kind not in KINDS:
+            raise ValueError(f"unknown fact kind {self.kind!r}")
+        if not self.values:
+            raise ValueError("a fact needs at least one value")
+        values = tuple(sorted(int(v) for v in self.values))
+        if len(set(values)) != len(values):
+            raise ValueError("fact values must be unique")
+        object.__setattr__(self, "values", values)
+
+    def to_json(self) -> dict:
+        return {
+            "kind": self.kind,
+            "target": self.target,
+            "values": list(self.values),
+            "width": self.width,
+            "detail": self.detail,
+        }
+
+    @classmethod
+    def from_json(cls, data: dict) -> "Fact":
+        return cls(
+            kind=str(data["kind"]),
+            target=str(data["target"]),
+            values=tuple(int(v) for v in data["values"]),
+            width=int(data.get("width", 0)),
+            detail=str(data.get("detail", "")),
+        )
+
+
+@dataclass(frozen=True)
+class FactSheet:
+    """An immutable set of facts with a content hash.
+
+    The hash is order-insensitive (sheets are sets), which is what
+    lets :func:`~repro.flow.cache.flow_fingerprint` treat the sheet
+    as one more input chunk.
+    """
+
+    facts: "tuple[Fact, ...]" = field(default_factory=tuple)
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "facts", tuple(self.facts))
+
+    def __len__(self) -> int:
+        return len(self.facts)
+
+    def __iter__(self):
+        return iter(self.facts)
+
+    def sheet_hash(self) -> str:
+        payload = tuple(
+            sorted(
+                (f.kind, f.target, f.width, f.values, f.detail)
+                for f in self.facts
+            )
+        )
+        blob = repr(("fact-sheet", FACTS_VERSION) + payload).encode()
+        return hashlib.sha256(blob).hexdigest()
+
+    def select(self, kind: str, target: "str | None" = None):
+        """Facts of one kind, optionally narrowed to one target."""
+        return [
+            f
+            for f in self.facts
+            if f.kind == kind and (target is None or f.target == target)
+        ]
+
+    def without(self, kind: str, target: "str | None" = None) -> "FactSheet":
+        """A sheet with the matching facts dropped (how a pass that
+        invalidates a fact kind retires it)."""
+        return FactSheet(
+            tuple(
+                f
+                for f in self.facts
+                if f.kind != kind
+                or (target is not None and f.target != target)
+            )
+        )
+
+    def replacing(self, fact: Fact) -> "FactSheet":
+        """A sheet with ``fact`` added, displacing any existing fact of
+        the same kind and target (how a re-encoding pass translates a
+        fact instead of staling it)."""
+        kept = tuple(
+            f
+            for f in self.facts
+            if not (f.kind == fact.kind and f.target == fact.target)
+        )
+        return FactSheet(kept + (fact,))
+
+    def to_json(self) -> dict:
+        return {
+            "version": FACTS_VERSION,
+            "facts": [f.to_json() for f in self.facts],
+        }
+
+    @classmethod
+    def from_json(cls, data: dict) -> "FactSheet":
+        return cls(
+            tuple(Fact.from_json(item) for item in data.get("facts", ()))
+        )
+
+
+# ---------------------------------------------------------------------
+# Deriving sheets from IRs
+# ---------------------------------------------------------------------
+def derive_facts(ir, allowed_inputs=None) -> FactSheet:
+    """Run the dataflow analyses over a controller IR and package the
+    provable results as a :class:`FactSheet`.
+
+    Args:
+        ir: any ControllerIR (``ir_stats()['kind']`` dispatch).
+        allowed_inputs: an optional input predicate for FSM
+            reachability (see
+            :func:`repro.check.dataflow.allowed_input_words`).
+
+    Returns:
+        A sheet with ``reachable-states`` / ``reachable-addresses``
+        facts as applicable; empty for kinds the analyses cannot
+        strengthen (dense truth tables, bare dispatch tables).
+    """
+    from repro.check import dataflow
+
+    kind = str(ir.ir_stats()["kind"])
+    facts: list[Fact] = []
+    if kind == "fsm":
+        reachable = dataflow.fsm_reachable_states(ir, allowed_inputs)
+        facts.append(
+            Fact(
+                kind="reachable-states",
+                target=ir.ir_hash(),
+                values=tuple(sorted(reachable)),
+                width=ir.state_bits,
+                detail=f"fsm {ir.name!r}",
+            )
+        )
+    elif kind in ("program", "microcode"):
+        program = ir
+        if kind == "program":
+            try:
+                program = ir.assemble()
+            except (ValueError, KeyError):
+                return FactSheet()
+        try:
+            reachable = dataflow.microcode_reachable(program)
+        except KeyError:
+            return FactSheet()
+        if reachable:
+            facts.append(
+                Fact(
+                    kind="reachable-addresses",
+                    target=program.ir_hash(),
+                    values=tuple(sorted(reachable)),
+                    width=program.addr_bits,
+                    detail=f"microcode ({program.length} words)",
+                )
+            )
+    return FactSheet(tuple(facts))
+
+
+def register_values_fact(
+    reg_name: str, width: int, values, detail: str = ""
+) -> Fact:
+    """A ``register-values`` fact: the latch bus ``reg_name`` (bits
+    ``reg_name[0]..reg_name[width-1]``) only ever holds ``values``."""
+    return Fact(
+        kind="register-values",
+        target=reg_name,
+        values=tuple(sorted(values)),
+        width=width,
+        detail=detail,
+    )
+
+
+def table_dontcare_fact(table, dc_rows, detail: str = "") -> Fact:
+    """A ``table-dontcare`` fact: the rows (addresses) in ``dc_rows``
+    of ``table`` are never presented, so their outputs are free."""
+    return Fact(
+        kind="table-dontcare",
+        target=table.ir_hash(),
+        values=tuple(sorted(dc_rows)),
+        width=table.num_inputs,
+        detail=detail,
+    )
+
+
+# ---------------------------------------------------------------------
+# SAT discharge
+# ---------------------------------------------------------------------
+def latch_bus(aig, reg_name: str):
+    """The latches forming register ``reg_name`` in bit order, found
+    by the ``name[bit]`` latch naming convention (plus a bare ``name``
+    single-bit fallback).  ``None`` when absent or gappy."""
+    by_bit: dict[int, object] = {}
+    for latch in aig.latches:
+        name = latch.name
+        if name == reg_name:
+            by_bit.setdefault(0, latch)
+            continue
+        if name.startswith(reg_name + "[") and name.endswith("]"):
+            index = name[len(reg_name) + 1:-1]
+            if index.isdigit():
+                by_bit[int(index)] = latch
+    if not by_bit:
+        return None
+    width = max(by_bit) + 1
+    if sorted(by_bit) != list(range(width)):
+        return None
+    return [by_bit[i] for i in range(width)]
+
+
+def register_care(aig, reg_name: str, values):
+    """A care predicate over the latch bus ``reg_name``, in the shape
+    :func:`repro.aig.dontcare.dc_rewrite` accepts as ``external_care``:
+    ``(sources, table)`` where ``sources`` are the bus's latch-output
+    node ids sorted ascending and bit ``m`` of ``table`` is 1 exactly
+    when the source assignment ``m`` decodes to a value in ``values``.
+    ``None`` when the bus is absent or a value exceeds its width.
+    """
+    bus = latch_bus(aig, reg_name)
+    if bus is None:
+        return None
+    width = len(bus)
+    value_set = {int(v) for v in values}
+    if not value_set or any(
+        v < 0 or v >= (1 << width) for v in value_set
+    ):
+        return None
+    nodes = [latch.node for latch in bus]
+    order = sorted(range(width), key=lambda bit: nodes[bit])
+    sources = tuple(nodes[bit] for bit in order)
+    table = 0
+    for value in value_set:
+        minterm = 0
+        for position, bit in enumerate(order):
+            if (value >> bit) & 1:
+                minterm |= 1 << position
+        table |= 1 << minterm
+    return sources, table
+
+
+def discharge_register_invariant(aig, reg_name: str, values) -> bool:
+    """Prove, via :mod:`repro.sat`, that the latch bus ``reg_name``
+    never leaves ``values``: the reset value is in the set and the
+    set is closed under the bus's next-state logic (an inductive
+    invariant).  Returns ``False`` -- consumer must not use the fact
+    -- whenever the proof does not go through, including when the bus
+    cannot be found or the claimed set is malformed.
+    """
+    from repro.sat.cnf import CnfBuilder
+
+    bus = latch_bus(aig, reg_name)
+    if bus is None:
+        return False
+    width = len(bus)
+    value_set = {int(v) for v in values}
+    if not value_set or any(
+        v < 0 or v >= (1 << width) for v in value_set
+    ):
+        return False
+    reset = 0
+    for index, latch in enumerate(bus):
+        reset |= (latch.reset_value & 1) << index
+    if reset not in value_set:
+        return False
+
+    builder = CnfBuilder()
+    solver = builder.solver
+    state_vars = [
+        builder.input_var(f"latch:{latch.name}") for latch in bus
+    ]
+    next_lits = [builder.encode(aig, latch.next_lit) for latch in bus]
+
+    # state-in-set selector: sel -> OR of per-value match variables.
+    members = []
+    for value in sorted(value_set):
+        member = solver.new_var()
+        for index, var in enumerate(state_vars):
+            literal = var if (value >> index) & 1 else -var
+            solver.add_clause([-member, literal])
+        members.append(member)
+    sel = solver.new_var()
+    solver.add_clause([-sel] + members)
+
+    # next-not-in-set selector: notsel -> next differs from every
+    # member value in at least one bit.
+    notsel = solver.new_var()
+    for value in sorted(value_set):
+        clause = [-notsel]
+        for index, literal in enumerate(next_lits):
+            clause.append(
+                -literal if (value >> index) & 1 else literal
+            )
+        solver.add_clause(clause)
+
+    # SAT would be a concrete in-set state stepping out of the set --
+    # a counterexample to the claim.  UNSAT is the discharge.
+    return not solver.solve(assumptions=[sel, notsel])

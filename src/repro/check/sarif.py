@@ -1,0 +1,90 @@
+"""SARIF 2.1.0 emission for ``repro.check`` findings.
+
+SARIF (Static Analysis Results Interchange Format) is the exchange
+format code-review UIs ingest; ``python -m repro.check --format sarif``
+renders any subcommand's findings through :func:`to_sarif`, and CI
+uploads the resulting file as the run's analysis artifact.
+
+The mapping is deliberately small: one ``run`` with one ``tool``
+driver (``repro.check``), one reporting rule per diagnostic code seen
+(titled from :data:`repro.check.diagnostics.CODES`), and one result
+per finding.  Diagnostic locations in this project are logical --
+"item 3 ('dc_rewrite')", "state 5", "addrs 9, 11" -- not file/line
+pairs, so results carry ``logicalLocations`` (the lint target plus
+the diagnostic's own location string) rather than physical ones.
+"""
+
+from __future__ import annotations
+
+from repro.check.diagnostics import CODES, Diagnostic
+
+#: The schema the emitted log declares.
+SARIF_VERSION = "2.1.0"
+SARIF_SCHEMA = (
+    "https://raw.githubusercontent.com/oasis-tcs/sarif-spec/master/"
+    "Schemata/sarif-schema-2.1.0.json"
+)
+
+#: Diagnostic severity -> SARIF result level (the two sets coincide).
+_LEVELS = {"error": "error", "warning": "warning"}
+
+
+def to_sarif(findings: "list[tuple[str, Diagnostic]]") -> dict:
+    """A SARIF 2.1.0 log dict for ``(target, diagnostic)`` findings.
+
+    Args:
+        findings: what the CLI reporters collect -- ``target`` is the
+            linted thing's label (``"fig6/case"``, ``"ir/tbl_i4w6"``).
+
+    Returns:
+        A JSON-safe dict; ``json.dumps`` it for the artifact file.
+    """
+    seen_codes = sorted({diagnostic.code for _, diagnostic in findings})
+    rules = [
+        {
+            "id": code,
+            "shortDescription": {"text": CODES.get(code, code)},
+        }
+        for code in seen_codes
+    ]
+    rule_index = {code: index for index, code in enumerate(seen_codes)}
+    results = []
+    for target, diagnostic in findings:
+        message = diagnostic.message
+        if diagnostic.suggestion:
+            message = f"{message} ({diagnostic.suggestion})"
+        result = {
+            "ruleId": diagnostic.code,
+            "ruleIndex": rule_index[diagnostic.code],
+            "level": _LEVELS.get(diagnostic.severity, "warning"),
+            "message": {"text": message},
+            "locations": [
+                {
+                    "logicalLocations": [
+                        {
+                            "fullyQualifiedName": (
+                                f"{target}:{diagnostic.location}"
+                                if diagnostic.location
+                                else target
+                            ),
+                        }
+                    ]
+                }
+            ],
+        }
+        results.append(result)
+    return {
+        "version": SARIF_VERSION,
+        "$schema": SARIF_SCHEMA,
+        "runs": [
+            {
+                "tool": {
+                    "driver": {
+                        "name": "repro.check",
+                        "rules": rules,
+                    }
+                },
+                "results": results,
+            }
+        ],
+    }

@@ -1,0 +1,140 @@
+"""Suppression for check findings: inline disables and baselines.
+
+Two mechanisms, both explicit and both counted (a suppressed finding
+is reported as suppressed, never silently vanished):
+
+* **Inline**: a ``# repro-check: disable=CHK704`` comment (codes
+  comma-separated) in a Python source file disables those codes for
+  any lint run told to honour that file -- the CLI's ``ir`` and
+  ``dataflow`` subcommands scan the module defining the shipped IR
+  corpus, so the opt-out lives next to the definitions it excuses.
+  The scan is tokenize-based (comments only), the same discipline the
+  lock checker uses for ``# unguarded-ok``.
+
+* **Baseline**: ``--baseline findings.json`` loads a recorded set of
+  ``(target, code)`` pairs -- typically yesterday's warnings on legacy
+  IRs -- and filters exact matches, so new findings still fail while
+  the backlog burns down.  ``write_baseline`` produces the file from a
+  current finding list.  A baseline never filters *errors*: legacy
+  grace extends to warnings only, which is what keeps ``--strict``
+  meaningful everywhere else.
+"""
+
+from __future__ import annotations
+
+import io
+import json
+import re
+import tokenize
+from pathlib import Path
+
+from repro.check.diagnostics import CODES, Diagnostic
+
+_DISABLE_RE = re.compile(
+    r"#\s*repro-check:\s*disable=([A-Z0-9_,\s]+)"
+)
+
+#: Bumped when the baseline file shape changes.
+BASELINE_VERSION = 1
+
+
+def inline_disables(source: str) -> "set[str]":
+    """Diagnostic codes disabled by ``# repro-check: disable=...``
+    comments anywhere in ``source`` (Python text).  Unknown codes are
+    ignored -- a typo in a disable comment must not hide anything."""
+    disabled: set[str] = set()
+    reader = io.StringIO(source).readline
+    try:
+        tokens = list(tokenize.generate_tokens(reader))
+    except (tokenize.TokenError, IndentationError):
+        return disabled
+    for token in tokens:
+        if token.type != tokenize.COMMENT:
+            continue
+        match = _DISABLE_RE.search(token.string)
+        if not match:
+            continue
+        for item in match.group(1).split(","):
+            code = item.strip()
+            if code in CODES:
+                disabled.add(code)
+    return disabled
+
+
+def file_disables(paths) -> "set[str]":
+    """Union of :func:`inline_disables` over files (missing files are
+    skipped -- a moved corpus module should not crash the linter)."""
+    disabled: set[str] = set()
+    for path in paths:
+        path = Path(path)
+        try:
+            source = path.read_text()
+        except OSError:
+            continue
+        disabled |= inline_disables(source)
+    return disabled
+
+
+def load_baseline(path) -> "set[tuple[str, str]]":
+    """The ``(target, code)`` pairs recorded in a baseline file.
+
+    Raises:
+        ValueError: the file is not a baseline this version reads.
+    """
+    data = json.loads(Path(path).read_text())
+    if not isinstance(data, dict) or "suppress" not in data:
+        raise ValueError(f"{path}: not a repro-check baseline file")
+    pairs = set()
+    for entry in data["suppress"]:
+        pairs.add((str(entry["target"]), str(entry["code"])))
+    return pairs
+
+
+def write_baseline(path, findings) -> None:
+    """Record the current warnings as a baseline file.
+
+    Only warnings are recorded; baselining an *error* would weaken
+    the strict gate, which is exactly what baselines must not do.
+    """
+    entries = sorted(
+        {
+            (target, diagnostic.code)
+            for target, diagnostic in findings
+            if diagnostic.severity == "warning"
+        }
+    )
+    payload = {
+        "version": BASELINE_VERSION,
+        "suppress": [
+            {"target": target, "code": code} for target, code in entries
+        ],
+    }
+    Path(path).write_text(json.dumps(payload, indent=2) + "\n")
+
+
+def apply_suppressions(
+    findings: "list[tuple[str, Diagnostic]]",
+    disabled: "set[str] | None" = None,
+    baseline: "set[tuple[str, str]] | None" = None,
+) -> "tuple[list[tuple[str, Diagnostic]], int]":
+    """Filter findings through the inline and baseline suppressions.
+
+    Errors always survive: both mechanisms only reach warnings, so a
+    suppression file (or comment) can never hide a hard failure.
+
+    Returns:
+        ``(kept, suppressed_count)``.
+    """
+    disabled = disabled or set()
+    baseline = baseline or set()
+    kept: list[tuple[str, Diagnostic]] = []
+    suppressed = 0
+    for target, diagnostic in findings:
+        if diagnostic.severity != "error" and (
+            diagnostic.code in disabled
+            or (target, diagnostic.code) in baseline
+        ):
+            suppressed += 1
+            continue
+        kept.append((target, diagnostic))
+    return kept, suppressed

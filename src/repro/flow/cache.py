@@ -73,7 +73,11 @@ if TYPE_CHECKING:
 #: changed default can never serve stale hits.
 #: Version 4: :class:`FlowContext` grew a ``meta`` slot (resume
 #: provenance), changing the context pickling layout.
-FINGERPRINT_VERSION = 4
+#: Version 5: :class:`FlowContext` grew a ``facts`` slot and fact
+#: sheets joined the key -- a fact-assisted compile may legitimately
+#: produce a different (better) result than a plain one, so the two
+#: must never collide.
+FINGERPRINT_VERSION = 5
 
 #: Bump whenever the stage-snapshot envelope or the meaning of a
 #: restored mid-pipeline context changes: snapshot keys are derived
@@ -112,6 +116,7 @@ def flow_fingerprint(
     bindings: "dict[str, list[int]] | None" = None,
     library: "Library | None" = None,
     seed: int = 2011,
+    facts=None,
 ) -> str:
     """The cache key of one ``PassManager.compile`` invocation.
 
@@ -145,6 +150,9 @@ def flow_fingerprint(
             ``None`` placeholder, or a future change of the built-in
             default would serve stale cache hits.
         seed: the context RNG seed.
+        facts: the seeded :class:`~repro.check.facts.FactSheet`, or
+            ``None``; hashed by its content hash (``sheet_hash()``),
+            so fact-assisted and plain compiles key differently.
 
     Returns:
         A hex SHA-256 digest; equal digests mean "same compile".
@@ -164,6 +172,7 @@ def flow_fingerprint(
         bindings=bindings,
         library=library,
         seed=seed,
+        facts=facts,
     )
     return _spec_digest(spec, chunks)
 
@@ -177,6 +186,7 @@ def _input_chunks(
     bindings: "dict[str, list[int]] | None" = None,
     library: "Library | None" = None,
     seed: int = 2011,
+    facts=None,
 ) -> "list[bytes]":
     """The input-dependent digest chunks of :func:`flow_fingerprint`,
     in hashing order -- everything except the version header and the
@@ -229,6 +239,11 @@ def _input_chunks(
         repr(("library-registry", registered_libraries_digest())).encode()
     )
     chunks.append(repr(("seed", seed)).encode())
+    chunks.append(
+        repr(
+            ("facts", None if facts is None else facts.sheet_hash())
+        ).encode()
+    )
     return chunks
 
 
@@ -251,6 +266,7 @@ def fingerprint_prefixes(
     bindings: "dict[str, list[int]] | None" = None,
     library: "Library | None" = None,
     seed: int = 2011,
+    facts=None,
 ) -> "list[str]":
     """:func:`flow_fingerprint` folded over every pipeline prefix.
 
@@ -277,6 +293,7 @@ def fingerprint_prefixes(
         bindings=bindings,
         library=library,
         seed=seed,
+        facts=facts,
     )
     return [_spec_digest(spec, chunks) for spec in prefix_specs]
 

@@ -75,6 +75,10 @@ class CompileJob:
     bindings: "dict[str, list[int]] | None" = None
     library: "Library | None" = None
     seed: int = 2011
+    #: Optional :class:`repro.check.facts.FactSheet`; fingerprinted
+    #: like every other input, consumed (after SAT re-discharge) by
+    #: the optimizing passes.
+    facts: object | None = None
 
 
 class CompileJobError(FlowError):
@@ -116,6 +120,7 @@ def _job_fingerprint(job: CompileJob, pipeline: PassManager) -> str:
         bindings=job.bindings,
         library=job.library,
         seed=job.seed,
+        facts=job.facts,
     )
 
 
@@ -130,6 +135,7 @@ def _job_prefix_fingerprints(
         bindings=job.bindings,
         library=job.library,
         seed=job.seed,
+        facts=job.facts,
     )
 
 
@@ -172,6 +178,7 @@ def _execute_job(
         bindings=job.bindings,
         library=job.library,
         seed=job.seed,
+        facts=job.facts,
         cache=cache,
         prefix_fingerprints=prefix_fps,
     )

@@ -16,6 +16,10 @@ from __future__ import annotations
 from dataclasses import replace
 
 from repro.check import (
+    analyze_aig,
+    analyze_fsm,
+    analyze_guards,
+    analyze_microcode,
     check_spec,
     lint_aig,
     lint_fsm,
@@ -72,6 +76,39 @@ def _aig_with_dangling():
     aig.and_(a, b)  # feeds nothing
     aig.add_po("f", a)
     return aig
+
+
+def _aig_with_dead_cone():
+    # A self-sustaining latch no primary output observes: its next
+    # cone keeps it alive under the CHK402 walk, but the liveness
+    # fixpoint sees the whole cone is output-independent.
+    from repro.aig.graph import AIG
+
+    aig = AIG()
+    a = aig.add_pi("a")
+    b = aig.add_pi("b")
+    aig.add_po("f", aig.and_(a, b))
+    zombie = aig.add_latch("zombie", reset_kind="sync")
+    aig.set_latch_next(zombie, aig.and_(zombie, a))
+    return aig
+
+
+def _dead_branch():
+    # BRANCH at address 0 whose taken target is its own fall-through.
+    program = Program(_FMT)
+    program.inst(SeqOp.BRANCH, "after", alu="add")
+    program.label("after")
+    program.inst(SeqOp.JUMP, "after", alu="sub")
+    return program.assemble(addr_bits=2)
+
+
+def _constant_field():
+    # Every reachable control word decodes alu to "add".
+    program = Program(_FMT)
+    program.label("start")
+    program.inst(alu="add")
+    program.inst(SeqOp.JUMP, "start", alu="add")
+    return program.assemble(addr_bits=2)
 
 
 def _netlist(instances, pi_nets, po_nets, num_nets) -> MappedNetlist:
@@ -162,6 +199,30 @@ FIXTURES = {
             po_nets={"f": 3},
             num_nets=8,
         )
+    ),
+    # -- dataflow (abstract interpretation) ---------------------------
+    "CHK701": lambda: analyze_fsm(_bad_fsm()),
+    "CHK702": lambda: analyze_guards(
+        2,
+        2,
+        [(0, "0-", 1), (0, "1-", 0), (1, "--", 0)],
+        allowed_cubes=["0-"],
+    ),
+    "CHK703": lambda: analyze_microcode(_dead_branch()),
+    "CHK704": lambda: analyze_microcode(_constant_field()),
+    "CHK705": lambda: analyze_microcode(
+        replace(
+            _loop_program().assemble(),
+            dispatch=DispatchTable("d", 1, {0: "start"}, None),
+        )
+    ),
+    "CHK706": lambda: analyze_aig(_aig_with_dead_cone()),
+    # -- pass-effect contracts ----------------------------------------
+    "CHK710": lambda: check_spec(
+        "fsm_encode{realize=case},elaborate,retime,dc_rewrite",
+        input_stage="ctrl",
+        ir_kind="fsm",
+        has_facts=True,
     ),
 }
 

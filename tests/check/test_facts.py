@@ -1,0 +1,261 @@
+"""The facts bridge: sheets, SAT discharge, and the optimizer payoff.
+
+The load-bearing property lives here: a fact-assisted compile is
+never worse than the unassisted one and stays sequentially equivalent
+to it -- because every consumed fact is re-discharged against the
+artifact it rewrites, a wrong sheet degrades to the plain result
+instead of miscompiling.
+"""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.check.facts import (
+    Fact,
+    FactSheet,
+    derive_facts,
+    discharge_register_invariant,
+    latch_bus,
+    register_care,
+    register_values_fact,
+    table_dontcare_fact,
+)
+from repro.check.spec import check_spec
+from repro.controllers.fsm import FsmSpec
+from repro.flow import PassManager
+from repro.flow.cache import flow_fingerprint
+from repro.sim.crosscheck import AigSim
+from repro.tables.truthtable import TruthTable
+
+#: The standard fact-consuming pipeline: fsm_encode translates the
+#: reachable-states fact into a register-values fact on ``state``,
+#: which dc_rewrite spends as an external care set.
+FSM_PIPELINE = "fsm_encode{realize=case},elaborate,optimize,dc_rewrite"
+
+
+def _trap_fsm(seed: int = 0, live: int = 4, total: int = 6) -> FsmSpec:
+    """A random FSM whose states ``live..total-1`` are unreachable:
+    the live states only ever transition among themselves."""
+    rng = random.Random(seed)
+    combos = 1 << 2
+    next_state = [
+        [rng.randrange(live) for _ in range(combos)]
+        for _ in range(live)
+    ] + [
+        [rng.randrange(total) for _ in range(combos)]
+        for _ in range(total - live)
+    ]
+    output = [
+        [rng.randrange(4) for _ in range(combos)] for _ in range(total)
+    ]
+    return FsmSpec(f"trap{seed}", 2, 2, total, 0, next_state, output)
+
+
+# ---------------------------------------------------------------------
+# The sheet model
+# ---------------------------------------------------------------------
+def test_fact_normalises_and_validates():
+    fact = Fact("register-values", "state", (3, 1, 2), width=2)
+    assert fact.values == (1, 2, 3)
+    with pytest.raises(ValueError):
+        Fact("no-such-kind", "x", (1,))
+    with pytest.raises(ValueError):
+        Fact("register-values", "x", ())
+    with pytest.raises(ValueError):
+        Fact("register-values", "x", (1, 1))
+
+
+def test_sheet_hash_is_order_insensitive():
+    a = register_values_fact("state", 2, (0, 1))
+    b = table_dontcare_fact(TruthTable.from_rows(2, [1, 0, 1, 0], 1), (3,))
+    assert FactSheet((a, b)).sheet_hash() == FactSheet((b, a)).sheet_hash()
+    assert FactSheet((a,)).sheet_hash() != FactSheet((b,)).sheet_hash()
+
+
+def test_sheet_select_without_replacing():
+    a = register_values_fact("state", 2, (0, 1))
+    b = register_values_fact("mode", 1, (0,))
+    sheet = FactSheet((a, b))
+    assert sheet.select("register-values", "state") == [a]
+    assert len(sheet.without("register-values", "mode")) == 1
+    wider = register_values_fact("state", 3, (0, 1, 4))
+    replaced = sheet.replacing(wider)
+    assert sheet.select("register-values", "state") == [a]  # immutable
+    assert replaced.select("register-values", "state") == [wider]
+    assert len(replaced) == 2
+
+
+def test_sheet_json_round_trip():
+    sheet = derive_facts(_trap_fsm())
+    assert FactSheet.from_json(sheet.to_json()).sheet_hash() == (
+        sheet.sheet_hash()
+    )
+
+
+def test_derive_facts_proves_the_trap():
+    spec = _trap_fsm()
+    (fact,) = derive_facts(spec).select("reachable-states")
+    assert fact.target == spec.ir_hash()
+    assert set(fact.values) == set(spec.reachable_states())
+    assert set(fact.values) <= {0, 1, 2, 3}
+
+
+# ---------------------------------------------------------------------
+# SAT discharge
+# ---------------------------------------------------------------------
+def _compiled_trap(seed: int = 0, facts=None):
+    spec = _trap_fsm(seed)
+    sheet = derive_facts(spec) if facts is None else facts
+    return spec, PassManager.parse(FSM_PIPELINE).compile(
+        ctrl=spec, facts=sheet
+    )
+
+
+def test_discharge_accepts_true_invariant_rejects_false():
+    spec, ctx = _compiled_trap()
+    (fact,) = ctx.facts.select("register-values", "state")
+    assert discharge_register_invariant(ctx.aig, "state", fact.values)
+    # Dropping the reset state breaks the base case.
+    reset_code = min(fact.values)
+    smaller = tuple(v for v in fact.values if v != reset_code)
+    assert not discharge_register_invariant(ctx.aig, "state", smaller)
+    # A register that does not exist is not an invariant of anything.
+    assert not discharge_register_invariant(
+        ctx.aig, "ghost", fact.values
+    )
+
+
+def test_register_care_encodes_the_value_set():
+    spec, ctx = _compiled_trap()
+    (fact,) = ctx.facts.select("register-values", "state")
+    sources, table = register_care(ctx.aig, "state", fact.values)
+    bus = latch_bus(ctx.aig, "state")
+    bit_of_node = {latch.node: bit for bit, latch in enumerate(bus)}
+    assert list(sources) == sorted(sources)
+    # Exactly one care minterm per value, at the row index obtained by
+    # reading the value's bits in source order.
+    assert bin(table).count("1") == len(fact.values)
+    for value in fact.values:
+        row = 0
+        for position, node in enumerate(sources):
+            if (value >> bit_of_node[node]) & 1:
+                row |= 1 << position
+        assert (table >> row) & 1
+
+
+# ---------------------------------------------------------------------
+# The payoff: never worse, always equivalent
+# ---------------------------------------------------------------------
+@settings(max_examples=6, deadline=None)
+@given(seed=st.integers(min_value=0, max_value=10_000))
+def test_fact_assisted_compile_never_worse_and_equivalent(seed):
+    spec = _trap_fsm(seed)
+    plain = PassManager.parse(FSM_PIPELINE).compile(ctrl=spec)
+    assisted = PassManager.parse(FSM_PIPELINE).compile(
+        ctrl=spec, facts=derive_facts(spec)
+    )
+    assert assisted.aig.num_ands <= plain.aig.num_ands
+    # Sequential cross-simulation from reset: the external care set is
+    # an inductive invariant, so every reachable cycle must agree.
+    rng = random.Random(seed)
+    reference = AigSim(plain.aig)
+    candidate = AigSim(assisted.aig)
+    for _ in range(200):
+        word = rng.randrange(1 << spec.num_inputs)
+        assert candidate.step_words({"in": word}) == (
+            reference.step_words({"in": word})
+        )
+
+
+def test_dc_rewrite_records_the_discharge():
+    spec, ctx = _compiled_trap()
+    (record,) = [r for r in ctx.records if r.name == "dc_rewrite"]
+    assert any("discharged" in message for message in record.messages)
+
+
+def test_wrong_fact_degrades_to_plain():
+    # A sheet claiming the state register is stuck at reset is false;
+    # the discharge must fail and the result must equal the plain one.
+    spec = _trap_fsm()
+    bogus = FactSheet((register_values_fact("state", 2, (0,)),))
+    plain = PassManager.parse(FSM_PIPELINE).compile(ctrl=spec)
+    assisted = PassManager.parse(FSM_PIPELINE).compile(
+        ctrl=spec, facts=bogus
+    )
+    assert assisted.aig.canonical_hash() == plain.aig.canonical_hash()
+    (record,) = [r for r in assisted.records if r.name == "dc_rewrite"]
+    assert any("re-discharge" in m for m in record.messages)
+
+
+def test_table_minimize_consumes_dontcare_fact():
+    table = TruthTable.random_sparse(5, 6, 0.2, random.Random(7))
+    dc_rows = tuple(range(22, 32))
+    sheet = FactSheet((table_dontcare_fact(table, dc_rows),))
+    pipeline = "table_minimize,elaborate,optimize"
+    plain = PassManager.parse(pipeline).compile(ctrl=table)
+    assisted = PassManager.parse(pipeline).compile(
+        ctrl=table, facts=sheet
+    )
+    assert assisted.aig.num_ands <= plain.aig.num_ands
+    # Equivalence under care: every row outside the don't-care set
+    # must agree between the two lowerings.
+    reference = AigSim(plain.aig)
+    candidate = AigSim(assisted.aig)
+    for row in range(table.depth):
+        if row in dc_rows:
+            continue
+        assert candidate.step_words({"addr": row}) == (
+            reference.step_words({"addr": row})
+        )
+
+
+# ---------------------------------------------------------------------
+# Fingerprints and the CHK710 contract
+# ---------------------------------------------------------------------
+def test_fingerprint_distinguishes_fact_assisted_compiles():
+    spec = _trap_fsm()
+    rendered = PassManager.parse(FSM_PIPELINE).spec()
+    plain = flow_fingerprint(rendered, ctrl=spec)
+    assisted = flow_fingerprint(
+        rendered, ctrl=spec, facts=derive_facts(spec)
+    )
+    assert plain != assisted
+    # Same sheet, different fact order: same fingerprint.
+    sheet = derive_facts(spec)
+    reordered = FactSheet(tuple(reversed(tuple(sheet))))
+    assert assisted == flow_fingerprint(
+        rendered, ctrl=spec, facts=reordered
+    )
+
+
+def test_chk710_fires_only_for_stale_facts():
+    stale = "fsm_encode{realize=case},elaborate,retime,dc_rewrite"
+    codes = {
+        d.code
+        for d in check_spec(
+            stale, input_stage="ctrl", ir_kind="fsm", has_facts=True
+        )
+    }
+    assert "CHK710" in codes
+    # No sheet on the context: nothing can be stale.
+    codes = {
+        d.code
+        for d in check_spec(stale, input_stage="ctrl", ir_kind="fsm")
+    }
+    assert "CHK710" not in codes
+    # A re-encoder that declares requires_facts translates the sheet,
+    # so downstream consumers stay fresh.
+    fresh = (
+        "fsm_encode{realize=case},fsm_infer,honour_annotations,"
+        "encode,elaborate,dc_rewrite"
+    )
+    codes = {
+        d.code
+        for d in check_spec(
+            fresh, input_stage="ctrl", ir_kind="fsm", has_facts=True
+        )
+    }
+    assert "CHK710" not in codes
